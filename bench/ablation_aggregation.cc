@@ -1,0 +1,48 @@
+// Ablation: per-address vs per-ping aggregation (Section 3.2's deliberate
+// methodological choice). The paper weights every address equally so that
+// "well-connected hosts that reply reliably are not over-represented
+// relative to hosts that reply infrequently". This harness measures what
+// the alternative would have reported: pooled per-ping percentiles sit
+// far below the per-address diagonal at the same coverage level, because
+// fast hosts contribute the most pings — i.e. the conventional
+// aggregation hides exactly the population the paper is about.
+#include <iostream>
+
+#include "analysis/percentiles.h"
+#include "harness.h"
+
+using namespace turtle;
+
+int main(int argc, char** argv) {
+  const auto flags = util::Flags::parse(argc, argv);
+  auto world = bench::make_world(bench::world_options_from_flags(flags, 300));
+  const int rounds = static_cast<int>(flags.get_int("rounds", 50));
+
+  const auto prober = bench::run_survey(*world, rounds);
+  const auto result = bench::analyze_survey(prober);
+
+  const auto per_address = analysis::PerAddressPercentiles::compute(
+      result.addresses, util::kPaperPercentiles, 10);
+  const auto matrix =
+      analysis::TimeoutMatrix::compute(per_address, util::kPaperPercentiles);
+  const auto pooled =
+      analysis::pooled_ping_percentiles(result.addresses, util::kPaperPercentiles);
+
+  std::printf("# ablation_aggregation: %zu blocks, %d rounds, %zu addresses\n",
+              world->population->blocks().size(), rounds, result.addresses.size());
+  std::printf("\nTimeout needed at coverage level c, under the two aggregations (s):\n");
+  util::TextTable table({"coverage c", "per-ping pooled", "per-address (c% of pings from c% of addrs)", "ratio"});
+  for (std::size_t i = 0; i < std::size(util::kPaperPercentiles); ++i) {
+    const double diag = matrix.cell(i, i);
+    table.add_row({util::format_double(util::kPaperPercentiles[i], 0) + "%",
+                   util::format_double(pooled[i], 2), util::format_double(diag, 2),
+                   util::format_double(pooled[i] > 0 ? diag / pooled[i] : 0, 1) + "x"});
+  }
+  table.print(std::cout);
+
+  std::printf("\n# the per-ping 95th percentile suggests a ~%.1f s timeout; the paper's "
+              "per-address aggregation shows %.1f s is needed for the same coverage —\n"
+              "# the chatty-host bias the paper's Section 3.2 design choice avoids\n",
+              pooled[4], matrix.cell(4, 4));
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation: the broadcast-responder filter's parameters (Section 3.3.1).
+// The paper uses an EWMA with alpha = 0.01 flagged at 0.2 and reports
+// 97.7% detection with a 0.13% false-negative rate against the Zmap
+// ground truth. This harness sweeps (alpha, threshold) against the
+// population's planted responders and prints detection / precision /
+// collateral damage, showing why the paper's corner of the space works:
+// small alpha demands *persistent* per-round behaviour (robust to genuine
+// congestion), the 0.2 threshold tolerates missed rounds via the running
+// maximum.
+#include <iostream>
+#include <set>
+
+#include "harness.h"
+
+using namespace turtle;
+
+int main(int argc, char** argv) {
+  const auto flags = util::Flags::parse(argc, argv);
+  auto world = bench::make_world(bench::world_options_from_flags(flags, 250));
+  // Detection time scales like ~threshold/alpha consecutive rounds; give
+  // the slowest swept corner room.
+  const int rounds = static_cast<int>(flags.get_int("rounds", 60));
+
+  const auto prober = bench::run_survey(*world, rounds);
+  const auto truth_vec = world->population->broadcast_responders();
+  std::set<std::uint32_t> truth;
+  for (const auto a : truth_vec) truth.insert(a.value());
+
+  std::printf("# ablation_broadcast_filter: %zu blocks, %d rounds, %zu planted broadcast "
+              "responders\n",
+              world->population->blocks().size(), rounds, truth.size());
+
+  util::TextTable table({"alpha", "threshold", "flagged", "detection %", "precision %",
+                         "innocent flagged"});
+  struct Sweep {
+    double alpha;
+    double threshold;
+  };
+  const Sweep sweeps[] = {
+      {0.01, 0.05}, {0.01, 0.2}, {0.01, 0.5},   // paper's alpha, threshold sweep
+      {0.05, 0.2},  {0.2, 0.2},                 // faster EWMAs
+      {0.001, 0.2},                             // too slow to trip in 60 rounds
+  };
+  for (const auto& sweep : sweeps) {
+    analysis::PipelineConfig config;
+    config.broadcast_alpha = sweep.alpha;
+    config.broadcast_flag_threshold = sweep.threshold;
+    auto dataset = analysis::SurveyDataset::from_log(prober.log());
+    const auto result = analysis::run_pipeline(dataset, config);
+
+    std::size_t hits = 0;
+    for (const auto a : result.broadcast_flagged) {
+      if (truth.count(a.value())) ++hits;
+    }
+    const std::size_t flagged = result.broadcast_flagged.size();
+    table.add_row({util::format_double(sweep.alpha, 3),
+                   util::format_double(sweep.threshold, 2), std::to_string(flagged),
+                   util::format_percent(truth.empty() ? 0
+                                                      : static_cast<double>(hits) /
+                                                            truth.size()),
+                   util::format_percent(flagged ? static_cast<double>(hits) / flagged : 0),
+                   std::to_string(flagged - hits)});
+  }
+  table.print(std::cout);
+  std::printf("\n# paper's corner (alpha 0.01, threshold 0.2) reported 97.7%% detection, "
+              "0.13%% false negatives; expect the same shape: detection collapses when\n"
+              "# the EWMA cannot reach the threshold (alpha too small / threshold too "
+              "high) and precision erodes as the filter gets hair-triggered\n");
+  return 0;
+}

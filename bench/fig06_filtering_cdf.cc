@@ -1,0 +1,106 @@
+// Figure 6: per-address percentile latency CDFs before vs after filtering
+// unexpected responses. Before filtering, broadcast false-matches create
+// bumps at fractions of the 11-minute round interval (165/330/495 s);
+// filtering removes them. The harness prints both CDF families plus the
+// bump mass so the comparison is quantitative.
+#include <algorithm>
+#include <iostream>
+#include <string_view>
+
+#include "analysis/percentiles.h"
+#include "harness.h"
+
+using namespace turtle;
+
+namespace {
+
+/// Matched samples are capped at the 3 s timeout, so every sample above
+/// 3 s is a recovered delayed response. Broadcast false matches land at
+/// fixed fractions of the round interval; genuine delays spread out.
+/// Count delayed samples near `center`.
+std::uint64_t addresses_near(const std::vector<analysis::AddressReport>& reports,
+                             double center, double width) {
+  std::uint64_t hits = 0;
+  for (const auto& r : reports) {
+    for (const double rtt : r.rtts_s) {
+      if (rtt > 3.0 && rtt > center - width && rtt < center + width) ++hits;
+    }
+  }
+  return hits;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = util::Flags::parse(argc, argv);
+  const auto csv = bench::csv_from_flags(flags);
+  auto world = bench::make_world(bench::world_options_from_flags(flags, 300));
+  // The broadcast filter's EWMA needs ~23 consecutive rounds to trip.
+  const int rounds = static_cast<int>(flags.get_int("rounds", 50));
+
+  const auto prober = bench::run_survey(*world, rounds);
+  std::printf("# fig06_filtering_cdf: %zu blocks, %d rounds\n",
+              world->population->blocks().size(), rounds);
+
+  analysis::PipelineConfig no_filter;
+  no_filter.filter_broadcast = false;
+  no_filter.filter_duplicates = false;
+  auto ds_raw = analysis::SurveyDataset::from_log(prober.log());
+  const auto raw = analysis::run_pipeline(ds_raw, no_filter);
+
+  auto ds_filtered = analysis::SurveyDataset::from_log(prober.log());
+  const auto filtered = analysis::run_pipeline(ds_filtered, {});
+
+  std::printf("# before: %zu addresses; after: %zu (broadcast-flagged %zu, duplicate %zu)\n",
+              raw.addresses.size(), filtered.addresses.size(),
+              filtered.broadcast_flagged.size(), filtered.duplicate_flagged.size());
+
+  const double ps[] = {50, 80, 90, 95, 98, 99};
+  const auto pap_raw = analysis::PerAddressPercentiles::compute(raw.addresses, ps, 10);
+  const auto pap_filtered =
+      analysis::PerAddressPercentiles::compute(filtered.addresses, ps, 10);
+
+  for (std::size_t p = 0; p < pap_raw.percentiles.size(); ++p) {
+    char title[96];
+    std::snprintf(title, sizeof title, "(a) BEFORE filtering: per-address p%g latency CDF (s)",
+                  pap_raw.percentiles[p]);
+    bench::print_cdf(std::cout, title, pap_raw.cdf_for(p), 20, csv);
+  }
+  for (std::size_t p = 0; p < pap_filtered.percentiles.size(); ++p) {
+    char title[96];
+    std::snprintf(title, sizeof title, "(b) AFTER filtering: per-address p%g latency CDF (s)",
+                  pap_filtered.percentiles[p]);
+    bench::print_cdf(std::cout, title, pap_filtered.cdf_for(p), 20, csv);
+  }
+
+  std::printf("\n# fast addresses (median < 1 s) whose p99 sits within +-20 s of a\n"
+              "# fraction of the 660 s round interval (bumps) vs off-center controls:\n");
+  util::TextTable table({"window (s)", "kind", "delayed before", "delayed after"});
+  const std::pair<double, const char*> windows[] = {
+      {165.0, "bump"}, {330.0, "bump"}, {495.0, "bump"}, {660.0, "bump"},
+      {100.0, "control"}, {250.0, "control"}, {420.0, "control"}, {580.0, "control"},
+  };
+  std::uint64_t bump_before = 0;
+  std::uint64_t bump_after = 0;
+  std::uint64_t control_before = 0;
+  for (const auto& [center, kind] : windows) {
+    const std::uint64_t before = addresses_near(raw.addresses, center, 20);
+    const std::uint64_t after = addresses_near(filtered.addresses, center, 20);
+    table.add_row({util::format_double(center, 0), kind, std::to_string(before),
+                   std::to_string(after)});
+    if (std::string_view{kind} == "bump") {
+      bump_before += before;
+      bump_after += after;
+    } else {
+      control_before += before;
+    }
+  }
+  if (csv.has_value()) csv->write_table("fig06_bump_windows", table);
+  table.print(std::cout);
+  std::printf("\n# bump-window delayed responses before: %llu (control floor %llu) -> "
+              "after filtering: %llu (paper: bumps vanish)\n",
+              static_cast<unsigned long long>(bump_before),
+              static_cast<unsigned long long>(control_before),
+              static_cast<unsigned long long>(bump_after));
+  return 0;
+}

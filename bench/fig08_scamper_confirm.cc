@@ -1,0 +1,81 @@
+// Figure 8: confirmation that extreme latencies are not an artifact of the
+// survey's probing scheme. Addresses whose survey showed >= 5% of pings at
+// 100 s or more are re-probed with Scamper (1000 pings, 10 s apart,
+// indefinite capture). Paper shape: the re-probed distribution is milder
+// (extreme latency is episodic — the median address's p95 drops to a few
+// seconds) yet a sizable minority (~17%) still shows > 100 s latencies at
+// the 99th percentile.
+#include <iostream>
+
+#include "analysis/percentiles.h"
+#include "harness.h"
+#include "probe/scamper.h"
+
+using namespace turtle;
+
+int main(int argc, char** argv) {
+  const auto flags = util::Flags::parse(argc, argv);
+  const auto csv = bench::csv_from_flags(flags);
+  auto world = bench::make_world(bench::world_options_from_flags(flags, 500));
+  const int survey_rounds = static_cast<int>(flags.get_int("rounds", 50));
+  const int pings = static_cast<int>(flags.get_int("pings", 300));
+
+  // Phase 1: survey to select high-latency addresses (p95 >= 100 s).
+  const auto prober = bench::run_survey(*world, survey_rounds);
+  const auto result = bench::analyze_survey(prober);
+
+  std::vector<net::Ipv4Address> candidates;
+  for (const auto& report : result.addresses) {
+    if (report.rtts_s.size() < 10) continue;
+    if (util::percentile(report.rtts_s, 95) >= 100.0) candidates.push_back(report.address);
+  }
+  std::printf("# fig08_scamper_confirm: %zu candidate addresses with survey p95 >= 100 s "
+              "(of %zu)\n",
+              candidates.size(), result.addresses.size());
+  if (candidates.empty()) {
+    std::printf("# no candidates at this scale; increase --blocks\n");
+    return 0;
+  }
+
+  // Phase 2: Scamper streams with tcpdump-style indefinite matching.
+  probe::ScamperProber scamper{world->sim, *world->net,
+                               net::Ipv4Address::from_octets(198, 51, 100, 9)};
+  const SimTime start = world->sim.now() + SimTime::minutes(5);
+  for (const auto addr : candidates) {
+    scamper.ping(addr, pings, SimTime::seconds(10), probe::ProbeProtocol::kIcmp, start);
+  }
+  world->sim.run();
+
+  const auto responsive = scamper.responsive_targets(probe::ScamperProber::kIndefinite);
+  std::printf("# %zu of %zu responded to re-probing (paper: 1244 of 2000)\n",
+              responsive.size(), candidates.size());
+
+  std::vector<double> p95s;
+  std::vector<double> p99s;
+  std::size_t over_100_at_p99 = 0;
+  for (const auto addr : responsive) {
+    const auto outcomes = scamper.results(addr, probe::ScamperProber::kIndefinite);
+    std::vector<double> rtts;
+    for (const auto& o : outcomes) {
+      if (o.rtt.has_value()) rtts.push_back(o.rtt->as_seconds());
+    }
+    if (rtts.size() < 20) continue;
+    std::sort(rtts.begin(), rtts.end());
+    p95s.push_back(util::percentile_sorted(rtts, 95));
+    p99s.push_back(util::percentile_sorted(rtts, 99));
+    if (p99s.back() > 100.0) ++over_100_at_p99;
+  }
+
+  bench::print_cdf(std::cout, "per-address p95 RTT (s) under re-probing", util::make_cdf(p95s, 25), 40, csv);
+  bench::print_cdf(std::cout, "per-address p99 RTT (s) under re-probing", util::make_cdf(p99s, 25), 40, csv);
+
+  if (!p95s.empty()) {
+    std::printf("\n# median address's p95 under re-probing: %.1f s (paper: 7.3 s — much "
+                "milder than selection implied)\n",
+                util::percentile(p95s, 50));
+    std::printf("# addresses still showing > 100 s at p99: %.0f%% (paper: 17%% at 1%% of "
+                "pings)\n",
+                100.0 * static_cast<double>(over_100_at_p99) / p99s.size());
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Shared world-building for the benchmark harnesses.
+//
+// Every bench binary builds the same kind of world: a simulator, a network
+// fabric, the synthetic AS catalog, and a host population — then attaches
+// whichever prober its experiment needs. Flags let each binary scale the
+// world up or down without recompiling.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <ostream>
+
+#include "analysis/pipeline.h"
+#include "hosts/asdb.h"
+#include "hosts/population.h"
+#include "probe/survey.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/flags.h"
+#include "util/prng.h"
+#include "util/series.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace turtle::bench {
+
+struct World {
+  sim::Simulator sim;
+  std::unique_ptr<sim::Network> net;
+  std::unique_ptr<hosts::HostContext> ctx;
+  hosts::AsCatalog catalog;
+  std::unique_ptr<hosts::Population> population;
+
+  explicit World(hosts::AsCatalog cat) : catalog{std::move(cat)} {}
+};
+
+struct WorldOptions {
+  int num_blocks = 400;
+  std::uint64_t seed = 1;
+  double cellular_share_scale = 1.0;
+  double severity_scale = 1.0;
+  hosts::PopulationConfig population;  ///< num_blocks/severity overwritten
+  sim::Network::Config network;
+};
+
+/// Builds a fully wired world.
+inline std::unique_ptr<World> make_world(WorldOptions options) {
+  auto world = std::make_unique<World>(
+      hosts::AsCatalog::standard(options.cellular_share_scale, options.severity_scale));
+  util::Prng rng{options.seed};
+  world->net = std::make_unique<sim::Network>(world->sim, options.network, rng.fork(1));
+  world->ctx = std::make_unique<hosts::HostContext>(
+      hosts::HostContext{world->sim, *world->net});
+  options.population.num_blocks = options.num_blocks;
+  options.population.severity_scale = options.severity_scale;
+  world->population = std::make_unique<hosts::Population>(*world->ctx, world->catalog,
+                                                          options.population, rng.fork(2));
+  world->net->set_host_resolver(world->population.get());
+  return world;
+}
+
+/// Applies the common --blocks/--seed/--cellular-scale/--severity flags.
+inline WorldOptions world_options_from_flags(const util::Flags& flags,
+                                             int default_blocks = 400) {
+  WorldOptions options;
+  options.num_blocks = static_cast<int>(flags.get_int("blocks", default_blocks));
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  options.cellular_share_scale = flags.get_double("cellular-scale", 1.0);
+  options.severity_scale = flags.get_double("severity", 1.0);
+  return options;
+}
+
+/// Runs an ISI-style survey over the whole population and drains the
+/// simulator (so every delayed response is in the log).
+inline probe::SurveyProber run_survey(World& world, int rounds, std::uint64_t seed = 0xBEEF) {
+  probe::SurveyConfig config;
+  config.rounds = rounds;
+  probe::SurveyProber prober{world.sim, *world.net, config, world.population->blocks(),
+                             util::Prng{seed}};
+  prober.start();
+  world.sim.run();
+  return prober;
+}
+
+/// Survey -> dataset -> filtered pipeline, in one call.
+inline analysis::PipelineResult analyze_survey(const probe::SurveyProber& prober,
+                                               analysis::PipelineConfig config = {}) {
+  auto dataset = analysis::SurveyDataset::from_log(prober.log());
+  return analysis::run_pipeline(dataset, config);
+}
+
+/// Builds the optional CSV export directory from the --csv-dir flag.
+inline std::optional<util::CsvDirectory> csv_from_flags(const util::Flags& flags) {
+  const std::string dir = flags.get_string("csv-dir", "");
+  if (dir.empty()) return std::nullopt;
+  return util::CsvDirectory{dir};
+}
+
+/// Prints a CDF series as "x fraction" rows under a header; also exports
+/// it as CSV when `csv` is set.
+inline void print_cdf(std::ostream& os, const char* title,
+                      const std::vector<util::CdfPoint>& cdf, std::size_t max_rows = 40,
+                      const std::optional<util::CsvDirectory>& csv = std::nullopt) {
+  if (csv.has_value()) csv->write_series(title, cdf);
+  os << "\n## " << title << "\n";
+  const std::size_t step = cdf.size() > max_rows ? cdf.size() / max_rows : 1;
+  for (std::size_t i = 0; i < cdf.size(); i += step) {
+    os << util::format_double(cdf[i].x, 4) << "\t" << util::format_double(cdf[i].fraction, 4)
+       << "\n";
+  }
+  if (!cdf.empty() && (cdf.size() - 1) % step != 0) {
+    os << util::format_double(cdf.back().x, 4) << "\t"
+       << util::format_double(cdf.back().fraction, 4) << "\n";
+  }
+}
+
+}  // namespace turtle::bench

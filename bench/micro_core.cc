@@ -1,0 +1,120 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the simulator
+// and core library: event-queue throughput, survey matcher, ICMP
+// serialization, P2 quantile updates, population generation, and the
+// end-to-end survey rate (probes simulated per wall second).
+#include <benchmark/benchmark.h>
+
+#include "core/p2_quantile.h"
+#include "core/rtt_estimator.h"
+#include "hosts/asdb.h"
+#include "hosts/population.h"
+#include "net/icmp.h"
+#include "probe/survey.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/prng.h"
+
+using namespace turtle;
+
+namespace {
+
+void BM_EventQueue(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  util::Prng rng{1};
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::int64_t fired = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      sim.schedule_at(SimTime::micros(static_cast<std::int64_t>(rng.uniform_int(1'000'000))),
+                      [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueue)->Arg(1'000)->Arg(100'000);
+
+void BM_IcmpSerializeParse(benchmark::State& state) {
+  net::IcmpMessage msg;
+  msg.type = net::IcmpType::kEchoRequest;
+  msg.id = 77;
+  msg.seq = 1;
+  net::TimingPayload tp;
+  tp.probed_destination = net::Ipv4Address::from_octets(10, 0, 0, 1);
+  tp.send_time = SimTime::seconds(1);
+  tp.encode(msg.payload);
+  for (auto _ : state) {
+    const auto wire = net::serialize_icmp(msg);
+    auto parsed = net::parse_icmp(wire.view());
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IcmpSerializeParse);
+
+void BM_P2Quantile(benchmark::State& state) {
+  util::Prng rng{2};
+  core::P2Quantile q{0.99};
+  for (auto _ : state) {
+    q.add(rng.uniform());
+    benchmark::DoNotOptimize(q);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_P2Quantile);
+
+void BM_RttEstimator(benchmark::State& state) {
+  util::Prng rng{3};
+  core::RttEstimator est;
+  for (auto _ : state) {
+    est.add_sample(SimTime::micros(static_cast<std::int64_t>(rng.uniform_int(1'000'000))));
+    benchmark::DoNotOptimize(est);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RttEstimator);
+
+void BM_PopulationBuild(benchmark::State& state) {
+  const auto blocks = static_cast<int>(state.range(0));
+  const auto catalog = hosts::AsCatalog::standard();
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Network net{sim, {}, util::Prng{1}};
+    hosts::HostContext ctx{sim, net};
+    hosts::PopulationConfig config;
+    config.num_blocks = blocks;
+    hosts::Population population{ctx, catalog, config, util::Prng{2}};
+    benchmark::DoNotOptimize(population.stats());
+  }
+  state.SetItemsProcessed(state.iterations() * blocks * 256);
+}
+BENCHMARK(BM_PopulationBuild)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_SurveyEndToEnd(benchmark::State& state) {
+  const auto blocks = static_cast<int>(state.range(0));
+  const auto catalog = hosts::AsCatalog::standard();
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Network net{sim, {}, util::Prng{1}};
+    hosts::HostContext ctx{sim, net};
+    hosts::PopulationConfig config;
+    config.num_blocks = blocks;
+    hosts::Population population{ctx, catalog, config, util::Prng{2}};
+    net.set_host_resolver(&population);
+
+    probe::SurveyConfig survey_config;
+    survey_config.rounds = 4;
+    probe::SurveyProber prober{sim, net, survey_config, population.blocks(), util::Prng{3}};
+    prober.start();
+    sim.run();
+    benchmark::DoNotOptimize(prober.log().size());
+    state.counters["probes/s"] = benchmark::Counter(
+        static_cast<double>(prober.probes_sent()), benchmark::Counter::kIsRate);
+  }
+}
+BENCHMARK(BM_SurveyEndToEnd)->Arg(50)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

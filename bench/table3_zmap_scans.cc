@@ -1,0 +1,52 @@
+// Table 3: Zmap scan inventory — one row per scan with its (simulated)
+// start time and the number of destinations that responded. Paper shape:
+// every scan recovers a consistent response count (339M-371M there; a
+// stable count at our scale).
+#include <iostream>
+
+#include <set>
+
+#include "zmap_common.h"
+
+using namespace turtle;
+
+int main(int argc, char** argv) {
+  const auto flags = util::Flags::parse(argc, argv);
+  auto world = bench::make_world(bench::world_options_from_flags(flags, 600));
+  const int scans = static_cast<int>(flags.get_int("scans", 6));
+
+  util::TextTable table({"Scan", "Begin (sim h)", "Probes", "Echo responses (unique addrs)"});
+  std::uint64_t min_count = ~0ULL;
+  std::uint64_t max_count = 0;
+
+  const auto blocks = world->population->blocks();
+  for (int i = 0; i < scans; ++i) {
+    const SimTime begin = world->sim.now();
+    probe::ZmapConfig config;
+    config.permutation_seed = static_cast<std::uint64_t>(i) + 1;
+    probe::ZmapScanner scanner{world->sim, *world->net, config};
+    scanner.start(blocks);
+    world->sim.run();
+
+    std::set<std::uint32_t> unique;
+    for (const auto& r : scanner.responses()) unique.insert(r.responder.value());
+    min_count = std::min<std::uint64_t>(min_count, unique.size());
+    max_count = std::max<std::uint64_t>(max_count, unique.size());
+
+    table.add_row({"scan " + std::to_string(i + 1),
+                   util::format_double(begin.as_seconds() / 3600.0, 1),
+                   std::to_string(scanner.probes_sent()), std::to_string(unique.size())});
+
+    world->sim.run_until(world->sim.now() + SimTime::hours(36));
+  }
+
+  std::printf("# table3_zmap_scans: %zu blocks, %d scans\n", blocks.size(), scans);
+  std::printf("\nTable 3: Zmap scan details\n");
+  table.print(std::cout);
+  std::printf("\n# response-count stability: min %llu, max %llu (%.1f%% spread; paper's "
+              "scans spread ~9%%)\n",
+              static_cast<unsigned long long>(min_count),
+              static_cast<unsigned long long>(max_count),
+              min_count ? 100.0 * (max_count - min_count) / min_count : 0.0);
+  return 0;
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper, writing per-experiment
+# text output and CSV series under results/.
+#
+#   ./scripts/reproduce.sh [results_dir] [extra bench flags...]
+#
+# Examples:
+#   ./scripts/reproduce.sh                       # default scales
+#   ./scripts/reproduce.sh results --seed=7      # different world
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+RESULTS="${1:-results}"
+shift || true
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p "$RESULTS"
+echo "writing to $RESULTS/"
+
+for bench in build/bench/*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  echo "=== $name ==="
+  if [ "$name" = micro_core ]; then
+    # google-benchmark has its own flag parser; no CSV/world flags.
+    "$bench" | tee "$RESULTS/$name.txt"
+  else
+    "$bench" --csv-dir="$RESULTS/csv/$name" "$@" | tee "$RESULTS/$name.txt"
+  fi
+done 2>&1 | tee "$RESULTS/all.log"
+
+echo
+echo "done: per-experiment text in $RESULTS/*.txt, plot data in $RESULTS/csv/"

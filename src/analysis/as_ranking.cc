@@ -1,0 +1,106 @@
+#include "analysis/as_ranking.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace turtle::analysis {
+
+ScanAddressRtts ScanAddressRtts::from_responses(
+    const std::vector<probe::ZmapResponse>& responses) {
+  // First response per probed destination wins; responses answering for a
+  // different address (broadcast) are attributed to the *responder*, like
+  // the real dataset, but only if that responder wasn't seen directly.
+  std::unordered_map<std::uint32_t, double> first;
+  first.reserve(responses.size());
+  for (const probe::ZmapResponse& r : responses) {
+    first.try_emplace(r.responder.value(), r.rtt.as_seconds());
+  }
+  ScanAddressRtts out;
+  out.rtts.reserve(first.size());
+  for (const auto& [addr, rtt] : first) out.rtts.emplace_back(net::Ipv4Address{addr}, rtt);
+  std::sort(out.rtts.begin(), out.rtts.end());
+  return out;
+}
+
+namespace {
+
+struct Accumulator {
+  std::vector<AsScanCount> per_scan;
+};
+
+}  // namespace
+
+std::vector<AsRankingRow> rank_ases(const std::vector<ScanAddressRtts>& scans,
+                                    const hosts::GeoDatabase& geo, double threshold_s,
+                                    std::size_t top_n) {
+  std::map<std::uint32_t, AsRankingRow> by_asn;
+
+  for (std::size_t s = 0; s < scans.size(); ++s) {
+    for (const auto& [addr, rtt] : scans[s].rtts) {
+      const hosts::AsTraits* as = geo.lookup(addr);
+      if (as == nullptr) continue;
+      AsRankingRow& row = by_asn[as->asn];
+      if (row.per_scan.empty()) {
+        row.asn = as->asn;
+        row.owner = as->owner;
+        row.kind = as->kind;
+        row.per_scan.resize(scans.size());
+      }
+      ++row.per_scan[s].responding;
+      if (rtt > threshold_s) {
+        ++row.per_scan[s].over_threshold;
+        ++row.total;
+      }
+    }
+  }
+
+  // Per-scan ranks.
+  for (std::size_t s = 0; s < scans.size(); ++s) {
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> order;  // (count, asn)
+    for (const auto& [asn, row] : by_asn) order.emplace_back(row.per_scan[s].over_threshold, asn);
+    std::sort(order.rbegin(), order.rend());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      by_asn[order[i].second].per_scan[s].rank = static_cast<int>(i + 1);
+    }
+  }
+
+  std::vector<AsRankingRow> rows;
+  rows.reserve(by_asn.size());
+  for (auto& [asn, row] : by_asn) rows.push_back(std::move(row));
+  std::sort(rows.begin(), rows.end(),
+            [](const AsRankingRow& a, const AsRankingRow& b) { return a.total > b.total; });
+  if (rows.size() > top_n) rows.resize(top_n);
+  return rows;
+}
+
+std::vector<ContinentRow> rank_continents(const std::vector<ScanAddressRtts>& scans,
+                                          const hosts::GeoDatabase& geo, double threshold_s) {
+  std::map<hosts::Continent, ContinentRow> by_continent;
+
+  for (std::size_t s = 0; s < scans.size(); ++s) {
+    for (const auto& [addr, rtt] : scans[s].rtts) {
+      const hosts::AsTraits* as = geo.lookup(addr);
+      if (as == nullptr) continue;
+      ContinentRow& row = by_continent[as->continent];
+      if (row.per_scan.empty()) {
+        row.continent = as->continent;
+        row.per_scan.resize(scans.size());
+      }
+      ++row.per_scan[s].responding;
+      if (rtt > threshold_s) {
+        ++row.per_scan[s].over_threshold;
+        ++row.total;
+      }
+    }
+  }
+
+  std::vector<ContinentRow> rows;
+  rows.reserve(by_continent.size());
+  for (auto& [c, row] : by_continent) rows.push_back(std::move(row));
+  std::sort(rows.begin(), rows.end(),
+            [](const ContinentRow& a, const ContinentRow& b) { return a.total > b.total; });
+  return rows;
+}
+
+}  // namespace turtle::analysis

@@ -1,0 +1,67 @@
+// Autonomous-System and continent rankings of high-latency addresses
+// (Section 6.2, Tables 4, 5 and 6).
+//
+// For each Zmap scan: dedupe responses per probed address (keeping its
+// RTT), attribute addresses to ASes/continents via the geo database, and
+// count addresses whose RTT exceeds a threshold (1 s for "turtles", 100 s
+// for "sleepy turtles"). Across scans, ASes are sorted by the *sum* of
+// their counts, with per-scan ranks retained — matching the tables'
+// layout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hosts/geodb.h"
+#include "probe/zmap.h"
+
+namespace turtle::analysis {
+
+/// One AS's turtle counts for a single scan.
+struct AsScanCount {
+  std::uint64_t over_threshold = 0;  ///< addresses with RTT > threshold
+  std::uint64_t responding = 0;      ///< all responding addresses in the AS
+  int rank = 0;                      ///< 1-based rank within this scan
+
+  [[nodiscard]] double fraction() const {
+    return responding ? static_cast<double>(over_threshold) / static_cast<double>(responding)
+                      : 0.0;
+  }
+};
+
+/// One row of Table 4/6: an AS with per-scan counts, sorted by total.
+struct AsRankingRow {
+  std::uint32_t asn = 0;
+  std::string owner;
+  hosts::AsKind kind = hosts::AsKind::kWireline;
+  std::vector<AsScanCount> per_scan;
+  std::uint64_t total = 0;
+};
+
+/// One row of Table 5: a continent with per-scan counts.
+struct ContinentRow {
+  hosts::Continent continent = hosts::Continent::kEurope;
+  std::vector<AsScanCount> per_scan;  ///< rank unused
+  std::uint64_t total = 0;
+};
+
+/// Per-address deduped scan view: each probed address's RTT (first
+/// response wins, as Zmap's dataset reports one RTT per responder).
+struct ScanAddressRtts {
+  std::vector<std::pair<net::Ipv4Address, double>> rtts;  ///< sorted by address
+
+  static ScanAddressRtts from_responses(const std::vector<probe::ZmapResponse>& responses);
+};
+
+/// Builds Table 4/6 rows over several scans for a given threshold.
+[[nodiscard]] std::vector<AsRankingRow> rank_ases(
+    const std::vector<ScanAddressRtts>& scans, const hosts::GeoDatabase& geo,
+    double threshold_s, std::size_t top_n = 10);
+
+/// Builds Table 5 rows.
+[[nodiscard]] std::vector<ContinentRow> rank_continents(
+    const std::vector<ScanAddressRtts>& scans, const hosts::GeoDatabase& geo,
+    double threshold_s);
+
+}  // namespace turtle::analysis

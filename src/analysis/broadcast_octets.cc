@@ -1,0 +1,99 @@
+#include "analysis/broadcast_octets.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/ipv4.h"
+
+namespace turtle::analysis {
+
+std::uint64_t OctetHistogram::total() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : counts) sum += c;
+  return sum;
+}
+
+std::uint64_t OctetHistogram::broadcast_like() const {
+  std::uint64_t sum = 0;
+  for (int octet = 0; octet < 256; ++octet) {
+    if (net::looks_like_broadcast_octet(static_cast<std::uint8_t>(octet))) {
+      sum += counts[static_cast<std::size_t>(octet)];
+    }
+  }
+  return sum;
+}
+
+OctetHistogram zmap_mismatch_octets(const std::vector<probe::ZmapResponse>& responses) {
+  OctetHistogram h;
+  for (const probe::ZmapResponse& r : responses) {
+    if (r.address_mismatch()) ++h.counts[r.probed_dst.last_octet()];
+  }
+  return h;
+}
+
+std::vector<net::Ipv4Address> zmap_broadcast_addresses(
+    const std::vector<probe::ZmapResponse>& responses) {
+  std::unordered_set<std::uint32_t> uniq;
+  for (const probe::ZmapResponse& r : responses) {
+    if (r.address_mismatch()) uniq.insert(r.probed_dst.value());
+  }
+  std::vector<net::Ipv4Address> out;
+  out.reserve(uniq.size());
+  for (const std::uint32_t v : uniq) out.emplace_back(v);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<net::Ipv4Address> zmap_broadcast_responders(
+    const std::vector<probe::ZmapResponse>& responses) {
+  std::unordered_set<std::uint32_t> uniq;
+  for (const probe::ZmapResponse& r : responses) {
+    if (r.address_mismatch()) uniq.insert(r.responder.value());
+  }
+  std::vector<net::Ipv4Address> out;
+  out.reserve(uniq.size());
+  for (const std::uint32_t v : uniq) out.emplace_back(v);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+OctetHistogram unmatched_preceding_probe_octets(const probe::RecordLog& log) {
+  // Two passes, because request records do not appear in the log in send
+  // order (a timeout record is emitted 3 s after its probe). First collect
+  // every probe per /24 sorted by send time (truncated to the 1 s
+  // precision unmatched records have), then attribute each unmatched
+  // response to the latest probe at or before it.
+  struct Probe {
+    std::int64_t second;
+    std::uint8_t octet;
+  };
+  std::unordered_map<std::uint32_t, std::vector<Probe>> probes;  // /24 network -> probes
+
+  for (const probe::SurveyRecord& rec : log.records()) {
+    if (rec.type == probe::RecordType::kUnmatched) continue;
+    probes[rec.address.value() >> 8].push_back(
+        Probe{rec.probe_time.truncate_to_seconds().as_micros(), rec.address.last_octet()});
+  }
+  for (auto& [network, list] : probes) {
+    std::sort(list.begin(), list.end(),
+              [](const Probe& a, const Probe& b) { return a.second < b.second; });
+  }
+
+  OctetHistogram h;
+  for (const probe::SurveyRecord& rec : log.records()) {
+    if (rec.type != probe::RecordType::kUnmatched) continue;
+    const auto it = probes.find(rec.address.value() >> 8);
+    if (it == probes.end()) continue;
+    const std::int64_t t = rec.probe_time.as_micros();
+    // Latest probe with second <= t.
+    const auto probe_it = std::upper_bound(
+        it->second.begin(), it->second.end(), t,
+        [](std::int64_t value, const Probe& p) { return value < p.second; });
+    if (probe_it == it->second.begin()) continue;
+    h.counts[std::prev(probe_it)->octet] += rec.count;
+  }
+  return h;
+}
+
+}  // namespace turtle::analysis

@@ -1,0 +1,51 @@
+// Last-octet analyses for broadcast detection (Figures 2 and 3).
+//
+// Figure 2: which probed destinations answered from a *different* source
+// in a Zmap scan — binned by the destination's last octet, the spikes land
+// on all-ones/all-zeros host-part suffixes (255, 0, 127, 128, 63, 64, ...).
+//
+// Figure 3: for every unmatched response in a survey, the last octet of
+// the most recently probed address in the same /24 — the same spikes ride
+// on a flat floor of genuinely delayed responses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "probe/records.h"
+#include "probe/zmap.h"
+
+namespace turtle::analysis {
+
+/// 256-bin histogram keyed by last octet.
+struct OctetHistogram {
+  std::array<std::uint64_t, 256> counts{};
+
+  [[nodiscard]] std::uint64_t total() const;
+  /// Sum over octets whose trailing N >= 2 bits are uniform (the
+  /// broadcast-looking set).
+  [[nodiscard]] std::uint64_t broadcast_like() const;
+  [[nodiscard]] std::uint64_t non_broadcast_like() const { return total() - broadcast_like(); }
+};
+
+/// Figure 2: histogram of probed-destination last octets over responses
+/// whose source differs from the probed destination.
+[[nodiscard]] OctetHistogram zmap_mismatch_octets(const std::vector<probe::ZmapResponse>& responses);
+
+/// Unique mismatching destinations (the "broadcast addresses that solicit
+/// responses" count of Section 3.3.1).
+[[nodiscard]] std::vector<net::Ipv4Address> zmap_broadcast_addresses(
+    const std::vector<probe::ZmapResponse>& responses);
+
+/// Unique responders that answered for some other destination — the
+/// Zmap-side broadcast-responder list used to validate the survey filter.
+[[nodiscard]] std::vector<net::Ipv4Address> zmap_broadcast_responders(
+    const std::vector<probe::ZmapResponse>& responses);
+
+/// Figure 3: for each unmatched response, the last octet of the most
+/// recently probed address in the same /24 (reconstructed from the
+/// request records of the whole log).
+[[nodiscard]] OctetHistogram unmatched_preceding_probe_octets(const probe::RecordLog& log);
+
+}  // namespace turtle::analysis

@@ -1,0 +1,68 @@
+#include "analysis/dataset.h"
+
+#include <algorithm>
+
+namespace turtle::analysis {
+
+SurveyDataset SurveyDataset::from_log(const probe::RecordLog& log) {
+  SurveyDataset ds;
+  for (const probe::SurveyRecord& rec : log.records()) {
+    const std::uint32_t key = rec.address.value();
+    auto [it, inserted] = ds.index_.try_emplace(key, ds.timelines_.size());
+    if (inserted) {
+      ds.timelines_.emplace_back();
+      ds.timelines_.back().address = rec.address;
+    }
+    AddressTimeline& tl = ds.timelines_[it->second];
+
+    switch (rec.type) {
+      case probe::RecordType::kMatched: {
+        Request r;
+        r.time_s = rec.probe_time.as_seconds();
+        r.round = rec.round;
+        r.state = RequestState::kMatched;
+        r.rtt_s = rec.rtt.as_seconds();
+        r.responses = 1;
+        tl.requests.push_back(r);
+        break;
+      }
+      case probe::RecordType::kTimeout: {
+        Request r;
+        r.time_s = rec.probe_time.as_seconds();
+        r.round = rec.round;
+        r.state = RequestState::kTimedOut;
+        tl.requests.push_back(r);
+        break;
+      }
+      case probe::RecordType::kError: {
+        Request r;
+        r.time_s = rec.probe_time.as_seconds();
+        r.round = rec.round;
+        r.state = RequestState::kError;
+        tl.requests.push_back(r);
+        break;
+      }
+      case probe::RecordType::kUnmatched: {
+        tl.unmatched.push_back(UnmatchedResponse{rec.probe_time.as_seconds(), rec.count});
+        break;
+      }
+    }
+  }
+
+  // Timeout records are emitted 3 s after their probe, so a timed-out
+  // request can appear *after* a matched request that was actually sent
+  // later. Restore per-address send-time order.
+  for (AddressTimeline& tl : ds.timelines_) {
+    std::stable_sort(tl.requests.begin(), tl.requests.end(),
+                     [](const Request& a, const Request& b) { return a.time_s < b.time_s; });
+  }
+  return ds;
+}
+
+const AddressTimeline* SurveyDataset::find(net::Ipv4Address addr) const {
+  const auto it = index_.find(addr.value());
+  if (it == index_.end()) return nullptr;
+  return &timelines_[it->second];
+}
+
+}  // namespace turtle::analysis

@@ -1,0 +1,17 @@
+#include "analysis/duplicates.h"
+
+namespace turtle::analysis {
+
+DuplicateStats duplicate_stats(std::span<const AddressReport> reports) {
+  DuplicateStats out;
+  for (const AddressReport& r : reports) {
+    if (r.max_responses_single_request <= 2) continue;
+    ++out.addresses_over_2;
+    out.max_per_address.push_back(static_cast<double>(r.max_responses_single_request));
+    if (r.max_responses_single_request >= 1000) ++out.addresses_over_1000;
+    if (r.max_responses_single_request >= 1'000'000) ++out.addresses_over_1m;
+  }
+  return out;
+}
+
+}  // namespace turtle::analysis

@@ -1,0 +1,36 @@
+// Duplicate-response statistics (Section 3.3.2, Figure 5).
+//
+// Figure 5 plots, over addresses that ever sent more than two responses
+// to one echo request, the CCDF of the *maximum* number of responses one
+// request received — spanning mild packet duplication (3-4) through DoS
+// floods (10^6+).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "analysis/pipeline.h"
+#include "util/stats.h"
+
+namespace turtle::analysis {
+
+struct DuplicateStats {
+  /// Max-responses-per-request per address, over addresses with max > 2.
+  std::vector<double> max_per_address;
+  std::uint64_t addresses_over_2 = 0;
+  std::uint64_t addresses_over_1000 = 0;
+  std::uint64_t addresses_over_1m = 0;
+
+  /// The CCDF series of Figure 5.
+  [[nodiscard]] std::vector<util::CdfPoint> ccdf(std::size_t max_points = 200) const {
+    return util::make_ccdf(max_per_address, max_points);
+  }
+};
+
+/// Computes over *unfiltered* reports plus the duplicate-flagged addresses
+/// (the figure is drawn before filtering, so run the pipeline with
+/// filter_duplicates = false to see the full tail).
+[[nodiscard]] DuplicateStats duplicate_stats(std::span<const AddressReport> reports);
+
+}  // namespace turtle::analysis

@@ -1,0 +1,134 @@
+#include "analysis/first_ping.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/stats.h"
+
+namespace turtle::analysis {
+
+FirstPingObservation classify_first_ping(net::Ipv4Address address,
+                                         std::span<const probe::ProbeOutcome> outcomes,
+                                         std::size_t min_responses) {
+  FirstPingObservation obs;
+  obs.address = address;
+  if (outcomes.empty()) {
+    obs.cls = FirstPingClass::kTooFewResponses;
+    return obs;
+  }
+
+  const probe::ProbeOutcome& first = outcomes.front();
+  std::vector<double> rest;
+  std::optional<double> second;
+  for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    if (outcomes[i].rtt.has_value()) {
+      const double rtt = outcomes[i].rtt->as_seconds();
+      rest.push_back(rtt);
+      if (i == 1) second = rtt;
+    }
+  }
+
+  if (!first.rtt.has_value()) {
+    obs.cls = FirstPingClass::kNoFirstResponse;
+    return obs;
+  }
+  obs.rtt1_s = first.rtt->as_seconds();
+  obs.rtt2_s = second;
+
+  // The paper requires n >= 4 responses before computing median/max.
+  if (rest.size() + 1 < min_responses) {
+    obs.cls = FirstPingClass::kTooFewResponses;
+    return obs;
+  }
+
+  std::vector<double> sorted = rest;
+  std::sort(sorted.begin(), sorted.end());
+  obs.min_rest_s = sorted.front();
+  obs.max_rest_s = sorted.back();
+  obs.median_rest_s = util::percentile_sorted(sorted, 50);
+
+  if (obs.rtt1_s > obs.max_rest_s) {
+    obs.cls = FirstPingClass::kFirstExceedsMax;
+  } else if (obs.rtt1_s > obs.median_rest_s) {
+    obs.cls = FirstPingClass::kFirstAboveMedian;
+  } else {
+    obs.cls = FirstPingClass::kFirstBelowMedian;
+  }
+  return obs;
+}
+
+FirstPingSummary summarize_first_ping(std::span<const FirstPingObservation> observations) {
+  FirstPingSummary s;
+  for (const FirstPingObservation& obs : observations) {
+    switch (obs.cls) {
+      case FirstPingClass::kFirstExceedsMax: ++s.first_exceeds_max; break;
+      case FirstPingClass::kFirstAboveMedian: ++s.first_above_median; break;
+      case FirstPingClass::kFirstBelowMedian: ++s.first_below_median; break;
+      case FirstPingClass::kNoFirstResponse: ++s.no_first_response; break;
+      case FirstPingClass::kTooFewResponses: ++s.too_few; break;
+    }
+    if (obs.cls == FirstPingClass::kFirstExceedsMax ||
+        obs.cls == FirstPingClass::kFirstAboveMedian ||
+        obs.cls == FirstPingClass::kFirstBelowMedian) {
+      s.observations.push_back(obs);
+    }
+  }
+  return s;
+}
+
+std::vector<double> FirstPingSummary::rtt1_minus_rtt2(bool only_first_exceeds_max) const {
+  std::vector<double> out;
+  for (const FirstPingObservation& obs : observations) {
+    if (!obs.rtt2_s.has_value()) continue;
+    if (only_first_exceeds_max && obs.cls != FirstPingClass::kFirstExceedsMax) continue;
+    out.push_back(obs.rtt1_s - *obs.rtt2_s);
+  }
+  return out;
+}
+
+std::vector<FirstPingSummary::DiffBin> FirstPingSummary::probability_by_diff(
+    double bin_width) const {
+  std::map<std::int64_t, DiffBin> bins;
+  for (const FirstPingObservation& obs : observations) {
+    if (!obs.rtt2_s.has_value()) continue;
+    const double diff = obs.rtt1_s - *obs.rtt2_s;
+    const auto key = static_cast<std::int64_t>(std::floor(diff / bin_width));
+    DiffBin& bin = bins[key];
+    bin.lo = static_cast<double>(key) * bin_width;
+    bin.hi = bin.lo + bin_width;
+    ++bin.total;
+    if (obs.cls == FirstPingClass::kFirstExceedsMax) ++bin.exceeds;
+  }
+  std::vector<DiffBin> out;
+  out.reserve(bins.size());
+  for (const auto& [key, bin] : bins) out.push_back(bin);
+  return out;
+}
+
+std::vector<double> FirstPingSummary::wakeup_durations() const {
+  std::vector<double> out;
+  for (const FirstPingObservation& obs : observations) {
+    if (obs.cls != FirstPingClass::kFirstExceedsMax) continue;
+    out.push_back(obs.rtt1_s - obs.min_rest_s);
+  }
+  return out;
+}
+
+std::vector<double> FirstPingSummary::prefix_drop_fractions(std::size_t min_addresses) const {
+  std::map<std::uint32_t, std::pair<std::size_t, std::size_t>> per_prefix;  // (total, drops)
+  for (const FirstPingObservation& obs : observations) {
+    auto& [total, drops] = per_prefix[obs.address.value() >> 8];
+    ++total;
+    if (obs.cls == FirstPingClass::kFirstExceedsMax) ++drops;
+  }
+  std::vector<double> out;
+  for (const auto& [prefix, counts] : per_prefix) {
+    if (counts.first < min_addresses) continue;
+    out.push_back(100.0 * static_cast<double>(counts.second) /
+                  static_cast<double>(counts.first));
+  }
+  return out;
+}
+
+}  // namespace turtle::analysis

@@ -1,0 +1,76 @@
+// First-ping (wake-up) analysis, Section 6.3, Figures 12–14.
+//
+// Protocol from the paper: pick addresses with high median latency, send a
+// probe stream (after a long quiet gap so the radio is idle), and compare
+// RTT_1 against the rest:
+//   * RTT_1 > max(RTT_2..n)        -> wake-up behaviour (the majority)
+//   * median < RTT_1 <= max        -> inconclusive
+//   * RTT_1 <= median              -> no first-ping penalty
+// Figure 12: CDF of RTT_1 - RTT_2 (≈1 s means both responses arrived
+// together; ≈0 means equal RTTs) and P(RTT_1 > max | diff).
+// Figure 13: CDF of RTT_1 - min(rest), estimating wake-up duration.
+// Figure 14: per-/24 fraction of addresses showing the wake-up drop.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "probe/scamper.h"
+
+namespace turtle::analysis {
+
+enum class FirstPingClass : std::uint8_t {
+  kFirstExceedsMax,    ///< RTT_1 > max(RTT_2..n): wake-up signature
+  kFirstAboveMedian,   ///< median < RTT_1 <= max
+  kFirstBelowMedian,   ///< RTT_1 <= median: no penalty
+  kNoFirstResponse,    ///< first probe unanswered
+  kTooFewResponses,    ///< fewer than `min_responses` answered overall
+};
+
+struct FirstPingObservation {
+  net::Ipv4Address address;
+  FirstPingClass cls = FirstPingClass::kTooFewResponses;
+  double rtt1_s = 0;
+  std::optional<double> rtt2_s;
+  double max_rest_s = 0;
+  double median_rest_s = 0;
+  double min_rest_s = 0;
+};
+
+/// Classifies one probe stream (needs the first probe answered and at
+/// least `min_responses` responses in total, per the paper's n >= 4 rule).
+[[nodiscard]] FirstPingObservation classify_first_ping(
+    net::Ipv4Address address, std::span<const probe::ProbeOutcome> outcomes,
+    std::size_t min_responses = 4);
+
+struct FirstPingSummary {
+  std::vector<FirstPingObservation> observations;  ///< classified only
+  std::uint64_t first_exceeds_max = 0;
+  std::uint64_t first_above_median = 0;
+  std::uint64_t first_below_median = 0;
+  std::uint64_t no_first_response = 0;
+  std::uint64_t too_few = 0;
+
+  /// Figure 12 data: RTT_1 - RTT_2 for observations with both RTTs.
+  [[nodiscard]] std::vector<double> rtt1_minus_rtt2(bool only_first_exceeds_max) const;
+  /// Figure 12 top panel: P(RTT_1 > max rest) binned by RTT_1 - RTT_2.
+  struct DiffBin {
+    double lo, hi;
+    std::uint64_t total = 0;
+    std::uint64_t exceeds = 0;
+  };
+  [[nodiscard]] std::vector<DiffBin> probability_by_diff(double bin_width = 0.1) const;
+  /// Figure 13 data: RTT_1 - min(rest) over wake-up-classified addresses.
+  [[nodiscard]] std::vector<double> wakeup_durations() const;
+  /// Figure 14 data: per-/24 fraction of classified addresses that showed
+  /// the wake-up drop (prefixes with >= min_addresses classified).
+  [[nodiscard]] std::vector<double> prefix_drop_fractions(std::size_t min_addresses = 1) const;
+};
+
+[[nodiscard]] FirstPingSummary summarize_first_ping(
+    std::span<const FirstPingObservation> observations);
+
+}  // namespace turtle::analysis

@@ -1,0 +1,104 @@
+#include "analysis/patterns.h"
+
+#include <algorithm>
+
+namespace turtle::analysis {
+
+std::vector<PatternEvent> classify_patterns(std::span<const probe::ProbeOutcome> outcomes,
+                                            const PatternConfig& config) {
+  std::vector<PatternEvent> events;
+
+  const auto in_region = [&](const probe::ProbeOutcome& o) {
+    return !o.rtt.has_value() || o.rtt->as_seconds() > config.region_threshold_s;
+  };
+
+  std::size_t i = 0;
+  while (i < outcomes.size()) {
+    if (!in_region(outcomes[i])) {
+      ++i;
+      continue;
+    }
+    // Maximal region of lost-or-slow probes.
+    std::size_t j = i;
+    while (j + 1 < outcomes.size() && in_region(outcomes[j + 1])) ++j;
+
+    std::uint32_t high = 0;
+    std::vector<std::size_t> responded;
+    for (std::size_t k = i; k <= j; ++k) {
+      if (outcomes[k].rtt.has_value()) {
+        responded.push_back(k);
+        if (outcomes[k].rtt->as_seconds() > config.high_threshold_s) ++high;
+      }
+    }
+    if (high == 0) {
+      i = j + 1;
+      continue;  // loss-only or merely-slow region; Table 7 keys on >100 s
+    }
+
+    PatternEvent event;
+    event.first_probe = i;
+    event.last_probe = j;
+    event.pings_over_high = high;
+
+    if (responded.size() == 1) {
+      event.pattern = LatencyPattern::kIsolated;
+    } else {
+      // A flush ("decay") delivers all responses at nearly the same
+      // instant: arrival = send_time + rtt.
+      double min_arrival = 1e300;
+      double max_arrival = -1e300;
+      for (const std::size_t k : responded) {
+        const double arrival =
+            outcomes[k].send_time.as_seconds() + outcomes[k].rtt->as_seconds();
+        min_arrival = std::min(min_arrival, arrival);
+        max_arrival = std::max(max_arrival, arrival);
+      }
+      const bool decay = (max_arrival - min_arrival) <= config.decay_arrival_spread_s;
+      if (decay) {
+        // Preceded by losses inside the region -> "Loss, then decay";
+        // preceded directly by a normal response -> "Low latency, then
+        // decay" (i > 0 guarantees outcomes[i-1] responded fast, else the
+        // region would have started earlier).
+        const bool losses_first = responded.front() != i;
+        event.pattern = (losses_first || i == 0) ? LatencyPattern::kLossThenDecay
+                                                 : LatencyPattern::kLowLatencyThenDecay;
+      } else {
+        event.pattern = LatencyPattern::kSustained;
+      }
+    }
+    events.push_back(event);
+    i = j + 1;
+  }
+  return events;
+}
+
+void PatternTable::add(net::Ipv4Address address, std::span<const PatternEvent> events) {
+  (void)address;
+  std::array<bool, 4> seen{};
+  for (const PatternEvent& e : events) {
+    Cell& cell = cells_[static_cast<std::size_t>(e.pattern)];
+    cell.pings += e.pings_over_high;
+    ++cell.events;
+    seen[static_cast<std::size_t>(e.pattern)] = true;
+  }
+  for (std::size_t p = 0; p < 4; ++p) {
+    if (seen[p]) ++cells_[p].addresses;
+  }
+}
+
+std::vector<PatternTable::Row> PatternTable::rows() const {
+  const LatencyPattern order[] = {
+      LatencyPattern::kLowLatencyThenDecay,
+      LatencyPattern::kLossThenDecay,
+      LatencyPattern::kSustained,
+      LatencyPattern::kIsolated,
+  };
+  std::vector<Row> out;
+  for (const LatencyPattern p : order) {
+    const Cell& cell = cells_[static_cast<std::size_t>(p)];
+    out.push_back(Row{p, cell.pings, cell.events, cell.addresses});
+  }
+  return out;
+}
+
+}  // namespace turtle::analysis

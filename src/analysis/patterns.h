@@ -1,0 +1,88 @@
+// Classification of latency/loss patterns around >100 s RTTs
+// (Section 6.4, Table 7).
+//
+// Input: a long 1-per-second probe stream to one address (the paper used
+// 2000 pings via Scamper with tcpdump capture). High-latency episodes are
+// found and classified into the paper's four patterns:
+//   * "Low latency, then decay"  — a backlog flush (successive RTTs fall
+//     by ~1 s per probe because the responses arrived together) directly
+//     preceded by a normal response;
+//   * "Loss, then decay"         — the same flush preceded by lost probes;
+//   * "Sustained high latency and loss" — minutes of >10 s RTTs with
+//     losses mixed in (oversubscribed link);
+//   * "High latency between loss" — one >100 s RTT alone among losses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "probe/scamper.h"
+
+namespace turtle::analysis {
+
+enum class LatencyPattern : std::uint8_t {
+  kLowLatencyThenDecay,
+  kLossThenDecay,
+  kSustained,
+  kIsolated,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(LatencyPattern p) {
+  switch (p) {
+    case LatencyPattern::kLowLatencyThenDecay: return "Low latency, then decay";
+    case LatencyPattern::kLossThenDecay: return "Loss, then decay";
+    case LatencyPattern::kSustained: return "Sustained high latency and loss";
+    case LatencyPattern::kIsolated: return "High latency between loss";
+  }
+  return "?";
+}
+
+struct PatternConfig {
+  /// A ping belongs to a high-latency region when lost or above this.
+  double region_threshold_s = 10.0;
+  /// A region is reported only if it contains a ping above this.
+  double high_threshold_s = 100.0;
+  /// Responses whose *arrival times* all fall within this window are a
+  /// flush ("decay") — they were delivered together.
+  double decay_arrival_spread_s = 3.0;
+};
+
+struct PatternEvent {
+  LatencyPattern pattern = LatencyPattern::kIsolated;
+  std::size_t first_probe = 0;  ///< indices into the outcome stream
+  std::size_t last_probe = 0;
+  std::uint32_t pings_over_high = 0;  ///< pings above high_threshold_s
+};
+
+/// Finds and classifies the high-latency events of one probe stream.
+[[nodiscard]] std::vector<PatternEvent> classify_patterns(
+    std::span<const probe::ProbeOutcome> outcomes, const PatternConfig& config = {});
+
+/// Table 7 accumulator: pings / events / unique addresses per pattern.
+class PatternTable {
+ public:
+  void add(net::Ipv4Address address, std::span<const PatternEvent> events);
+
+  struct Row {
+    LatencyPattern pattern;
+    std::uint64_t pings = 0;
+    std::uint64_t events = 0;
+    std::uint64_t addresses = 0;
+  };
+  /// Rows in the paper's order.
+  [[nodiscard]] std::vector<Row> rows() const;
+
+ private:
+  struct Cell {
+    std::uint64_t pings = 0;
+    std::uint64_t events = 0;
+    std::uint64_t addresses = 0;
+  };
+  std::array<Cell, 4> cells_{};
+};
+
+}  // namespace turtle::analysis

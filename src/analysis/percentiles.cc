@@ -1,0 +1,71 @@
+#include "analysis/percentiles.h"
+
+#include <algorithm>
+
+namespace turtle::analysis {
+
+PerAddressPercentiles PerAddressPercentiles::compute(std::span<const AddressReport> reports,
+                                                     std::span<const double> percentiles,
+                                                     std::size_t min_samples) {
+  PerAddressPercentiles out;
+  out.percentiles.assign(percentiles.begin(), percentiles.end());
+  out.values.resize(percentiles.size());
+
+  std::vector<double> sorted;
+  for (const AddressReport& report : reports) {
+    if (report.rtts_s.size() < min_samples) continue;
+    sorted = report.rtts_s;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t p = 0; p < percentiles.size(); ++p) {
+      out.values[p].push_back(util::percentile_sorted(sorted, percentiles[p]));
+    }
+  }
+  return out;
+}
+
+std::vector<util::CdfPoint> PerAddressPercentiles::cdf_for(std::size_t p_index,
+                                                           std::size_t max_points) const {
+  return util::make_cdf(values[p_index], max_points);
+}
+
+TimeoutMatrix TimeoutMatrix::compute(const PerAddressPercentiles& per_address,
+                                     std::span<const double> row_percentiles) {
+  TimeoutMatrix out;
+  out.row_percentiles.assign(row_percentiles.begin(), row_percentiles.end());
+  out.col_percentiles = per_address.percentiles;
+  out.cells.resize(row_percentiles.size());
+
+  std::vector<double> sorted;
+  for (std::size_t c = 0; c < per_address.percentiles.size(); ++c) {
+    sorted = per_address.values[c];
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t r = 0; r < row_percentiles.size(); ++r) {
+      out.cells.resize(row_percentiles.size());
+      if (out.cells[r].size() != per_address.percentiles.size()) {
+        out.cells[r].assign(per_address.percentiles.size(), 0.0);
+      }
+      out.cells[r][c] =
+          sorted.empty() ? 0.0 : util::percentile_sorted(sorted, row_percentiles[r]);
+    }
+  }
+  return out;
+}
+
+std::vector<double> pooled_ping_percentiles(std::span<const AddressReport> reports,
+                                            std::span<const double> percentiles) {
+  std::vector<double> pool;
+  for (const AddressReport& report : reports) {
+    pool.insert(pool.end(), report.rtts_s.begin(), report.rtts_s.end());
+  }
+  std::vector<double> out;
+  out.reserve(percentiles.size());
+  if (pool.empty()) {
+    out.assign(percentiles.size(), 0.0);
+    return out;
+  }
+  std::sort(pool.begin(), pool.end());
+  for (const double p : percentiles) out.push_back(util::percentile_sorted(pool, p));
+  return out;
+}
+
+}  // namespace turtle::analysis

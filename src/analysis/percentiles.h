@@ -1,0 +1,61 @@
+// Percentile-of-percentiles aggregation (Sections 3.2 and 4.2).
+//
+// The paper's core analytic: compute characteristic latency percentiles
+// per IP address, then percentiles of those across addresses — so each
+// address counts once regardless of how often it answered. Produces both
+// the Figure 1/6 CDF series and the Table 2 timeout matrix.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/pipeline.h"
+#include "util/stats.h"
+
+namespace turtle::analysis {
+
+/// Per-address characteristic percentiles: one row per address, one value
+/// per requested percentile.
+struct PerAddressPercentiles {
+  std::vector<double> percentiles;            ///< the p-values used
+  std::vector<std::vector<double>> values;    ///< values[p_index] = one value per address
+
+  /// Computes from reports; addresses with fewer than `min_samples`
+  /// latency samples are skipped (a percentile of two pings is noise).
+  static PerAddressPercentiles compute(std::span<const AddressReport> reports,
+                                       std::span<const double> percentiles,
+                                       std::size_t min_samples = 5);
+
+  [[nodiscard]] std::size_t address_count() const {
+    return values.empty() ? 0 : values.front().size();
+  }
+
+  /// CDF series over addresses for the p-th percentile curve (Figure 1:
+  /// one curve per characteristic percentile).
+  [[nodiscard]] std::vector<util::CdfPoint> cdf_for(std::size_t p_index,
+                                                    std::size_t max_points = 200) const;
+};
+
+/// Table 2: minimum timeout (seconds) capturing c% of pings from r% of
+/// addresses. Cell (r, c) is the r-th percentile across addresses of each
+/// address's c-th percentile latency.
+struct TimeoutMatrix {
+  std::vector<double> row_percentiles;  ///< address percentiles (r)
+  std::vector<double> col_percentiles;  ///< ping percentiles (c)
+  std::vector<std::vector<double>> cells;  ///< cells[r][c], seconds
+
+  static TimeoutMatrix compute(const PerAddressPercentiles& per_address,
+                               std::span<const double> row_percentiles);
+
+  [[nodiscard]] double cell(std::size_t r, std::size_t c) const { return cells[r][c]; }
+};
+
+/// Per-ping aggregation: percentiles over all pings pooled, each ping
+/// weighted equally. This is the aggregation the paper deliberately
+/// avoids (Section 3.2) because chatty well-connected hosts dominate the
+/// pool and hide the per-address tail; it is provided so the difference
+/// can be measured (see bench/ablation_aggregation).
+[[nodiscard]] std::vector<double> pooled_ping_percentiles(
+    std::span<const AddressReport> reports, std::span<const double> percentiles);
+
+}  // namespace turtle::analysis

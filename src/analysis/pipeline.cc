@@ -1,0 +1,154 @@
+#include "analysis/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace turtle::analysis {
+
+namespace {
+
+/// Attribution pass for one address: walks requests and unmatched
+/// responses together, attributing each unmatched response to the most
+/// recent request at or before it. Returns the delayed-response samples
+/// (latency in seconds) and fills per-request response counts.
+struct Attribution {
+  std::vector<double> delayed_rtts;
+  /// (round index of the last request, latency since that request) for
+  /// every unmatched response — the broadcast filter's raw material.
+  struct SinceLast {
+    std::uint32_t round;
+    double latency_s;
+  };
+  std::vector<SinceLast> since_last;
+  std::uint64_t attributed_responses = 0;  ///< unmatched packets with a prior request
+};
+
+Attribution attribute(AddressTimeline& tl) {
+  Attribution out;
+  std::size_t req = 0;  // index of the first request *after* the cursor
+  for (const UnmatchedResponse& um : tl.unmatched) {
+    // Unmatched timestamps carry only 1 s precision, so the comparison
+    // must be at second granularity too: a response logged in the same
+    // second as a µs-precise request belongs to that request, not to the
+    // previous round's (which would manufacture a ~660 s false latency).
+    while (req < tl.requests.size() && std::floor(tl.requests[req].time_s) <= um.time_s) {
+      ++req;
+    }
+    if (req == 0) continue;  // response before any request: ignore entirely
+    Request& last = tl.requests[req - 1];
+    last.responses += um.count;
+    out.attributed_responses += um.count;
+    const double latency = um.time_s - std::floor(last.time_s);  // 1 s precision
+    out.since_last.push_back({last.round, latency});
+    if (last.state == RequestState::kTimedOut && !last.consumed_by_delayed) {
+      last.consumed_by_delayed = true;
+      out.delayed_rtts.push_back(latency);
+    }
+  }
+  return out;
+}
+
+bool flags_broadcast(const std::vector<Attribution::SinceLast>& since_last,
+                     const PipelineConfig& cfg) {
+  // EWMA over rounds: x = 1 when this round has a >= 10 s unmatched
+  // response of similar latency to one in the previous round, else 0.
+  // Flag when the running average (starting from zero) ever exceeds the
+  // threshold — intermittent responders are caught via the max.
+  util::Ewma ewma{cfg.broadcast_alpha, 0.0};
+  bool have_prev = false;
+  std::uint32_t prev_round = 0;
+  double prev_latency = 0;
+  bool flagged = false;
+
+  for (const auto& s : since_last) {
+    if (s.latency_s < cfg.broadcast_min_latency_s) continue;
+    if (have_prev && s.round == prev_round) continue;  // one observation per round
+    const bool similar = have_prev && s.round == prev_round + 1 &&
+                         std::abs(s.latency_s - prev_latency) <= cfg.broadcast_similarity_s;
+    ewma.update(similar ? 1.0 : 0.0);
+    if (ewma.max_value() > cfg.broadcast_flag_threshold) flagged = true;
+    have_prev = true;
+    prev_round = s.round;
+    prev_latency = s.latency_s;
+  }
+  return flagged;
+}
+
+}  // namespace
+
+bool broadcast_filter_flags(const AddressTimeline& timeline, const PipelineConfig& config) {
+  AddressTimeline copy = timeline;
+  const Attribution a = attribute(copy);
+  return flags_broadcast(a.since_last, config);
+}
+
+PipelineResult run_pipeline(SurveyDataset& dataset, const PipelineConfig& config) {
+  PipelineResult result;
+  PipelineCounters& c = result.counters;
+
+  for (AddressTimeline& tl : dataset.timelines()) {
+    const Attribution attr = attribute(tl);
+
+    std::uint32_t survey_detected = 0;
+    std::uint32_t timeouts = 0;
+    std::uint32_t max_responses = 0;
+    for (const Request& r : tl.requests) {
+      if (r.state == RequestState::kMatched) ++survey_detected;
+      if (r.state == RequestState::kTimedOut) ++timeouts;
+      max_responses = std::max(max_responses, r.responses);
+    }
+
+    if (survey_detected > 0) {
+      c.survey_detected_packets += survey_detected;
+      ++c.survey_detected_addresses;
+    }
+    const std::uint64_t naive_here = survey_detected + attr.attributed_responses;
+    if (naive_here > 0) {
+      c.naive_packets += naive_here;
+      ++c.naive_addresses;
+    }
+    if (naive_here == 0) continue;  // never responded: not an address in any row
+
+    const bool bc = config.filter_broadcast && flags_broadcast(attr.since_last, config);
+    if (bc) {
+      c.broadcast_packets += naive_here;
+      ++c.broadcast_addresses;
+      result.broadcast_flagged.push_back(tl.address);
+      continue;
+    }
+    const bool dup =
+        config.filter_duplicates && max_responses > config.max_responses_per_request;
+    if (dup) {
+      c.duplicate_packets += naive_here;
+      ++c.duplicate_addresses;
+      result.duplicate_flagged.push_back(tl.address);
+      continue;
+    }
+
+    AddressReport report;
+    report.address = tl.address;
+    report.survey_detected = survey_detected;
+    report.delayed = static_cast<std::uint32_t>(attr.delayed_rtts.size());
+    report.requests = static_cast<std::uint32_t>(tl.requests.size());
+    report.timeouts = timeouts;
+    report.max_responses_single_request = max_responses;
+
+    report.rtts_s.reserve(survey_detected + attr.delayed_rtts.size());
+    for (const Request& r : tl.requests) {
+      if (r.state == RequestState::kMatched) report.rtts_s.push_back(r.rtt_s);
+    }
+    report.rtts_s.insert(report.rtts_s.end(), attr.delayed_rtts.begin(),
+                         attr.delayed_rtts.end());
+
+    if (!report.rtts_s.empty()) {
+      c.combined_packets += report.rtts_s.size();
+      ++c.combined_addresses;
+      result.addresses.push_back(std::move(report));
+    }
+  }
+  return result;
+}
+
+}  // namespace turtle::analysis

@@ -1,0 +1,72 @@
+#include "analysis/satellite.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/stats.h"
+
+namespace turtle::analysis {
+
+SatelliteScatter satellite_scatter(std::span<const AddressReport> reports,
+                                   const hosts::GeoDatabase& geo, std::size_t min_samples) {
+  SatelliteScatter out;
+  std::vector<double> sorted;
+  for (const AddressReport& report : reports) {
+    if (report.rtts_s.size() < min_samples) continue;
+    sorted = report.rtts_s;
+    std::sort(sorted.begin(), sorted.end());
+
+    ScatterPoint p;
+    p.address = report.address;
+    p.p1_s = util::percentile_sorted(sorted, 1);
+    p.p99_s = util::percentile_sorted(sorted, 99);
+
+    const hosts::AsTraits* as = geo.lookup(report.address);
+    if (as != nullptr && as->kind == hosts::AsKind::kSatellite) {
+      p.owner = as->owner;
+      out.satellite.push_back(std::move(p));
+    } else {
+      out.other.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+std::vector<SatelliteScatter::ProviderSummary> SatelliteScatter::provider_summaries() const {
+  std::map<std::string, std::vector<const ScatterPoint*>> by_owner;
+  for (const ScatterPoint& p : satellite) by_owner[p.owner].push_back(&p);
+
+  std::vector<ProviderSummary> out;
+  for (const auto& [owner, points] : by_owner) {
+    ProviderSummary s;
+    s.owner = owner;
+    s.addresses = points.size();
+    std::vector<double> p1s;
+    std::vector<double> p99s;
+    std::size_t below3 = 0;
+    for (const ScatterPoint* p : points) {
+      p1s.push_back(p->p1_s);
+      p99s.push_back(p->p99_s);
+      if (p->p99_s < 3.0) ++below3;
+    }
+    std::sort(p1s.begin(), p1s.end());
+    std::sort(p99s.begin(), p99s.end());
+    s.min_p1 = p1s.front();
+    s.median_p1 = util::percentile_sorted(p1s, 50);
+    s.median_p99 = util::percentile_sorted(p99s, 50);
+    s.frac_p99_below_3s = static_cast<double>(below3) / static_cast<double>(points.size());
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+double SatelliteScatter::other_frac_p99_below_3s() const {
+  if (other.empty()) return 0.0;
+  std::size_t below = 0;
+  for (const ScatterPoint& p : other) {
+    if (p.p99_s < 3.0) ++below;
+  }
+  return static_cast<double>(below) / static_cast<double>(other.size());
+}
+
+}  // namespace turtle::analysis

@@ -1,0 +1,50 @@
+// Satellite analysis (Section 6.1, Figure 11).
+//
+// Scatter of per-address 1st vs 99th percentile latency, split into
+// satellite-provider addresses and everyone else. The paper's findings to
+// reproduce: satellite 1st percentiles all exceed ~0.5 s (double the
+// geosynchronous one-way theoretical minimum), each provider forms its own
+// cluster, 99th percentiles are predominantly below 3 s — so satellites do
+// *not* explain the extreme tail.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/pipeline.h"
+#include "hosts/geodb.h"
+
+namespace turtle::analysis {
+
+struct ScatterPoint {
+  net::Ipv4Address address;
+  double p1_s = 0;
+  double p99_s = 0;
+  std::string owner;  ///< satellite provider, or empty for non-satellite
+};
+
+struct SatelliteScatter {
+  std::vector<ScatterPoint> satellite;
+  std::vector<ScatterPoint> other;
+
+  /// Summary stats the harness prints alongside the scatter sample.
+  struct ProviderSummary {
+    std::string owner;
+    std::size_t addresses = 0;
+    double min_p1 = 0;
+    double median_p1 = 0;
+    double median_p99 = 0;
+    double frac_p99_below_3s = 0;
+  };
+  [[nodiscard]] std::vector<ProviderSummary> provider_summaries() const;
+  [[nodiscard]] double other_frac_p99_below_3s() const;
+};
+
+/// Builds the scatter from pipeline reports; addresses with fewer than
+/// `min_samples` samples are skipped.
+[[nodiscard]] SatelliteScatter satellite_scatter(std::span<const AddressReport> reports,
+                                                 const hosts::GeoDatabase& geo,
+                                                 std::size_t min_samples = 20);
+
+}  // namespace turtle::analysis

@@ -1,0 +1,130 @@
+#include "core/multivantage.h"
+
+namespace turtle::core {
+
+MultiVantageMonitor::MultiVantageMonitor(sim::Simulator& sim, sim::Network& net,
+                                         MultiVantageConfig config)
+    : sim_{sim}, net_{net}, config_{std::move(config)} {
+  for (std::size_t v = 0; v < config_.vantages.size(); ++v) {
+    sinks_.push_back(std::make_unique<VantageSink>(this, v));
+    net_.attach_endpoint(config_.vantages[v], sinks_.back().get());
+  }
+}
+
+void MultiVantageMonitor::start(const std::vector<net::Ipv4Address>& targets) {
+  if (targets.empty()) return;
+  const SimTime stagger =
+      config_.round_interval / static_cast<std::int64_t>(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    for (int round = 0; round < config_.rounds; ++round) {
+      const SimTime at = sim_.now() + config_.round_interval * round +
+                         stagger * static_cast<std::int64_t>(i);
+      const net::Ipv4Address target = targets[i];
+      sim_.schedule_at(at, [this, target, round] {
+        begin_round(target, static_cast<std::uint32_t>(round));
+      });
+    }
+  }
+}
+
+void MultiVantageMonitor::begin_round(net::Ipv4Address target, std::uint32_t round) {
+  RoundState& state = targets_[target.value()];
+  if (state.open) conclude(target);  // previous round never closed (should not happen)
+
+  state.round = round;
+  state.open = true;
+  state.vantage_responded.assign(config_.vantages.size(), false);
+  state.send_times.assign(config_.vantages.size(), {});
+  state.probes = 0;
+  state.any_late = false;
+
+  for (std::size_t v = 0; v < config_.vantages.size(); ++v) {
+    for (int retry = 0; retry < config_.retries; ++retry) {
+      const SimTime at = sim_.now() + config_.vantage_stagger * static_cast<std::int64_t>(v) +
+                         config_.retry_spacing * retry;
+      sim_.schedule_at(at, [this, target, v, retry] { send_probe(target, v, retry); });
+    }
+  }
+
+  // The round concludes after the last probe's full waiting period.
+  const SimTime wait = config_.listen_longer ? config_.listen_window : config_.probe_timeout;
+  const SimTime end = sim_.now() +
+                      config_.vantage_stagger * static_cast<std::int64_t>(
+                          config_.vantages.empty() ? 0 : config_.vantages.size() - 1) +
+                      config_.retry_spacing * (config_.retries - 1) + wait;
+  sim_.schedule_at(end, [this, target, round] {
+    const auto it = targets_.find(target.value());
+    if (it != targets_.end() && it->second.open && it->second.round == round) {
+      conclude(target);
+    }
+  });
+}
+
+void MultiVantageMonitor::send_probe(net::Ipv4Address target, std::size_t vantage, int retry) {
+  const auto it = targets_.find(target.value());
+  if (it == targets_.end() || !it->second.open) return;
+  RoundState& state = it->second;
+  if (state.vantage_responded[vantage]) return;  // this vantage is satisfied
+
+  net::IcmpMessage echo;
+  echo.type = net::IcmpType::kEchoRequest;
+  echo.id = static_cast<std::uint16_t>(icmp_id_base_ + vantage);
+  echo.seq = static_cast<std::uint16_t>(retry);
+
+  net::Packet packet;
+  packet.src = config_.vantages[vantage];
+  packet.dst = target;
+  packet.protocol = net::Protocol::kIcmp;
+  packet.payload = net::serialize_icmp(echo);
+
+  auto& sends = state.send_times[vantage];
+  if (sends.size() <= static_cast<std::size_t>(retry)) sends.resize(retry + 1);
+  sends[static_cast<std::size_t>(retry)] = sim_.now();
+  ++state.probes;
+  ++stats_.probes_sent;
+  net_.send(packet);
+}
+
+void MultiVantageMonitor::on_response(std::size_t vantage, const net::Packet& packet) {
+  const auto msg = net::parse_icmp(packet.payload.view());
+  if (!msg.has_value() || !msg->is_echo_reply()) return;
+  if (msg->id != icmp_id_base_ + vantage) return;
+
+  const auto it = targets_.find(packet.src.value());
+  if (it == targets_.end() || !it->second.open) return;
+  RoundState& state = it->second;
+  if (state.vantage_responded[vantage]) return;
+
+  const auto retry = static_cast<std::size_t>(msg->seq);
+  if (retry >= state.send_times[vantage].size()) return;
+  const SimTime rtt = sim_.now() - state.send_times[vantage][retry];
+  const bool late = rtt > config_.probe_timeout;
+  if (late && !config_.listen_longer) return;  // conventional prober discards it
+
+  state.vantage_responded[vantage] = true;
+  if (late) {
+    state.any_late = true;
+    ++stats_.late_responses;
+  }
+}
+
+void MultiVantageMonitor::conclude(net::Ipv4Address target) {
+  RoundState& state = targets_[target.value()];
+  state.open = false;
+
+  TargetRoundOutcome outcome;
+  outcome.target = target;
+  outcome.round = state.round;
+  outcome.probes_sent = state.probes;
+  for (const bool responded : state.vantage_responded) {
+    if (responded) ++outcome.vantages_responded;
+  }
+  outcome.declared_unresponsive = outcome.vantages_responded == 0;
+  outcome.any_late_response = state.any_late;
+  outcomes_.push_back(outcome);
+
+  ++stats_.target_rounds;
+  if (outcome.declared_unresponsive) ++stats_.unresponsive_declared;
+}
+
+}  // namespace turtle::core

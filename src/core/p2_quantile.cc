@@ -1,0 +1,95 @@
+#include "core/p2_quantile.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace turtle::core {
+
+P2Quantile::P2Quantile(double q) : q_{q} {
+  assert(q > 0.0 && q < 1.0);
+  desired_ = {1, 1 + 2 * q_, 1 + 4 * q_, 3 + 2 * q_, 5};
+  increments_ = {0, q_ / 2, q_, (1 + q_) / 2, 1};
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    add_initial(x);
+  } else {
+    add_steady(x);
+  }
+  ++count_;
+}
+
+void P2Quantile::add_initial(double x) {
+  heights_[count_] = x;
+  if (count_ == 4) {
+    std::sort(heights_.begin(), heights_.end());
+    for (int i = 0; i < 5; ++i) positions_[i] = i + 1;
+  }
+}
+
+void P2Quantile::add_steady(double x) {
+  // Locate the cell containing x and clamp the extremes.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  for (int i = 1; i <= 3; ++i) adjust(i);
+}
+
+void P2Quantile::adjust(int i) {
+  const double d = desired_[i] - positions_[i];
+  const bool right = d >= 1 && positions_[i + 1] - positions_[i] > 1;
+  const bool left = d <= -1 && positions_[i - 1] - positions_[i] < -1;
+  if (!right && !left) return;
+
+  const double sign = right ? 1.0 : -1.0;
+  // Piecewise-parabolic prediction.
+  const double qp =
+      heights_[i] +
+      sign / (positions_[i + 1] - positions_[i - 1]) *
+          ((positions_[i] - positions_[i - 1] + sign) * (heights_[i + 1] - heights_[i]) /
+               (positions_[i + 1] - positions_[i]) +
+           (positions_[i + 1] - positions_[i] - sign) * (heights_[i] - heights_[i - 1]) /
+               (positions_[i] - positions_[i - 1]));
+
+  if (heights_[i - 1] < qp && qp < heights_[i + 1]) {
+    heights_[i] = qp;
+  } else {
+    // Linear fallback keeps markers ordered.
+    const int j = right ? i + 1 : i - 1;
+    heights_[i] += sign * (heights_[j] - heights_[i]) /
+                   (positions_[j] - positions_[i]);
+  }
+  positions_[i] += sign;
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact sample quantile over the first few observations.
+    std::array<double, 5> sorted{};
+    std::copy_n(heights_.begin(), count_, sorted.begin());
+    std::sort(sorted.begin(), sorted.begin() + static_cast<long>(count_));
+    const double rank = q_ * static_cast<double>(count_ - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= count_) return sorted[count_ - 1];
+    return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+  }
+  return heights_[2];
+}
+
+}  // namespace turtle::core

@@ -1,0 +1,43 @@
+// P² (piecewise-parabolic) online quantile estimation, Jain & Chlamtac 1985.
+//
+// The adaptive timeout policies need per-destination latency quantiles
+// without storing per-destination sample vectors — the paper stresses that
+// prober state is a real cost of long timeouts (Section 2.1). P² keeps
+// five markers (40 bytes of state) per tracked quantile and converges to
+// the true quantile for stationary inputs.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace turtle::core {
+
+/// Online estimator of a single quantile `q` (0 < q < 1).
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  /// Folds in one observation.
+  void add(double x);
+
+  /// Current estimate. Exact while fewer than 5 observations have been
+  /// seen (returns the sample quantile of what there is); P² afterwards.
+  [[nodiscard]] double value() const;
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+ private:
+  void add_initial(double x);
+  void add_steady(double x);
+  /// Piecewise-parabolic (fallback linear) adjustment of marker i.
+  void adjust(int i);
+
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};    // marker heights (estimates)
+  std::array<double, 5> positions_{};  // actual marker positions
+  std::array<double, 5> desired_{};    // desired marker positions
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace turtle::core

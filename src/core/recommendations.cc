@@ -1,0 +1,58 @@
+#include "core/recommendations.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace turtle::core {
+
+namespace {
+
+/// Index of the matrix percentile closest to `p` (clamped).
+std::size_t closest_index(const std::vector<double>& percentiles, double p) {
+  std::size_t best = 0;
+  double best_dist = std::abs(percentiles[0] - p);
+  for (std::size_t i = 1; i < percentiles.size(); ++i) {
+    const double d = std::abs(percentiles[i] - p);
+    if (d < best_dist) {
+      best = i;
+      best_dist = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+SimTime recommend_timeout(const analysis::TimeoutMatrix& matrix, double addr_coverage,
+                          double ping_coverage) {
+  const std::size_t r = closest_index(matrix.row_percentiles, addr_coverage);
+  const std::size_t c = closest_index(matrix.col_percentiles, ping_coverage);
+  return SimTime::from_seconds(matrix.cell(r, c));
+}
+
+double false_loss_rate(const analysis::TimeoutMatrix& matrix, double addr_coverage,
+                       SimTime timeout) {
+  const std::size_t r = closest_index(matrix.row_percentiles, addr_coverage);
+  const double timeout_s = timeout.as_seconds();
+  // Columns are ascending ping percentiles; find the largest covered one.
+  double covered = 0.0;  // percent of pings captured
+  for (std::size_t c = 0; c < matrix.col_percentiles.size(); ++c) {
+    if (matrix.cell(r, c) <= timeout_s) {
+      covered = matrix.col_percentiles[c];
+    }
+  }
+  return 1.0 - covered / 100.0;
+}
+
+StateCost prober_state_cost(double probes_per_second, SimTime give_up,
+                            std::uint32_t bytes_per_entry) {
+  // Little's law: entries in flight = arrival rate x residence time.
+  // Residence is bounded by the give-up timeout (responses resolve
+  // entries earlier; this is the worst case the prober must provision).
+  StateCost cost;
+  cost.outstanding_entries = probes_per_second * give_up.as_seconds();
+  cost.bytes = cost.outstanding_entries * bytes_per_entry;
+  return cost;
+}
+
+}  // namespace turtle::core

@@ -1,0 +1,41 @@
+// Timeout recommendations from measured data (Section 4.2 and Table 2).
+//
+// Given a TimeoutMatrix computed from survey data, answer the question the
+// paper poses: "what is the minimum timeout that captures c% of pings from
+// r% of addresses?" — plus the dual question of what loss rate a given
+// timeout falsely infers, and the prober-state cost of waiting longer.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/percentiles.h"
+#include "util/sim_time.h"
+
+namespace turtle::core {
+
+/// Minimum timeout capturing `ping_coverage`% of pings from
+/// `addr_coverage`% of addresses. Coverage values must match (or
+/// interpolate between) the matrix's rows/columns; out-of-range requests
+/// clamp to the nearest computed percentile.
+[[nodiscard]] SimTime recommend_timeout(const analysis::TimeoutMatrix& matrix,
+                                        double addr_coverage, double ping_coverage);
+
+/// False loss rate a fixed timeout induces for the r-th percentile
+/// address: the fraction of pings (1 - c/100) whose latency exceeds
+/// `timeout` per the matrix row. Returns the smallest (1 - c) such that
+/// the (r, c) cell is <= timeout, i.e. the inferred loss rate.
+[[nodiscard]] double false_loss_rate(const analysis::TimeoutMatrix& matrix,
+                                     double addr_coverage, SimTime timeout);
+
+/// Prober state-cost model (Section 2.1: "too-high timeouts increase the
+/// amount of state that needs to be maintained"): expected outstanding
+/// probe entries and bytes for a prober sending `probes_per_second` with
+/// the given give-up timeout.
+struct StateCost {
+  double outstanding_entries = 0;
+  double bytes = 0;
+};
+[[nodiscard]] StateCost prober_state_cost(double probes_per_second, SimTime give_up,
+                                          std::uint32_t bytes_per_entry = 48);
+
+}  // namespace turtle::core

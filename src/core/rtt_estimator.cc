@@ -1,0 +1,37 @@
+#include "core/rtt_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace turtle::core {
+
+RttEstimator::RttEstimator() : p50_{0.5}, p95_{0.95}, p99_{0.99} {}
+
+void RttEstimator::add_sample(SimTime rtt) {
+  const double r = rtt.as_seconds();
+  if (samples_ == 0) {
+    // RFC 6298 initialization.
+    srtt_s_ = r;
+    rttvar_s_ = r / 2;
+    min_rtt_ = max_rtt_ = rtt;
+  } else {
+    constexpr double kAlpha = 1.0 / 8;
+    constexpr double kBeta = 1.0 / 4;
+    rttvar_s_ = (1 - kBeta) * rttvar_s_ + kBeta * std::abs(srtt_s_ - r);
+    srtt_s_ = (1 - kAlpha) * srtt_s_ + kAlpha * r;
+    min_rtt_ = std::min(min_rtt_, rtt);
+    max_rtt_ = std::max(max_rtt_, rtt);
+  }
+  p50_.add(r);
+  p95_.add(r);
+  p99_.add(r);
+  ++samples_;
+}
+
+SimTime RttEstimator::rto() const {
+  if (samples_ == 0) return SimTime::seconds(3);  // RFC 6298 initial RTO
+  const double rto_s = srtt_s_ + std::max(4 * rttvar_s_, 0.001);
+  return SimTime::from_seconds(std::max(rto_s, 1.0));  // RFC 6298 floor
+}
+
+}  // namespace turtle::core

@@ -1,0 +1,56 @@
+// Per-destination RTT tracking for adaptive timeout selection.
+//
+// Keeps O(1) state per destination: RFC 6298-style smoothed RTT/variance
+// (what TCP would compute) alongside P² quantile estimates (what the
+// paper's per-address percentile analysis says actually matters, because
+// wake-up delay makes latency bimodal rather than jittery-around-a-mean).
+#pragma once
+
+#include <cstdint>
+
+#include "core/p2_quantile.h"
+#include "util/sim_time.h"
+
+namespace turtle::core {
+
+class RttEstimator {
+ public:
+  RttEstimator();
+
+  /// Records a measured round trip.
+  void add_sample(SimTime rtt);
+  /// Records a probe that got no response within the observation window.
+  void add_loss() { ++losses_; }
+
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+  [[nodiscard]] std::uint64_t losses() const { return losses_; }
+  [[nodiscard]] double loss_rate() const {
+    const auto total = samples_ + losses_;
+    return total ? static_cast<double>(losses_) / static_cast<double>(total) : 0.0;
+  }
+
+  /// RFC 6298 smoothed estimate and retransmission timeout.
+  [[nodiscard]] SimTime srtt() const { return SimTime::from_seconds(srtt_s_); }
+  [[nodiscard]] SimTime rto() const;
+
+  /// Latency quantiles (P² estimates).
+  [[nodiscard]] SimTime median() const { return SimTime::from_seconds(p50_.value()); }
+  [[nodiscard]] SimTime p95() const { return SimTime::from_seconds(p95_.value()); }
+  [[nodiscard]] SimTime p99() const { return SimTime::from_seconds(p99_.value()); }
+
+  [[nodiscard]] SimTime min_rtt() const { return min_rtt_; }
+  [[nodiscard]] SimTime max_rtt() const { return max_rtt_; }
+
+ private:
+  std::uint64_t samples_ = 0;
+  std::uint64_t losses_ = 0;
+  double srtt_s_ = 0;
+  double rttvar_s_ = 0;
+  P2Quantile p50_;
+  P2Quantile p95_;
+  P2Quantile p99_;
+  SimTime min_rtt_;
+  SimTime max_rtt_;
+};
+
+}  // namespace turtle::core

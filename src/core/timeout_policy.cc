@@ -1,0 +1,38 @@
+#include "core/timeout_policy.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace turtle::core {
+
+std::string FixedTimeoutPolicy::name() const {
+  return "fixed(" + timeout_.to_string() + ")";
+}
+
+std::string ListenLongerPolicy::name() const {
+  return "listen-longer(" + retransmit_.to_string() + "/" + give_up_.to_string() + ")";
+}
+
+TimeoutDecision QuantileAdaptivePolicy::decide(const RttEstimator* estimator) const {
+  if (estimator == nullptr || estimator->samples() < 5) {
+    return {cold_start_, give_up_};
+  }
+  const SimTime scaled = SimTime::from_seconds(estimator->p99().as_seconds() * multiplier_);
+  const SimTime retransmit = std::clamp(scaled, floor_, give_up_);
+  return {retransmit, give_up_};
+}
+
+std::string QuantileAdaptivePolicy::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "quantile-adaptive(p99 x %.2g)", multiplier_);
+  return buf;
+}
+
+TimeoutDecision Rfc6298Policy::decide(const RttEstimator* estimator) const {
+  const SimTime rto = estimator ? estimator->rto() : SimTime::seconds(3);
+  return {rto, give_up_};
+}
+
+std::string Rfc6298Policy::name() const { return "rfc6298"; }
+
+}  // namespace turtle::core

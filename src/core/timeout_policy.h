@@ -1,0 +1,108 @@
+// Timeout policies: how long to wait for a probe response.
+//
+// The paper's conclusion in API form. Policies answer two questions for a
+// destination: when to send a follow-up probe (responsiveness) and how
+// long to keep listening before writing the probe off as lost
+// (correctness). Conflating the two — the conventional single "timeout" —
+// is exactly the mistake the paper documents.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/rtt_estimator.h"
+#include "util/sim_time.h"
+
+namespace turtle::core {
+
+/// What a policy prescribes for one probe to one destination.
+struct TimeoutDecision {
+  /// Send a follow-up probe if no response by then.
+  SimTime retransmit_after;
+  /// Treat the probe as lost only after this much total waiting; late
+  /// responses inside this window still count as reachability evidence.
+  SimTime give_up_after;
+};
+
+/// Interface. Implementations must be cheap: called once per probe.
+class TimeoutPolicy {
+ public:
+  virtual ~TimeoutPolicy() = default;
+
+  /// `estimator` may be null (no history for this destination yet);
+  /// policies must return a sensible cold-start decision.
+  [[nodiscard]] virtual TimeoutDecision decide(const RttEstimator* estimator) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// The conventional fixed timeout (Trinocular/Thunderping-style 3 s,
+/// iPlane-style 2 s, RIPE-Atlas-style 1 s): retransmit and give up at the
+/// same instant.
+class FixedTimeoutPolicy final : public TimeoutPolicy {
+ public:
+  explicit FixedTimeoutPolicy(SimTime timeout) : timeout_{timeout} {}
+
+  [[nodiscard]] TimeoutDecision decide(const RttEstimator*) const override {
+    return {timeout_, timeout_};
+  }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  SimTime timeout_;
+};
+
+/// The paper's recommendation (Section 7): probe again after ~3 s for
+/// responsiveness, but keep listening ~60 s so congestion or wake-up delay
+/// is not misread as loss.
+class ListenLongerPolicy final : public TimeoutPolicy {
+ public:
+  ListenLongerPolicy(SimTime retransmit = SimTime::seconds(3),
+                     SimTime give_up = SimTime::seconds(60))
+      : retransmit_{retransmit}, give_up_{give_up} {}
+
+  [[nodiscard]] TimeoutDecision decide(const RttEstimator*) const override {
+    return {retransmit_, give_up_};
+  }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  SimTime retransmit_;
+  SimTime give_up_;
+};
+
+/// Adaptive per-destination policy: retransmit at a multiple of the
+/// destination's P² p99 estimate (falling back to `cold_start` without
+/// history), keep listening for `give_up`.
+class QuantileAdaptivePolicy final : public TimeoutPolicy {
+ public:
+  QuantileAdaptivePolicy(double multiplier = 1.5,
+                         SimTime cold_start = SimTime::seconds(3),
+                         SimTime give_up = SimTime::seconds(60),
+                         SimTime floor = SimTime::millis(500))
+      : multiplier_{multiplier}, cold_start_{cold_start}, give_up_{give_up}, floor_{floor} {}
+
+  [[nodiscard]] TimeoutDecision decide(const RttEstimator* estimator) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double multiplier_;
+  SimTime cold_start_;
+  SimTime give_up_;
+  SimTime floor_;
+};
+
+/// TCP's answer: RFC 6298 RTO from smoothed RTT and variance. Included as
+/// a baseline; it adapts to jitter but not to bimodal wake-up latency.
+class Rfc6298Policy final : public TimeoutPolicy {
+ public:
+  explicit Rfc6298Policy(SimTime give_up = SimTime::seconds(60)) : give_up_{give_up} {}
+
+  [[nodiscard]] TimeoutDecision decide(const RttEstimator* estimator) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  SimTime give_up_;
+};
+
+}  // namespace turtle::core

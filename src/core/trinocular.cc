@@ -1,0 +1,171 @@
+#include "core/trinocular.h"
+
+#include <algorithm>
+
+namespace turtle::core {
+
+TrinocularMonitor::TrinocularMonitor(sim::Simulator& sim, sim::Network& net,
+                                     TrinocularConfig config, util::Prng rng)
+    : sim_{sim}, net_{net}, config_{config}, rng_{rng} {}
+
+void TrinocularMonitor::start(std::vector<MonitoredBlock> blocks) {
+  if (!attached_) {
+    net_.attach_endpoint(config_.vantage, this);
+    attached_ = true;
+  }
+  blocks_.clear();
+  by_network_.clear();
+  for (auto& info : blocks) {
+    if (info.ever_responsive.empty()) continue;
+    BlockState state;
+    state.info = std::move(info);
+    by_network_.emplace(state.info.prefix.network(), blocks_.size());
+    blocks_.push_back(std::move(state));
+  }
+
+  const SimTime stagger =
+      blocks_.empty() ? SimTime{}
+                      : config_.round_interval / static_cast<std::int64_t>(blocks_.size());
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    for (int round = 0; round < config_.rounds; ++round) {
+      const SimTime at = sim_.now() + config_.round_interval * round +
+                         stagger * static_cast<std::int64_t>(b);
+      sim_.schedule_at(at, [this, b, round] {
+        begin_round(b, static_cast<std::uint32_t>(round));
+      });
+    }
+  }
+}
+
+void TrinocularMonitor::begin_round(std::size_t block_index, std::uint32_t round) {
+  BlockState& state = blocks_[block_index];
+  if (state.round_open) finish_round(block_index);  // safety; should not happen
+
+  state.round = round;
+  state.probes_this_round = 0;
+  state.round_open = true;
+  state.saved_by_late = false;
+  ++state.generation;
+  state.probe_seq = 0;
+  state.outstanding.clear();
+  // Belief ages toward uncertainty between rounds (blocks can change
+  // state while unobserved).
+  state.belief = 0.5 + (state.belief - 0.5) * 0.97;
+
+  probe_block(block_index);
+}
+
+void TrinocularMonitor::probe_block(std::size_t block_index) {
+  BlockState& state = blocks_[block_index];
+  const auto& addrs = state.info.ever_responsive;
+  const net::Ipv4Address target =
+      addrs[rng_.uniform_int(static_cast<std::uint64_t>(addrs.size()))];
+
+  net::IcmpMessage echo;
+  echo.type = net::IcmpType::kEchoRequest;
+  echo.id = icmp_id_;
+  echo.seq = state.probe_seq;
+
+  net::Packet packet;
+  packet.src = config_.vantage;
+  packet.dst = target;
+  packet.protocol = net::Protocol::kIcmp;
+  packet.payload = net::serialize_icmp(echo);
+
+  state.outstanding.emplace(state.probe_seq, sim_.now());
+  const std::uint16_t seq = state.probe_seq++;
+  ++state.probes_this_round;
+  ++stats_.probes_sent;
+  net_.send(packet);
+
+  const std::uint64_t generation = state.generation;
+  sim_.schedule_after(config_.probe_timeout, [this, block_index, seq, generation] {
+    on_probe_timeout(block_index, seq, generation);
+  });
+}
+
+void TrinocularMonitor::on_probe_timeout(std::size_t block_index, std::uint16_t seq,
+                                         std::uint64_t generation) {
+  BlockState& state = blocks_[block_index];
+  if (!state.round_open || state.generation != generation) return;
+  const auto it = state.outstanding.find(seq);
+  if (it == state.outstanding.end()) return;  // answered in time
+
+  // Non-response evidence. Without listen-longer the probe is forgotten;
+  // with it, the entry stays so a late reply can still count.
+  if (!config_.listen_longer) state.outstanding.erase(it);
+  update_down(state);
+
+  if (state.belief > config_.belief_down && !belief_certain(state) &&
+      static_cast<int>(state.probes_this_round) < config_.max_probes_per_round) {
+    probe_block(block_index);
+    return;
+  }
+  if (config_.listen_longer && state.belief <= config_.belief_up) {
+    // Keep listening before concluding: the paper's recommendation.
+    const SimTime extra = config_.listen_window - config_.probe_timeout;
+    sim_.schedule_after(extra.is_negative() ? SimTime{} : extra,
+                        [this, block_index, generation] {
+                          BlockState& s = blocks_[block_index];
+                          if (s.round_open && s.generation == generation) {
+                            finish_round(block_index);
+                          }
+                        });
+    return;
+  }
+  finish_round(block_index);
+}
+
+void TrinocularMonitor::deliver(const net::Packet& packet, std::uint32_t copies) {
+  (void)copies;
+  const auto msg = net::parse_icmp(packet.payload.view());
+  if (!msg.has_value() || !msg->is_echo_reply() || msg->id != icmp_id_) return;
+  const auto block_it = by_network_.find(packet.src.value() >> 8);
+  if (block_it == by_network_.end()) return;
+  BlockState& state = blocks_[block_it->second];
+  if (!state.round_open) return;
+
+  const auto probe_it = state.outstanding.find(msg->seq);
+  if (probe_it == state.outstanding.end()) return;
+  const bool late = sim_.now() - probe_it->second > config_.probe_timeout;
+  if (late && !config_.listen_longer) return;  // conventional prober: discarded
+  state.outstanding.erase(probe_it);
+
+  update_up(state);
+  if (late) {
+    state.saved_by_late = true;
+    ++stats_.late_saves;
+  }
+  if (state.belief >= config_.belief_up) finish_round(block_it->second);
+}
+
+void TrinocularMonitor::update_up(BlockState& state) {
+  const double a = std::clamp(state.info.availability, 0.01, 0.999);
+  const double b = state.belief;
+  state.belief = b * a / (b * a + (1 - b) * config_.epsilon);
+}
+
+void TrinocularMonitor::update_down(BlockState& state) {
+  const double a = std::clamp(state.info.availability, 0.01, 0.999);
+  const double b = state.belief;
+  state.belief = b * (1 - a) / (b * (1 - a) + (1 - b) * (1 - config_.epsilon));
+}
+
+void TrinocularMonitor::finish_round(std::size_t block_index) {
+  BlockState& state = blocks_[block_index];
+  state.round_open = false;
+
+  BlockRoundOutcome outcome;
+  outcome.prefix = state.info.prefix;
+  outcome.round = state.round;
+  outcome.belief = state.belief;
+  outcome.probes = state.probes_this_round;
+  outcome.down = state.belief <= config_.belief_down;
+  outcome.saved_by_late = state.saved_by_late;
+  outcomes_.push_back(outcome);
+
+  ++stats_.block_rounds;
+  if (outcome.down) ++stats_.down_rounds;
+}
+
+}  // namespace turtle::core

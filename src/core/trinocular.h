@@ -1,0 +1,132 @@
+// Trinocular-style block-level outage detection (Quan, Heidemann, Pradkin,
+// SIGCOMM 2013) — the system whose 3-second timeout the paper critiques.
+//
+// Monitors /24 blocks via Bayesian reachability belief: each round, probe
+// one ever-responsive address of the block; update the belief B(block up)
+// from the outcome; when the belief is uncertain, probe adaptively (up to
+// `max_probes_per_round`, the real system's 15) until it crosses a
+// threshold. A block whose belief falls below the down-threshold is in
+// outage.
+//
+// The timeout knob is the experiment: with a short probe timeout, cellular
+// blocks' wake-up latency turns into "non-response", beliefs sag, probe
+// budgets balloon, and false block outages appear. `listen_longer` applies
+// the paper's fix — late responses still count as up-evidence.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/icmp.h"
+#include "net/ipv4.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/prng.h"
+#include "util/sim_time.h"
+
+namespace turtle::core {
+
+struct TrinocularConfig {
+  net::Ipv4Address vantage = net::Ipv4Address::from_octets(192, 0, 2, 33);
+  SimTime round_interval = SimTime::minutes(11);
+  int rounds = 10;
+  /// Adaptive retransmission budget per block per round.
+  int max_probes_per_round = 15;
+  /// Spacing between adaptive probes within a round.
+  SimTime probe_spacing = SimTime::seconds(3);
+  /// The conventional probe timeout: a probe unanswered this long counts
+  /// as a non-response for the belief update.
+  SimTime probe_timeout = SimTime::seconds(3);
+  /// The paper's recommendation: keep listening; a response arriving
+  /// within `listen_window` (but past the timeout) retroactively counts
+  /// as up-evidence.
+  bool listen_longer = false;
+  SimTime listen_window = SimTime::seconds(60);
+
+  /// Belief thresholds: stop probing when belief leaves (down, up).
+  double belief_up = 0.9;
+  double belief_down = 0.1;
+  /// P(response | block down): spoofing/measurement noise.
+  double epsilon = 0.001;
+};
+
+/// One monitored block: its ever-responsive addresses and the measured
+/// per-probe availability A(E(b)) — both normally learned from survey
+/// history (the harness computes them from a prior survey or from ground
+/// truth).
+struct MonitoredBlock {
+  net::Prefix24 prefix;
+  std::vector<net::Ipv4Address> ever_responsive;
+  double availability = 0.8;
+};
+
+/// Per-block, per-round outcome.
+struct BlockRoundOutcome {
+  net::Prefix24 prefix;
+  std::uint32_t round = 0;
+  double belief = 0.5;          ///< belief after the round
+  std::uint32_t probes = 0;
+  bool down = false;            ///< belief below the down threshold
+  bool saved_by_late = false;   ///< a late response restored the belief
+};
+
+class TrinocularMonitor : public sim::PacketSink {
+ public:
+  TrinocularMonitor(sim::Simulator& sim, sim::Network& net, TrinocularConfig config,
+                    util::Prng rng);
+
+  void start(std::vector<MonitoredBlock> blocks);
+
+  void deliver(const net::Packet& packet, std::uint32_t copies) override;
+
+  [[nodiscard]] const std::vector<BlockRoundOutcome>& outcomes() const { return outcomes_; }
+
+  struct Stats {
+    std::uint64_t block_rounds = 0;
+    std::uint64_t down_rounds = 0;   ///< rounds ending below the down threshold
+    std::uint64_t probes_sent = 0;
+    std::uint64_t late_saves = 0;
+  };
+  [[nodiscard]] Stats stats() const { return stats_; }
+
+ private:
+  struct BlockState {
+    MonitoredBlock info;
+    double belief = 0.9;  ///< blocks start believed-up
+    // Round-scoped state:
+    std::uint32_t round = 0;
+    std::uint32_t probes_this_round = 0;
+    bool round_open = false;
+    bool saved_by_late = false;
+    std::uint64_t generation = 0;
+    std::uint16_t probe_seq = 0;
+    /// Outstanding probe send times by seq (for the late-listen window).
+    std::unordered_map<std::uint16_t, SimTime> outstanding;
+  };
+
+  void begin_round(std::size_t block_index, std::uint32_t round);
+  void probe_block(std::size_t block_index);
+  void on_probe_timeout(std::size_t block_index, std::uint16_t seq, std::uint64_t generation);
+  void finish_round(std::size_t block_index);
+
+  void update_up(BlockState& state);
+  void update_down(BlockState& state);
+  [[nodiscard]] bool belief_certain(const BlockState& state) const {
+    return state.belief >= config_.belief_up || state.belief <= config_.belief_down;
+  }
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  TrinocularConfig config_;
+  util::Prng rng_;
+
+  std::vector<BlockState> blocks_;
+  std::unordered_map<std::uint32_t, std::size_t> by_network_;
+  std::vector<BlockRoundOutcome> outcomes_;
+  Stats stats_;
+  std::uint16_t icmp_id_ = 0x5452;  // "TR"
+  bool attached_ = false;
+};
+
+}  // namespace turtle::core

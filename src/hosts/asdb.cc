@@ -1,0 +1,134 @@
+#include "hosts/asdb.h"
+
+namespace turtle::hosts {
+
+AsCatalog AsCatalog::standard(double cellular_share_scale, double severity_scale) {
+  using enum AsKind;
+  using enum Continent;
+  const auto ms = [](std::int64_t v) { return SimTime::millis(v); };
+
+  std::vector<AsTraits> list;
+  auto add = [&list](AsTraits t) { list.push_back(std::move(t)); };
+
+  // --- Cellular carriers (Table 4/6 protagonists). Owner names are
+  // fictional; roles mirror the paper's: one dominant South American
+  // carrier, several mid-size SA/Asia carriers, one North American and one
+  // European carrier, one Gulf carrier.
+  add({.asn = 64601, .owner = "Celtel Brasil", .kind = kCellular, .continent = kSouthAmerica,
+       .block_weight = 14, .responsive_fraction = 0.26, .cellular_fraction = 0.88,
+       .severity = 1.5, .base_rtt_offset = ms(70)});
+  add({.asn = 64602, .owner = "TinCel Movel", .kind = kCellular, .continent = kSouthAmerica,
+       .block_weight = 6, .responsive_fraction = 0.25, .cellular_fraction = 0.82,
+       .severity = 1.3, .base_rtt_offset = ms(70)});
+  add({.asn = 64603, .owner = "AirBharat Mobile", .kind = kCellular, .continent = kAsia,
+       .block_weight = 5, .responsive_fraction = 0.24, .cellular_fraction = 0.86,
+       .severity = 1.1, .base_rtt_offset = ms(90)});
+  add({.asn = 64604, .owner = "CellCo Wireless", .kind = kCellular, .continent = kNorthAmerica,
+       .block_weight = 2.5, .responsive_fraction = 0.23, .cellular_fraction = 0.80,
+       .severity = 1.0, .base_rtt_offset = ms(25)});
+  add({.asn = 64605, .owner = "TeleDuo Mobile", .kind = kCellular, .continent = kEurope,
+       .block_weight = 2.5, .responsive_fraction = 0.22, .cellular_fraction = 0.74,
+       .severity = 0.9, .base_rtt_offset = ms(30)});
+  add({.asn = 64606, .owner = "Movil Andina", .kind = kCellular, .continent = kSouthAmerica,
+       .block_weight = 2.5, .responsive_fraction = 0.23, .cellular_fraction = 0.70,
+       .severity = 1.0, .base_rtt_offset = ms(75)});
+  add({.asn = 64607, .owner = "VenMovilnet", .kind = kCellular, .continent = kSouthAmerica,
+       .block_weight = 2, .responsive_fraction = 0.24, .cellular_fraction = 0.83,
+       .severity = 1.2, .base_rtt_offset = ms(80)});
+  add({.asn = 64608, .owner = "Mobily Khaleej", .kind = kCellular, .continent = kAsia,
+       .block_weight = 2, .responsive_fraction = 0.22, .cellular_fraction = 0.60,
+       .severity = 0.9, .base_rtt_offset = ms(60)});
+  add({.asn = 64609, .owner = "Savanna Mobile", .kind = kCellular, .continent = kAfrica,
+       .block_weight = 3, .responsive_fraction = 0.20, .cellular_fraction = 0.84,
+       .severity = 1.2, .base_rtt_offset = ms(110)});
+  add({.asn = 64610, .owner = "Mekong Cell", .kind = kCellular, .continent = kAsia,
+       .block_weight = 2, .responsive_fraction = 0.21, .cellular_fraction = 0.78,
+       .severity = 1.0, .base_rtt_offset = ms(85)});
+
+  // --- Mixed-service ASes: substantial cellular but majority wireline
+  // (the paper's AS9829 pattern: many turtles, low turtle percentage).
+  add({.asn = 64620, .owner = "IndraNet Backbone", .kind = kMixed, .continent = kAsia,
+       .block_weight = 24, .responsive_fraction = 0.20, .cellular_fraction = 0.20,
+       .severity = 1.0, .base_rtt_offset = ms(90)});
+  add({.asn = 64621, .owner = "Litoral Telecom", .kind = kMixed, .continent = kSouthAmerica,
+       .block_weight = 12, .responsive_fraction = 0.22, .cellular_fraction = 0.15,
+       .severity = 1.0, .base_rtt_offset = ms(70)});
+  add({.asn = 64622, .owner = "Sahel Telecom", .kind = kMixed, .continent = kAfrica,
+       .block_weight = 6, .responsive_fraction = 0.18, .cellular_fraction = 0.25,
+       .severity = 1.1, .base_rtt_offset = ms(110)});
+
+  // --- National backbone: enormous, overwhelmingly wireline (AS4134
+  // pattern: top-10 turtle count purely by size, ~1% turtle fraction).
+  add({.asn = 64630, .owner = "SinoLink Net", .kind = kNationalBackbone, .continent = kAsia,
+       .block_weight = 95, .responsive_fraction = 0.24, .cellular_fraction = 0.012,
+       .severity = 1.0, .base_rtt_offset = ms(80)});
+
+  // --- Wireline residential ISPs across continents.
+  add({.asn = 64640, .owner = "Rheinland DSL", .kind = kWireline, .continent = kEurope,
+       .block_weight = 70, .responsive_fraction = 0.24, .base_rtt_offset = ms(25)});
+  add({.asn = 64641, .owner = "Gaulois Fibre", .kind = kWireline, .continent = kEurope,
+       .block_weight = 45, .responsive_fraction = 0.23, .base_rtt_offset = ms(22)});
+  add({.asn = 64642, .owner = "Lakeshore Cable", .kind = kWireline, .continent = kNorthAmerica,
+       .block_weight = 75, .responsive_fraction = 0.22, .base_rtt_offset = ms(18)});
+  add({.asn = 64643, .owner = "Prairie Broadband", .kind = kWireline, .continent = kNorthAmerica,
+       .block_weight = 40, .responsive_fraction = 0.21, .base_rtt_offset = ms(20)});
+  add({.asn = 64644, .owner = "Nippon Hikari", .kind = kWireline, .continent = kAsia,
+       .block_weight = 38, .responsive_fraction = 0.24, .base_rtt_offset = ms(95)});
+  add({.asn = 64645, .owner = "Pampas Net", .kind = kWireline, .continent = kSouthAmerica,
+       .block_weight = 17, .responsive_fraction = 0.20, .base_rtt_offset = ms(80)});
+  add({.asn = 64646, .owner = "Harbour Internet", .kind = kWireline, .continent = kOceania,
+       .block_weight = 9, .responsive_fraction = 0.22, .base_rtt_offset = ms(140)});
+  add({.asn = 64647, .owner = "Maghreb ADSL", .kind = kWireline, .continent = kAfrica,
+       .block_weight = 7, .responsive_fraction = 0.17, .base_rtt_offset = ms(90)});
+
+  // --- Satellite providers (Figure 11). Distinct floors and queue caps
+  // give each provider its own cluster; two providers have near-constant
+  // 99th percentiles ("horizontal line" pattern).
+  struct Sat {
+    const char* owner;
+    Continent continent;
+    std::int64_t floor_ms;
+    std::int64_t cap_ms;
+    double weight;
+  };
+  const Sat sats[] = {
+      {"HighBeam Sat", kNorthAmerica, 80, 2600, 1.6},
+      {"ViaStar", kNorthAmerica, 60, 2200, 1.3},
+      {"SkyLogika", kEurope, 110, 2800, 0.8},
+      {"BayCity Sat", kNorthAmerica, 150, 1900, 0.4},
+      {"Outback Sky", kOceania, 200, 1200, 0.5},
+      {"OnLine Orbit", kEurope, 130, 2400, 0.4},
+      {"SkyMesh Austral", kOceania, 170, 2100, 0.4},
+      {"TeleSat Norte", kNorthAmerica, 90, 2500, 0.4},
+      {"Horizon Uplink", kNorthAmerica, 240, 1100, 0.3},
+  };
+  std::uint32_t sat_asn = 64660;
+  for (const Sat& s : sats) {
+    add({.asn = sat_asn++, .owner = s.owner, .kind = kSatellite, .continent = s.continent,
+         .block_weight = s.weight, .responsive_fraction = 0.15, .satellite_fraction = 1.0,
+         .severity = 1.0, .base_rtt_offset = ms(s.floor_ms),
+         .satellite_queue_cap = ms(s.cap_ms)});
+  }
+
+  // --- Datacenter / hosting (the fast floor of Table 2's 1% row).
+  add({.asn = 64680, .owner = "Quanta Hosting", .kind = kDatacenter, .continent = kNorthAmerica,
+       .block_weight = 18, .responsive_fraction = 0.30, .datacenter_fraction = 1.0,
+       .base_rtt_offset = ms(3)});
+  add({.asn = 64681, .owner = "Helvetia Cloud", .kind = kDatacenter, .continent = kEurope,
+       .block_weight = 12, .responsive_fraction = 0.30, .datacenter_fraction = 1.0,
+       .base_rtt_offset = ms(8)});
+  add({.asn = 64682, .owner = "Lion City Compute", .kind = kDatacenter, .continent = kAsia,
+       .block_weight = 8, .responsive_fraction = 0.30, .datacenter_fraction = 1.0,
+       .base_rtt_offset = ms(60)});
+
+  // Apply the scale knobs.
+  for (AsTraits& t : list) {
+    if (t.kind == kCellular || t.kind == kMixed) {
+      t.block_weight *= cellular_share_scale;
+      t.severity *= severity_scale;
+    }
+  }
+  return AsCatalog{std::move(list)};
+}
+
+}  // namespace turtle::hosts

@@ -1,0 +1,75 @@
+// Block-level packet endpoints that are not end hosts.
+//
+//  * BroadcastGateway — an echo request to a subnet broadcast address fans
+//    out to the block's broadcast-answering hosts, each replying from its
+//    own source address (Section 3.3.1, the root cause of the paper's
+//    false-latency artifacts).
+//  * FirewallSink — a middlebox that answers TCP probes for a whole /24
+//    with an immediate RST bearing one uniform TTL (the ~200 ms TCP mode
+//    the paper attributes to firewalls in Section 5.3).
+//  * RouterSink — the last-hop router answering probes to some unassigned
+//    addresses with ICMP host-unreachable (records the surveys ignore).
+#pragma once
+
+#include <vector>
+
+#include "hosts/host.h"
+#include "net/packet.h"
+#include "sim/network.h"
+#include "util/prng.h"
+
+namespace turtle::hosts {
+
+/// Fan-out endpoint for a subnet broadcast address.
+class BroadcastGateway : public sim::PacketSink {
+ public:
+  explicit BroadcastGateway(std::vector<Host*> responders)
+      : responders_{std::move(responders)} {}
+
+  void deliver(const net::Packet& packet, std::uint32_t copies) override {
+    // Only ICMP echo is broadcast-answered; directed TCP/UDP to a broadcast
+    // address dies here.
+    if (packet.protocol != net::Protocol::kIcmp) return;
+    for (std::uint32_t i = 0; i < copies; ++i) {
+      for (Host* host : responders_) host->handle_probe(packet);
+    }
+  }
+
+  [[nodiscard]] std::size_t responder_count() const { return responders_.size(); }
+
+ private:
+  std::vector<Host*> responders_;
+};
+
+/// Stateless firewall fronting a /24: RSTs every TCP probe itself.
+class FirewallSink : public sim::PacketSink {
+ public:
+  FirewallSink(HostContext& ctx, SimTime rtt, std::uint8_t ttl, util::Prng rng)
+      : ctx_{ctx}, rtt_{rtt}, ttl_{ttl}, rng_{rng} {}
+
+  void deliver(const net::Packet& packet, std::uint32_t copies) override;
+
+ private:
+  HostContext& ctx_;
+  SimTime rtt_;
+  std::uint8_t ttl_;
+  util::Prng rng_;
+};
+
+/// Last-hop router for a block: answers a configured subset of unassigned
+/// addresses with host-unreachable.
+class RouterSink : public sim::PacketSink {
+ public:
+  RouterSink(HostContext& ctx, net::Ipv4Address router_addr, SimTime rtt, util::Prng rng)
+      : ctx_{ctx}, router_addr_{router_addr}, rtt_{rtt}, rng_{rng} {}
+
+  void deliver(const net::Packet& packet, std::uint32_t copies) override;
+
+ private:
+  HostContext& ctx_;
+  net::Ipv4Address router_addr_;
+  SimTime rtt_;
+  util::Prng rng_;
+};
+
+}  // namespace turtle::hosts

@@ -1,0 +1,41 @@
+// Address → Autonomous System / geography lookups.
+//
+// Stand-in for the Maxmind database the paper uses to attribute addresses
+// to ASes, owners, and continents (Section 6.2). Filled in by the
+// population generator; consumed by the Table 4–6 ranking analyses.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "hosts/asdb.h"
+#include "net/ipv4.h"
+
+namespace turtle::hosts {
+
+/// Immutable-after-construction mapping from /24 blocks to catalog ASes.
+class GeoDatabase {
+ public:
+  explicit GeoDatabase(const AsCatalog* catalog) : catalog_{catalog} {}
+
+  /// Registers a block as announced by catalog AS index `as_index`.
+  void add_block(net::Prefix24 prefix, std::uint32_t as_index) {
+    blocks_.emplace(prefix.network(), as_index);
+  }
+
+  /// Traits of the AS announcing `addr`'s /24, or nullptr if unknown.
+  [[nodiscard]] const AsTraits* lookup(net::Ipv4Address addr) const {
+    const auto it = blocks_.find(addr.value() >> 8);
+    if (it == blocks_.end()) return nullptr;
+    return &(*catalog_)[it->second];
+  }
+
+  [[nodiscard]] const AsCatalog& catalog() const { return *catalog_; }
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  const AsCatalog* catalog_;
+  std::unordered_map<std::uint32_t, std::uint32_t> blocks_;  // network -> as index
+};
+
+}  // namespace turtle::hosts

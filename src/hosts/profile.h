@@ -1,0 +1,131 @@
+// Per-host behaviour parameters.
+//
+// A HostProfile is sampled once per host by the population generator from
+// its Autonomous System's trait distributions, then drives every response
+// the host ever makes. Keeping it a plain value struct (no virtuals, no
+// heap) matters: benchmark populations reach millions of hosts.
+#pragma once
+
+#include <cstdint>
+
+#include "hosts/types.h"
+#include "sim/processes.h"
+#include "util/sim_time.h"
+
+namespace turtle::hosts {
+
+/// Parameters of the cellular radio state machine (Section 6.3 of the
+/// paper: "first ping" wake-up; Section 6.4: buffered bursts during
+/// disconnection and sustained congestion).
+struct CellularParams {
+  /// Radio drops to idle after this long without traffic. Survey probes
+  /// (11 min apart) always find the radio idle; Scamper streams (1/s) keep
+  /// it awake — which is exactly the paper's RTT_1 > max(RTT_2..n) signal.
+  SimTime idle_timeout = SimTime::seconds(15);
+
+  /// Wake-up / negotiation delay: lognormal with this median and sigma.
+  /// Paper (Fig. 13): median 1.37 s, 90% below 4 s.
+  SimTime wakeup_median = SimTime::millis(1200);
+  double wakeup_sigma = 0.8;
+
+  /// Probability this host exhibits wake-up delay at all. The paper finds
+  /// roughly 2/3 of high-median addresses show the first-ping drop.
+  double wakeup_prob = 1.0;
+
+  /// Disconnection episodes: radio unreachable; requests are buffered (up
+  /// to `buffer_capacity`) and flushed when the episode ends — producing
+  /// the "loss/low-latency, then decay" patterns with RTTs in the
+  /// hundreds of seconds.
+  sim::OnOffProcess::Params disconnect;
+  std::uint32_t buffer_capacity = 256;
+  /// Probability an arriving request is buffered rather than lost when
+  /// the radio is disconnected (radio-dependent; < 1 yields "high latency
+  /// between loss").
+  double buffer_prob = 0.9;
+
+  /// Sustained-congestion episodes on the access link (bufferbloat).
+  sim::BacklogProcess::Params congestion;
+  /// Extra loss probability while congested.
+  double congested_loss = 0.25;
+};
+
+/// Wireline residential extras: stateless bufferbloat episodes.
+struct ResidentialParams {
+  /// Per-ping probability of hitting a congestion episode.
+  double episode_prob = 0.02;
+  /// Episode queueing delay: lognormal median/sigma.
+  SimTime episode_median = SimTime::millis(300);
+  double episode_sigma = 1.0;
+};
+
+/// Satellite extras: high propagation floor, bounded queue.
+struct SatelliteParams {
+  /// Queueing above the floor, lognormal, hard-capped: the paper finds
+  /// satellite 99th percentiles predominantly below 3 s (Fig. 11).
+  SimTime queue_median = SimTime::millis(150);
+  double queue_sigma = 1.1;
+  SimTime queue_cap = SimTime::millis(2200);
+};
+
+/// Duplicate-response behaviour (Section 3.3.2): misconfigured hosts send
+/// a handful of copies; DoS reflectors send thousands to millions.
+struct DuplicateParams {
+  /// Mild duplicators (class 1): per-request probability of sending 2–4
+  /// copies instead of one — network-style duplication, never filtered.
+  double mild_prob = 0.012;
+  /// Flood reflectors (class 2): responses per request
+  /// = clamp(pareto(scale, shape), 1, max_responses).
+  double pareto_scale = 3.0;
+  double pareto_shape = 1.05;
+  /// Upper bound per request (keeps event counts sane; the Fig. 5 CCDF
+  /// tail is preserved because counts are aggregated, not enumerated).
+  std::uint32_t max_responses = 2'000'000;
+  /// Aggregate delivery rate of a flood, responses per second.
+  double flood_rate = 50'000.0;
+};
+
+/// Everything a host needs to answer (or ignore) a probe.
+struct HostProfile {
+  HostType type = HostType::kResidential;
+
+  /// Access-link round-trip floor (propagation + serialization), sampled
+  /// per host.
+  SimTime base_rtt = SimTime::millis(40);
+
+  /// Small per-ping jitter: lognormal multiplier sigma applied to
+  /// `jitter_scale`.
+  SimTime jitter_scale = SimTime::millis(5);
+  double jitter_sigma = 0.7;
+
+  /// Probability of answering a given request at all (host liveness /
+  /// access loss folded together; core loss is the fabric's).
+  double respond_prob = 0.97;
+
+  /// Probability of answering a probe that arrived via the subnet
+  /// broadcast address. Broadcast answerers are often infrastructure
+  /// devices that reply to broadcast reliably even when their unicast
+  /// responsiveness is flaky.
+  double broadcast_respond_prob = 0.95;
+
+  /// ICMP rate limiting (RFC 1812): replies per second, 0 = unlimited.
+  double icmp_rate_limit = 0.0;
+  double icmp_rate_burst = 5.0;
+
+  /// Whether this host answers echo requests sent to its subnet broadcast
+  /// address (the population wires such hosts to a BroadcastGateway).
+  bool answers_broadcast = false;
+
+  /// Duplicate responder; 0 disables (the normal case).
+  std::uint32_t duplicate_class = 0;  ///< 0 none, 1 mild dup, 2 flood
+  DuplicateParams duplicates;
+
+  CellularParams cellular;
+  ResidentialParams residential;
+  SatelliteParams satellite;
+
+  /// IP TTL on replies (observable by the prober; firewalls use one
+  /// uniform value per /24, hosts vary).
+  std::uint8_t reply_ttl = 55;
+};
+
+}  // namespace turtle::hosts

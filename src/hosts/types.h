@@ -1,0 +1,82 @@
+// Shared vocabulary for the simulated host population.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace turtle::hosts {
+
+/// Access-technology class of a host. Chosen to cover every latency
+/// mechanism the paper isolates: cellular radios (wake-up, buffering),
+/// satellites (high floor, capped queue), wireline residential
+/// (bufferbloat episodes), and datacenter (the fast 1st-percentile floor).
+enum class HostType : std::uint8_t {
+  kDatacenter,
+  kResidential,
+  kCellular,
+  kSatellite,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(HostType t) {
+  switch (t) {
+    case HostType::kDatacenter: return "datacenter";
+    case HostType::kResidential: return "residential";
+    case HostType::kCellular: return "cellular";
+    case HostType::kSatellite: return "satellite";
+  }
+  return "?";
+}
+
+/// Business class of an Autonomous System; drives the host-type mix of its
+/// blocks. "Mixed" models ASes like the paper's AS9829 (National Internet
+/// Backbone) that offer cellular alongside other services, and "national
+/// backbone" the AS4134-like giants whose turtle fraction is tiny.
+enum class AsKind : std::uint8_t {
+  kCellular,
+  kMixed,          ///< cellular plus substantial wireline
+  kWireline,       ///< residential broadband
+  kSatellite,
+  kDatacenter,
+  kNationalBackbone,  ///< huge, overwhelmingly wireline
+};
+
+[[nodiscard]] constexpr std::string_view to_string(AsKind k) {
+  switch (k) {
+    case AsKind::kCellular: return "cellular";
+    case AsKind::kMixed: return "mixed";
+    case AsKind::kWireline: return "wireline";
+    case AsKind::kSatellite: return "satellite";
+    case AsKind::kDatacenter: return "datacenter";
+    case AsKind::kNationalBackbone: return "backbone";
+  }
+  return "?";
+}
+
+/// Continents, for the Table 5 geography ranking.
+enum class Continent : std::uint8_t {
+  kSouthAmerica,
+  kAsia,
+  kEurope,
+  kAfrica,
+  kNorthAmerica,
+  kOceania,
+};
+
+inline constexpr Continent kAllContinents[] = {
+    Continent::kSouthAmerica, Continent::kAsia,         Continent::kEurope,
+    Continent::kAfrica,       Continent::kNorthAmerica, Continent::kOceania,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Continent c) {
+  switch (c) {
+    case Continent::kSouthAmerica: return "South America";
+    case Continent::kAsia: return "Asia";
+    case Continent::kEurope: return "Europe";
+    case Continent::kAfrica: return "Africa";
+    case Continent::kNorthAmerica: return "North America";
+    case Continent::kOceania: return "Oceania";
+  }
+  return "?";
+}
+
+}  // namespace turtle::hosts

@@ -1,0 +1,32 @@
+#include "net/checksum.h"
+
+namespace turtle::net {
+
+namespace {
+
+std::uint32_t ones_complement_sum(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8;  // pad trailing byte with zero
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return sum;
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  return static_cast<std::uint16_t>(~ones_complement_sum(data) & 0xFFFF);
+}
+
+bool verify_checksum(std::span<const std::uint8_t> data) {
+  return ones_complement_sum(data) == 0xFFFF;
+}
+
+}  // namespace turtle::net

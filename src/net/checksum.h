@@ -1,0 +1,23 @@
+// RFC 1071 Internet checksum.
+//
+// Used by the ICMP/UDP/TCP wire formats so that the probers exercise real
+// serialize-validate-parse paths: a response whose checksum does not verify
+// is dropped exactly as a kernel would drop it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace turtle::net {
+
+/// Computes the 16-bit one's-complement checksum over `data`. A trailing
+/// odd byte is padded with zero, per RFC 1071. Returns the checksum in
+/// host order, already complemented (ready to store in a header).
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// Verifies data whose checksum field is included in `data`: the
+/// one's-complement sum of the whole buffer must be 0xFFFF (i.e. the
+/// complemented checksum comes out 0).
+[[nodiscard]] bool verify_checksum(std::span<const std::uint8_t> data);
+
+}  // namespace turtle::net

@@ -1,0 +1,91 @@
+#include "net/icmp.h"
+
+#include "net/checksum.h"
+
+namespace turtle::net {
+
+InlineBytes serialize_icmp(const IcmpMessage& msg) {
+  InlineBytes out;
+  out.push_back(static_cast<std::uint8_t>(msg.type));
+  out.push_back(msg.code);
+  out.push_back(0);  // checksum placeholder
+  out.push_back(0);
+  out.append_be(msg.id, 2);
+  out.append_be(msg.seq, 2);
+  for (const std::uint8_t b : msg.payload.view()) out.push_back(b);
+
+  const std::uint16_t ck = internet_checksum(out.view());
+  out[2] = static_cast<std::uint8_t>(ck >> 8);
+  out[3] = static_cast<std::uint8_t>(ck & 0xFF);
+  return out;
+}
+
+std::optional<IcmpMessage> parse_icmp(std::span<const std::uint8_t> data) {
+  if (data.size() < 8) return std::nullopt;
+  if (!verify_checksum(data)) return std::nullopt;
+
+  IcmpMessage msg;
+  msg.type = static_cast<IcmpType>(data[0]);
+  msg.code = data[1];
+  msg.id = static_cast<std::uint16_t>(read_be(data, 4, 2));
+  msg.seq = static_cast<std::uint16_t>(read_be(data, 6, 2));
+  msg.payload.assign(data.subspan(8));
+  return msg;
+}
+
+IcmpMessage make_echo_reply(const IcmpMessage& request) {
+  IcmpMessage reply;
+  reply.type = IcmpType::kEchoReply;
+  reply.code = 0;
+  reply.id = request.id;
+  reply.seq = request.seq;
+  reply.payload = request.payload;
+  return reply;
+}
+
+void TimingPayload::encode(InlineBytes& out) const {
+  out.append_be(kMagic, 4);
+  out.append_be(probed_destination.value(), 4);
+  out.append_be(static_cast<std::uint64_t>(send_time.as_micros()), 8);
+}
+
+std::optional<TimingPayload> TimingPayload::decode(std::span<const std::uint8_t> payload) {
+  if (payload.size() < kEncodedSize) return std::nullopt;
+  if (read_be(payload, 0, 4) != kMagic) return std::nullopt;
+  TimingPayload tp;
+  tp.probed_destination = Ipv4Address{static_cast<std::uint32_t>(read_be(payload, 4, 4))};
+  tp.send_time = SimTime::micros(static_cast<std::int64_t>(read_be(payload, 8, 8)));
+  return tp;
+}
+
+void UnreachablePayload::encode(InlineBytes& out) const {
+  out.append_be(original_dst.value(), 4);
+  for (const std::uint8_t b : transport_prefix) out.push_back(b);
+}
+
+std::optional<UnreachablePayload> UnreachablePayload::decode(
+    std::span<const std::uint8_t> payload) {
+  if (payload.size() < kEncodedSize) return std::nullopt;
+  UnreachablePayload up;
+  up.original_dst = Ipv4Address{static_cast<std::uint32_t>(read_be(payload, 0, 4))};
+  for (std::size_t i = 0; i < up.transport_prefix.size(); ++i) {
+    up.transport_prefix[i] = payload[4 + i];
+  }
+  return up;
+}
+
+IcmpMessage make_unreachable(const Packet& original, std::uint8_t code) {
+  IcmpMessage msg;
+  msg.type = IcmpType::kDestinationUnreachable;
+  msg.code = code;
+  UnreachablePayload up;
+  up.original_dst = original.dst;
+  const auto view = original.payload.view();
+  for (std::size_t i = 0; i < up.transport_prefix.size() && i < view.size(); ++i) {
+    up.transport_prefix[i] = view[i];
+  }
+  up.encode(msg.payload);
+  return msg;
+}
+
+}  // namespace turtle::net

@@ -1,0 +1,99 @@
+// ICMP echo wire format (RFC 792) plus the Zmap timing payload.
+//
+// Two matching strategies from the paper live on top of this format:
+//  * The ISI survey matcher pairs responses to outstanding requests by
+//    source address only — id/seq "were not recorded in the ISI dataset"
+//    (Section 3.3), which is why re-matching unmatched responses is fuzzy.
+//  * The authors' Zmap extension embeds the original destination and the
+//    send timestamp in the echo payload so the *stateless* scanner can
+//    compute RTTs and detect broadcast responders (Section 3.3.1). That
+//    encoding is implemented here as TimingPayload.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/ipv4.h"
+#include "net/packet.h"
+#include "util/sim_time.h"
+
+namespace turtle::net {
+
+enum class IcmpType : std::uint8_t {
+  kEchoReply = 0,
+  kDestinationUnreachable = 3,
+  kEchoRequest = 8,
+};
+
+/// A parsed ICMP message. For echo request/reply, `id`/`seq` are the echo
+/// identifier and sequence number and `payload` is the echo data. For
+/// destination-unreachable, `id`/`seq` are unused and zero.
+struct IcmpMessage {
+  IcmpType type = IcmpType::kEchoRequest;
+  std::uint8_t code = 0;
+  std::uint16_t id = 0;
+  std::uint16_t seq = 0;
+  InlineBytes payload;
+
+  [[nodiscard]] bool is_echo_request() const { return type == IcmpType::kEchoRequest; }
+  [[nodiscard]] bool is_echo_reply() const { return type == IcmpType::kEchoReply; }
+};
+
+/// Serializes with a correct RFC 1071 checksum in bytes 2–3.
+[[nodiscard]] InlineBytes serialize_icmp(const IcmpMessage& msg);
+
+/// Parses and validates; returns nullopt on short input or checksum
+/// failure (the simulation's stand-in for kernel drop).
+[[nodiscard]] std::optional<IcmpMessage> parse_icmp(std::span<const std::uint8_t> data);
+
+/// Builds the echo reply a conformant host sends for `request`: same id,
+/// seq, and payload, type EchoReply.
+[[nodiscard]] IcmpMessage make_echo_reply(const IcmpMessage& request);
+
+/// The 16-byte payload the authors added to Zmap's icmp_echo_time probe
+/// module: a magic tag, the original destination address, and the send
+/// timestamp. Lets a stateless receiver recover (a) which address was
+/// actually probed — exposing broadcast responders whose source address
+/// differs — and (b) the RTT, without per-probe state.
+struct TimingPayload {
+  static constexpr std::uint32_t kMagic = 0x7475726Eu;  // "turn"
+
+  Ipv4Address probed_destination;
+  SimTime send_time;
+
+  /// Appends the 16-byte encoding to `out`.
+  void encode(InlineBytes& out) const;
+
+  /// Decodes from an echo payload; nullopt when the magic is absent
+  /// (e.g. a response to some other tool's probe).
+  static std::optional<TimingPayload> decode(std::span<const std::uint8_t> payload);
+
+  static constexpr std::size_t kEncodedSize = 16;
+};
+
+/// Payload of a destination-unreachable message: in real ICMP this is the
+/// original IP header plus 8 transport bytes; our simulated packets carry
+/// no IP header bytes, so the equivalent is the original destination
+/// address plus the first 8 transport-payload bytes — enough for a prober
+/// to identify which probe failed, as real tools do.
+struct UnreachablePayload {
+  Ipv4Address original_dst;
+  std::array<std::uint8_t, 8> transport_prefix{};
+
+  void encode(InlineBytes& out) const;
+  static std::optional<UnreachablePayload> decode(std::span<const std::uint8_t> payload);
+
+  static constexpr std::size_t kEncodedSize = 12;
+};
+
+/// ICMP code values for destination unreachable.
+struct UnreachableCode {
+  static constexpr std::uint8_t kHost = 1;
+  static constexpr std::uint8_t kPort = 3;
+};
+
+/// Builds the host/port-unreachable message a router or end host sends in
+/// response to `original` (the packet that could not be delivered).
+[[nodiscard]] IcmpMessage make_unreachable(const Packet& original, std::uint8_t code);
+
+}  // namespace turtle::net

@@ -1,0 +1,42 @@
+#include "net/ipv4.h"
+
+#include <cstdio>
+
+namespace turtle::net {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::uint32_t octets[4];
+  std::size_t pos = 0;
+  for (int field = 0; field < 4; ++field) {
+    if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') return std::nullopt;
+    std::uint32_t v = 0;
+    std::size_t digits = 0;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+      v = v * 10 + static_cast<std::uint32_t>(text[pos] - '0');
+      if (v > 255) return std::nullopt;
+      ++pos;
+      ++digits;
+    }
+    if (digits == 0 || digits > 3) return std::nullopt;
+    octets[field] = v;
+    if (field < 3) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != text.size()) return std::nullopt;
+  return from_octets(static_cast<std::uint8_t>(octets[0]), static_cast<std::uint8_t>(octets[1]),
+                     static_cast<std::uint8_t>(octets[2]), static_cast<std::uint8_t>(octets[3]));
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", octet(0), octet(1), octet(2), octet(3));
+  return buf;
+}
+
+std::string Prefix24::to_string() const {
+  return address(0).to_string() + "/24";
+}
+
+}  // namespace turtle::net

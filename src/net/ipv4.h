@@ -1,0 +1,101 @@
+// IPv4 address and /24-prefix types.
+//
+// The paper's datasets are organized around /24 blocks: ISI surveys probe
+// every address of selected /24s, broadcast detection keys on last-octet
+// bit patterns, and the first-ping clustering analysis (Figure 14) groups
+// by /24. These types make that structure explicit and type-safe.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace turtle::net {
+
+/// An IPv4 address in host byte order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::uint32_t value) : value_{value} {}
+
+  /// Builds from dotted-quad octets a.b.c.d.
+  static constexpr Ipv4Address from_octets(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                                           std::uint8_t d) {
+    return Ipv4Address{(static_cast<std::uint32_t>(a) << 24) |
+                       (static_cast<std::uint32_t>(b) << 16) |
+                       (static_cast<std::uint32_t>(c) << 8) | d};
+  }
+
+  /// Parses dotted-quad notation; returns nullopt on malformed input
+  /// (wrong field count, out-of-range octet, stray characters).
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+  /// The host part within a /24 — the octet the broadcast analysis bins by.
+  [[nodiscard]] constexpr std::uint8_t last_octet() const {
+    return static_cast<std::uint8_t>(value_);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A /24 network: the top 24 bits of an address.
+class Prefix24 {
+ public:
+  constexpr Prefix24() = default;
+
+  /// The /24 containing `addr`.
+  static constexpr Prefix24 containing(Ipv4Address addr) {
+    return Prefix24{addr.value() >> 8};
+  }
+
+  /// Builds from the network number (address >> 8). Mostly for iteration.
+  static constexpr Prefix24 from_network(std::uint32_t network) { return Prefix24{network}; }
+
+  [[nodiscard]] constexpr std::uint32_t network() const { return network_; }
+
+  /// The address with the given last octet inside this /24.
+  [[nodiscard]] constexpr Ipv4Address address(std::uint8_t last_octet) const {
+    return Ipv4Address{(network_ << 8) | last_octet};
+  }
+
+  [[nodiscard]] constexpr bool contains(Ipv4Address addr) const {
+    return (addr.value() >> 8) == network_;
+  }
+
+  /// Renders as "a.b.c.0/24".
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const Prefix24&) const = default;
+
+ private:
+  explicit constexpr Prefix24(std::uint32_t network) : network_{network} {}
+  std::uint32_t network_ = 0;
+};
+
+/// True when `last_octet`'s trailing N bits are all ones or all zeros with
+/// N > 1 — the bit pattern the paper identifies as characteristic of
+/// subnet broadcast addresses (Section 3.3.1, Figure 2): 0, 255, 127, 128,
+/// 63, 64, 191, 192, ...
+[[nodiscard]] constexpr bool looks_like_broadcast_octet(std::uint8_t last_octet) {
+  const std::uint8_t x = last_octet;
+  // Count trailing zeros of x and of ~x; either >= 2 qualifies.
+  const auto trailing = [](std::uint8_t v) {
+    int n = 0;
+    while (n < 8 && ((v >> n) & 1u) == 0) ++n;
+    return n;
+  };
+  return trailing(x) >= 2 || trailing(static_cast<std::uint8_t>(~x)) >= 2;
+}
+
+}  // namespace turtle::net

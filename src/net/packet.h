@@ -1,0 +1,95 @@
+// The packet type that travels through the simulator.
+//
+// Probes and responses are real serialized transport messages (ICMP echo,
+// UDP datagram, TCP segment) so the probers exercise genuine
+// serialize/checksum/parse paths. Payloads are small and extremely numerous
+// (tens of millions per benchmark run), so they live in a fixed-capacity
+// inline buffer rather than a heap allocation.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "net/ipv4.h"
+
+namespace turtle::net {
+
+/// Fixed-capacity byte buffer for transport payloads. Capacity 64 covers
+/// every message this library produces (largest: TCP header 20B, ICMP echo
+/// with Zmap timing payload 28B) with room for test payloads.
+class InlineBytes {
+ public:
+  static constexpr std::size_t kCapacity = 64;
+
+  constexpr InlineBytes() = default;
+
+  /// Copies from a span; truncation is a programming error (asserted).
+  explicit InlineBytes(std::span<const std::uint8_t> data) { assign(data); }
+
+  void assign(std::span<const std::uint8_t> data) {
+    assert(data.size() <= kCapacity);
+    size_ = data.size();
+    std::memcpy(bytes_.data(), data.data(), size_);
+  }
+
+  void push_back(std::uint8_t b) {
+    assert(size_ < kCapacity);
+    bytes_[size_++] = b;
+  }
+
+  /// Appends a big-endian integer of `n` bytes (n <= 8).
+  void append_be(std::uint64_t value, int n) {
+    assert(n >= 1 && n <= 8);
+    for (int i = n - 1; i >= 0; --i) push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+
+  [[nodiscard]] std::span<const std::uint8_t> view() const { return {bytes_.data(), size_}; }
+  [[nodiscard]] std::span<std::uint8_t> mutable_view() { return {bytes_.data(), size_}; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  std::uint8_t& operator[](std::size_t i) {
+    assert(i < size_);
+    return bytes_[i];
+  }
+  std::uint8_t operator[](std::size_t i) const {
+    assert(i < size_);
+    return bytes_[i];
+  }
+
+  void clear() { size_ = 0; }
+
+ private:
+  std::array<std::uint8_t, kCapacity> bytes_{};
+  std::size_t size_ = 0;
+};
+
+/// Reads a big-endian integer of `n` bytes starting at data[off].
+/// Precondition: off + n <= data.size().
+[[nodiscard]] inline std::uint64_t read_be(std::span<const std::uint8_t> data, std::size_t off,
+                                           int n) {
+  assert(off + static_cast<std::size_t>(n) <= data.size());
+  std::uint64_t v = 0;
+  for (int i = 0; i < n; ++i) v = (v << 8) | data[off + static_cast<std::size_t>(i)];
+  return v;
+}
+
+/// Transport protocol carried by a Packet (IP protocol numbers).
+enum class Protocol : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+/// A simulated IP packet: addressing plus a serialized transport message.
+struct Packet {
+  Ipv4Address src;
+  Ipv4Address dst;
+  Protocol protocol = Protocol::kIcmp;
+  std::uint8_t ttl = 64;
+  InlineBytes payload;
+};
+
+}  // namespace turtle::net

@@ -1,0 +1,74 @@
+#include "net/tcp.h"
+
+#include <vector>
+
+#include "net/checksum.h"
+
+namespace turtle::net {
+
+namespace {
+
+std::vector<std::uint8_t> checksum_buffer(std::span<const std::uint8_t> segment, Ipv4Address src,
+                                          Ipv4Address dst) {
+  std::vector<std::uint8_t> buf;
+  buf.reserve(12 + segment.size());
+  for (int i = 0; i < 4; ++i) buf.push_back(static_cast<std::uint8_t>(src.value() >> (8 * (3 - i))));
+  for (int i = 0; i < 4; ++i) buf.push_back(static_cast<std::uint8_t>(dst.value() >> (8 * (3 - i))));
+  buf.push_back(0);
+  buf.push_back(6);  // protocol: TCP
+  buf.push_back(static_cast<std::uint8_t>(segment.size() >> 8));
+  buf.push_back(static_cast<std::uint8_t>(segment.size() & 0xFF));
+  buf.insert(buf.end(), segment.begin(), segment.end());
+  return buf;
+}
+
+}  // namespace
+
+InlineBytes serialize_tcp(const TcpSegment& seg, Ipv4Address src, Ipv4Address dst) {
+  InlineBytes out;
+  out.append_be(seg.src_port, 2);
+  out.append_be(seg.dst_port, 2);
+  out.append_be(seg.seq, 4);
+  out.append_be(seg.ack, 4);
+  out.push_back(5 << 4);  // data offset: 5 words, no options
+  out.push_back(seg.flags);
+  out.append_be(seg.window, 2);
+  out.push_back(0);  // checksum placeholder
+  out.push_back(0);
+  out.append_be(0, 2);  // urgent pointer
+
+  const auto buf = checksum_buffer(out.view(), src, dst);
+  const std::uint16_t ck = internet_checksum(buf);
+  out[16] = static_cast<std::uint8_t>(ck >> 8);
+  out[17] = static_cast<std::uint8_t>(ck & 0xFF);
+  return out;
+}
+
+std::optional<TcpSegment> parse_tcp(std::span<const std::uint8_t> data, Ipv4Address src,
+                                    Ipv4Address dst) {
+  if (data.size() < 20) return std::nullopt;
+  const auto buf = checksum_buffer(data, src, dst);
+  if (!verify_checksum(buf)) return std::nullopt;
+
+  TcpSegment seg;
+  seg.src_port = static_cast<std::uint16_t>(read_be(data, 0, 2));
+  seg.dst_port = static_cast<std::uint16_t>(read_be(data, 2, 2));
+  seg.seq = static_cast<std::uint32_t>(read_be(data, 4, 4));
+  seg.ack = static_cast<std::uint32_t>(read_be(data, 8, 4));
+  seg.flags = data[13];
+  seg.window = static_cast<std::uint16_t>(read_be(data, 14, 2));
+  return seg;
+}
+
+TcpSegment make_rst_for(const TcpSegment& probe) {
+  TcpSegment rst;
+  rst.src_port = probe.dst_port;
+  rst.dst_port = probe.src_port;
+  rst.seq = probe.ack;
+  rst.ack = 0;
+  rst.flags = TcpFlags::kRst;
+  rst.window = 0;
+  return rst;
+}
+
+}  // namespace turtle::net

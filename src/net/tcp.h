@@ -1,0 +1,46 @@
+// Minimal TCP segment wire format: enough to send the TCP ACK probes of
+// Section 5.3 and receive the RSTs that hosts (or middlebox firewalls)
+// answer with. No options, no streams, no state machine — probing only.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/ipv4.h"
+#include "net/packet.h"
+
+namespace turtle::net {
+
+/// TCP header flag bits (subset used by probing).
+struct TcpFlags {
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kAck = 0x10;
+};
+
+/// A parsed TCP segment (fixed 20-byte header, no options, no payload —
+/// probe traffic never carries data).
+struct TcpSegment {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 0;
+
+  [[nodiscard]] bool has(std::uint8_t flag) const { return (flags & flag) != 0; }
+};
+
+/// Serializes with pseudo-header checksum.
+[[nodiscard]] InlineBytes serialize_tcp(const TcpSegment& seg, Ipv4Address src, Ipv4Address dst);
+
+/// Parses and validates; nullopt on short input or checksum failure.
+[[nodiscard]] std::optional<TcpSegment> parse_tcp(std::span<const std::uint8_t> data,
+                                                  Ipv4Address src, Ipv4Address dst);
+
+/// The RST a host (or stateless firewall) sends in response to an
+/// unexpected ACK probe: RST with seq = probe's ack value.
+[[nodiscard]] TcpSegment make_rst_for(const TcpSegment& probe);
+
+}  // namespace turtle::net

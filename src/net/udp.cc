@@ -1,0 +1,61 @@
+#include "net/udp.h"
+
+#include <array>
+#include <vector>
+
+#include "net/checksum.h"
+
+namespace turtle::net {
+
+namespace {
+
+/// Builds the RFC 768 pseudo-header + segment buffer used for checksumming.
+std::vector<std::uint8_t> checksum_buffer(std::span<const std::uint8_t> segment, Ipv4Address src,
+                                          Ipv4Address dst, std::uint8_t protocol) {
+  std::vector<std::uint8_t> buf;
+  buf.reserve(12 + segment.size());
+  for (int i = 0; i < 4; ++i) buf.push_back(static_cast<std::uint8_t>(src.value() >> (8 * (3 - i))));
+  for (int i = 0; i < 4; ++i) buf.push_back(static_cast<std::uint8_t>(dst.value() >> (8 * (3 - i))));
+  buf.push_back(0);
+  buf.push_back(protocol);
+  buf.push_back(static_cast<std::uint8_t>(segment.size() >> 8));
+  buf.push_back(static_cast<std::uint8_t>(segment.size() & 0xFF));
+  buf.insert(buf.end(), segment.begin(), segment.end());
+  return buf;
+}
+
+}  // namespace
+
+InlineBytes serialize_udp(const UdpDatagram& dgram, Ipv4Address src, Ipv4Address dst) {
+  InlineBytes out;
+  out.append_be(dgram.src_port, 2);
+  out.append_be(dgram.dst_port, 2);
+  out.append_be(8 + dgram.payload.size(), 2);
+  out.push_back(0);  // checksum placeholder
+  out.push_back(0);
+  for (const std::uint8_t b : dgram.payload.view()) out.push_back(b);
+
+  const auto buf = checksum_buffer(out.view(), src, dst, 17);
+  std::uint16_t ck = internet_checksum(buf);
+  if (ck == 0) ck = 0xFFFF;  // RFC 768: transmitted 0 means "no checksum"
+  out[6] = static_cast<std::uint8_t>(ck >> 8);
+  out[7] = static_cast<std::uint8_t>(ck & 0xFF);
+  return out;
+}
+
+std::optional<UdpDatagram> parse_udp(std::span<const std::uint8_t> data, Ipv4Address src,
+                                     Ipv4Address dst) {
+  if (data.size() < 8) return std::nullopt;
+  const auto length = static_cast<std::size_t>(read_be(data, 4, 2));
+  if (length != data.size()) return std::nullopt;
+  const auto buf = checksum_buffer(data, src, dst, 17);
+  if (!verify_checksum(buf)) return std::nullopt;
+
+  UdpDatagram dgram;
+  dgram.src_port = static_cast<std::uint16_t>(read_be(data, 0, 2));
+  dgram.dst_port = static_cast<std::uint16_t>(read_be(data, 2, 2));
+  dgram.payload.assign(data.subspan(8));
+  return dgram;
+}
+
+}  // namespace turtle::net

@@ -1,0 +1,31 @@
+// UDP datagram wire format (RFC 768) with pseudo-header checksum.
+//
+// Section 5.3 of the paper probes high-latency hosts with UDP messages to
+// rule out ICMP-specific treatment; the Scamper prober here does the same.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/ipv4.h"
+#include "net/packet.h"
+
+namespace turtle::net {
+
+/// A parsed UDP datagram (header fields plus payload).
+struct UdpDatagram {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  InlineBytes payload;
+};
+
+/// Serializes with the IPv4 pseudo-header checksum (src/dst participate in
+/// the checksum, which is why they are parameters here).
+[[nodiscard]] InlineBytes serialize_udp(const UdpDatagram& dgram, Ipv4Address src,
+                                        Ipv4Address dst);
+
+/// Parses and validates the pseudo-header checksum; nullopt on failure.
+[[nodiscard]] std::optional<UdpDatagram> parse_udp(std::span<const std::uint8_t> data,
+                                                   Ipv4Address src, Ipv4Address dst);
+
+}  // namespace turtle::net

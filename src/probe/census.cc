@@ -1,0 +1,139 @@
+#include "probe/census.h"
+
+#include <algorithm>
+
+namespace turtle::probe {
+
+CensusProber::CensusProber(sim::Simulator& sim, sim::Network& net, CensusConfig config)
+    : sim_{sim}, net_{net}, config_{config} {}
+
+void CensusProber::start(const std::vector<net::Prefix24>& blocks) {
+  blocks_ = blocks;
+  total_targets_ = blocks_.size() * 256;
+  if (total_targets_ == 0) return;
+
+  net_.attach_endpoint(config_.vantage, this);
+
+  const std::uint64_t batches =
+      (total_targets_ + config_.batch_size - 1) / static_cast<std::uint64_t>(config_.batch_size);
+  batch_gap_ = SimTime::micros(config_.pass_duration.as_micros() /
+                               static_cast<std::int64_t>(std::max<std::uint64_t>(batches, 1)));
+
+  sim_.schedule_after(SimTime::micros(0), [this] { send_batch(0); });
+}
+
+void CensusProber::send_batch(std::uint64_t start_index) {
+  const std::uint64_t end =
+      std::min(start_index + static_cast<std::uint64_t>(config_.batch_size), total_targets_);
+  for (std::uint64_t i = start_index; i < end; ++i) probe_index(i);
+
+  if (end < total_targets_) {
+    sim_.schedule_after(batch_gap_, [this, end] { send_batch(end); });
+  } else if (current_pass_ + 1 < config_.passes) {
+    ++current_pass_;
+    // The next pass starts immediately after this one finishes (the real
+    // census runs back to back).
+    sim_.schedule_after(batch_gap_, [this] { send_batch(0); });
+  }
+}
+
+void CensusProber::probe_index(std::uint64_t index) {
+  const net::Prefix24 block = blocks_[index / 256];
+  const net::Ipv4Address target = block.address(static_cast<std::uint8_t>(index % 256));
+
+  net::IcmpMessage echo;
+  echo.type = net::IcmpType::kEchoRequest;
+  echo.id = config_.icmp_id;
+  echo.seq = static_cast<std::uint16_t>(current_pass_);
+
+  net::Packet packet;
+  packet.src = config_.vantage;
+  packet.dst = target;
+  packet.protocol = net::Protocol::kIcmp;
+  packet.payload = net::serialize_icmp(echo);
+
+  const SimTime now = sim_.now();
+  outstanding_[target.value()] = now;
+  auto [it, inserted] = entries_.try_emplace(target.value());
+  if (inserted) it->second.address = target;
+  ++it->second.probes;
+  ++probes_sent_;
+  net_.send(packet);
+
+  // The timeout only forgets the outstanding entry; per-address aggregates
+  // record the non-response implicitly (probes - responses).
+  sim_.schedule_after(config_.match_timeout, [this, target, now] {
+    const auto out = outstanding_.find(target.value());
+    if (out != outstanding_.end() && out->second == now) outstanding_.erase(out);
+  });
+}
+
+void CensusProber::deliver(const net::Packet& packet, std::uint32_t copies) {
+  (void)copies;
+  const auto msg = net::parse_icmp(packet.payload.view());
+  if (!msg.has_value() || !msg->is_echo_reply() || msg->id != config_.icmp_id) return;
+
+  const auto out = outstanding_.find(packet.src.value());
+  if (out == outstanding_.end()) return;  // late or duplicate: not matched
+  outstanding_.erase(out);
+
+  const auto it = entries_.find(packet.src.value());
+  if (it == entries_.end()) return;
+  ++it->second.responses;
+  ++responses_received_;
+}
+
+std::vector<net::Ipv4Address> CensusProber::ever_responsive() const {
+  std::vector<net::Ipv4Address> out;
+  for (const auto& [addr, entry] : entries_) {
+    if (entry.responses > 0) out.emplace_back(addr);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+CensusEntry CensusProber::entry(net::Ipv4Address addr) const {
+  const auto it = entries_.find(addr.value());
+  if (it == entries_.end()) {
+    CensusEntry empty;
+    empty.address = addr;
+    return empty;
+  }
+  return it->second;
+}
+
+std::vector<CensusBlock> CensusProber::block_aggregates() const {
+  std::unordered_map<std::uint32_t, CensusBlock> by_network;
+  for (const auto& [addr, entry] : entries_) {
+    if (entry.responses == 0) continue;
+    auto [it, inserted] = by_network.try_emplace(addr >> 8);
+    if (inserted) it->second.prefix = net::Prefix24::from_network(addr >> 8);
+    ++it->second.ever_responsive;
+    it->second.availability_sum += entry.availability();
+  }
+  std::vector<CensusBlock> out;
+  out.reserve(by_network.size());
+  for (const auto& [network, block] : by_network) out.push_back(block);
+  std::sort(out.begin(), out.end(),
+            [](const CensusBlock& a, const CensusBlock& b) { return a.prefix < b.prefix; });
+  return out;
+}
+
+std::vector<net::Prefix24> CensusProber::responsive_blocks(std::uint32_t min_responsive) const {
+  std::vector<net::Prefix24> out;
+  for (const auto& block : block_aggregates()) {
+    if (block.ever_responsive >= min_responsive) out.push_back(block.prefix);
+  }
+  return out;
+}
+
+std::vector<net::Ipv4Address> CensusProber::block_responsive(net::Prefix24 prefix) const {
+  std::vector<net::Ipv4Address> out;
+  for (const auto& [addr, entry] : entries_) {
+    if (entry.responses > 0 && (addr >> 8) == prefix.network()) out.emplace_back(addr);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace turtle::probe

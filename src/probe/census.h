@@ -1,0 +1,116 @@
+// ISI-census-style full-space prober (Heidemann et al., IMC 2008).
+//
+// The census is the survey's sibling: it walks the *entire* universe at a
+// low rate (the real one took ~3 months per pass), recording which
+// addresses ever respond and how reliably. The paper's survey draws its
+// /24 blocks partly from "samples of blocks that were responsive in the
+// last census", and Trinocular bootstraps its ever-responsive sets E(b)
+// and availabilities A(E(b)) from census history — both consumers are
+// implemented here.
+//
+// Matching is survey-style (source address, fixed timeout) but the census
+// keeps only per-address aggregates, not per-probe records: the real
+// system's memory constraint at 2^32 addresses.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/icmp.h"
+#include "net/ipv4.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/sim_time.h"
+
+namespace turtle::probe {
+
+struct CensusConfig {
+  net::Ipv4Address vantage = net::Ipv4Address::from_octets(203, 0, 113, 99);
+  /// Number of full passes over the universe.
+  int passes = 3;
+  /// Wall time per pass (compressed from the real system's months).
+  SimTime pass_duration = SimTime::hours(6);
+  SimTime match_timeout = SimTime::seconds(3);
+  std::uint16_t icmp_id = 0x4353;  // "CS"
+  int batch_size = 64;
+};
+
+/// Per-address census aggregate.
+struct CensusEntry {
+  net::Ipv4Address address;
+  std::uint32_t probes = 0;
+  std::uint32_t responses = 0;
+
+  [[nodiscard]] double availability() const {
+    return probes ? static_cast<double>(responses) / probes : 0.0;
+  }
+};
+
+/// Per-/24 census aggregate (the census's primary product).
+struct CensusBlock {
+  net::Prefix24 prefix;
+  std::uint32_t ever_responsive = 0;  ///< addresses that answered at least once
+  double availability_sum = 0;        ///< Σ per-address availability
+
+  [[nodiscard]] double mean_availability() const {
+    return ever_responsive ? availability_sum / ever_responsive : 0.0;
+  }
+};
+
+class CensusProber : public sim::PacketSink {
+ public:
+  CensusProber(sim::Simulator& sim, sim::Network& net, CensusConfig config);
+
+  /// Probes every address of every block once per pass. Run the simulator
+  /// to completion afterwards.
+  void start(const std::vector<net::Prefix24>& blocks);
+
+  void deliver(const net::Packet& packet, std::uint32_t copies) override;
+
+  [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
+  [[nodiscard]] std::uint64_t responses_received() const { return responses_received_; }
+
+  /// Addresses that responded at least once, sorted.
+  [[nodiscard]] std::vector<net::Ipv4Address> ever_responsive() const;
+
+  /// Per-address entry (zero probes if never probed).
+  [[nodiscard]] CensusEntry entry(net::Ipv4Address addr) const;
+
+  /// Per-block aggregates over blocks with at least one responder.
+  [[nodiscard]] std::vector<CensusBlock> block_aggregates() const;
+
+  /// Blocks with at least `min_responsive` ever-responsive addresses —
+  /// the survey's "responsive in the last census" selection class. The
+  /// same data bootstraps Trinocular's E(b)/A(E(b)) (see the
+  /// ablation_block_outage bench for the conversion).
+  [[nodiscard]] std::vector<net::Prefix24> responsive_blocks(
+      std::uint32_t min_responsive = 1) const;
+
+  /// Ever-responsive addresses of one block, sorted.
+  [[nodiscard]] std::vector<net::Ipv4Address> block_responsive(net::Prefix24 prefix) const;
+
+ private:
+  void send_batch(std::uint64_t start_index);
+  void probe_index(std::uint64_t index);
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  CensusConfig config_;
+
+  std::vector<net::Prefix24> blocks_;
+  std::uint64_t total_targets_ = 0;
+  SimTime batch_gap_;
+  int current_pass_ = 0;
+
+  /// Outstanding probes by target address (single probe per target in
+  /// flight: passes do not overlap).
+  std::unordered_map<std::uint32_t, SimTime> outstanding_;
+  /// Aggregates, keyed by address.
+  std::unordered_map<std::uint32_t, CensusEntry> entries_;
+
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t responses_received_ = 0;
+};
+
+}  // namespace turtle::probe

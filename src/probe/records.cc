@@ -1,0 +1,88 @@
+#include "probe/records.h"
+
+#include <array>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace turtle::probe {
+
+std::uint64_t RecordLog::count_of(RecordType type) const {
+  std::uint64_t n = 0;
+  for (const SurveyRecord& r : records_) {
+    if (r.type == type) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+// Binary format:
+//   header: magic "TRTL" (4), version u32 (=1), record count u64
+//   record (32 bytes): type u8, pad[3], address u32, probe_time i64 (µs),
+//                      rtt i64 (µs), round u32, count u32
+// All little-endian (we only target little-endian hosts; asserted by the
+// byte-level writer below being symmetric with the reader).
+constexpr std::array<char, 4> kMagic = {'T', 'R', 'T', 'L'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ostream& os, T value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T get(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof value);
+  return value;
+}
+
+}  // namespace
+
+void RecordLog::save(std::ostream& os) const {
+  os.write(kMagic.data(), kMagic.size());
+  put(os, kVersion);
+  put(os, static_cast<std::uint64_t>(records_.size()));
+  for (const SurveyRecord& r : records_) {
+    put(os, static_cast<std::uint8_t>(r.type));
+    const std::array<char, 3> pad{};
+    os.write(pad.data(), pad.size());
+    put(os, r.address.value());
+    put(os, r.probe_time.as_micros());
+    put(os, r.rtt.as_micros());
+    put(os, r.round);
+    put(os, r.count);
+  }
+  if (!os) throw std::runtime_error("RecordLog::save: write failed");
+}
+
+RecordLog RecordLog::load(std::istream& is) {
+  std::array<char, 4> magic{};
+  is.read(magic.data(), magic.size());
+  if (!is || magic != kMagic) throw std::runtime_error("RecordLog::load: bad magic");
+  if (get<std::uint32_t>(is) != kVersion) {
+    throw std::runtime_error("RecordLog::load: unsupported version");
+  }
+  const auto n = get<std::uint64_t>(is);
+
+  RecordLog log;
+  log.records_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    SurveyRecord r;
+    r.type = static_cast<RecordType>(get<std::uint8_t>(is));
+    std::array<char, 3> pad{};
+    is.read(pad.data(), pad.size());
+    r.address = net::Ipv4Address{get<std::uint32_t>(is)};
+    r.probe_time = SimTime::micros(get<std::int64_t>(is));
+    r.rtt = SimTime::micros(get<std::int64_t>(is));
+    r.round = get<std::uint32_t>(is);
+    r.count = get<std::uint32_t>(is);
+    if (!is) throw std::runtime_error("RecordLog::load: truncated record stream");
+    log.records_.push_back(r);
+  }
+  return log;
+}
+
+}  // namespace turtle::probe

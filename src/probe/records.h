@@ -1,0 +1,77 @@
+// The survey record schema: the data-format contract between the prober
+// and the analysis pipeline.
+//
+// Mirrors the information content of the ISI survey datasets (Section 3.1):
+//  * a response matched within the timeout ("survey-detected") carries a
+//    microsecond-precision RTT;
+//  * an expired probe yields a TIMEOUT record with 1-second precision;
+//  * a response that matched no outstanding probe yields an UNMATCHED
+//    record with 1-second precision, keyed by *source address only* — the
+//    dataset did not record ICMP id/seq, which is what forces the paper's
+//    fuzzy re-matching and its filters;
+//  * ICMP error responses yield ERROR records that analysis must ignore.
+//
+// UNMATCHED records carry a count: identical responses from one source in
+// one second are coalesced (lossless at the format's 1 s precision, and it
+// keeps million-response DoS floods from bloating the log).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "util/sim_time.h"
+
+namespace turtle::probe {
+
+enum class RecordType : std::uint8_t {
+  kMatched = 0,    ///< echo response matched within the timeout
+  kTimeout = 1,    ///< probe expired with no matched response
+  kUnmatched = 2,  ///< response with no outstanding probe for its source
+  kError = 3,      ///< ICMP error (e.g. host unreachable) for a probe
+};
+
+/// One survey record. Field meaning depends on `type`:
+///   kMatched:   address = target, probe_time µs, rtt µs, round
+///   kTimeout:   address = target, probe_time truncated to s, round
+///   kUnmatched: address = response source, probe_time = arrival truncated
+///               to s, count = responses coalesced into this record
+///   kError:     address = target of the failed probe, probe_time s
+struct SurveyRecord {
+  RecordType type = RecordType::kMatched;
+  net::Ipv4Address address;
+  SimTime probe_time;
+  SimTime rtt;
+  std::uint32_t round = 0;
+  std::uint32_t count = 1;
+};
+
+/// Append-only in-memory record log with binary (de)serialization.
+///
+/// The binary format is a fixed 32-byte little-endian record, documented
+/// in records.cc; surveys of millions of probes stay loadable and the
+/// round-trip is exact.
+class RecordLog {
+ public:
+  void append(const SurveyRecord& record) { records_.push_back(record); }
+
+  /// Mutable access for in-place coalescing by the prober.
+  [[nodiscard]] SurveyRecord& at(std::size_t i) { return records_[i]; }
+  [[nodiscard]] const SurveyRecord& at(std::size_t i) const { return records_[i]; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] const std::vector<SurveyRecord>& records() const { return records_; }
+
+  /// Counts by type (sanity checks and Table 1).
+  [[nodiscard]] std::uint64_t count_of(RecordType type) const;
+
+  /// Binary serialization. Throws std::runtime_error on I/O failure or a
+  /// corrupt header.
+  void save(std::ostream& os) const;
+  static RecordLog load(std::istream& is);
+
+ private:
+  std::vector<SurveyRecord> records_;
+};
+
+}  // namespace turtle::probe

@@ -1,0 +1,147 @@
+#include "probe/survey.h"
+
+namespace turtle::probe {
+
+SurveyProber::SurveyProber(sim::Simulator& sim, sim::Network& net, SurveyConfig config,
+                           std::vector<net::Prefix24> blocks, util::Prng rng)
+    : sim_{sim}, net_{net}, config_{config}, blocks_{std::move(blocks)}, rng_{rng} {
+  // Each block gets a fixed sub-slot phase so probes from different blocks
+  // do not all fire at the same instant; the within-block 2.58 s cadence
+  // (and hence the 330 s off-by-one octet spacing) is preserved.
+  const SimTime slot = config_.round_interval / 256;
+  block_phase_.reserve(blocks_.size());
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    block_phase_.push_back(
+        SimTime::micros(static_cast<std::int64_t>(rng_.uniform_int(
+            static_cast<std::uint64_t>(std::max<std::int64_t>(slot.as_micros(), 1))))));
+  }
+}
+
+void SurveyProber::start() {
+  net_.attach_endpoint(config_.vantage, this);
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    const SimTime first = block_phase_[b];
+    sim_.schedule_at(first, [this, b] { probe_slot(b, /*round=*/0, /*slot=*/0); });
+  }
+}
+
+SimTime SurveyProber::end_time() const {
+  return config_.round_interval * config_.rounds;
+}
+
+void SurveyProber::probe_slot(std::size_t block_index, int round, int slot) {
+  const std::uint8_t octet = octet_for_slot(slot);
+  const net::Ipv4Address target = blocks_[block_index].address(octet);
+  const SimTime now = sim_.now();
+
+  net::IcmpMessage echo;
+  echo.type = net::IcmpType::kEchoRequest;
+  echo.id = config_.icmp_id;
+  echo.seq = static_cast<std::uint16_t>(round);
+
+  net::Packet packet;
+  packet.src = config_.vantage;
+  packet.dst = target;
+  packet.protocol = net::Protocol::kIcmp;
+  packet.payload = net::serialize_icmp(echo);
+
+  // Source-address-only matching: one outstanding probe per target.
+  outstanding_[target.value()] =
+      Outstanding{now, static_cast<std::uint32_t>(round)};
+  ++probes_sent_;
+  net_.send(packet);
+
+  // Timer: if the probe is still outstanding when it fires, the probe is
+  // recorded as timed out (1 s precision) and any later response will be
+  // unmatched. FIFO tie-breaking means a response arriving exactly at the
+  // deadline counts as late, like a real timer firing first.
+  const SimTime sent_at = now;
+  sim_.schedule_after(config_.match_timeout, [this, target, sent_at, round] {
+    const auto it = outstanding_.find(target.value());
+    if (it == outstanding_.end() || it->second.send_time != sent_at) return;
+    outstanding_.erase(it);
+    SurveyRecord rec;
+    rec.type = RecordType::kTimeout;
+    rec.address = target;
+    rec.probe_time = sent_at.truncate_to_seconds();
+    rec.round = static_cast<std::uint32_t>(round);
+    log_.append(rec);
+  });
+
+  // Chain the next probe of this block.
+  int next_round = round;
+  int next_slot = slot + 1;
+  if (next_slot == 256) {
+    next_slot = 0;
+    ++next_round;
+    if (next_round >= config_.rounds) return;
+  }
+  const SimTime next_at = config_.round_interval * next_round + block_phase_[block_index] +
+                          (config_.round_interval / 256) * next_slot;
+  sim_.schedule_at(next_at, [this, block_index, next_round, next_slot] {
+    probe_slot(block_index, next_round, next_slot);
+  });
+}
+
+void SurveyProber::deliver(const net::Packet& packet, std::uint32_t copies) {
+  const auto msg = net::parse_icmp(packet.payload.view());
+  if (!msg.has_value()) return;
+
+  if (msg->is_echo_reply()) {
+    responses_received_ += copies;
+    handle_echo_reply(packet, copies);
+    return;
+  }
+
+  if (msg->type == net::IcmpType::kDestinationUnreachable) {
+    // Error responses: record and drop the outstanding probe; the latency
+    // analysis ignores these, as ISI's does.
+    const auto up = net::UnreachablePayload::decode(msg->payload.view());
+    if (!up.has_value()) return;
+    const auto it = outstanding_.find(up->original_dst.value());
+    if (it == outstanding_.end()) return;
+    SurveyRecord rec;
+    rec.type = RecordType::kError;
+    rec.address = up->original_dst;
+    rec.probe_time = it->second.send_time.truncate_to_seconds();
+    rec.round = it->second.round;
+    log_.append(rec);
+    outstanding_.erase(it);
+  }
+}
+
+void SurveyProber::handle_echo_reply(const net::Packet& packet, std::uint32_t copies) {
+  const net::Ipv4Address src = packet.src;
+  const auto it = outstanding_.find(src.value());
+  if (it != outstanding_.end()) {
+    SurveyRecord rec;
+    rec.type = RecordType::kMatched;
+    rec.address = src;
+    rec.probe_time = it->second.send_time;
+    rec.rtt = sim_.now() - it->second.send_time;  // µs precision
+    rec.round = it->second.round;
+    log_.append(rec);
+    outstanding_.erase(it);
+    if (copies > 1) record_unmatched(src, copies - 1);
+    return;
+  }
+  record_unmatched(src, copies);
+}
+
+void SurveyProber::record_unmatched(net::Ipv4Address src, std::uint32_t copies) {
+  const std::int64_t second = sim_.now().truncate_to_seconds().as_micros();
+  const auto it = last_unmatched_.find(src.value());
+  if (it != last_unmatched_.end() && it->second.second == second) {
+    log_.at(it->second.record_index).count += copies;
+    return;
+  }
+  SurveyRecord rec;
+  rec.type = RecordType::kUnmatched;
+  rec.address = src;
+  rec.probe_time = sim_.now().truncate_to_seconds();
+  rec.count = copies;
+  log_.append(rec);
+  last_unmatched_[src.value()] = UnmatchedSlot{second, log_.size() - 1};
+}
+
+}  // namespace turtle::probe

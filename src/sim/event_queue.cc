@@ -1,0 +1,17 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace turtle::sim {
+
+void EventQueue::push(SimTime t, Callback cb) {
+  heap_.push(Entry{t, next_seq_++, std::move(cb)});
+}
+
+EventQueue::Callback EventQueue::pop() {
+  Callback cb = std::move(heap_.top().callback);
+  heap_.pop();
+  return cb;
+}
+
+}  // namespace turtle::sim

@@ -1,0 +1,55 @@
+// Stable discrete-event priority queue.
+//
+// Events fire in timestamp order; events with equal timestamps fire in
+// insertion order (FIFO). Stability matters: a host that flushes a buffer
+// of delayed responses schedules many events at the same instant, and the
+// resulting record log must be reproducible byte-for-byte across runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace turtle::sim {
+
+/// Priority queue of (time, callback) pairs with FIFO tie-breaking.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Enqueues `cb` to fire at absolute time `t`.
+  void push(SimTime t, Callback cb);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Timestamp of the next event. Precondition: !empty().
+  [[nodiscard]] SimTime next_time() const { return heap_.top().time; }
+
+  /// Removes and returns the next event's callback. Precondition: !empty().
+  [[nodiscard]] Callback pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // insertion order, for stable ties
+    // Mutable so the callback can be moved out of the top entry during
+    // pop(); std::priority_queue only exposes a const top().
+    mutable Callback callback;
+
+    bool operator<(const Entry& other) const {
+      // std::priority_queue is a max-heap; invert for earliest-first,
+      // then lowest-seq-first.
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace turtle::sim

@@ -1,0 +1,54 @@
+#include "sim/network.h"
+
+#include <cmath>
+#include <utility>
+
+namespace turtle::sim {
+
+Network::Network(Simulator& sim, Config config, util::Prng rng)
+    : sim_{sim}, config_{config}, rng_{rng} {}
+
+void Network::attach_endpoint(net::Ipv4Address addr, PacketSink* sink) {
+  endpoints_[addr.value()] = sink;
+}
+
+void Network::send(const net::Packet& packet, std::uint32_t copies) {
+  packets_sent_ += copies;
+
+  PacketSink* sink = nullptr;
+  if (const auto it = endpoints_.find(packet.dst.value()); it != endpoints_.end()) {
+    sink = it->second;
+  } else if (host_resolver_ != nullptr) {
+    sink = host_resolver_->resolve(packet);
+  }
+  if (sink == nullptr) {
+    packets_dropped_ += copies;
+    return;
+  }
+
+  // Core loss: for aggregated copies, thin the batch binomially-ish (cheap
+  // approximation: each aggregated burst loses the expected fraction, and
+  // single packets are dropped probabilistically).
+  std::uint32_t surviving = copies;
+  if (config_.core_loss > 0) {
+    if (copies == 1) {
+      if (rng_.bernoulli(config_.core_loss)) surviving = 0;
+    } else {
+      surviving = static_cast<std::uint32_t>(
+          std::llround(static_cast<double>(copies) * (1.0 - config_.core_loss)));
+    }
+  }
+  if (surviving == 0) {
+    packets_dropped_ += copies;
+    return;
+  }
+  packets_dropped_ += copies - surviving;
+
+  const double jitter = std::exp(config_.transit_jitter_sigma * rng_.normal());
+  const SimTime transit = SimTime::from_seconds(config_.transit_base.as_seconds() * jitter);
+
+  packets_delivered_ += surviving;
+  sim_.schedule_after(transit, [sink, packet, surviving] { sink->deliver(packet, surviving); });
+}
+
+}  // namespace turtle::sim

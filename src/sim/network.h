@@ -1,0 +1,90 @@
+// The simulated network fabric connecting probers to the host population.
+//
+// Responsibilities: resolve a destination address to an attached endpoint,
+// apply per-leg transit delay and loss, and deliver the packet as a
+// simulator event. Host-specific behaviour (radio wake-up, buffering,
+// broadcast fan-out) lives behind the PacketSink interface in the hosts
+// module; the fabric stays dumb on purpose.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "util/prng.h"
+#include "util/sim_time.h"
+
+namespace turtle::sim {
+
+/// Anything that can receive packets from the fabric: a host, a block
+/// gateway, or a prober's receive path.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+
+  /// Called when a packet arrives at this endpoint. `copies` > 1 is an
+  /// aggregation of identical simultaneous packets (used by flood sources
+  /// so a million-response DoS burst does not need a million events).
+  virtual void deliver(const net::Packet& packet, std::uint32_t copies) = 0;
+};
+
+/// Maps a packet to its destination endpoint. Implemented by the host
+/// population's table; returns nullptr for unassigned addresses (the
+/// packet silently disappears, like a probe to dark space). The whole
+/// packet is passed because routing can depend on protocol: a firewalled
+/// /24 intercepts TCP while ICMP reaches the host.
+class AddressResolver {
+ public:
+  virtual ~AddressResolver() = default;
+  [[nodiscard]] virtual PacketSink* resolve(const net::Packet& packet) = 0;
+};
+
+/// The fabric. One instance per simulation.
+class Network {
+ public:
+  struct Config {
+    /// One-way transit delay between a prober and any host's access link
+    /// (the wide-area core; access-specific delay belongs to the host).
+    SimTime transit_base = SimTime::millis(5);
+    /// Lognormal jitter sigma applied multiplicatively to transit_base.
+    double transit_jitter_sigma = 0.15;
+    /// Per-leg loss probability in the core (access loss is the host's).
+    double core_loss = 0.002;
+  };
+
+  Network(Simulator& sim, Config config, util::Prng rng);
+
+  /// Registers the resolver for the host population. Must outlive the
+  /// network. Called once during setup.
+  void set_host_resolver(AddressResolver* resolver) { host_resolver_ = resolver; }
+
+  /// Attaches a prober endpoint (vantage point) at a specific address.
+  /// Packets destined to `addr` are delivered to `sink`.
+  void attach_endpoint(net::Ipv4Address addr, PacketSink* sink);
+
+  /// Sends a packet into the fabric at the current simulated time. The
+  /// packet is delivered to the resolved endpoint after transit delay,
+  /// or dropped (loss / unresolvable destination).
+  void send(const net::Packet& packet, std::uint32_t copies = 1);
+
+  /// Counters for sanity checks and the response-rate plots.
+  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
+  [[nodiscard]] std::uint64_t packets_dropped() const { return packets_dropped_; }
+  [[nodiscard]] std::uint64_t packets_delivered() const { return packets_delivered_; }
+
+  [[nodiscard]] Simulator& simulator() { return sim_; }
+
+ private:
+  Simulator& sim_;
+  Config config_;
+  util::Prng rng_;
+  AddressResolver* host_resolver_ = nullptr;
+  std::map<std::uint32_t, PacketSink*> endpoints_;
+
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+  std::uint64_t packets_delivered_ = 0;
+};
+
+}  // namespace turtle::sim

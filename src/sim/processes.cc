@@ -1,0 +1,60 @@
+#include "sim/processes.h"
+
+#include <cmath>
+
+namespace turtle::sim {
+
+OnOffProcess::OnOffProcess(Params params, util::Prng rng)
+    : params_{params}, rng_{rng} {
+  // Sample the first episode. Starting in an off sojourn keeps t=0
+  // unexceptional for every host.
+  const double off_s = rng_.exponential(params_.mean_off.as_seconds());
+  on_start_ = SimTime::from_seconds(off_s);
+  const double on_s =
+      params_.on_median.as_seconds() * std::exp(params_.on_sigma * rng_.normal());
+  on_end_ = on_start_ + SimTime::from_seconds(std::max(on_s, 0.001));
+}
+
+void OnOffProcess::advance_to(SimTime t) {
+  while (t >= on_end_) {
+    const double off_s = rng_.exponential(params_.mean_off.as_seconds());
+    on_start_ = on_end_ + SimTime::from_seconds(off_s);
+    const double on_s =
+        params_.on_median.as_seconds() * std::exp(params_.on_sigma * rng_.normal());
+    on_end_ = on_start_ + SimTime::from_seconds(std::max(on_s, 0.001));
+  }
+}
+
+bool OnOffProcess::on_at(SimTime t) {
+  advance_to(t);
+  return t >= on_start_;
+}
+
+BacklogProcess::BacklogProcess(Params params, util::Prng rng)
+    : params_{params}, episodes_{params.episodes, rng.fork(1)} {}
+
+SimTime BacklogProcess::backlog_at(SimTime t) {
+  // Integrate the piecewise-linear backlog from the last query to t by
+  // walking the episode intervals in between.
+  SimTime cursor = last_query_;
+  while (cursor < t) {
+    const bool on = episodes_.on_at(cursor);
+    // The backlog slope is constant until the episode boundary or t.
+    const SimTime boundary = on ? std::min(episodes_.current_on_end(), t)
+                                : std::min(episodes_.current_on_start(), t);
+    const SimTime segment = boundary - cursor;
+    if (on) {
+      backlog_s_ += params_.fill_rate * segment.as_seconds();
+    } else {
+      backlog_s_ -= params_.drain_rate * segment.as_seconds();
+    }
+    backlog_s_ = std::clamp(backlog_s_, 0.0, params_.cap.as_seconds());
+    cursor = boundary;
+    if (segment.is_zero() && boundary == t) break;
+  }
+  last_query_ = t;
+  loaded_ = episodes_.on_at(t);
+  return SimTime::from_seconds(backlog_s_);
+}
+
+}  // namespace turtle::sim

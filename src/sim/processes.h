@@ -1,0 +1,115 @@
+// Lazily evaluated stochastic processes for access-link behaviour.
+//
+// Hosts only observe these processes when a probe arrives, and probe
+// arrivals per host are monotone in time, so each process advances lazily:
+// it samples successive episode intervals from its PRNG stream on demand
+// and never needs simulator events of its own. This keeps a multi-million
+// host population cheap — state per process is a few dozen bytes.
+#pragma once
+
+#include <algorithm>
+
+#include "util/prng.h"
+#include "util/sim_time.h"
+
+namespace turtle::sim {
+
+/// Alternating off/on renewal process (e.g. "link congested" episodes,
+/// "radio disconnected" outages).
+///
+/// Off sojourns are exponential with mean `mean_off`; on sojourns are
+/// lognormal with median `on_median` and shape `on_sigma` (heavy-tailed,
+/// so a few episodes run very long — the source of the paper's >100 s
+/// "sleepy turtle" observations). Queries must use non-decreasing times.
+class OnOffProcess {
+ public:
+  struct Params {
+    SimTime mean_off = SimTime::hours(3);
+    SimTime on_median = SimTime::seconds(60);
+    double on_sigma = 1.0;
+  };
+
+  OnOffProcess(Params params, util::Prng rng);
+
+  /// True when the process is in an "on" episode at time `t`.
+  [[nodiscard]] bool on_at(SimTime t);
+
+  /// End of the current on-episode; only meaningful right after `on_at(t)`
+  /// returned true for the same `t`.
+  [[nodiscard]] SimTime current_on_end() const { return on_end_; }
+
+  /// Start of the current on-episode (same validity rule).
+  [[nodiscard]] SimTime current_on_start() const { return on_start_; }
+
+ private:
+  void advance_to(SimTime t);
+
+  Params params_;
+  util::Prng rng_;
+  SimTime on_start_;  // current/next episode interval [on_start_, on_end_)
+  SimTime on_end_;
+};
+
+/// Piecewise-linear queue-backlog process: backlog ramps up during `load`
+/// episodes (driven by an OnOffProcess) and drains linearly otherwise,
+/// clamped to [0, cap]. The delay a probe sees is the backlog at arrival.
+///
+/// This is the phenomenological bufferbloat model: an oversubscribed
+/// access link with a large FIFO produces seconds of queueing that decay
+/// once the load stops — matching the paper's "sustained high latency and
+/// loss" pattern and the gradual-recovery shapes of Section 6.4.
+class BacklogProcess {
+ public:
+  struct Params {
+    OnOffProcess::Params episodes;
+    double fill_rate = 0.2;    ///< backlog seconds gained per second of load
+    double drain_rate = 0.5;   ///< backlog seconds shed per second idle
+    SimTime cap = SimTime::seconds(60);  ///< buffer limit
+  };
+
+  BacklogProcess(Params params, util::Prng rng);
+
+  /// Queueing delay an arrival at time `t` experiences. Monotone queries.
+  [[nodiscard]] SimTime backlog_at(SimTime t);
+
+  /// True when a load episode is active at `t` (loss is elevated then).
+  /// Call after backlog_at(t).
+  [[nodiscard]] bool loaded() const { return loaded_; }
+
+ private:
+  Params params_;
+  OnOffProcess episodes_;
+  SimTime last_query_;
+  double backlog_s_ = 0.0;
+  bool loaded_ = false;
+};
+
+/// A FIFO bottleneck queue observed directly by probe traffic, used where
+/// the probing itself is fast enough to self-queue (Scamper's 1-per-second
+/// streams against slow links). Virtual-time token model: each packet
+/// occupies the server for `service_time`; packets that would wait longer
+/// than `max_wait` are dropped (tail drop).
+class BottleneckQueue {
+ public:
+  BottleneckQueue(SimTime service_time, SimTime max_wait)
+      : service_time_{service_time}, max_wait_{max_wait} {}
+
+  /// Offers a packet arriving at `now`; returns the queueing+service delay
+  /// it experiences, or a negative time to signal tail-drop.
+  [[nodiscard]] SimTime offer(SimTime now) {
+    const SimTime start = std::max(now, next_free_);
+    const SimTime wait = start - now;
+    if (wait > max_wait_) return SimTime::micros(-1);
+    next_free_ = start + service_time_;
+    return wait + service_time_;
+  }
+
+  [[nodiscard]] SimTime service_time() const { return service_time_; }
+
+ private:
+  SimTime service_time_;
+  SimTime max_wait_;
+  SimTime next_free_;
+};
+
+}  // namespace turtle::sim

@@ -1,0 +1,36 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace turtle::sim {
+
+void Simulator::schedule_at(SimTime t, Callback cb) {
+  queue_.push(t < now_ ? now_ : t, std::move(cb));
+}
+
+void Simulator::schedule_after(SimTime delay, Callback cb) {
+  schedule_at(delay.is_negative() ? now_ : now_ + delay, std::move(cb));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  now_ = queue_.next_time();
+  auto cb = queue_.pop();
+  ++events_processed_;
+  cb();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.next_time() <= t) {
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace turtle::sim

@@ -1,0 +1,73 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace turtle::util {
+
+Flags Flags::parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0 || token.size() <= 2) {
+      throw std::invalid_argument("unrecognized argument: " + token);
+    }
+    token.erase(0, 2);
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[token.substr(0, eq)] = token.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[token] = argv[++i];
+    } else {
+      flags.values_[token] = "";  // bare boolean flag
+    }
+  }
+  return flags;
+}
+
+bool Flags::has(const std::string& name) const { return values_.count(name) != 0; }
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" + it->second + "'");
+  }
+  return v;
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" + it->second + "'");
+  }
+  return v;
+}
+
+std::string Flags::get_string(const std::string& name, std::string def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? std::move(def) : it->second;
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v.empty() || v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw std::invalid_argument("flag --" + name + " expects a boolean, got '" + v + "'");
+}
+
+std::vector<std::string> Flags::names() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace turtle::util

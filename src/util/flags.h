@@ -1,0 +1,40 @@
+// Minimal command-line flag parsing for bench and example binaries.
+//
+// Every harness accepts overrides like --blocks=500 --rounds=40 --seed=7 so
+// experiments can be scaled up or down without recompiling. This parser
+// supports exactly the `--name=value` and `--name value` forms plus bare
+// `--name` for booleans; anything fancier belongs to a real library.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace turtle::util {
+
+/// Parsed command-line flags with typed, defaulted accessors.
+class Flags {
+ public:
+  /// Parses argv. Throws std::invalid_argument on a malformed token
+  /// (anything that does not start with "--").
+  static Flags parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Typed getters; return `def` when the flag is absent and throw
+  /// std::invalid_argument when present but unparsable.
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+  [[nodiscard]] std::string get_string(const std::string& name, std::string def) const;
+  /// Bare `--name` and `--name=true/1/yes` are true; `--name=false/0/no` false.
+  [[nodiscard]] bool get_bool(const std::string& name, bool def) const;
+
+  /// Names of all flags that were set (used to reject typos in tests).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace turtle::util

@@ -1,0 +1,94 @@
+#include "util/prng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace turtle::util {
+
+std::uint64_t Prng::uniform_int(std::uint64_t n) {
+  assert(n > 0);
+  // Lemire's nearly-divisionless method: multiply into a 128-bit product and
+  // reject the small biased region at the bottom of each residue class.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < n) {
+    const std::uint64_t threshold = -n % n;
+    while (low < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * n;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Prng::exponential(double mean) {
+  assert(mean > 0);
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - uniform());
+}
+
+double Prng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 in (0, 1] avoids log(0).
+  const double u1 = 1.0 - uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Prng::pareto(double xm, double alpha) {
+  assert(xm > 0 && alpha > 0);
+  return xm / std::pow(1.0 - uniform(), 1.0 / alpha);
+}
+
+double Prng::weibull(double shape, double scale) {
+  assert(shape > 0 && scale > 0);
+  return scale * std::pow(-std::log(1.0 - uniform()), 1.0 / shape);
+}
+
+Prng Prng::fork(std::uint64_t stream) const {
+  // Mix the parent's state with the stream id through SplitMix64 twice so
+  // that adjacent stream ids yield unrelated children.
+  std::uint64_t sm = state_[0] ^ (state_[3] + 0x632BE59BD9B4E019ULL);
+  sm ^= splitmix64(sm) + stream;
+  const std::uint64_t child_seed = splitmix64(sm);
+  return Prng{child_seed};
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), s);
+    cdf_[rank] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t ZipfSampler::sample(Prng& rng) const {
+  const double u = rng.uniform();
+  // First index whose CDF value exceeds u.
+  std::size_t lo = 0;
+  std::size_t hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] <= u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace turtle::util

@@ -1,0 +1,123 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Everything in this library must replay bit-identically from a seed:
+// benchmark tables are regenerated, tests assert on derived statistics, and
+// debugging a 10-million-probe run requires reproducing it. We therefore
+// avoid std::mt19937 + std::*_distribution (whose outputs are not portable
+// across standard-library implementations) and implement xoshiro256** with
+// explicit, portable distribution transforms.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace turtle::util {
+
+/// SplitMix64 step; used to expand a single seed into generator state and to
+/// derive independent substreams. Public because tests and hashing use it.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator with portable distribution helpers.
+///
+/// Not thread-safe; create one per logical stream. Use `fork` to derive a
+/// statistically independent generator for a sub-entity (e.g. one host),
+/// so that changing how many random draws one entity makes does not perturb
+/// every other entity's stream.
+class Prng {
+ public:
+  /// Seeds the four words of state via SplitMix64 so that any seed value,
+  /// including 0, yields a well-mixed state.
+  explicit Prng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Returns the next 64 uniformly distributed bits.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Precondition: n > 0. Uses Lemire's
+  /// multiply-shift rejection method to avoid modulo bias.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(uniform_int(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponential with the given mean (= 1/rate). Precondition: mean > 0.
+  double exponential(double mean);
+
+  /// Standard normal via Box–Muller (cached second variate).
+  double normal();
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Lognormal: exp(N(mu, sigma)). Note mu/sigma parameterize the
+  /// underlying normal, not the lognormal's own mean.
+  double lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }  // NOLINT
+
+  /// Pareto with scale xm > 0 and shape alpha > 0; support [xm, inf).
+  double pareto(double xm, double alpha);
+
+  /// Weibull with shape k > 0 and scale lambda > 0.
+  double weibull(double shape, double scale);
+
+  /// Derives an independent generator keyed by `stream`. Deterministic:
+  /// the same (parent seed, stream) pair always yields the same child.
+  [[nodiscard]] Prng fork(std::uint64_t stream) const;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Zipf(s) sampler over ranks {0, ..., n-1} using a precomputed CDF table
+/// and binary search. Used to give Autonomous Systems heavy-tailed sizes,
+/// mirroring how a few cellular ASes contribute most high-latency addresses
+/// in the paper's Tables 4 and 6.
+class ZipfSampler {
+ public:
+  /// Builds the CDF for `n` ranks with exponent `s` >= 0. n must be > 0.
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draws a rank in [0, n); rank 0 is the most probable.
+  [[nodiscard]] std::size_t sample(Prng& rng) const;
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace turtle::util

@@ -1,0 +1,67 @@
+#include "util/series.h"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace turtle::util {
+
+CsvDirectory::CsvDirectory(std::string dir) : dir_{std::move(dir)} {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    throw std::runtime_error("CsvDirectory: cannot create " + dir_ + ": " + ec.message());
+  }
+}
+
+std::string CsvDirectory::sanitize(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  bool last_was_sep = true;  // suppress leading separators
+  for (const char c : name) {
+    const char lower = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if ((lower >= 'a' && lower <= 'z') || (lower >= '0' && lower <= '9')) {
+      out.push_back(lower);
+      last_was_sep = false;
+    } else if (!last_was_sep) {
+      out.push_back('_');
+      last_was_sep = true;
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  if (out.empty()) out = "series";
+  return out;
+}
+
+std::string CsvDirectory::path_for(std::string_view name) const {
+  return dir_ + "/" + sanitize(name) + ".csv";
+}
+
+void CsvDirectory::write_series(std::string_view name, std::span<const CdfPoint> series) const {
+  std::ofstream out{path_for(name)};
+  if (!out) throw std::runtime_error("CsvDirectory: cannot open " + path_for(name));
+  out << "x,fraction\n";
+  for (const CdfPoint& p : series) {
+    out << format_double(p.x, 6) << ',' << format_double(p.fraction, 6) << '\n';
+  }
+}
+
+void CsvDirectory::write_table(std::string_view name, const TextTable& table) const {
+  std::ofstream out{path_for(name)};
+  if (!out) throw std::runtime_error("CsvDirectory: cannot open " + path_for(name));
+  table.write_csv(out);
+}
+
+void CsvDirectory::write_pairs(std::string_view name, std::string_view x_name,
+                               std::string_view y_name,
+                               std::span<const std::pair<double, double>> pairs) const {
+  std::ofstream out{path_for(name)};
+  if (!out) throw std::runtime_error("CsvDirectory: cannot open " + path_for(name));
+  out << x_name << ',' << y_name << '\n';
+  for (const auto& [x, y] : pairs) {
+    out << format_double(x, 6) << ',' << format_double(y, 6) << '\n';
+  }
+}
+
+}  // namespace turtle::util

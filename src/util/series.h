@@ -1,0 +1,48 @@
+// CSV export for benchmark series and tables.
+//
+// Every bench prints human-readable tables to stdout; passing
+// `--csv-dir=<dir>` additionally writes machine-readable CSV files there,
+// one per series/table, for plotting. Files are overwritten; names are
+// sanitized to [a-z0-9_].
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace turtle::util {
+
+/// A directory CSV files are written into. Copyable value type; the
+/// directory is created on construction.
+class CsvDirectory {
+ public:
+  /// Creates `dir` (and parents) if needed. Throws std::runtime_error on
+  /// failure.
+  explicit CsvDirectory(std::string dir);
+
+  /// Writes a CDF/CCDF series as "x,fraction" rows.
+  void write_series(std::string_view name, std::span<const CdfPoint> series) const;
+
+  /// Writes a TextTable via its CSV renderer.
+  void write_table(std::string_view name, const TextTable& table) const;
+
+  /// Writes arbitrary (x, y) pairs with the given column names.
+  void write_pairs(std::string_view name, std::string_view x_name, std::string_view y_name,
+                   std::span<const std::pair<double, double>> pairs) const;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// Sanitizes a series name to a safe file stem ("RTT CDF (s), scan 1"
+  /// -> "rtt_cdf_s_scan_1").
+  [[nodiscard]] static std::string sanitize(std::string_view name);
+
+ private:
+  [[nodiscard]] std::string path_for(std::string_view name) const;
+  std::string dir_;
+};
+
+}  // namespace turtle::util

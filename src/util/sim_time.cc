@@ -1,0 +1,20 @@
+#include "util/sim_time.h"
+
+#include <cstdio>
+
+namespace turtle {
+
+std::string SimTime::to_string() const {
+  char buf[32];
+  const std::int64_t abs_us = us_ < 0 ? -us_ : us_;
+  if (abs_us < 1000) {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(us_));
+  } else if (abs_us < 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3gms", static_cast<double>(us_) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs", as_seconds());
+  }
+  return buf;
+}
+
+}  // namespace turtle

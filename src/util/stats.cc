@@ -1,0 +1,147 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace turtle::util {
+
+void RunningStats::push(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile_sorted(std::span<const double> sorted, double p) {
+  assert(!sorted.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  if (sorted.size() == 1) return sorted[0];
+  // Linear interpolation between closest ranks (the "exclusive" variant
+  // reduces to this "inclusive" one for our sample sizes).
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+double percentile(std::vector<double> samples, double p) {
+  assert(!samples.empty());
+  std::sort(samples.begin(), samples.end());
+  return percentile_sorted(samples, p);
+}
+
+std::vector<double> percentiles_sorted(std::span<const double> sorted,
+                                       std::span<const double> ps) {
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (const double p : ps) out.push_back(percentile_sorted(sorted, p));
+  return out;
+}
+
+namespace {
+
+std::vector<CdfPoint> distribution_series(std::vector<double>& samples,
+                                          std::size_t max_points, bool complementary) {
+  std::vector<CdfPoint> out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  const std::size_t points = std::min(max_points, n);
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    // Evenly spaced ranks including both endpoints.
+    const std::size_t rank =
+        points == 1 ? n - 1 : (i * (n - 1)) / (points - 1);
+    const double frac_le = static_cast<double>(rank + 1) / static_cast<double>(n);
+    out.push_back({samples[rank], complementary ? 1.0 - frac_le : frac_le});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<CdfPoint> make_cdf(std::vector<double> samples, std::size_t max_points) {
+  return distribution_series(samples, max_points, /*complementary=*/false);
+}
+
+std::vector<CdfPoint> make_ccdf(std::vector<double> samples, std::size_t max_points) {
+  return distribution_series(samples, max_points, /*complementary=*/true);
+}
+
+double fraction_above(std::span<const double> samples, double threshold) {
+  if (samples.empty()) return 0.0;
+  std::size_t above = 0;
+  for (const double s : samples) {
+    if (s > threshold) ++above;
+  }
+  return static_cast<double>(above) / static_cast<double>(samples.size());
+}
+
+LogHistogram::LogHistogram(double lo, double hi, int bins_per_decade) {
+  assert(lo > 0 && hi > lo && bins_per_decade > 0);
+  log_lo_ = std::log10(lo);
+  log_step_ = 1.0 / bins_per_decade;
+  const double decades = std::log10(hi) - log_lo_;
+  counts_.assign(static_cast<std::size_t>(std::ceil(decades * bins_per_decade)), 0);
+}
+
+void LogHistogram::add(double value, std::uint64_t weight) {
+  total_ += weight;
+  if (value <= 0) {
+    underflow_ += weight;
+    return;
+  }
+  const double pos = (std::log10(value) - log_lo_) / log_step_;
+  if (pos < 0) {
+    underflow_ += weight;
+  } else if (pos >= static_cast<double>(counts_.size())) {
+    overflow_ += weight;
+  } else {
+    counts_[static_cast<std::size_t>(pos)] += weight;
+  }
+}
+
+std::vector<LogHistogram::Bin> LogHistogram::bins() const {
+  std::vector<Bin> out;
+  out.reserve(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double lower = std::pow(10.0, log_lo_ + static_cast<double>(i) * log_step_);
+    const double upper = std::pow(10.0, log_lo_ + static_cast<double>(i + 1) * log_step_);
+    out.push_back({lower, upper, counts_[i]});
+  }
+  return out;
+}
+
+}  // namespace turtle::util

@@ -1,0 +1,147 @@
+// Statistical primitives used by the analysis pipeline.
+//
+// The paper's central analytic move is "percentile of percentiles": compute
+// characteristic latency percentiles per IP address, then take percentiles
+// of those across addresses so that chatty hosts do not dominate (Section
+// 3.2). The helpers here implement exact percentiles over sample vectors,
+// running moments, CDF/CCDF series for the figures, and log-binned
+// histograms for the heavy-tailed duplicate counts of Figure 5.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace turtle::util {
+
+/// Welford-style running moments plus min/max. O(1) space; numerically
+/// stable for long streams of probe latencies.
+class RunningStats {
+ public:
+  void push(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+  /// Merges another accumulator (parallel-friendly combine).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the p-th percentile (p in [0, 100]) of an ascending-sorted span
+/// using linear interpolation between closest ranks. Precondition: sorted
+/// is non-empty and ascending.
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted, double p);
+
+/// Sorts a copy of `samples` and returns the p-th percentile. Convenience
+/// for one-shot use; prefer sorting once when querying many percentiles.
+[[nodiscard]] double percentile(std::vector<double> samples, double p);
+
+/// The characteristic percentiles the paper reports throughout
+/// (1, 50, 80, 90, 95, 98, 99).
+inline constexpr double kPaperPercentiles[] = {1, 50, 80, 90, 95, 98, 99};
+
+/// Computes several percentiles in one pass over a sorted span.
+/// Returns one value per entry of `ps`, in order.
+[[nodiscard]] std::vector<double> percentiles_sorted(std::span<const double> sorted,
+                                                     std::span<const double> ps);
+
+/// One point of an empirical distribution function series.
+struct CdfPoint {
+  double x;         ///< sample value
+  double fraction;  ///< P(X <= x) for CDF, P(X > x) for CCDF
+};
+
+/// Builds an empirical CDF over the samples, downsampled to at most
+/// `max_points` evenly spaced (by rank) points so that figure output stays
+/// bounded. Samples need not be pre-sorted.
+[[nodiscard]] std::vector<CdfPoint> make_cdf(std::vector<double> samples,
+                                             std::size_t max_points = 200);
+
+/// Builds an empirical CCDF (survival function), same downsampling rule.
+[[nodiscard]] std::vector<CdfPoint> make_ccdf(std::vector<double> samples,
+                                              std::size_t max_points = 200);
+
+/// Fraction of samples strictly greater than `threshold`.
+[[nodiscard]] double fraction_above(std::span<const double> samples, double threshold);
+
+/// Histogram with logarithmically spaced bins, for heavy-tailed counts
+/// (e.g. "maximum responses per ping" in Figure 5 spans 1..11 million).
+class LogHistogram {
+ public:
+  /// Bins cover [lo, hi) with `bins_per_decade` geometric bins per 10x.
+  /// Values below lo go to an underflow bin; >= hi to an overflow bin.
+  LogHistogram(double lo, double hi, int bins_per_decade);
+
+  void add(double value, std::uint64_t weight = 1);
+
+  struct Bin {
+    double lower;          ///< inclusive lower edge
+    double upper;          ///< exclusive upper edge
+    std::uint64_t count;
+  };
+
+  /// All interior bins in ascending order (excludes under/overflow).
+  [[nodiscard]] std::vector<Bin> bins() const;
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+ private:
+  double log_lo_;
+  double log_step_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Exponentially weighted moving average with fixed smoothing factor.
+/// This is the primitive behind the paper's broadcast-responder filter
+/// (alpha = 0.01, flag when the running average exceeds 0.2).
+class Ewma {
+ public:
+  /// By default the first observation initializes the average. Passing an
+  /// explicit `initial` (e.g. 0, as the broadcast filter needs so that a
+  /// single occurrence cannot exceed the flag threshold) starts from that
+  /// value instead and smooths from the first observation on.
+  explicit Ewma(double alpha) : alpha_{alpha} {}
+  Ewma(double alpha, double initial)
+      : alpha_{alpha}, value_{initial}, initialized_{true} {}
+
+  void update(double x) {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+    if (value_ > max_) max_ = value_;
+  }
+
+  [[nodiscard]] double value() const { return value_; }
+  /// Maximum the average has ever reached; the broadcast filter flags on
+  /// this rather than the final value so intermittent responders are caught.
+  [[nodiscard]] double max_value() const { return max_; }
+  [[nodiscard]] bool initialized() const { return initialized_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  double max_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace turtle::util

@@ -1,0 +1,58 @@
+// Plain-text table and CSV emission for the benchmark harness.
+//
+// Every bench binary regenerates one of the paper's tables or figure series
+// and prints it; aligned text goes to stdout for humans, and optional CSV
+// files serve plotting. Keeping this tiny and dependency-free matters more
+// than feature count.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace turtle::util {
+
+/// Column-aligned text table with a header row.
+///
+/// Usage:
+///   TextTable t({"ASN", "Owner", ">1s", "%"});
+///   t.add_row({"26599", "CELL-BR-0", "3.5M", "80.4"});
+///   t.print(std::cout);
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; short rows are padded with empty cells, long rows grow
+  /// the table's width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Writes the table with single-space-padded, left-aligned columns and a
+  /// dash rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string (used by tests).
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Writes the same content as RFC-4180-style CSV (quotes cells containing
+  /// commas, quotes, or newlines).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places, trimming
+/// trailing zeros ("0.190" -> "0.19", "5.000" -> "5").
+[[nodiscard]] std::string format_double(double v, int digits = 3);
+
+/// Formats a count with the paper's M/K suffix style: 3564210 -> "3.56M",
+/// 51900 -> "51.9K", 615 -> "615".
+[[nodiscard]] std::string format_count(std::uint64_t n);
+
+/// Formats a ratio as a percentage with one decimal, e.g. 0.804 -> "80.4".
+[[nodiscard]] std::string format_percent(double fraction);
+
+}  // namespace turtle::util

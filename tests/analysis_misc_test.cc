@@ -1,0 +1,271 @@
+// Tests for broadcast-octet analysis, duplicate stats, AS/continent
+// ranking, and the satellite scatter.
+#include <gtest/gtest.h>
+
+#include "analysis/as_ranking.h"
+#include "analysis/broadcast_octets.h"
+#include "analysis/duplicates.h"
+#include "analysis/satellite.h"
+
+namespace turtle::analysis {
+namespace {
+
+probe::ZmapResponse zr(net::Ipv4Address responder, net::Ipv4Address probed, double rtt_s) {
+  probe::ZmapResponse r;
+  r.responder = responder;
+  r.probed_dst = probed;
+  r.rtt = SimTime::from_seconds(rtt_s);
+  return r;
+}
+
+const net::Prefix24 kBlock = net::Prefix24::from_network(10u << 16);
+
+TEST(OctetHistogram, BroadcastLikePartition) {
+  OctetHistogram h;
+  h.counts[255] = 10;
+  h.counts[0] = 5;
+  h.counts[1] = 3;  // trailing '01' — not broadcast-like
+  EXPECT_EQ(h.total(), 18u);
+  EXPECT_EQ(h.broadcast_like(), 15u);
+  EXPECT_EQ(h.non_broadcast_like(), 3u);
+}
+
+TEST(ZmapBroadcast, MismatchOctetsBinned) {
+  std::vector<probe::ZmapResponse> responses;
+  responses.push_back(zr(kBlock.address(7), kBlock.address(255), 0.1));
+  responses.push_back(zr(kBlock.address(7), kBlock.address(0), 0.1));
+  responses.push_back(zr(kBlock.address(7), kBlock.address(7), 0.1));  // direct
+
+  const auto h = zmap_mismatch_octets(responses);
+  EXPECT_EQ(h.counts[255], 1u);
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[7], 0u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(ZmapBroadcast, AddressAndResponderLists) {
+  std::vector<probe::ZmapResponse> responses;
+  responses.push_back(zr(kBlock.address(7), kBlock.address(255), 0.1));
+  responses.push_back(zr(kBlock.address(9), kBlock.address(255), 0.1));
+  responses.push_back(zr(kBlock.address(7), kBlock.address(255), 0.2));  // dup
+
+  const auto addrs = zmap_broadcast_addresses(responses);
+  ASSERT_EQ(addrs.size(), 1u);
+  EXPECT_EQ(addrs[0], kBlock.address(255));
+
+  const auto responders = zmap_broadcast_responders(responses);
+  ASSERT_EQ(responders.size(), 2u);
+  EXPECT_EQ(responders[0], kBlock.address(7));
+  EXPECT_EQ(responders[1], kBlock.address(9));
+}
+
+TEST(UnmatchedOctets, AttributesToPrecedingProbe) {
+  probe::RecordLog log;
+  // Probe .254 at t=100 (timeout record, emitted late at t=103).
+  // Probe .255 at t=430. Unmatched response from .254 at t=430.
+  probe::SurveyRecord probe255;
+  probe255.type = probe::RecordType::kTimeout;
+  probe255.address = kBlock.address(255);
+  probe255.probe_time = SimTime::seconds(430);
+  probe::SurveyRecord probe254 = probe255;
+  probe254.address = kBlock.address(254);
+  probe254.probe_time = SimTime::seconds(100);
+  probe::SurveyRecord um;
+  um.type = probe::RecordType::kUnmatched;
+  um.address = kBlock.address(254);
+  um.probe_time = SimTime::seconds(430);
+  um.count = 2;
+
+  log.append(probe254);
+  log.append(um);       // log order: the .255 timeout record comes later
+  log.append(probe255);
+
+  const auto h = unmatched_preceding_probe_octets(log);
+  EXPECT_EQ(h.counts[255], 2u);  // attributed to the .255 probe, by time
+  EXPECT_EQ(h.counts[254], 0u);
+}
+
+TEST(UnmatchedOctets, NoPrecedingProbeIgnored) {
+  probe::RecordLog log;
+  probe::SurveyRecord um;
+  um.type = probe::RecordType::kUnmatched;
+  um.address = kBlock.address(50);
+  um.probe_time = SimTime::seconds(5);
+  log.append(um);
+  const auto h = unmatched_preceding_probe_octets(log);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(DuplicateStats, ThresholdsAndCcdf) {
+  std::vector<AddressReport> reports;
+  auto with_max = [](std::uint32_t addr, std::uint32_t max_responses) {
+    AddressReport r;
+    r.address = net::Ipv4Address{addr};
+    r.max_responses_single_request = max_responses;
+    return r;
+  };
+  reports.push_back(with_max(1, 1));
+  reports.push_back(with_max(2, 2));      // not counted (> 2 required)
+  reports.push_back(with_max(3, 3));
+  reports.push_back(with_max(4, 1500));
+  reports.push_back(with_max(5, 2'000'000));
+
+  const auto stats = duplicate_stats(reports);
+  EXPECT_EQ(stats.addresses_over_2, 3u);
+  EXPECT_EQ(stats.addresses_over_1000, 2u);
+  EXPECT_EQ(stats.addresses_over_1m, 1u);
+  const auto ccdf = stats.ccdf();
+  ASSERT_FALSE(ccdf.empty());
+  EXPECT_DOUBLE_EQ(ccdf.back().fraction, 0.0);
+}
+
+hosts::AsCatalog tiny_catalog() {
+  std::vector<hosts::AsTraits> list;
+  hosts::AsTraits cell;
+  cell.asn = 100;
+  cell.owner = "CellOne";
+  cell.kind = hosts::AsKind::kCellular;
+  cell.continent = hosts::Continent::kSouthAmerica;
+  hosts::AsTraits wire;
+  wire.asn = 200;
+  wire.owner = "WireTwo";
+  wire.kind = hosts::AsKind::kWireline;
+  wire.continent = hosts::Continent::kEurope;
+  hosts::AsTraits sat;
+  sat.asn = 300;
+  sat.owner = "SatThree";
+  sat.kind = hosts::AsKind::kSatellite;
+  sat.continent = hosts::Continent::kNorthAmerica;
+  list.push_back(cell);
+  list.push_back(wire);
+  list.push_back(sat);
+  return hosts::AsCatalog{std::move(list)};
+}
+
+struct RankingFixture : ::testing::Test {
+  hosts::AsCatalog catalog = tiny_catalog();
+  hosts::GeoDatabase geo{&catalog};
+  net::Prefix24 cell_block = net::Prefix24::from_network(1);
+  net::Prefix24 wire_block = net::Prefix24::from_network(2);
+  net::Prefix24 sat_block = net::Prefix24::from_network(3);
+
+  RankingFixture() {
+    geo.add_block(cell_block, 0);
+    geo.add_block(wire_block, 1);
+    geo.add_block(sat_block, 2);
+  }
+};
+
+TEST_F(RankingFixture, ScanDedupKeepsFirstResponse) {
+  std::vector<probe::ZmapResponse> responses;
+  responses.push_back(zr(cell_block.address(1), cell_block.address(1), 5.0));
+  responses.push_back(zr(cell_block.address(1), cell_block.address(1), 0.1));
+  const auto scan = ScanAddressRtts::from_responses(responses);
+  ASSERT_EQ(scan.rtts.size(), 1u);
+  EXPECT_DOUBLE_EQ(scan.rtts[0].second, 5.0);
+}
+
+TEST_F(RankingFixture, TurtleCountsAndFractions) {
+  std::vector<probe::ZmapResponse> responses;
+  // Cellular AS: 3 of 4 addresses are turtles.
+  for (int i = 1; i <= 3; ++i) {
+    responses.push_back(zr(cell_block.address(static_cast<std::uint8_t>(i)),
+                           cell_block.address(static_cast<std::uint8_t>(i)), 2.0));
+  }
+  responses.push_back(zr(cell_block.address(4), cell_block.address(4), 0.1));
+  // Wireline AS: 1 of 10.
+  for (int i = 1; i <= 10; ++i) {
+    responses.push_back(zr(wire_block.address(static_cast<std::uint8_t>(i)),
+                           wire_block.address(static_cast<std::uint8_t>(i)),
+                           i == 1 ? 1.5 : 0.05));
+  }
+
+  const std::vector<ScanAddressRtts> scans{ScanAddressRtts::from_responses(responses)};
+  const auto rows = rank_ases(scans, geo, 1.0, 10);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].asn, 100u);  // cellular leads
+  EXPECT_EQ(rows[0].total, 3u);
+  EXPECT_EQ(rows[0].per_scan[0].rank, 1);
+  EXPECT_NEAR(rows[0].per_scan[0].fraction(), 0.75, 1e-9);
+  EXPECT_EQ(rows[1].asn, 200u);
+  EXPECT_NEAR(rows[1].per_scan[0].fraction(), 0.1, 1e-9);
+}
+
+TEST_F(RankingFixture, MultiScanTotalsAndRanks) {
+  std::vector<probe::ZmapResponse> scan1;
+  std::vector<probe::ZmapResponse> scan2;
+  scan1.push_back(zr(cell_block.address(1), cell_block.address(1), 2.0));
+  scan2.push_back(zr(cell_block.address(1), cell_block.address(1), 2.0));
+  scan2.push_back(zr(wire_block.address(1), wire_block.address(1), 2.0));
+  scan2.push_back(zr(wire_block.address(2), wire_block.address(2), 2.0));
+
+  const std::vector<ScanAddressRtts> scans{ScanAddressRtts::from_responses(scan1),
+                                           ScanAddressRtts::from_responses(scan2)};
+  const auto rows = rank_ases(scans, geo, 1.0, 10);
+  ASSERT_EQ(rows.size(), 2u);
+  // Wireline has total 2, cellular total 2 -> order by total, ties stable;
+  // check per-scan ranks are scan-local.
+  for (const auto& row : rows) {
+    if (row.asn == 100) {
+      EXPECT_EQ(row.per_scan[0].rank, 1);
+      EXPECT_EQ(row.per_scan[1].rank, 2);
+    } else {
+      EXPECT_EQ(row.per_scan[1].rank, 1);
+    }
+  }
+}
+
+TEST_F(RankingFixture, ContinentRanking) {
+  std::vector<probe::ZmapResponse> responses;
+  responses.push_back(zr(cell_block.address(1), cell_block.address(1), 2.0));
+  responses.push_back(zr(cell_block.address(2), cell_block.address(2), 2.0));
+  responses.push_back(zr(wire_block.address(1), wire_block.address(1), 2.0));
+  responses.push_back(zr(wire_block.address(2), wire_block.address(2), 0.05));
+
+  const std::vector<ScanAddressRtts> scans{ScanAddressRtts::from_responses(responses)};
+  const auto rows = rank_continents(scans, geo, 1.0);
+  ASSERT_GE(rows.size(), 2u);
+  EXPECT_EQ(rows[0].continent, hosts::Continent::kSouthAmerica);
+  EXPECT_EQ(rows[0].total, 2u);
+  EXPECT_NEAR(rows[0].per_scan[0].fraction(), 1.0, 1e-9);
+}
+
+TEST_F(RankingFixture, SatelliteScatterSplitsByProvider) {
+  std::vector<AddressReport> reports;
+  AddressReport sat_report;
+  sat_report.address = sat_block.address(5);
+  sat_report.rtts_s.assign(50, 0.6);
+  sat_report.rtts_s[49] = 1.2;
+  AddressReport wire_report;
+  wire_report.address = wire_block.address(5);
+  wire_report.rtts_s.assign(50, 0.05);
+
+  reports.push_back(sat_report);
+  reports.push_back(wire_report);
+
+  const auto scatter = satellite_scatter(reports, geo, /*min_samples=*/20);
+  ASSERT_EQ(scatter.satellite.size(), 1u);
+  ASSERT_EQ(scatter.other.size(), 1u);
+  EXPECT_EQ(scatter.satellite[0].owner, "SatThree");
+  EXPECT_GT(scatter.satellite[0].p1_s, 0.5);
+
+  const auto summaries = scatter.provider_summaries();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].addresses, 1u);
+  EXPECT_DOUBLE_EQ(summaries[0].frac_p99_below_3s, 1.0);
+  EXPECT_DOUBLE_EQ(scatter.other_frac_p99_below_3s(), 1.0);
+}
+
+TEST_F(RankingFixture, ScatterSkipsSparseAddresses) {
+  std::vector<AddressReport> reports;
+  AddressReport r;
+  r.address = sat_block.address(5);
+  r.rtts_s.assign(5, 0.6);  // below min_samples
+  reports.push_back(r);
+  const auto scatter = satellite_scatter(reports, geo, 20);
+  EXPECT_TRUE(scatter.satellite.empty());
+  EXPECT_TRUE(scatter.other.empty());
+}
+
+}  // namespace
+}  // namespace turtle::analysis

@@ -1,0 +1,188 @@
+#include "probe/census.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "hosts/asdb.h"
+#include "hosts/host.h"
+#include "hosts/population.h"
+#include "test_world.h"
+
+namespace turtle::probe {
+namespace {
+
+using test::MiniWorld;
+using test::plain_profile;
+
+class ManualResolver : public sim::AddressResolver {
+ public:
+  sim::PacketSink* resolve(const net::Packet& packet) override {
+    const auto it = sinks_.find(packet.dst.value());
+    return it == sinks_.end() ? nullptr : it->second;
+  }
+  void put(net::Ipv4Address addr, sim::PacketSink* sink) { sinks_[addr.value()] = sink; }
+
+ private:
+  std::map<std::uint32_t, sim::PacketSink*> sinks_;
+};
+
+struct CensusFixture : ::testing::Test {
+  MiniWorld w;
+  ManualResolver resolver;
+  net::Prefix24 block = net::Prefix24::from_network(10u << 16);
+  CensusConfig config;
+
+  CensusFixture() {
+    w.net.set_host_resolver(&resolver);
+    config.pass_duration = SimTime::minutes(10);
+  }
+};
+
+TEST_F(CensusFixture, ProbesEveryAddressEveryPass) {
+  config.passes = 3;
+  CensusProber census{w.sim, w.net, config};
+  census.start({block});
+  w.sim.run();
+  EXPECT_EQ(census.probes_sent(), 3u * 256);
+}
+
+TEST_F(CensusFixture, TracksPerAddressAvailability) {
+  hosts::Host reliable{w.ctx, block.address(5), plain_profile(SimTime::millis(40)),
+                       util::Prng{1}};
+  auto flaky_profile = plain_profile(SimTime::millis(40));
+  flaky_profile.respond_prob = 0.5;
+  hosts::Host flaky{w.ctx, block.address(6), flaky_profile, util::Prng{2}};
+  resolver.put(block.address(5), &reliable);
+  resolver.put(block.address(6), &flaky);
+
+  config.passes = 40;
+  CensusProber census{w.sim, w.net, config};
+  census.start({block});
+  w.sim.run();
+
+  const auto reliable_entry = census.entry(block.address(5));
+  EXPECT_EQ(reliable_entry.probes, 40u);
+  EXPECT_EQ(reliable_entry.responses, 40u);
+  EXPECT_DOUBLE_EQ(reliable_entry.availability(), 1.0);
+
+  const auto flaky_entry = census.entry(block.address(6));
+  EXPECT_EQ(flaky_entry.probes, 40u);
+  EXPECT_NEAR(flaky_entry.availability(), 0.5, 0.2);
+
+  const auto never = census.entry(block.address(7));
+  EXPECT_EQ(never.responses, 0u);
+  EXPECT_EQ(never.availability(), 0.0);
+}
+
+TEST_F(CensusFixture, SlowHostInvisibleAtCensusTimeout) {
+  // 10 s latency: the census's 3 s matcher never sees it — the same
+  // information loss the paper documents for the survey, at census scale.
+  hosts::Host slow{w.ctx, block.address(9), plain_profile(SimTime::seconds(10)),
+                   util::Prng{1}};
+  resolver.put(block.address(9), &slow);
+
+  config.passes = 5;
+  CensusProber census{w.sim, w.net, config};
+  census.start({block});
+  w.sim.run();
+
+  EXPECT_EQ(census.entry(block.address(9)).responses, 0u);
+  EXPECT_TRUE(census.ever_responsive().empty());
+}
+
+TEST_F(CensusFixture, EverResponsiveSortedAndComplete) {
+  std::vector<std::unique_ptr<hosts::Host>> hosts;
+  for (const std::uint8_t octet : {30, 10, 20}) {
+    hosts.push_back(std::make_unique<hosts::Host>(w.ctx, block.address(octet),
+                                                  plain_profile(SimTime::millis(30)),
+                                                  util::Prng{octet}));
+    resolver.put(block.address(octet), hosts.back().get());
+  }
+  config.passes = 2;
+  CensusProber census{w.sim, w.net, config};
+  census.start({block});
+  w.sim.run();
+
+  const auto responsive = census.ever_responsive();
+  ASSERT_EQ(responsive.size(), 3u);
+  EXPECT_EQ(responsive[0], block.address(10));
+  EXPECT_EQ(responsive[1], block.address(20));
+  EXPECT_EQ(responsive[2], block.address(30));
+}
+
+TEST_F(CensusFixture, BlockAggregatesAndSelection) {
+  const auto block2 = net::Prefix24::from_network((10u << 16) + 1);
+  std::vector<std::unique_ptr<hosts::Host>> hosts;
+  for (int i = 1; i <= 4; ++i) {
+    hosts.push_back(std::make_unique<hosts::Host>(
+        w.ctx, block.address(static_cast<std::uint8_t>(i)),
+        plain_profile(SimTime::millis(30)), util::Prng{static_cast<std::uint64_t>(i)}));
+    resolver.put(hosts.back()->address(), hosts.back().get());
+  }
+  hosts.push_back(std::make_unique<hosts::Host>(w.ctx, block2.address(1),
+                                                plain_profile(SimTime::millis(30)),
+                                                util::Prng{99}));
+  resolver.put(block2.address(1), hosts.back().get());
+
+  config.passes = 3;
+  CensusProber census{w.sim, w.net, config};
+  census.start({block, block2});
+  w.sim.run();
+
+  const auto aggregates = census.block_aggregates();
+  ASSERT_EQ(aggregates.size(), 2u);
+  EXPECT_EQ(aggregates[0].prefix, block);
+  EXPECT_EQ(aggregates[0].ever_responsive, 4u);
+  EXPECT_GT(aggregates[0].mean_availability(), 0.8);
+  EXPECT_EQ(aggregates[1].ever_responsive, 1u);
+
+  // Selection threshold: only the denser block qualifies at >= 2.
+  const auto selected = census.responsive_blocks(2);
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0], block);
+
+  const auto members = census.block_responsive(block);
+  ASSERT_EQ(members.size(), 4u);
+  EXPECT_EQ(members[0], block.address(1));
+}
+
+TEST(CensusIntegration, BootstrapsSurveyBlockSelection) {
+  // The paper's survey draws blocks "responsive in the last census":
+  // census a population, select responsive blocks, and check the
+  // selection against ground truth density.
+  test::MiniWorld w;
+  const hosts::AsCatalog catalog = hosts::AsCatalog::standard();
+  hosts::PopulationConfig population_config;
+  population_config.num_blocks = 60;
+  hosts::Population population{w.ctx, catalog, population_config, util::Prng{5}};
+  w.net.set_host_resolver(&population);
+
+  CensusConfig config;
+  config.passes = 2;
+  config.pass_duration = SimTime::minutes(30);
+  CensusProber census{w.sim, w.net, config};
+  census.start(population.blocks());
+  w.sim.run();
+
+  // Threshold chosen between the sparse (satellite ~38 live) and dense
+  // (wireline ~56, datacenter ~76) block densities so it separates.
+  const auto selected = census.responsive_blocks(50);
+  EXPECT_GT(selected.size(), 5u);
+  EXPECT_LT(selected.size(), population.blocks().size());
+
+  // Every selected block really is dense in ground truth (tolerance for
+  // the census's per-probe response misses).
+  for (const auto prefix : selected) {
+    int live = 0;
+    for (int octet = 1; octet <= 254; ++octet) {
+      if (population.host_at(prefix.address(static_cast<std::uint8_t>(octet))) != nullptr) {
+        ++live;
+      }
+    }
+    ASSERT_GE(live, 45) << prefix.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace turtle::probe

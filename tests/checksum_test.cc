@@ -1,0 +1,59 @@
+#include "net/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/prng.h"
+
+namespace turtle::net {
+namespace {
+
+TEST(Checksum, Rfc1071Example) {
+  // Classic example from RFC 1071 section 3.
+  const std::vector<std::uint8_t> data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), static_cast<std::uint16_t>(~0xddf2 & 0xFFFF));
+}
+
+TEST(Checksum, EmptyBuffer) {
+  EXPECT_EQ(internet_checksum({}), 0xFFFF);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const std::vector<std::uint8_t> odd{0x12, 0x34, 0x56};
+  const std::vector<std::uint8_t> even{0x12, 0x34, 0x56, 0x00};
+  EXPECT_EQ(internet_checksum(odd), internet_checksum(even));
+}
+
+TEST(Checksum, VerifyAfterEmbedding) {
+  util::Prng rng{5};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> data(2 + rng.uniform_int(60));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+    // Zero a checksum field at offset 0..1, embed, verify.
+    data[0] = data[1] = 0;
+    const std::uint16_t ck = internet_checksum(data);
+    data[0] = static_cast<std::uint8_t>(ck >> 8);
+    data[1] = static_cast<std::uint8_t>(ck & 0xFF);
+    ASSERT_TRUE(verify_checksum(data)) << "trial " << trial;
+  }
+}
+
+TEST(Checksum, DetectsSingleBitFlips) {
+  std::vector<std::uint8_t> data{0, 0, 0xAB, 0xCD, 0x12, 0x34};
+  const std::uint16_t ck = internet_checksum(data);
+  data[0] = static_cast<std::uint8_t>(ck >> 8);
+  data[1] = static_cast<std::uint8_t>(ck & 0xFF);
+  ASSERT_TRUE(verify_checksum(data));
+
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto corrupted = data;
+      corrupted[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      EXPECT_FALSE(verify_checksum(corrupted)) << byte << ":" << bit;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace turtle::net

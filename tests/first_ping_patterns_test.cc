@@ -1,0 +1,237 @@
+// Tests for the first-ping classifier (Figs 12-14) and the >100 s pattern
+// classifier (Table 7).
+#include <gtest/gtest.h>
+
+#include "analysis/first_ping.h"
+#include "analysis/patterns.h"
+
+namespace turtle::analysis {
+namespace {
+
+const net::Ipv4Address kAddr = net::Ipv4Address::from_octets(10, 0, 0, 1);
+
+probe::ProbeOutcome outcome(double send_s, std::optional<double> rtt_s, std::uint32_t seq) {
+  probe::ProbeOutcome o;
+  o.seq = seq;
+  o.send_time = SimTime::from_seconds(send_s);
+  if (rtt_s.has_value()) o.rtt = SimTime::from_seconds(*rtt_s);
+  return o;
+}
+
+std::vector<probe::ProbeOutcome> stream(std::vector<std::optional<double>> rtts,
+                                        double spacing_s = 1.0) {
+  std::vector<probe::ProbeOutcome> out;
+  for (std::size_t i = 0; i < rtts.size(); ++i) {
+    out.push_back(outcome(static_cast<double>(i) * spacing_s, rtts[i],
+                          static_cast<std::uint32_t>(i)));
+  }
+  return out;
+}
+
+TEST(FirstPing, WakeupSignatureClassified) {
+  const auto obs = classify_first_ping(kAddr, stream({2.0, 0.3, 0.35, 0.28, 0.31}));
+  EXPECT_EQ(obs.cls, FirstPingClass::kFirstExceedsMax);
+  EXPECT_DOUBLE_EQ(obs.rtt1_s, 2.0);
+  EXPECT_DOUBLE_EQ(obs.min_rest_s, 0.28);
+  EXPECT_DOUBLE_EQ(obs.max_rest_s, 0.35);
+}
+
+TEST(FirstPing, AboveMedianButBelowMax) {
+  const auto obs = classify_first_ping(kAddr, stream({0.5, 0.3, 0.9, 0.31, 0.29}));
+  EXPECT_EQ(obs.cls, FirstPingClass::kFirstAboveMedian);
+}
+
+TEST(FirstPing, BelowMedian) {
+  const auto obs = classify_first_ping(kAddr, stream({0.3, 0.4, 0.5, 0.45, 0.42}));
+  EXPECT_EQ(obs.cls, FirstPingClass::kFirstBelowMedian);
+}
+
+TEST(FirstPing, NoFirstResponse) {
+  const auto obs = classify_first_ping(kAddr, stream({std::nullopt, 0.3, 0.3, 0.3, 0.3}));
+  EXPECT_EQ(obs.cls, FirstPingClass::kNoFirstResponse);
+}
+
+TEST(FirstPing, TooFewResponses) {
+  // Paper rule: n >= 4 responses required.
+  const auto obs = classify_first_ping(
+      kAddr, stream({2.0, 0.3, std::nullopt, std::nullopt, std::nullopt}));
+  EXPECT_EQ(obs.cls, FirstPingClass::kTooFewResponses);
+}
+
+TEST(FirstPing, SummaryCountsAndFigures) {
+  std::vector<FirstPingObservation> observations;
+  // Two wake-up addresses in one /24, one no-penalty in another.
+  observations.push_back(classify_first_ping(
+      net::Ipv4Address::from_octets(10, 0, 0, 1), stream({2.0, 1.0, 0.3, 0.3, 0.3})));
+  observations.push_back(classify_first_ping(
+      net::Ipv4Address::from_octets(10, 0, 0, 2), stream({3.0, 2.0, 0.4, 0.4, 0.4})));
+  observations.push_back(classify_first_ping(
+      net::Ipv4Address::from_octets(10, 0, 1, 1), stream({0.3, 0.4, 0.5, 0.4, 0.4})));
+
+  const auto summary = summarize_first_ping(observations);
+  EXPECT_EQ(summary.first_exceeds_max, 2u);
+  EXPECT_EQ(summary.first_below_median, 1u);
+  ASSERT_EQ(summary.observations.size(), 3u);
+
+  // Figure 12: RTT_1 - RTT_2.
+  const auto diffs = summary.rtt1_minus_rtt2(false);
+  ASSERT_EQ(diffs.size(), 3u);
+  EXPECT_DOUBLE_EQ(diffs[0], 1.0);
+
+  // Figure 13: wake-up duration = RTT_1 - min(rest), wake-up class only.
+  const auto durations = summary.wakeup_durations();
+  ASSERT_EQ(durations.size(), 2u);
+  EXPECT_DOUBLE_EQ(durations[0], 1.7);
+  EXPECT_DOUBLE_EQ(durations[1], 2.6);
+
+  // Figure 14: prefix fractions: 10.0.0/24 -> 100%, 10.0.1/24 -> 0%.
+  auto fractions = summary.prefix_drop_fractions();
+  std::sort(fractions.begin(), fractions.end());
+  ASSERT_EQ(fractions.size(), 2u);
+  EXPECT_DOUBLE_EQ(fractions[0], 0.0);
+  EXPECT_DOUBLE_EQ(fractions[1], 100.0);
+}
+
+TEST(FirstPing, ProbabilityByDiffSeparatesClasses) {
+  std::vector<FirstPingObservation> observations;
+  for (int i = 0; i < 10; ++i) {
+    // Wake-up: diff ~ +1.5.
+    observations.push_back(classify_first_ping(
+        kAddr, stream({2.0, 0.5, 0.3, 0.3, 0.3})));
+    // No penalty: diff ~ 0.
+    observations.push_back(classify_first_ping(
+        kAddr, stream({0.3, 0.3, 0.4, 0.4, 0.4})));
+  }
+  const auto summary = summarize_first_ping(observations);
+  const auto bins = summary.probability_by_diff(0.5);
+  double p_high = -1;
+  double p_low = -1;
+  for (const auto& bin : bins) {
+    if (bin.lo >= 1.0) p_high = static_cast<double>(bin.exceeds) / bin.total;
+    if (bin.lo <= 0.0 && bin.hi > 0.0) p_low = static_cast<double>(bin.exceeds) / bin.total;
+  }
+  EXPECT_DOUBLE_EQ(p_high, 1.0);
+  EXPECT_DOUBLE_EQ(p_low, 0.0);
+}
+
+// --- Table 7 patterns -----------------------------------------------------
+
+TEST(Patterns, LowLatencyThenDecay) {
+  // Normal pings, then a buffered flush: RTTs decay ~1 s per probe (all
+  // responses arrive together), directly preceded by a fast response.
+  std::vector<std::optional<double>> rtts;
+  for (int i = 0; i < 5; ++i) rtts.push_back(0.2);
+  for (int i = 0; i < 140; ++i) rtts.push_back(140.0 - i);  // decay 140..1
+  for (int i = 0; i < 5; ++i) rtts.push_back(0.2);
+
+  const auto events = classify_patterns(stream(rtts));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].pattern, LatencyPattern::kLowLatencyThenDecay);
+  EXPECT_EQ(events[0].pings_over_high, 40u);  // RTTs 101..140
+}
+
+TEST(Patterns, LossThenDecay) {
+  std::vector<std::optional<double>> rtts;
+  for (int i = 0; i < 5; ++i) rtts.push_back(0.2);
+  for (int i = 0; i < 10; ++i) rtts.push_back(std::nullopt);  // losses first
+  for (int i = 0; i < 130; ++i) rtts.push_back(130.0 - i);
+  for (int i = 0; i < 5; ++i) rtts.push_back(0.2);
+
+  const auto events = classify_patterns(stream(rtts));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].pattern, LatencyPattern::kLossThenDecay);
+}
+
+TEST(Patterns, SustainedHighLatencyAndLoss) {
+  // Minutes of ~100-180 s RTTs with losses; arrivals are spread out, so
+  // this is not a flush.
+  std::vector<std::optional<double>> rtts;
+  for (int i = 0; i < 5; ++i) rtts.push_back(0.2);
+  for (int i = 0; i < 200; ++i) {
+    if (i % 4 == 3) {
+      rtts.push_back(std::nullopt);
+    } else {
+      rtts.push_back(100.0 + 40.0 * ((i * 13) % 3));
+    }
+  }
+  for (int i = 0; i < 5; ++i) rtts.push_back(0.2);
+
+  const auto events = classify_patterns(stream(rtts));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].pattern, LatencyPattern::kSustained);
+  EXPECT_GE(events[0].pings_over_high, 100u);
+}
+
+TEST(Patterns, HighLatencyBetweenLoss) {
+  std::vector<std::optional<double>> rtts;
+  for (int i = 0; i < 5; ++i) rtts.push_back(0.2);
+  for (int i = 0; i < 10; ++i) rtts.push_back(std::nullopt);
+  rtts.push_back(150.0);  // one lonely high RTT
+  for (int i = 0; i < 10; ++i) rtts.push_back(std::nullopt);
+  for (int i = 0; i < 5; ++i) rtts.push_back(0.2);
+
+  const auto events = classify_patterns(stream(rtts));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].pattern, LatencyPattern::kIsolated);
+  EXPECT_EQ(events[0].pings_over_high, 1u);
+}
+
+TEST(Patterns, LossOnlyRegionsNotReported) {
+  std::vector<std::optional<double>> rtts;
+  for (int i = 0; i < 5; ++i) rtts.push_back(0.2);
+  for (int i = 0; i < 50; ++i) rtts.push_back(std::nullopt);
+  for (int i = 0; i < 5; ++i) rtts.push_back(0.2);
+  EXPECT_TRUE(classify_patterns(stream(rtts)).empty());
+}
+
+TEST(Patterns, MerelySlowRegionsNotReported) {
+  // 20-60 s RTTs never cross the 100 s bar: no Table 7 event.
+  std::vector<std::optional<double>> rtts;
+  for (int i = 0; i < 5; ++i) rtts.push_back(0.2);
+  for (int i = 0; i < 30; ++i) rtts.push_back(20.0 + i);
+  for (int i = 0; i < 5; ++i) rtts.push_back(0.2);
+  EXPECT_TRUE(classify_patterns(stream(rtts)).empty());
+}
+
+TEST(Patterns, MultipleEventsSeparated) {
+  std::vector<std::optional<double>> rtts;
+  for (int i = 0; i < 3; ++i) rtts.push_back(0.2);
+  for (int i = 0; i < 120; ++i) rtts.push_back(120.0 - i);  // decay event
+  for (int i = 0; i < 20; ++i) rtts.push_back(0.2);
+  for (int i = 0; i < 10; ++i) rtts.push_back(std::nullopt);
+  rtts.push_back(200.0);  // isolated event
+  for (int i = 0; i < 10; ++i) rtts.push_back(std::nullopt);
+  rtts.push_back(0.2);
+
+  const auto events = classify_patterns(stream(rtts));
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].pattern, LatencyPattern::kLowLatencyThenDecay);
+  EXPECT_EQ(events[1].pattern, LatencyPattern::kIsolated);
+}
+
+TEST(Patterns, TableAccumulatesRows) {
+  PatternTable table;
+  std::vector<PatternEvent> events1(2);
+  events1[0].pattern = LatencyPattern::kLossThenDecay;
+  events1[0].pings_over_high = 20;
+  events1[1].pattern = LatencyPattern::kLossThenDecay;
+  events1[1].pings_over_high = 10;
+  std::vector<PatternEvent> events2(1);
+  events2[0].pattern = LatencyPattern::kSustained;
+  events2[0].pings_over_high = 100;
+
+  table.add(net::Ipv4Address{1}, events1);
+  table.add(net::Ipv4Address{2}, events2);
+
+  const auto rows = table.rows();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].pattern, LatencyPattern::kLowLatencyThenDecay);
+  EXPECT_EQ(rows[1].pattern, LatencyPattern::kLossThenDecay);
+  EXPECT_EQ(rows[1].pings, 30u);
+  EXPECT_EQ(rows[1].events, 2u);
+  EXPECT_EQ(rows[1].addresses, 1u);
+  EXPECT_EQ(rows[2].pings, 100u);
+}
+
+}  // namespace
+}  // namespace turtle::analysis

@@ -1,0 +1,83 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace turtle::util {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsForm) {
+  const auto f = parse({"--blocks=500", "--rate=2.5", "--name=zmap"});
+  EXPECT_EQ(f.get_int("blocks", 0), 500);
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0), 2.5);
+  EXPECT_EQ(f.get_string("name", ""), "zmap");
+}
+
+TEST(Flags, SpaceForm) {
+  const auto f = parse({"--blocks", "500"});
+  EXPECT_EQ(f.get_int("blocks", 0), 500);
+}
+
+TEST(Flags, BareBoolean) {
+  const auto f = parse({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_TRUE(f.has("verbose"));
+}
+
+TEST(Flags, BooleanValues) {
+  EXPECT_TRUE(parse({"--x=true"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=1"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=yes"}).get_bool("x", false));
+  EXPECT_FALSE(parse({"--x=false"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=0"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=no"}).get_bool("x", true));
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const auto f = parse({});
+  EXPECT_EQ(f.get_int("blocks", 42), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 1.5), 1.5);
+  EXPECT_EQ(f.get_string("name", "dflt"), "dflt");
+  EXPECT_FALSE(f.get_bool("verbose", false));
+  EXPECT_FALSE(f.has("blocks"));
+}
+
+TEST(Flags, NegativeNumbers) {
+  const auto f = parse({"--offset=-5"});
+  EXPECT_EQ(f.get_int("offset", 0), -5);
+}
+
+TEST(Flags, MalformedTokenThrows) {
+  EXPECT_THROW(parse({"blocks=5"}), std::invalid_argument);
+  EXPECT_THROW(parse({"-x"}), std::invalid_argument);
+}
+
+TEST(Flags, WrongTypeThrows) {
+  const auto f = parse({"--blocks=abc", "--rate=1.2.3", "--flag=maybe"});
+  EXPECT_THROW((void)f.get_int("blocks", 0), std::invalid_argument);
+  EXPECT_THROW((void)f.get_double("rate", 0), std::invalid_argument);
+  EXPECT_THROW((void)f.get_bool("flag", false), std::invalid_argument);
+}
+
+TEST(Flags, NamesLists) {
+  const auto f = parse({"--b=1", "--a=2"});
+  const auto names = f.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");  // map order
+  EXPECT_EQ(names[1], "b");
+}
+
+TEST(Flags, LastValueWins) {
+  const auto f = parse({"--x=1", "--x=2"});
+  EXPECT_EQ(f.get_int("x", 0), 2);
+}
+
+}  // namespace
+}  // namespace turtle::util

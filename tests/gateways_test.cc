@@ -1,0 +1,127 @@
+#include "hosts/gateways.h"
+
+#include <gtest/gtest.h>
+
+#include "net/tcp.h"
+#include "test_world.h"
+
+namespace turtle::hosts {
+namespace {
+
+using test::MiniWorld;
+using test::plain_profile;
+
+TEST(BroadcastGateway, FansOutToResponders) {
+  MiniWorld w;
+  const auto a1 = net::Ipv4Address::from_octets(10, 0, 0, 10);
+  const auto a2 = net::Ipv4Address::from_octets(10, 0, 0, 20);
+  Host h1{w.ctx, a1, plain_profile(SimTime::millis(10)), util::Prng{1}};
+  Host h2{w.ctx, a2, plain_profile(SimTime::millis(20)), util::Prng{2}};
+  BroadcastGateway gw{{&h1, &h2}};
+  const auto bcast = net::Ipv4Address::from_octets(10, 0, 0, 255);
+  w.net.attach_endpoint(bcast, &gw);
+
+  w.ping_at(SimTime::seconds(1), bcast);
+  w.sim.run();
+
+  ASSERT_EQ(w.vantage.packets.size(), 2u);
+  // Responses carry the responders' own source addresses, never the
+  // broadcast destination.
+  EXPECT_EQ(w.vantage.packets[0].src, a1);
+  EXPECT_EQ(w.vantage.packets[1].src, a2);
+  EXPECT_EQ(gw.responder_count(), 2u);
+}
+
+TEST(BroadcastGateway, IgnoresTcpAndUdp) {
+  MiniWorld w;
+  const auto a1 = net::Ipv4Address::from_octets(10, 0, 0, 10);
+  Host h1{w.ctx, a1, plain_profile(), util::Prng{1}};
+  BroadcastGateway gw{{&h1}};
+  const auto bcast = net::Ipv4Address::from_octets(10, 0, 0, 255);
+  w.net.attach_endpoint(bcast, &gw);
+
+  w.sim.schedule_at(SimTime{}, [&] {
+    net::TcpSegment s;
+    s.flags = net::TcpFlags::kAck;
+    net::Packet p;
+    p.src = w.vantage_addr;
+    p.dst = bcast;
+    p.protocol = net::Protocol::kTcp;
+    p.payload = net::serialize_tcp(s, w.vantage_addr, bcast);
+    w.net.send(p);
+  });
+  w.sim.run();
+  EXPECT_TRUE(w.vantage.packets.empty());
+}
+
+TEST(FirewallSink, RstsWithForgedSourceAndUniformTtl) {
+  MiniWorld w;
+  FirewallSink fw{w.ctx, SimTime::millis(190), /*ttl=*/247, util::Prng{3}};
+  const auto target1 = net::Ipv4Address::from_octets(10, 1, 0, 5);
+  const auto target2 = net::Ipv4Address::from_octets(10, 1, 0, 99);
+  w.net.attach_endpoint(target1, &fw);
+  w.net.attach_endpoint(target2, &fw);
+
+  auto send_ack = [&](net::Ipv4Address dst, SimTime at) {
+    w.sim.schedule_at(at, [&, dst] {
+      net::TcpSegment s;
+      s.src_port = 40000;
+      s.dst_port = 80;
+      s.ack = 0x1111;
+      s.flags = net::TcpFlags::kAck;
+      net::Packet p;
+      p.src = w.vantage_addr;
+      p.dst = dst;
+      p.protocol = net::Protocol::kTcp;
+      p.payload = net::serialize_tcp(s, w.vantage_addr, dst);
+      w.net.send(p);
+    });
+  };
+  send_ack(target1, SimTime::seconds(1));
+  send_ack(target2, SimTime::seconds(2));
+  w.sim.run();
+
+  ASSERT_EQ(w.vantage.packets.size(), 2u);
+  EXPECT_EQ(w.vantage.packets[0].src, target1);  // forged on behalf of dst
+  EXPECT_EQ(w.vantage.packets[1].src, target2);
+  EXPECT_EQ(w.vantage.packets[0].ttl, 247);
+  EXPECT_EQ(w.vantage.packets[1].ttl, 247);  // uniform across the /24
+  // RTT near 190 ms + transit.
+  const SimTime rtt = w.vantage.times[0] - SimTime::seconds(1);
+  EXPECT_GT(rtt, SimTime::millis(150));
+  EXPECT_LT(rtt, SimTime::millis(260));
+}
+
+TEST(FirewallSink, IgnoresIcmp) {
+  MiniWorld w;
+  FirewallSink fw{w.ctx, SimTime::millis(190), 247, util::Prng{3}};
+  const auto target = net::Ipv4Address::from_octets(10, 1, 0, 5);
+  w.net.attach_endpoint(target, &fw);
+  w.ping_at(SimTime{}, target);
+  w.sim.run();
+  EXPECT_TRUE(w.vantage.packets.empty());
+}
+
+TEST(RouterSink, SendsHostUnreachable) {
+  MiniWorld w;
+  const auto router_addr = net::Ipv4Address::from_octets(10, 2, 0, 1);
+  RouterSink router{w.ctx, router_addr, SimTime::millis(40), util::Prng{5}};
+  const auto dark = net::Ipv4Address::from_octets(10, 2, 0, 77);
+  w.net.attach_endpoint(dark, &router);
+
+  w.ping_at(SimTime{}, dark);
+  w.sim.run();
+
+  ASSERT_EQ(w.vantage.packets.size(), 1u);
+  EXPECT_EQ(w.vantage.packets[0].src, router_addr);
+  const auto msg = net::parse_icmp(w.vantage.packets[0].payload.view());
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, net::IcmpType::kDestinationUnreachable);
+  EXPECT_EQ(msg->code, net::UnreachableCode::kHost);
+  const auto up = net::UnreachablePayload::decode(msg->payload.view());
+  ASSERT_TRUE(up.has_value());
+  EXPECT_EQ(up->original_dst, dark);
+}
+
+}  // namespace
+}  // namespace turtle::hosts

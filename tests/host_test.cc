@@ -1,0 +1,355 @@
+#include "hosts/host.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "net/tcp.h"
+#include "net/udp.h"
+#include "test_world.h"
+
+namespace turtle::hosts {
+namespace {
+
+using test::MiniWorld;
+using test::plain_profile;
+
+const net::Ipv4Address kHostAddr = net::Ipv4Address::from_octets(10, 0, 0, 7);
+
+TEST(Host, AnswersEchoWithFixedLatency) {
+  MiniWorld w;
+  Host host{w.ctx, kHostAddr, plain_profile(SimTime::millis(50)), util::Prng{1}};
+  w.net.set_host_resolver(nullptr);
+  w.net.attach_endpoint(kHostAddr, &host);
+
+  w.ping_at(SimTime::seconds(1), kHostAddr);
+  w.sim.run();
+
+  ASSERT_EQ(w.vantage.packets.size(), 1u);
+  const auto& reply = w.vantage.packets[0];
+  EXPECT_EQ(reply.src, kHostAddr);
+  EXPECT_EQ(reply.dst, w.vantage_addr);
+  const auto msg = net::parse_icmp(reply.payload.view());
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_TRUE(msg->is_echo_reply());
+  // RTT = 2 x 5 ms transit + 50 ms access.
+  EXPECT_EQ(w.vantage.times[0] - SimTime::seconds(1), SimTime::millis(60));
+}
+
+TEST(Host, EchoReplyPreservesIdSeqPayload) {
+  MiniWorld w;
+  Host host{w.ctx, kHostAddr, plain_profile(), util::Prng{1}};
+  w.net.attach_endpoint(kHostAddr, &host);
+
+  w.ping_at(SimTime{}, kHostAddr, /*seq=*/41);
+  w.sim.run();
+  ASSERT_EQ(w.vantage.packets.size(), 1u);
+  const auto msg = net::parse_icmp(w.vantage.packets[0].payload.view());
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->id, 0x7777);
+  EXPECT_EQ(msg->seq, 41);
+}
+
+TEST(Host, SilentWhenRespondProbZero) {
+  MiniWorld w;
+  auto profile = plain_profile();
+  profile.respond_prob = 0.0;
+  Host host{w.ctx, kHostAddr, profile, util::Prng{1}};
+  w.net.attach_endpoint(kHostAddr, &host);
+
+  w.ping_at(SimTime{}, kHostAddr);
+  w.sim.run();
+  EXPECT_TRUE(w.vantage.packets.empty());
+}
+
+TEST(Host, IgnoresNonEchoIcmp) {
+  MiniWorld w;
+  Host host{w.ctx, kHostAddr, plain_profile(), util::Prng{1}};
+  w.net.attach_endpoint(kHostAddr, &host);
+
+  w.sim.schedule_at(SimTime{}, [&] {
+    net::IcmpMessage reply_msg;
+    reply_msg.type = net::IcmpType::kEchoReply;
+    net::Packet p;
+    p.src = w.vantage_addr;
+    p.dst = kHostAddr;
+    p.protocol = net::Protocol::kIcmp;
+    p.payload = net::serialize_icmp(reply_msg);
+    w.net.send(p);
+  });
+  w.sim.run();
+  EXPECT_TRUE(w.vantage.packets.empty());
+}
+
+TEST(Host, UdpProbeGetsPortUnreachable) {
+  MiniWorld w;
+  Host host{w.ctx, kHostAddr, plain_profile(SimTime::millis(30)), util::Prng{1}};
+  w.net.attach_endpoint(kHostAddr, &host);
+
+  w.sim.schedule_at(SimTime{}, [&] {
+    net::UdpDatagram d;
+    d.src_port = 5555;
+    d.dst_port = 33434;
+    net::Packet p;
+    p.src = w.vantage_addr;
+    p.dst = kHostAddr;
+    p.protocol = net::Protocol::kUdp;
+    p.payload = net::serialize_udp(d, w.vantage_addr, kHostAddr);
+    w.net.send(p);
+  });
+  w.sim.run();
+
+  ASSERT_EQ(w.vantage.packets.size(), 1u);
+  const auto msg = net::parse_icmp(w.vantage.packets[0].payload.view());
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, net::IcmpType::kDestinationUnreachable);
+  EXPECT_EQ(msg->code, net::UnreachableCode::kPort);
+  const auto up = net::UnreachablePayload::decode(msg->payload.view());
+  ASSERT_TRUE(up.has_value());
+  EXPECT_EQ(up->original_dst, kHostAddr);
+  // Embedded UDP header starts with the original source port.
+  EXPECT_EQ((up->transport_prefix[0] << 8) | up->transport_prefix[1], 5555);
+  // Same access latency as ICMP (the paper's "all protocols treated the
+  // same" finding is a property of the model).
+  EXPECT_EQ(w.vantage.times[0], SimTime::millis(40));
+}
+
+TEST(Host, TcpAckGetsRst) {
+  MiniWorld w;
+  Host host{w.ctx, kHostAddr, plain_profile(SimTime::millis(30)), util::Prng{1}};
+  w.net.attach_endpoint(kHostAddr, &host);
+
+  w.sim.schedule_at(SimTime{}, [&] {
+    net::TcpSegment s;
+    s.src_port = 40000;
+    s.dst_port = 80;
+    s.ack = 0xAABBCCDD;
+    s.flags = net::TcpFlags::kAck;
+    net::Packet p;
+    p.src = w.vantage_addr;
+    p.dst = kHostAddr;
+    p.protocol = net::Protocol::kTcp;
+    p.payload = net::serialize_tcp(s, w.vantage_addr, kHostAddr);
+    w.net.send(p);
+  });
+  w.sim.run();
+
+  ASSERT_EQ(w.vantage.packets.size(), 1u);
+  EXPECT_EQ(w.vantage.packets[0].protocol, net::Protocol::kTcp);
+  const auto seg = net::parse_tcp(w.vantage.packets[0].payload.view(), kHostAddr, w.vantage_addr);
+  ASSERT_TRUE(seg.has_value());
+  EXPECT_TRUE(seg->has(net::TcpFlags::kRst));
+  EXPECT_EQ(seg->seq, 0xAABBCCDDu);
+}
+
+HostProfile cellular_profile() {
+  auto p = plain_profile(SimTime::millis(200));
+  p.type = HostType::kCellular;
+  auto& c = p.cellular;
+  c.idle_timeout = SimTime::seconds(15);
+  c.wakeup_prob = 1.0;
+  c.wakeup_median = SimTime::millis(1500);
+  c.wakeup_sigma = 0.0;  // deterministic wake-up for exact assertions
+  c.disconnect.mean_off = SimTime::hours(100000);  // never disconnects
+  c.congestion.episodes.mean_off = SimTime::hours(100000);
+  return p;
+}
+
+TEST(Host, CellularFirstPingPaysWakeup) {
+  MiniWorld w;
+  Host host{w.ctx, kHostAddr, cellular_profile(), util::Prng{3}};
+  w.net.attach_endpoint(kHostAddr, &host);
+
+  // Idle at t=0: wake-up applies. Probes at 1 s spacing afterwards: radio
+  // stays connected, no wake-up. Note the woken first reply arrives
+  // *after* the second probe's reply — the reordering the paper's
+  // Figure 12 diff analysis keys on — so match replies by seq.
+  w.ping_at(SimTime::seconds(100), kHostAddr, 0);
+  w.ping_at(SimTime::seconds(101), kHostAddr, 1);
+  w.ping_at(SimTime::seconds(102), kHostAddr, 2);
+  w.sim.run();
+
+  ASSERT_EQ(w.vantage.times.size(), 3u);
+  std::array<SimTime, 3> rtt;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto msg = net::parse_icmp(w.vantage.packets[i].payload.view());
+    ASSERT_TRUE(msg.has_value());
+    rtt[msg->seq] = w.vantage.times[i] - SimTime::seconds(100 + msg->seq);
+  }
+  EXPECT_EQ(rtt[0], SimTime::millis(1710));  // 10 transit + 200 base + 1500 wake
+  EXPECT_EQ(rtt[1], SimTime::millis(210));
+  EXPECT_EQ(rtt[2], SimTime::millis(210));
+  // The reordering itself: reply 1 lands before reply 0.
+  EXPECT_LT(w.vantage.times[0], SimTime::seconds(100) + rtt[0]);
+}
+
+TEST(Host, CellularWakesAgainAfterIdleTimeout) {
+  MiniWorld w;
+  Host host{w.ctx, kHostAddr, cellular_profile(), util::Prng{3}};
+  w.net.attach_endpoint(kHostAddr, &host);
+
+  w.ping_at(SimTime::seconds(100), kHostAddr);
+  // 11 minutes later (survey cadence): idle again.
+  w.ping_at(SimTime::seconds(760), kHostAddr);
+  w.sim.run();
+
+  ASSERT_EQ(w.vantage.times.size(), 2u);
+  EXPECT_EQ(w.vantage.times[1] - SimTime::seconds(760), SimTime::millis(1710));
+}
+
+TEST(Host, CellularBuffersDuringDisconnect) {
+  MiniWorld w;
+  auto profile = cellular_profile();
+  // Disconnect windows: force an episode by making off-time tiny and
+  // episodes long.
+  profile.cellular.disconnect.mean_off = SimTime::seconds(1);
+  profile.cellular.disconnect.on_median = SimTime::seconds(500);
+  profile.cellular.disconnect.on_sigma = 0.0;
+  profile.cellular.buffer_prob = 1.0;
+  profile.cellular.wakeup_prob = 0.0;
+  Host host{w.ctx, kHostAddr, profile, util::Prng{5}};
+  w.net.attach_endpoint(kHostAddr, &host);
+
+  // Probe well inside the first episode: the response must arrive only
+  // after the episode ends, i.e. with a multi-second RTT.
+  w.ping_at(SimTime::seconds(30), kHostAddr);
+  w.sim.run();
+
+  ASSERT_EQ(w.vantage.times.size(), 1u);
+  const SimTime rtt = w.vantage.times[0] - SimTime::seconds(30);
+  EXPECT_GT(rtt, SimTime::seconds(60));
+  EXPECT_TRUE(host.last_probe_buffered());
+}
+
+TEST(Host, BufferedFlushPreservesDecayShape) {
+  MiniWorld w;
+  auto profile = cellular_profile();
+  profile.cellular.disconnect.mean_off = SimTime::seconds(1);
+  profile.cellular.disconnect.on_median = SimTime::seconds(300);
+  profile.cellular.disconnect.on_sigma = 0.0;
+  profile.cellular.buffer_prob = 1.0;
+  profile.cellular.wakeup_prob = 0.0;
+  Host host{w.ctx, kHostAddr, profile, util::Prng{5}};
+  w.net.attach_endpoint(kHostAddr, &host);
+
+  // 10 probes inside the episode, 1 s apart: all responses should flush
+  // together shortly after the episode ends (arrival spread ~ flush
+  // spacing, not probe spacing).
+  for (int i = 0; i < 10; ++i) {
+    w.ping_at(SimTime::seconds(50 + i), kHostAddr, static_cast<std::uint16_t>(i));
+  }
+  w.sim.run();
+
+  ASSERT_EQ(w.vantage.times.size(), 10u);
+  const SimTime spread = w.vantage.times.back() - w.vantage.times.front();
+  EXPECT_LT(spread, SimTime::seconds(1));
+}
+
+TEST(Host, BufferCapacityDropsExcess) {
+  MiniWorld w;
+  auto profile = cellular_profile();
+  profile.cellular.disconnect.mean_off = SimTime::seconds(1);
+  profile.cellular.disconnect.on_median = SimTime::seconds(300);
+  profile.cellular.disconnect.on_sigma = 0.0;
+  profile.cellular.buffer_prob = 1.0;
+  profile.cellular.buffer_capacity = 3;
+  profile.cellular.wakeup_prob = 0.0;
+  Host host{w.ctx, kHostAddr, profile, util::Prng{5}};
+  w.net.attach_endpoint(kHostAddr, &host);
+
+  for (int i = 0; i < 8; ++i) {
+    w.ping_at(SimTime::seconds(50 + i), kHostAddr, static_cast<std::uint16_t>(i));
+  }
+  w.sim.run();
+  EXPECT_EQ(w.vantage.times.size(), 3u);
+}
+
+TEST(Host, SatelliteFloorRespected) {
+  MiniWorld w;
+  auto profile = plain_profile(SimTime::millis(550));
+  profile.type = HostType::kSatellite;
+  profile.satellite.queue_median = SimTime::millis(100);
+  profile.satellite.queue_sigma = 1.0;
+  profile.satellite.queue_cap = SimTime::millis(2000);
+  Host host{w.ctx, kHostAddr, profile, util::Prng{7}};
+  w.net.attach_endpoint(kHostAddr, &host);
+
+  for (int i = 0; i < 50; ++i) {
+    w.ping_at(SimTime::seconds(10 * i), kHostAddr, static_cast<std::uint16_t>(i));
+  }
+  w.sim.run();
+
+  ASSERT_EQ(w.vantage.times.size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const SimTime rtt = w.vantage.times[i] - SimTime::seconds(10 * static_cast<std::int64_t>(i));
+    ASSERT_GE(rtt, SimTime::millis(550));                 // floor
+    ASSERT_LE(rtt, SimTime::millis(550 + 2000 + 10 + 1)); // floor + cap + transit
+  }
+}
+
+TEST(Host, RateLimiterDropsExcessIcmp) {
+  MiniWorld w;
+  auto profile = plain_profile(SimTime::millis(10));
+  profile.icmp_rate_limit = 1.0;  // 1/s
+  profile.icmp_rate_burst = 1.0;
+  Host host{w.ctx, kHostAddr, profile, util::Prng{9}};
+  w.net.attach_endpoint(kHostAddr, &host);
+
+  // 10 probes in one second: only the first token is available.
+  for (int i = 0; i < 10; ++i) {
+    w.ping_at(SimTime::millis(100 * i), kHostAddr, static_cast<std::uint16_t>(i));
+  }
+  w.sim.run();
+  EXPECT_LE(w.vantage.packets.size(), 2u);
+  EXPECT_GE(w.vantage.packets.size(), 1u);
+}
+
+TEST(Host, RateLimiterRefills) {
+  MiniWorld w;
+  auto profile = plain_profile(SimTime::millis(10));
+  profile.icmp_rate_limit = 1.0;
+  profile.icmp_rate_burst = 1.0;
+  Host host{w.ctx, kHostAddr, profile, util::Prng{9}};
+  w.net.attach_endpoint(kHostAddr, &host);
+
+  // Probes 2 s apart always find a token.
+  for (int i = 0; i < 5; ++i) {
+    w.ping_at(SimTime::seconds(2 * i), kHostAddr, static_cast<std::uint16_t>(i));
+  }
+  w.sim.run();
+  EXPECT_EQ(w.vantage.packets.size(), 5u);
+}
+
+TEST(Host, MildDuplicatorStaysUnderFilterThreshold) {
+  MiniWorld w;
+  auto profile = plain_profile();
+  profile.duplicate_class = 1;
+  profile.duplicates.mild_prob = 1.0;  // always duplicate
+  Host host{w.ctx, kHostAddr, profile, util::Prng{11}};
+  w.net.attach_endpoint(kHostAddr, &host);
+
+  w.ping_at(SimTime{}, kHostAddr);
+  w.sim.run();
+  EXPECT_GE(w.vantage.total_packets(), 2u);
+  EXPECT_LE(w.vantage.total_packets(), 4u);
+}
+
+TEST(Host, FloodDuplicatorSendsAggregatedBurst) {
+  MiniWorld w;
+  auto profile = plain_profile();
+  profile.duplicate_class = 2;
+  profile.duplicates.pareto_scale = 500.0;  // guarantee a large burst
+  profile.duplicates.pareto_shape = 5.0;
+  profile.duplicates.max_responses = 10'000;
+  Host host{w.ctx, kHostAddr, profile, util::Prng{13}};
+  w.net.attach_endpoint(kHostAddr, &host);
+
+  w.ping_at(SimTime{}, kHostAddr);
+  w.sim.run();
+  EXPECT_GE(w.vantage.total_packets(), 500u);
+  // Aggregation: far fewer deliveries than packets.
+  EXPECT_LT(w.vantage.packets.size(), 100u);
+}
+
+}  // namespace
+}  // namespace turtle::hosts

@@ -1,0 +1,160 @@
+#include "net/icmp.h"
+
+#include <gtest/gtest.h>
+
+#include "net/checksum.h"
+#include "util/prng.h"
+
+namespace turtle::net {
+namespace {
+
+IcmpMessage sample_request() {
+  IcmpMessage msg;
+  msg.type = IcmpType::kEchoRequest;
+  msg.id = 0x1234;
+  msg.seq = 0x5678;
+  msg.payload.push_back(0xDE);
+  msg.payload.push_back(0xAD);
+  return msg;
+}
+
+TEST(Icmp, SerializeParseRoundTrip) {
+  const IcmpMessage msg = sample_request();
+  const InlineBytes wire = serialize_icmp(msg);
+  const auto parsed = parse_icmp(wire.view());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, IcmpType::kEchoRequest);
+  EXPECT_EQ(parsed->id, 0x1234);
+  EXPECT_EQ(parsed->seq, 0x5678);
+  ASSERT_EQ(parsed->payload.size(), 2u);
+  EXPECT_EQ(parsed->payload[0], 0xDE);
+  EXPECT_EQ(parsed->payload[1], 0xAD);
+}
+
+TEST(Icmp, WireFormatHasValidChecksum) {
+  const InlineBytes wire = serialize_icmp(sample_request());
+  EXPECT_TRUE(verify_checksum(wire.view()));
+  EXPECT_EQ(wire[0], 8);  // echo request type
+}
+
+TEST(Icmp, ParseRejectsCorruption) {
+  InlineBytes wire = serialize_icmp(sample_request());
+  wire[5] ^= 0x01;  // flip a bit in the id
+  EXPECT_FALSE(parse_icmp(wire.view()).has_value());
+}
+
+TEST(Icmp, ParseRejectsShortInput) {
+  const std::uint8_t short_buf[4] = {8, 0, 0, 0};
+  EXPECT_FALSE(parse_icmp({short_buf, 4}).has_value());
+  EXPECT_FALSE(parse_icmp({}).has_value());
+}
+
+TEST(Icmp, EchoReplyMirrorsRequest) {
+  const IcmpMessage request = sample_request();
+  const IcmpMessage reply = make_echo_reply(request);
+  EXPECT_EQ(reply.type, IcmpType::kEchoReply);
+  EXPECT_EQ(reply.id, request.id);
+  EXPECT_EQ(reply.seq, request.seq);
+  EXPECT_EQ(reply.payload.size(), request.payload.size());
+  EXPECT_TRUE(reply.is_echo_reply());
+  EXPECT_FALSE(reply.is_echo_request());
+}
+
+TEST(Icmp, EmptyPayloadRoundTrip) {
+  IcmpMessage msg;
+  msg.type = IcmpType::kEchoReply;
+  const auto parsed = parse_icmp(serialize_icmp(msg).view());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+TEST(TimingPayload, RoundTrip) {
+  TimingPayload tp;
+  tp.probed_destination = Ipv4Address::from_octets(10, 1, 2, 3);
+  tp.send_time = SimTime::micros(123'456'789);
+
+  InlineBytes buf;
+  tp.encode(buf);
+  EXPECT_EQ(buf.size(), TimingPayload::kEncodedSize);
+
+  const auto decoded = TimingPayload::decode(buf.view());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->probed_destination, tp.probed_destination);
+  EXPECT_EQ(decoded->send_time, tp.send_time);
+}
+
+TEST(TimingPayload, SurvivesEchoRoundTrip) {
+  // The scanner embeds the payload in a request; a host echoes it back;
+  // the receiver decodes it from the reply.
+  IcmpMessage request;
+  request.type = IcmpType::kEchoRequest;
+  TimingPayload tp;
+  tp.probed_destination = Ipv4Address::from_octets(198, 51, 100, 200);
+  tp.send_time = SimTime::seconds(42);
+  tp.encode(request.payload);
+
+  const IcmpMessage reply = make_echo_reply(request);
+  const InlineBytes wire = serialize_icmp(reply);
+  const auto parsed = parse_icmp(wire.view());
+  ASSERT_TRUE(parsed.has_value());
+  const auto decoded = TimingPayload::decode(parsed->payload.view());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->probed_destination, tp.probed_destination);
+  EXPECT_EQ(decoded->send_time, tp.send_time);
+}
+
+TEST(TimingPayload, RejectsForeignPayload) {
+  InlineBytes buf;
+  for (int i = 0; i < 16; ++i) buf.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_FALSE(TimingPayload::decode(buf.view()).has_value());
+
+  InlineBytes short_buf;
+  short_buf.push_back(0x74);
+  EXPECT_FALSE(TimingPayload::decode(short_buf.view()).has_value());
+}
+
+TEST(Unreachable, RoundTripThroughMessage) {
+  Packet original;
+  original.src = Ipv4Address::from_octets(192, 0, 2, 1);
+  original.dst = Ipv4Address::from_octets(10, 9, 8, 7);
+  original.protocol = Protocol::kUdp;
+  for (int i = 0; i < 12; ++i) original.payload.push_back(static_cast<std::uint8_t>(i * 3));
+
+  const IcmpMessage unreachable = make_unreachable(original, UnreachableCode::kPort);
+  EXPECT_EQ(unreachable.type, IcmpType::kDestinationUnreachable);
+  EXPECT_EQ(unreachable.code, UnreachableCode::kPort);
+
+  const auto wire = serialize_icmp(unreachable);
+  const auto parsed = parse_icmp(wire.view());
+  ASSERT_TRUE(parsed.has_value());
+  const auto up = UnreachablePayload::decode(parsed->payload.view());
+  ASSERT_TRUE(up.has_value());
+  EXPECT_EQ(up->original_dst, original.dst);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(up->transport_prefix[static_cast<std::size_t>(i)], i * 3);
+  }
+}
+
+TEST(Unreachable, ShortTransportIsZeroPadded) {
+  Packet original;
+  original.dst = Ipv4Address::from_octets(1, 2, 3, 4);
+  original.payload.push_back(0xAA);
+
+  const IcmpMessage msg = make_unreachable(original, UnreachableCode::kHost);
+  const auto up = UnreachablePayload::decode(msg.payload.view());
+  ASSERT_TRUE(up.has_value());
+  EXPECT_EQ(up->transport_prefix[0], 0xAA);
+  for (std::size_t i = 1; i < 8; ++i) EXPECT_EQ(up->transport_prefix[i], 0);
+}
+
+TEST(InlineBytes, AppendBigEndian) {
+  InlineBytes buf;
+  buf.append_be(0x0102030405060708ULL, 8);
+  ASSERT_EQ(buf.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(buf[static_cast<std::size_t>(i)], i + 1);
+  EXPECT_EQ(read_be(buf.view(), 0, 8), 0x0102030405060708ULL);
+  EXPECT_EQ(read_be(buf.view(), 2, 2), 0x0304u);
+}
+
+}  // namespace
+}  // namespace turtle::net

@@ -1,0 +1,105 @@
+#include "net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+namespace turtle::net {
+namespace {
+
+TEST(Ipv4Address, FromOctetsAndBack) {
+  const auto a = Ipv4Address::from_octets(192, 168, 1, 254);
+  EXPECT_EQ(a.octet(0), 192);
+  EXPECT_EQ(a.octet(1), 168);
+  EXPECT_EQ(a.octet(2), 1);
+  EXPECT_EQ(a.octet(3), 254);
+  EXPECT_EQ(a.last_octet(), 254);
+  EXPECT_EQ(a.to_string(), "192.168.1.254");
+}
+
+TEST(Ipv4Address, ParseValid) {
+  const auto a = Ipv4Address::parse("10.0.0.1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, Ipv4Address::from_octets(10, 0, 0, 1));
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.0")->value(), 0u);
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.256").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4 ").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1..2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.-4").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.0004").has_value());
+}
+
+TEST(Ipv4Address, RoundTripThroughString) {
+  for (const std::uint32_t v : {0u, 1u, 0x0A000001u, 0xC0A80164u, 0xFFFFFFFFu}) {
+    const Ipv4Address a{v};
+    const auto parsed = Ipv4Address::parse(a.to_string());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, a);
+  }
+}
+
+TEST(Ipv4Address, Ordering) {
+  EXPECT_LT(Ipv4Address::from_octets(1, 0, 0, 1), Ipv4Address::from_octets(1, 0, 0, 2));
+  EXPECT_LT(Ipv4Address::from_octets(9, 255, 255, 255), Ipv4Address::from_octets(10, 0, 0, 0));
+}
+
+TEST(Prefix24, Containing) {
+  const auto a = Ipv4Address::from_octets(203, 0, 113, 77);
+  const auto p = Prefix24::containing(a);
+  EXPECT_TRUE(p.contains(a));
+  EXPECT_TRUE(p.contains(Ipv4Address::from_octets(203, 0, 113, 0)));
+  EXPECT_TRUE(p.contains(Ipv4Address::from_octets(203, 0, 113, 255)));
+  EXPECT_FALSE(p.contains(Ipv4Address::from_octets(203, 0, 114, 77)));
+  EXPECT_EQ(p.to_string(), "203.0.113.0/24");
+}
+
+TEST(Prefix24, AddressWithinBlock) {
+  const auto p = Prefix24::containing(Ipv4Address::from_octets(10, 1, 2, 0));
+  EXPECT_EQ(p.address(42), Ipv4Address::from_octets(10, 1, 2, 42));
+  EXPECT_EQ(p.address(255).last_octet(), 255);
+}
+
+TEST(Prefix24, FromNetworkRoundTrip) {
+  const auto p = Prefix24::from_network(0x0A0102);
+  EXPECT_EQ(p.network(), 0x0A0102u);
+  EXPECT_EQ(Prefix24::containing(p.address(7)), p);
+}
+
+TEST(BroadcastOctet, PaperPattern) {
+  // Trailing >= 2 uniform bits: 0, 255, 127, 128, 63, 64, 191, 192, ...
+  EXPECT_TRUE(looks_like_broadcast_octet(0));
+  EXPECT_TRUE(looks_like_broadcast_octet(255));
+  EXPECT_TRUE(looks_like_broadcast_octet(127));
+  EXPECT_TRUE(looks_like_broadcast_octet(128));
+  EXPECT_TRUE(looks_like_broadcast_octet(63));
+  EXPECT_TRUE(looks_like_broadcast_octet(64));
+  EXPECT_TRUE(looks_like_broadcast_octet(191));
+  EXPECT_TRUE(looks_like_broadcast_octet(192));
+  EXPECT_TRUE(looks_like_broadcast_octet(4));    // ...00
+  EXPECT_TRUE(looks_like_broadcast_octet(3));    // ...11
+
+  // Trailing '01' or '10' do not qualify.
+  EXPECT_FALSE(looks_like_broadcast_octet(1));
+  EXPECT_FALSE(looks_like_broadcast_octet(2));
+  EXPECT_FALSE(looks_like_broadcast_octet(254));
+  EXPECT_FALSE(looks_like_broadcast_octet(129));
+  EXPECT_FALSE(looks_like_broadcast_octet(126));
+}
+
+TEST(BroadcastOctet, ExactlyHalfOfOctetsQualify) {
+  // Trailing bits are 00 or 11 with probability 1/2 over all octets.
+  int qualifying = 0;
+  for (int o = 0; o < 256; ++o) {
+    if (looks_like_broadcast_octet(static_cast<std::uint8_t>(o))) ++qualifying;
+  }
+  EXPECT_EQ(qualifying, 128);
+}
+
+}  // namespace
+}  // namespace turtle::net

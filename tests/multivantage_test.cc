@@ -1,0 +1,154 @@
+#include "core/multivantage.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "hosts/host.h"
+#include "test_world.h"
+
+namespace turtle::core {
+namespace {
+
+using test::MiniWorld;
+using test::plain_profile;
+
+class ManualResolver : public sim::AddressResolver {
+ public:
+  sim::PacketSink* resolve(const net::Packet& packet) override {
+    const auto it = sinks_.find(packet.dst.value());
+    return it == sinks_.end() ? nullptr : it->second;
+  }
+  void put(net::Ipv4Address addr, sim::PacketSink* sink) { sinks_[addr.value()] = sink; }
+
+ private:
+  std::map<std::uint32_t, sim::PacketSink*> sinks_;
+};
+
+struct MultiVantageFixture : ::testing::Test {
+  MiniWorld w;
+  ManualResolver resolver;
+  net::Ipv4Address target = net::Ipv4Address::from_octets(10, 0, 0, 5);
+
+  MultiVantageFixture() { w.net.set_host_resolver(&resolver); }
+};
+
+TEST_F(MultiVantageFixture, FastHostAnswersEveryVantage) {
+  hosts::Host host{w.ctx, target, plain_profile(SimTime::millis(50)), util::Prng{1}};
+  resolver.put(target, &host);
+
+  MultiVantageConfig config;
+  config.rounds = 2;
+  config.retries = 5;
+  MultiVantageMonitor monitor{w.sim, w.net, config};
+  monitor.start({target});
+  w.sim.run();
+
+  ASSERT_EQ(monitor.outcomes().size(), 2u);
+  for (const auto& outcome : monitor.outcomes()) {
+    EXPECT_EQ(outcome.vantages_responded, 3u);
+    EXPECT_FALSE(outcome.declared_unresponsive);
+    // Each vantage stops after its first success.
+    EXPECT_EQ(outcome.probes_sent, 3u);
+  }
+}
+
+TEST_F(MultiVantageFixture, DeadHostDeclaredUnresponsive) {
+  MultiVantageConfig config;
+  config.rounds = 1;
+  config.retries = 4;
+  MultiVantageMonitor monitor{w.sim, w.net, config};
+  monitor.start({target});
+  w.sim.run();
+
+  ASSERT_EQ(monitor.outcomes().size(), 1u);
+  const auto& outcome = monitor.outcomes()[0];
+  EXPECT_TRUE(outcome.declared_unresponsive);
+  EXPECT_EQ(outcome.vantages_responded, 0u);
+  // Full retry budget from every vantage: 3 x 4.
+  EXPECT_EQ(outcome.probes_sent, 12u);
+}
+
+TEST_F(MultiVantageFixture, SlowHostMissedByShortTimeoutSavedByListening) {
+  hosts::Host host{w.ctx, target, plain_profile(SimTime::seconds(40)), util::Prng{1}};
+  resolver.put(target, &host);
+
+  MultiVantageConfig conventional;
+  conventional.rounds = 1;
+  conventional.retries = 3;
+  MultiVantageMonitor strict{w.sim, w.net, conventional};
+  strict.start({target});
+  w.sim.run();
+  ASSERT_EQ(strict.outcomes().size(), 1u);
+  EXPECT_TRUE(strict.outcomes()[0].declared_unresponsive);
+
+  MiniWorld w2;
+  w2.net.set_host_resolver(&resolver);
+  hosts::Host host2{w2.ctx, target, plain_profile(SimTime::seconds(40)), util::Prng{1}};
+  ManualResolver resolver2;
+  resolver2.put(target, &host2);
+  w2.net.set_host_resolver(&resolver2);
+
+  MultiVantageConfig listening = conventional;
+  listening.listen_longer = true;
+  listening.listen_window = SimTime::seconds(60);
+  MultiVantageMonitor saved{w2.sim, w2.net, listening};
+  saved.start({target});
+  w2.sim.run();
+  ASSERT_EQ(saved.outcomes().size(), 1u);
+  EXPECT_FALSE(saved.outcomes()[0].declared_unresponsive);
+  EXPECT_TRUE(saved.outcomes()[0].any_late_response);
+  EXPECT_GT(saved.stats().late_responses, 0u);
+}
+
+TEST_F(MultiVantageFixture, FirstVantageWakesRadioForTheRest) {
+  // Cellular host with a 2.2 s wake-up: the first vantage's probe arrives
+  // on an idle radio (RTT ~2.4 s > 3 s timeout? no: 2.41 s < 3 s). Use a
+  // 4 s wake-up so the first vantage's first probe misses its timeout but
+  // wakes the radio; the staggered later vantages then see ~0.2 s RTTs.
+  auto profile = plain_profile(SimTime::millis(200));
+  profile.type = hosts::HostType::kCellular;
+  profile.cellular.wakeup_prob = 1.0;
+  profile.cellular.wakeup_median = SimTime::seconds(4);
+  profile.cellular.wakeup_sigma = 0.0;
+  profile.cellular.idle_timeout = SimTime::seconds(15);
+  profile.cellular.disconnect.mean_off = SimTime::hours(100000);
+  profile.cellular.congestion.episodes.mean_off = SimTime::hours(100000);
+  hosts::Host host{w.ctx, target, profile, util::Prng{3}};
+  resolver.put(target, &host);
+
+  MultiVantageConfig config;
+  config.rounds = 1;
+  config.retries = 3;
+  config.vantage_stagger = SimTime::seconds(1);
+  MultiVantageMonitor monitor{w.sim, w.net, config};
+  monitor.start({target});
+  w.sim.run();
+
+  ASSERT_EQ(monitor.outcomes().size(), 1u);
+  const auto& outcome = monitor.outcomes()[0];
+  // Not declared unresponsive: vantages 2 and 3 found the radio awake.
+  EXPECT_FALSE(outcome.declared_unresponsive);
+  EXPECT_GE(outcome.vantages_responded, 2u);
+}
+
+TEST_F(MultiVantageFixture, StatsAddUp) {
+  hosts::Host host{w.ctx, target, plain_profile(SimTime::millis(30)), util::Prng{1}};
+  resolver.put(target, &host);
+  const auto t2 = net::Ipv4Address::from_octets(10, 0, 0, 6);  // dead
+
+  MultiVantageConfig config;
+  config.rounds = 2;
+  config.retries = 2;
+  MultiVantageMonitor monitor{w.sim, w.net, config};
+  monitor.start({target, t2});
+  w.sim.run();
+
+  const auto stats = monitor.stats();
+  EXPECT_EQ(stats.target_rounds, 4u);
+  EXPECT_EQ(stats.unresponsive_declared, 2u);  // the dead target each round
+  EXPECT_EQ(monitor.outcomes().size(), 4u);
+}
+
+}  // namespace
+}  // namespace turtle::core

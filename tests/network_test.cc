@@ -1,0 +1,174 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace turtle::sim {
+namespace {
+
+class RecordingSink : public PacketSink {
+ public:
+  explicit RecordingSink(Simulator& sim) : sim_{sim} {}
+  void deliver(const net::Packet& packet, std::uint32_t copies) override {
+    packets.push_back(packet);
+    copy_counts.push_back(copies);
+    times.push_back(sim_.now());
+  }
+  Simulator& sim_;
+  std::vector<net::Packet> packets;
+  std::vector<std::uint32_t> copy_counts;
+  std::vector<SimTime> times;
+};
+
+class MapResolver : public AddressResolver {
+ public:
+  PacketSink* resolve(const net::Packet& packet) override {
+    const auto it = sinks.find(packet.dst.value());
+    return it == sinks.end() ? nullptr : it->second;
+  }
+  std::map<std::uint32_t, PacketSink*> sinks;
+};
+
+net::Packet make_packet(net::Ipv4Address dst) {
+  net::Packet p;
+  p.src = net::Ipv4Address::from_octets(192, 0, 2, 1);
+  p.dst = dst;
+  return p;
+}
+
+Network::Config lossless() {
+  Network::Config cfg;
+  cfg.core_loss = 0.0;
+  cfg.transit_jitter_sigma = 0.0;
+  return cfg;
+}
+
+TEST(Network, DeliversToEndpointAfterTransit) {
+  Simulator sim;
+  Network net{sim, lossless(), util::Prng{1}};
+  RecordingSink sink{sim};
+  const auto addr = net::Ipv4Address::from_octets(10, 0, 0, 1);
+  net.attach_endpoint(addr, &sink);
+
+  net.send(make_packet(addr));
+  sim.run();
+  ASSERT_EQ(sink.packets.size(), 1u);
+  EXPECT_EQ(sink.times[0], SimTime::millis(5));  // transit_base default
+  EXPECT_EQ(net.packets_delivered(), 1u);
+  EXPECT_EQ(net.packets_dropped(), 0u);
+}
+
+TEST(Network, ResolvesHostsThroughResolver) {
+  Simulator sim;
+  Network net{sim, lossless(), util::Prng{1}};
+  RecordingSink sink{sim};
+  MapResolver resolver;
+  const auto addr = net::Ipv4Address::from_octets(10, 1, 1, 1);
+  resolver.sinks[addr.value()] = &sink;
+  net.set_host_resolver(&resolver);
+
+  net.send(make_packet(addr));
+  sim.run();
+  EXPECT_EQ(sink.packets.size(), 1u);
+}
+
+TEST(Network, UnresolvableDestinationIsDropped) {
+  Simulator sim;
+  Network net{sim, lossless(), util::Prng{1}};
+  net.send(make_packet(net::Ipv4Address::from_octets(10, 2, 2, 2)));
+  sim.run();
+  EXPECT_EQ(net.packets_dropped(), 1u);
+  EXPECT_EQ(net.packets_delivered(), 0u);
+}
+
+TEST(Network, EndpointTakesPrecedenceOverResolver) {
+  Simulator sim;
+  Network net{sim, lossless(), util::Prng{1}};
+  RecordingSink endpoint_sink{sim};
+  RecordingSink resolver_sink{sim};
+  MapResolver resolver;
+  const auto addr = net::Ipv4Address::from_octets(10, 3, 3, 3);
+  resolver.sinks[addr.value()] = &resolver_sink;
+  net.set_host_resolver(&resolver);
+  net.attach_endpoint(addr, &endpoint_sink);
+
+  net.send(make_packet(addr));
+  sim.run();
+  EXPECT_EQ(endpoint_sink.packets.size(), 1u);
+  EXPECT_TRUE(resolver_sink.packets.empty());
+}
+
+TEST(Network, LossRateApproximatelyRespected) {
+  Simulator sim;
+  Network::Config cfg;
+  cfg.core_loss = 0.2;
+  cfg.transit_jitter_sigma = 0.0;
+  Network net{sim, cfg, util::Prng{7}};
+  RecordingSink sink{sim};
+  const auto addr = net::Ipv4Address::from_octets(10, 0, 0, 2);
+  net.attach_endpoint(addr, &sink);
+
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) net.send(make_packet(addr));
+  sim.run();
+  const double delivered = static_cast<double>(sink.packets.size()) / n;
+  EXPECT_NEAR(delivered, 0.8, 0.02);
+}
+
+TEST(Network, AggregatedCopiesThinnedByExpectedLoss) {
+  Simulator sim;
+  Network::Config cfg;
+  cfg.core_loss = 0.1;
+  Network net{sim, cfg, util::Prng{7}};
+  RecordingSink sink{sim};
+  const auto addr = net::Ipv4Address::from_octets(10, 0, 0, 3);
+  net.attach_endpoint(addr, &sink);
+
+  net.send(make_packet(addr), 1000);
+  sim.run();
+  ASSERT_EQ(sink.copy_counts.size(), 1u);
+  EXPECT_EQ(sink.copy_counts[0], 900u);
+  EXPECT_EQ(net.packets_dropped(), 100u);
+}
+
+TEST(Network, JitterVariesTransit) {
+  Simulator sim;
+  Network::Config cfg;
+  cfg.core_loss = 0.0;
+  cfg.transit_jitter_sigma = 0.3;
+  Network net{sim, cfg, util::Prng{9}};
+  RecordingSink sink{sim};
+  const auto addr = net::Ipv4Address::from_octets(10, 0, 0, 4);
+  net.attach_endpoint(addr, &sink);
+
+  for (int i = 0; i < 100; ++i) net.send(make_packet(addr));
+  sim.run();
+  ASSERT_EQ(sink.times.size(), 100u);
+  bool varied = false;
+  for (std::size_t i = 1; i < sink.times.size(); ++i) {
+    if (sink.times[i] != sink.times[0]) varied = true;
+    // All positive and within a sane multiple of the base.
+    ASSERT_GT(sink.times[i], SimTime{});
+    ASSERT_LT(sink.times[i], SimTime::millis(50));
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(Network, CountersAddUp) {
+  Simulator sim;
+  Network::Config cfg;
+  cfg.core_loss = 0.5;
+  Network net{sim, cfg, util::Prng{11}};
+  RecordingSink sink{sim};
+  const auto addr = net::Ipv4Address::from_octets(10, 0, 0, 5);
+  net.attach_endpoint(addr, &sink);
+  for (int i = 0; i < 1000; ++i) net.send(make_packet(addr));
+  sim.run();
+  EXPECT_EQ(net.packets_sent(), 1000u);
+  EXPECT_EQ(net.packets_delivered() + net.packets_dropped(), 1000u);
+}
+
+}  // namespace
+}  // namespace turtle::sim

@@ -1,0 +1,181 @@
+#include "core/outage_detector.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "hosts/host.h"
+#include "test_world.h"
+
+namespace turtle::core {
+namespace {
+
+using test::MiniWorld;
+using test::plain_profile;
+
+class ManualResolver : public sim::AddressResolver {
+ public:
+  sim::PacketSink* resolve(const net::Packet& packet) override {
+    const auto it = sinks_.find(packet.dst.value());
+    return it == sinks_.end() ? nullptr : it->second;
+  }
+  void put(net::Ipv4Address addr, sim::PacketSink* sink) { sinks_[addr.value()] = sink; }
+
+ private:
+  std::map<std::uint32_t, sim::PacketSink*> sinks_;
+};
+
+struct DetectorFixture : ::testing::Test {
+  MiniWorld w;
+  ManualResolver resolver;
+  net::Ipv4Address target = net::Ipv4Address::from_octets(10, 0, 0, 3);
+  OutageDetectorConfig config;
+
+  DetectorFixture() {
+    w.net.set_host_resolver(&resolver);
+    config.rounds = 3;
+    config.max_probes = 3;
+  }
+};
+
+TEST_F(DetectorFixture, FastHostNeverFlagsOutage) {
+  hosts::Host host{w.ctx, target, plain_profile(SimTime::millis(50)), util::Prng{1}};
+  resolver.put(target, &host);
+
+  FixedTimeoutPolicy policy{SimTime::seconds(3)};
+  OutageDetector detector{w.sim, w.net, config, policy};
+  detector.start({target});
+  w.sim.run();
+
+  const auto stats = detector.stats();
+  EXPECT_EQ(stats.checks, 3u);
+  EXPECT_EQ(stats.outages_declared, 0u);
+  EXPECT_EQ(stats.probes_sent, 3u);  // one probe per check suffices
+  ASSERT_NE(detector.estimator(target), nullptr);
+  EXPECT_EQ(detector.estimator(target)->samples(), 3u);
+}
+
+TEST_F(DetectorFixture, DeadTargetDeclaredOutEveryRound) {
+  FixedTimeoutPolicy policy{SimTime::seconds(3)};
+  OutageDetector detector{w.sim, w.net, config, policy};
+  detector.start({target});
+  w.sim.run();
+
+  const auto stats = detector.stats();
+  EXPECT_EQ(stats.checks, 3u);
+  EXPECT_EQ(stats.outages_declared, 3u);
+  EXPECT_EQ(stats.probes_sent, 9u);  // full retry budget each round
+}
+
+TEST_F(DetectorFixture, FixedPolicyFalselyFlagsSlowHost) {
+  // 10 s latency: a 3 s fixed timeout sees nothing and declares outages.
+  hosts::Host host{w.ctx, target, plain_profile(SimTime::seconds(10)), util::Prng{1}};
+  resolver.put(target, &host);
+
+  FixedTimeoutPolicy policy{SimTime::seconds(3)};
+  OutageDetector detector{w.sim, w.net, config, policy};
+  detector.start({target});
+  w.sim.run();
+
+  EXPECT_EQ(detector.stats().outages_declared, 3u);
+  EXPECT_EQ(detector.stats().late_saves, 0u);
+}
+
+TEST_F(DetectorFixture, ListenLongerSavesSlowHost) {
+  hosts::Host host{w.ctx, target, plain_profile(SimTime::seconds(10)), util::Prng{1}};
+  resolver.put(target, &host);
+
+  ListenLongerPolicy policy{SimTime::seconds(3), SimTime::seconds(60)};
+  OutageDetector detector{w.sim, w.net, config, policy};
+  detector.start({target});
+  w.sim.run();
+
+  const auto stats = detector.stats();
+  EXPECT_EQ(stats.outages_declared, 0u);
+  EXPECT_EQ(stats.late_saves, 3u);
+  // The first probe's response arrives at 10 s, after retries were sent.
+  const auto& outcome = detector.outcomes().front();
+  EXPECT_TRUE(outcome.responded);
+  EXPECT_TRUE(outcome.responded_late);
+  EXPECT_EQ(outcome.probes_sent, 3u);
+}
+
+TEST_F(DetectorFixture, OutcomeRttRecorded) {
+  hosts::Host host{w.ctx, target, plain_profile(SimTime::millis(100)), util::Prng{1}};
+  resolver.put(target, &host);
+
+  ListenLongerPolicy policy;
+  OutageDetector detector{w.sim, w.net, config, policy};
+  detector.start({target});
+  w.sim.run();
+
+  for (const auto& outcome : detector.outcomes()) {
+    EXPECT_TRUE(outcome.responded);
+    EXPECT_FALSE(outcome.responded_late);
+    EXPECT_EQ(outcome.first_rtt, SimTime::millis(110));
+  }
+}
+
+TEST_F(DetectorFixture, ChecksAreStaggeredAcrossTargets) {
+  const auto t2 = net::Ipv4Address::from_octets(10, 0, 0, 4);
+  hosts::Host h1{w.ctx, target, plain_profile(SimTime::millis(50)), util::Prng{1}};
+  hosts::Host h2{w.ctx, t2, plain_profile(SimTime::millis(50)), util::Prng{2}};
+  resolver.put(target, &h1);
+  resolver.put(t2, &h2);
+
+  ListenLongerPolicy policy;
+  OutageDetector detector{w.sim, w.net, config, policy};
+  detector.start({target, t2});
+  w.sim.run();
+
+  EXPECT_EQ(detector.stats().checks, 6u);
+  // Outcomes for the two targets resolve at different instants.
+  SimTime first_a;
+  SimTime first_b;
+  for (const auto& o : detector.outcomes()) {
+    if (o.round == 0 && o.target == target) first_a = o.resolution_time;
+    if (o.round == 0 && o.target == t2) first_b = o.resolution_time;
+  }
+  EXPECT_NE(first_a, first_b);
+}
+
+TEST_F(DetectorFixture, StateCostGrowsWithGiveUp) {
+  // Dead target: with a fixed 3 s policy, state is held 3 s per probe;
+  // with listen-longer it is held 60 s after the last probe.
+  FixedTimeoutPolicy fixed{SimTime::seconds(3)};
+  OutageDetector d1{w.sim, w.net, config, fixed};
+  d1.start({target});
+  w.sim.run();
+
+  MiniWorld w2;
+  w2.net.set_host_resolver(&resolver);
+  ListenLongerPolicy listen{SimTime::seconds(3), SimTime::seconds(60)};
+  OutageDetector d2{w2.sim, w2.net, config, listen};
+  d2.start({target});
+  w2.sim.run();
+
+  EXPECT_GT(d2.stats().state_probe_seconds, d1.stats().state_probe_seconds * 3);
+}
+
+TEST_F(DetectorFixture, AdaptivePolicyLearnsPerDestination) {
+  // A host with 4 s latency: the adaptive policy starts at 3 s (cold) and
+  // after a few samples retransmits later than 4 s, so later checks need
+  // only one probe.
+  hosts::Host host{w.ctx, target, plain_profile(SimTime::seconds(4)), util::Prng{1}};
+  resolver.put(target, &host);
+
+  config.rounds = 8;
+  QuantileAdaptivePolicy policy{1.5};
+  OutageDetector detector{w.sim, w.net, config, policy};
+  detector.start({target});
+  w.sim.run();
+
+  const auto& outcomes = detector.outcomes();
+  ASSERT_EQ(outcomes.size(), 8u);
+  EXPECT_GT(outcomes.front().probes_sent, 1u);  // cold start retried
+  EXPECT_EQ(outcomes.back().probes_sent, 1u);   // learned to wait
+  EXPECT_EQ(detector.stats().outages_declared, 0u);
+}
+
+}  // namespace
+}  // namespace turtle::core

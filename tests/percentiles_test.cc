@@ -1,0 +1,136 @@
+#include "analysis/percentiles.h"
+
+#include <gtest/gtest.h>
+
+namespace turtle::analysis {
+namespace {
+
+AddressReport report(std::uint32_t addr, std::vector<double> rtts) {
+  AddressReport r;
+  r.address = net::Ipv4Address{addr};
+  r.rtts_s = std::move(rtts);
+  return r;
+}
+
+TEST(PerAddressPercentiles, SkipsSparseAddresses) {
+  std::vector<AddressReport> reports;
+  reports.push_back(report(1, {0.1, 0.2}));                      // too few
+  reports.push_back(report(2, {0.1, 0.2, 0.3, 0.4, 0.5, 0.6}));  // enough
+  const double ps[] = {50};
+  const auto pap = PerAddressPercentiles::compute(reports, ps, /*min_samples=*/5);
+  EXPECT_EQ(pap.address_count(), 1u);
+}
+
+TEST(PerAddressPercentiles, ValuesAreAddressPercentiles) {
+  std::vector<AddressReport> reports;
+  reports.push_back(report(1, {1, 2, 3, 4, 5}));
+  reports.push_back(report(2, {10, 20, 30, 40, 50}));
+  const double ps[] = {1, 50, 99};
+  const auto pap = PerAddressPercentiles::compute(reports, ps, 5);
+  ASSERT_EQ(pap.values.size(), 3u);
+  ASSERT_EQ(pap.values[1].size(), 2u);
+  EXPECT_DOUBLE_EQ(pap.values[1][0], 3.0);
+  EXPECT_DOUBLE_EQ(pap.values[1][1], 30.0);
+}
+
+TEST(PerAddressPercentiles, CdfSeries) {
+  std::vector<AddressReport> reports;
+  for (int i = 1; i <= 20; ++i) {
+    reports.push_back(report(static_cast<std::uint32_t>(i),
+                             std::vector<double>(10, static_cast<double>(i))));
+  }
+  const double ps[] = {50};
+  const auto pap = PerAddressPercentiles::compute(reports, ps, 5);
+  const auto cdf = pap.cdf_for(0);
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.front().x, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().x, 20.0);
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
+TEST(TimeoutMatrix, MatchesHandComputedCells) {
+  // 100 addresses; address k's latency samples are all k/100 seconds, so
+  // every per-address percentile equals k/100, and the matrix cell (r, c)
+  // is simply the r-th percentile of {0.01..1.00}.
+  std::vector<AddressReport> reports;
+  for (int k = 1; k <= 100; ++k) {
+    reports.push_back(report(static_cast<std::uint32_t>(k),
+                             std::vector<double>(10, k / 100.0)));
+  }
+  const double cols[] = {50, 99};
+  const auto pap = PerAddressPercentiles::compute(reports, cols, 5);
+  const double rows[] = {50, 95};
+  const auto matrix = TimeoutMatrix::compute(pap, rows);
+
+  ASSERT_EQ(matrix.cells.size(), 2u);
+  ASSERT_EQ(matrix.cells[0].size(), 2u);
+  EXPECT_NEAR(matrix.cell(0, 0), 0.505, 0.01);  // 50th pct of 0.01..1.00
+  EXPECT_NEAR(matrix.cell(1, 0), 0.95, 0.011);
+  // Same across columns: every address's samples are constant.
+  EXPECT_NEAR(matrix.cell(0, 1), matrix.cell(0, 0), 1e-9);
+}
+
+TEST(TimeoutMatrix, MonotoneBothAxes) {
+  // Heterogeneous samples: matrix must be monotone in rows and columns.
+  std::vector<AddressReport> reports;
+  for (int k = 0; k < 50; ++k) {
+    std::vector<double> rtts;
+    for (int j = 0; j < 20; ++j) {
+      rtts.push_back(0.05 + 0.01 * k + 0.2 * j * (k % 7));
+    }
+    reports.push_back(report(static_cast<std::uint32_t>(k + 1), std::move(rtts)));
+  }
+  const double cols[] = {1, 50, 80, 95, 99};
+  const auto pap = PerAddressPercentiles::compute(reports, cols, 5);
+  const double rows[] = {1, 50, 90, 99};
+  const auto matrix = TimeoutMatrix::compute(pap, rows);
+
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 1; c < 5; ++c) {
+      EXPECT_GE(matrix.cell(r, c), matrix.cell(r, c - 1)) << r << "," << c;
+    }
+  }
+  for (std::size_t c = 0; c < 5; ++c) {
+    for (std::size_t r = 1; r < 4; ++r) {
+      EXPECT_GE(matrix.cell(r, c), matrix.cell(r - 1, c)) << r << "," << c;
+    }
+  }
+}
+
+TEST(PooledPingPercentiles, WeightsPingsNotAddresses) {
+  // One chatty fast host (90 pings at 0.1 s) and one quiet slow host
+  // (10 pings at 10 s): the pooled p50 is fast, but per-address medians
+  // split 50/50.
+  std::vector<AddressReport> reports;
+  reports.push_back(report(1, std::vector<double>(90, 0.1)));
+  reports.push_back(report(2, std::vector<double>(10, 10.0)));
+
+  const double ps[] = {50, 95};
+  const auto pooled = pooled_ping_percentiles(reports, ps);
+  EXPECT_DOUBLE_EQ(pooled[0], 0.1);   // pings dominated by the chatty host
+  EXPECT_DOUBLE_EQ(pooled[1], 10.0);  // but the tail is the slow host
+
+  const auto pap = PerAddressPercentiles::compute(reports, ps, 5);
+  const double rows[] = {50};
+  const auto matrix = TimeoutMatrix::compute(pap, rows);
+  EXPECT_NEAR(matrix.cell(0, 0), 5.05, 0.01);  // addresses weighted equally
+}
+
+TEST(PooledPingPercentiles, EmptyInput) {
+  const double ps[] = {50, 99};
+  const auto pooled = pooled_ping_percentiles({}, ps);
+  ASSERT_EQ(pooled.size(), 2u);
+  EXPECT_EQ(pooled[0], 0.0);
+  EXPECT_EQ(pooled[1], 0.0);
+}
+
+TEST(TimeoutMatrix, EmptyInputYieldsZeros) {
+  const double cols[] = {50};
+  const auto pap = PerAddressPercentiles::compute({}, cols, 5);
+  const double rows[] = {50};
+  const auto matrix = TimeoutMatrix::compute(pap, rows);
+  EXPECT_EQ(matrix.cell(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace turtle::analysis

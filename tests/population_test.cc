@@ -1,0 +1,241 @@
+#include "hosts/population.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_world.h"
+
+namespace turtle::hosts {
+namespace {
+
+struct PopulationFixture : ::testing::Test {
+  test::MiniWorld w;
+  AsCatalog catalog = AsCatalog::standard();
+
+  std::unique_ptr<Population> build(PopulationConfig config, std::uint64_t seed = 1) {
+    auto pop = std::make_unique<Population>(w.ctx, catalog, config, util::Prng{seed});
+    w.net.set_host_resolver(pop.get());
+    return pop;
+  }
+};
+
+TEST_F(PopulationFixture, BlockCountMatchesConfig) {
+  PopulationConfig cfg;
+  cfg.num_blocks = 200;
+  auto pop = build(cfg);
+  EXPECT_EQ(pop->blocks().size(), 200u);
+  EXPECT_EQ(pop->stats().blocks, 200u);
+  EXPECT_EQ(pop->geo().block_count(), 200u);
+}
+
+TEST_F(PopulationFixture, ResponsiveFractionPlausible) {
+  PopulationConfig cfg;
+  cfg.num_blocks = 300;
+  auto pop = build(cfg);
+  const auto stats = pop->stats();
+  const double frac =
+      static_cast<double>(stats.hosts) / (static_cast<double>(cfg.num_blocks) * 256);
+  // Catalog responsive fractions are ~0.15-0.30.
+  EXPECT_GT(frac, 0.12);
+  EXPECT_LT(frac, 0.35);
+}
+
+TEST_F(PopulationFixture, HostTypeMixMatchesPaperShape) {
+  PopulationConfig cfg;
+  cfg.num_blocks = 600;
+  auto pop = build(cfg);
+  const auto stats = pop->stats();
+  const double cellular = static_cast<double>(stats.cellular) / stats.hosts;
+  const double satellite = static_cast<double>(stats.satellite) / stats.hosts;
+  // ~5-10% cellular (the paper's "5% of addresses are turtles" driver),
+  // satellite a small minority.
+  EXPECT_GT(cellular, 0.04);
+  EXPECT_LT(cellular, 0.13);
+  EXPECT_GT(satellite, 0.001);
+  EXPECT_LT(satellite, 0.03);
+}
+
+TEST_F(PopulationFixture, DeterministicForSeed) {
+  PopulationConfig cfg;
+  cfg.num_blocks = 100;
+  auto pop1 = std::make_unique<Population>(w.ctx, catalog, cfg, util::Prng{42});
+  auto pop2 = std::make_unique<Population>(w.ctx, catalog, cfg, util::Prng{42});
+  EXPECT_EQ(pop1->stats().hosts, pop2->stats().hosts);
+  EXPECT_EQ(pop1->responsive_addresses(), pop2->responsive_addresses());
+  EXPECT_EQ(pop1->broadcast_responders(), pop2->broadcast_responders());
+}
+
+TEST_F(PopulationFixture, DifferentSeedsDiffer) {
+  PopulationConfig cfg;
+  cfg.num_blocks = 100;
+  auto pop1 = std::make_unique<Population>(w.ctx, catalog, cfg, util::Prng{1});
+  auto pop2 = std::make_unique<Population>(w.ctx, catalog, cfg, util::Prng{2});
+  EXPECT_NE(pop1->responsive_addresses(), pop2->responsive_addresses());
+}
+
+TEST_F(PopulationFixture, ResolveFindsEveryResponsiveAddress) {
+  PopulationConfig cfg;
+  cfg.num_blocks = 80;
+  auto pop = build(cfg);
+  for (const auto addr : pop->responsive_addresses()) {
+    net::Packet p;
+    p.dst = addr;
+    p.protocol = net::Protocol::kIcmp;
+    ASSERT_NE(pop->resolve(p), nullptr) << addr.to_string();
+    ASSERT_NE(pop->host_at(addr), nullptr);
+    ASSERT_EQ(pop->host_at(addr)->address(), addr);
+  }
+}
+
+TEST_F(PopulationFixture, ResolveOutsideUniverseIsNull) {
+  PopulationConfig cfg;
+  cfg.num_blocks = 10;
+  auto pop = build(cfg);
+  net::Packet p;
+  p.dst = net::Ipv4Address::from_octets(8, 8, 8, 8);
+  EXPECT_EQ(pop->resolve(p), nullptr);
+  EXPECT_EQ(pop->host_at(p.dst), nullptr);
+}
+
+TEST_F(PopulationFixture, BroadcastAddressesResolveToGateway) {
+  PopulationConfig cfg;
+  cfg.num_blocks = 400;
+  auto pop = build(cfg);
+  const auto stats = pop->stats();
+  ASSERT_GT(stats.broadcast_addresses, 0u);
+
+  std::size_t checked = 0;
+  for (const auto prefix : pop->blocks()) {
+    for (const std::uint8_t octet : {0, 127, 128, 255}) {
+      const auto addr = prefix.address(octet);
+      if (!pop->is_broadcast_address(addr)) continue;
+      net::Packet p;
+      p.dst = addr;
+      p.protocol = net::Protocol::kIcmp;
+      ASSERT_NE(pop->resolve(p), nullptr);
+      ASSERT_EQ(pop->host_at(addr), nullptr);  // never a live host
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_F(PopulationFixture, BroadcastTogglesOff) {
+  PopulationConfig cfg;
+  cfg.num_blocks = 200;
+  cfg.enable_broadcast = false;
+  auto pop = build(cfg);
+  EXPECT_EQ(pop->stats().broadcast_addresses, 0u);
+  EXPECT_TRUE(pop->broadcast_responders().empty());
+}
+
+TEST_F(PopulationFixture, FirewallInterceptsTcpOnly) {
+  PopulationConfig cfg;
+  cfg.num_blocks = 400;
+  cfg.firewall_block_prob = 0.5;  // make firewalled blocks common
+  auto pop = build(cfg);
+  ASSERT_GT(pop->stats().firewalled_blocks, 0u);
+
+  // Find a firewalled block with at least one live host: TCP and ICMP to
+  // the same address must resolve to different sinks.
+  bool verified = false;
+  for (const auto addr : pop->responsive_addresses()) {
+    net::Packet icmp;
+    icmp.dst = addr;
+    icmp.protocol = net::Protocol::kIcmp;
+    net::Packet tcp = icmp;
+    tcp.protocol = net::Protocol::kTcp;
+    if (pop->resolve(tcp) != pop->resolve(icmp)) {
+      verified = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(verified);
+}
+
+TEST_F(PopulationFixture, GeoLookupCoversAllBlocks) {
+  PopulationConfig cfg;
+  cfg.num_blocks = 150;
+  auto pop = build(cfg);
+  std::set<std::uint32_t> asns;
+  for (const auto prefix : pop->blocks()) {
+    const AsTraits* as = pop->geo().lookup(prefix.address(1));
+    ASSERT_NE(as, nullptr);
+    asns.insert(as->asn);
+  }
+  // The interleaved allocation should spread many ASes across the range.
+  EXPECT_GT(asns.size(), 10u);
+}
+
+TEST_F(PopulationFixture, GroundTruthBroadcastRespondersAnswerBroadcast) {
+  PopulationConfig cfg;
+  cfg.num_blocks = 300;
+  auto pop = build(cfg);
+  for (const auto addr : pop->broadcast_responders()) {
+    const Host* host = pop->host_at(addr);
+    ASSERT_NE(host, nullptr);
+  }
+  EXPECT_EQ(pop->stats().broadcast_responders, pop->broadcast_responders().size());
+}
+
+TEST_F(PopulationFixture, SeverityScaleIncreasesSlowHosts) {
+  PopulationConfig mild;
+  mild.num_blocks = 150;
+  mild.severity_scale = 0.2;
+  PopulationConfig severe = mild;
+  severe.severity_scale = 5.0;
+
+  auto pop_mild = std::make_unique<Population>(w.ctx, catalog, mild, util::Prng{3});
+  auto pop_severe = std::make_unique<Population>(w.ctx, catalog, severe, util::Prng{3});
+  // Same seed: same host layout; severity only changes latency params.
+  EXPECT_EQ(pop_mild->stats().hosts, pop_severe->stats().hosts);
+}
+
+TEST_F(PopulationFixture, SatelliteAsesExistAtScale) {
+  PopulationConfig cfg;
+  cfg.num_blocks = 1000;
+  auto pop = build(cfg);
+  std::size_t satellite_blocks = 0;
+  for (const auto prefix : pop->blocks()) {
+    const AsTraits* as = pop->geo().lookup(prefix.address(1));
+    if (as->kind == AsKind::kSatellite) ++satellite_blocks;
+  }
+  EXPECT_GT(satellite_blocks, 3u);
+}
+
+TEST(AsCatalog, StandardCatalogShape) {
+  const auto catalog = AsCatalog::standard();
+  EXPECT_GT(catalog.size(), 20u);
+  std::size_t cellular = 0;
+  std::size_t satellite = 0;
+  std::set<std::uint32_t> asns;
+  for (const auto& as : catalog.list()) {
+    EXPECT_FALSE(as.owner.empty());
+    EXPECT_GT(as.block_weight, 0.0);
+    EXPECT_GT(as.responsive_fraction, 0.0);
+    EXPECT_LE(as.responsive_fraction, 1.0);
+    asns.insert(as.asn);
+    if (as.kind == AsKind::kCellular) ++cellular;
+    if (as.kind == AsKind::kSatellite) ++satellite;
+  }
+  EXPECT_EQ(asns.size(), catalog.size());  // unique ASNs
+  EXPECT_GE(cellular, 8u);                 // Table 4 needs a top-10
+  EXPECT_GE(satellite, 9u);                // Figure 11's nine providers
+}
+
+TEST(AsCatalog, ScaleKnobsApply) {
+  const auto base = AsCatalog::standard(1.0, 1.0);
+  const auto scaled = AsCatalog::standard(2.0, 3.0);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (base[i].kind == AsKind::kCellular) {
+      EXPECT_DOUBLE_EQ(scaled[i].block_weight, base[i].block_weight * 2.0);
+      EXPECT_DOUBLE_EQ(scaled[i].severity, base[i].severity * 3.0);
+    } else if (base[i].kind == AsKind::kWireline) {
+      EXPECT_DOUBLE_EQ(scaled[i].block_weight, base[i].block_weight);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace turtle::hosts

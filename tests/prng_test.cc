@@ -1,0 +1,202 @@
+#include "util/prng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace turtle::util {
+namespace {
+
+TEST(Prng, DeterministicForSameSeed) {
+  Prng a{42};
+  Prng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Prng a{1};
+  Prng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Prng, SeedZeroIsWellMixed) {
+  Prng rng{0};
+  // A poorly-seeded xoshiro returns long runs of zero.
+  int zeros = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (rng.next_u64() == 0) ++zeros;
+  }
+  EXPECT_EQ(zeros, 0);
+}
+
+TEST(Prng, UniformInUnitInterval) {
+  Prng rng{7};
+  double sum = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100'000, 0.5, 0.01);
+}
+
+TEST(Prng, UniformRangeRespectsBounds) {
+  Prng rng{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.uniform(2.5, 7.5);
+    ASSERT_GE(v, 2.5);
+    ASSERT_LT(v, 7.5);
+  }
+}
+
+TEST(Prng, UniformIntUnbiasedSmallRange) {
+  Prng rng{11};
+  std::vector<int> counts(6, 0);
+  const int draws = 120'000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform_int(6)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / draws, 1.0 / 6, 0.01);
+  }
+}
+
+TEST(Prng, UniformRangeInclusive) {
+  Prng rng{13};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.uniform_range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, BernoulliMatchesProbability) {
+  Prng rng{17};
+  int hits = 0;
+  const int draws = 100'000;
+  for (int i = 0; i < draws; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / draws, 0.3, 0.01);
+}
+
+TEST(Prng, ExponentialMeanMatches) {
+  Prng rng{19};
+  double sum = 0;
+  const int draws = 200'000;
+  for (int i = 0; i < draws; ++i) sum += rng.exponential(2.5);
+  EXPECT_NEAR(sum / draws, 2.5, 0.05);
+}
+
+TEST(Prng, NormalMomentsMatch) {
+  Prng rng{23};
+  double sum = 0;
+  double sumsq = 0;
+  const int draws = 200'000;
+  for (int i = 0; i < draws; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / draws, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / draws, 1.0, 0.03);
+}
+
+TEST(Prng, LognormalMedianMatches) {
+  Prng rng{29};
+  std::vector<double> draws;
+  for (int i = 0; i < 50'001; ++i) draws.push_back(rng.lognormal(std::log(3.0), 0.8));
+  std::nth_element(draws.begin(), draws.begin() + 25'000, draws.end());
+  EXPECT_NEAR(draws[25'000], 3.0, 0.15);
+}
+
+TEST(Prng, ParetoSupportAndTail) {
+  Prng rng{31};
+  int above_10 = 0;
+  const int draws = 100'000;
+  for (int i = 0; i < draws; ++i) {
+    const double x = rng.pareto(2.0, 1.0);
+    ASSERT_GE(x, 2.0);
+    if (x > 10.0) ++above_10;
+  }
+  // P(X > 10) = (2/10)^1 = 0.2.
+  EXPECT_NEAR(static_cast<double>(above_10) / draws, 0.2, 0.01);
+}
+
+TEST(Prng, WeibullShapeOneIsExponential) {
+  Prng rng{37};
+  double sum = 0;
+  const int draws = 100'000;
+  for (int i = 0; i < draws; ++i) sum += rng.weibull(1.0, 4.0);
+  EXPECT_NEAR(sum / draws, 4.0, 0.1);  // Weibull(1, λ) mean = λ
+}
+
+TEST(Prng, ForkIsDeterministicAndIndependent) {
+  const Prng parent{99};
+  Prng child1 = parent.fork(5);
+  Prng child1_again = parent.fork(5);
+  Prng child2 = parent.fork(6);
+
+  EXPECT_EQ(child1.next_u64(), child1_again.next_u64());
+  // Adjacent streams should not correlate.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child1.next_u64() == child2.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Prng, ForkDoesNotPerturbParent) {
+  Prng a{5};
+  Prng b{5};
+  (void)a.fork(1);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(ZipfSampler, RankZeroMostProbable) {
+  Prng rng{41};
+  ZipfSampler zipf{10, 1.0};
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100'000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[5]);
+  // Zipf(1): P(rank 0) / P(rank 1) = 2.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[1], 2.0, 0.2);
+}
+
+TEST(ZipfSampler, ExponentZeroIsUniform) {
+  Prng rng{43};
+  ZipfSampler zipf{4, 0.0};
+  std::vector<int> counts(4, 0);
+  const int draws = 100'000;
+  for (int i = 0; i < draws; ++i) ++counts[zipf.sample(rng)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / draws, 0.25, 0.01);
+  }
+}
+
+// Property sweep: uniform_int never exceeds its bound for many bounds.
+class UniformIntBound : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UniformIntBound, StaysBelowBound) {
+  Prng rng{GetParam()};
+  const std::uint64_t n = GetParam();
+  for (int i = 0; i < 2000; ++i) ASSERT_LT(rng.uniform_int(n), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, UniformIntBound,
+                         ::testing::Values(1, 2, 3, 7, 256, 1000, 65536, 1'000'000'007ULL));
+
+}  // namespace
+}  // namespace turtle::util

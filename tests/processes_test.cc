@@ -1,0 +1,146 @@
+#include "sim/processes.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace turtle::sim {
+namespace {
+
+TEST(OnOffProcess, StartsOff) {
+  OnOffProcess::Params params;
+  params.mean_off = SimTime::hours(1);
+  OnOffProcess p{params, util::Prng{1}};
+  EXPECT_FALSE(p.on_at(SimTime{}));
+}
+
+TEST(OnOffProcess, EventuallyTurnsOnAndOff) {
+  OnOffProcess::Params params;
+  params.mean_off = SimTime::seconds(100);
+  params.on_median = SimTime::seconds(50);
+  params.on_sigma = 0.5;
+  OnOffProcess p{params, util::Prng{2}};
+
+  bool saw_on = false;
+  bool saw_off_after_on = false;
+  for (std::int64_t t = 0; t < 100'000; t += 5) {
+    const bool on = p.on_at(SimTime::seconds(t));
+    if (on) saw_on = true;
+    if (saw_on && !on) saw_off_after_on = true;
+  }
+  EXPECT_TRUE(saw_on);
+  EXPECT_TRUE(saw_off_after_on);
+}
+
+TEST(OnOffProcess, DutyCycleMatchesParams) {
+  OnOffProcess::Params params;
+  params.mean_off = SimTime::seconds(300);
+  params.on_median = SimTime::seconds(60);
+  params.on_sigma = 0.8;
+  // E[on] = 60 * exp(0.8^2/2) ~ 82.6 s; duty ~ 82.6 / 382.6 ~ 0.216.
+  OnOffProcess p{params, util::Prng{3}};
+  std::int64_t on_samples = 0;
+  const std::int64_t total = 2'000'000;
+  for (std::int64_t t = 0; t < total; t += 1) {
+    if (p.on_at(SimTime::seconds(t))) ++on_samples;
+  }
+  const double duty = static_cast<double>(on_samples) / static_cast<double>(total);
+  EXPECT_NEAR(duty, 0.216, 0.03);
+}
+
+TEST(OnOffProcess, EpisodeIntervalConsistent) {
+  OnOffProcess::Params params;
+  params.mean_off = SimTime::seconds(50);
+  params.on_median = SimTime::seconds(20);
+  OnOffProcess p{params, util::Prng{4}};
+  // Find an on instant, then its interval must contain it.
+  for (std::int64_t t = 0; t < 10'000; ++t) {
+    if (p.on_at(SimTime::seconds(t))) {
+      EXPECT_LE(p.current_on_start(), SimTime::seconds(t));
+      EXPECT_GT(p.current_on_end(), SimTime::seconds(t));
+      break;
+    }
+  }
+}
+
+TEST(BacklogProcess, ZeroWithoutLoad) {
+  BacklogProcess::Params params;
+  params.episodes.mean_off = SimTime::hours(1000);  // effectively never
+  BacklogProcess p{params, util::Prng{5}};
+  for (std::int64_t t = 0; t < 1000; t += 10) {
+    EXPECT_TRUE(p.backlog_at(SimTime::seconds(t)).is_zero());
+  }
+}
+
+TEST(BacklogProcess, FillsAndDrains) {
+  BacklogProcess::Params params;
+  params.episodes.mean_off = SimTime::seconds(200);
+  params.episodes.on_median = SimTime::seconds(100);
+  params.episodes.on_sigma = 0.1;
+  params.fill_rate = 0.5;
+  params.drain_rate = 0.5;
+  params.cap = SimTime::seconds(60);
+  BacklogProcess p{params, util::Prng{6}};
+
+  double max_backlog = 0;
+  bool drained_after_peak = false;
+  double peak = 0;
+  for (std::int64_t t = 0; t < 100'000; ++t) {
+    const double b = p.backlog_at(SimTime::seconds(t)).as_seconds();
+    ASSERT_GE(b, 0.0);
+    ASSERT_LE(b, 60.0 + 1e-9);
+    if (b > max_backlog) max_backlog = b;
+    if (b > peak) peak = b;
+    if (peak > 10 && b < 0.01) drained_after_peak = true;
+  }
+  EXPECT_GT(max_backlog, 5.0);
+  EXPECT_TRUE(drained_after_peak);
+}
+
+TEST(BacklogProcess, LoadedFlagTracksEpisodes) {
+  BacklogProcess::Params params;
+  params.episodes.mean_off = SimTime::seconds(100);
+  params.episodes.on_median = SimTime::seconds(50);
+  BacklogProcess p{params, util::Prng{7}};
+  bool saw_loaded = false;
+  bool saw_unloaded = false;
+  for (std::int64_t t = 0; t < 10'000; t += 3) {
+    (void)p.backlog_at(SimTime::seconds(t));
+    (p.loaded() ? saw_loaded : saw_unloaded) = true;
+  }
+  EXPECT_TRUE(saw_loaded);
+  EXPECT_TRUE(saw_unloaded);
+}
+
+TEST(BottleneckQueue, NoWaitWhenIdle) {
+  BottleneckQueue q{SimTime::millis(10), SimTime::seconds(1)};
+  EXPECT_EQ(q.offer(SimTime::seconds(5)), SimTime::millis(10));
+  // Long after the last departure: again only service time.
+  EXPECT_EQ(q.offer(SimTime::seconds(50)), SimTime::millis(10));
+}
+
+TEST(BottleneckQueue, BackToBackQueues) {
+  BottleneckQueue q{SimTime::millis(100), SimTime::seconds(10)};
+  EXPECT_EQ(q.offer(SimTime{}), SimTime::millis(100));
+  EXPECT_EQ(q.offer(SimTime{}), SimTime::millis(200));
+  EXPECT_EQ(q.offer(SimTime{}), SimTime::millis(300));
+}
+
+TEST(BottleneckQueue, TailDropsWhenFull) {
+  BottleneckQueue q{SimTime::seconds(1), SimTime::seconds(2)};
+  EXPECT_FALSE(q.offer(SimTime{}).is_negative());
+  EXPECT_FALSE(q.offer(SimTime{}).is_negative());
+  EXPECT_FALSE(q.offer(SimTime{}).is_negative());  // waits exactly 2 s
+  EXPECT_TRUE(q.offer(SimTime{}).is_negative());   // would wait 3 s: drop
+}
+
+TEST(BottleneckQueue, DropDoesNotOccupyServer) {
+  BottleneckQueue q{SimTime::seconds(1), SimTime::millis(500)};
+  EXPECT_FALSE(q.offer(SimTime{}).is_negative());
+  EXPECT_TRUE(q.offer(SimTime{}).is_negative());  // dropped
+  // After the first packet departs, service is immediate again.
+  EXPECT_EQ(q.offer(SimTime::seconds(1)), SimTime::seconds(1));
+}
+
+}  // namespace
+}  // namespace turtle::sim

@@ -1,0 +1,164 @@
+// Property sweeps over the host behaviour models: latency floors, caps,
+// and conservation properties must hold across the profile parameter
+// space, not just for the defaults.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "hosts/host.h"
+#include "test_world.h"
+
+namespace turtle::hosts {
+namespace {
+
+using test::MiniWorld;
+using test::plain_profile;
+
+const net::Ipv4Address kAddr = net::Ipv4Address::from_octets(10, 0, 0, 9);
+
+struct LatencyCase {
+  std::int64_t base_ms;
+  std::int64_t jitter_ms;
+  double jitter_sigma;
+};
+
+class ResidentialLatency : public ::testing::TestWithParam<LatencyCase> {};
+
+TEST_P(ResidentialLatency, RttNeverBelowBasePlusTransit) {
+  const auto param = GetParam();
+  MiniWorld w;
+  auto profile = plain_profile(SimTime::millis(param.base_ms));
+  profile.jitter_scale = SimTime::millis(param.jitter_ms);
+  profile.jitter_sigma = param.jitter_sigma;
+  Host host{w.ctx, kAddr, profile, util::Prng{7}};
+  w.net.attach_endpoint(kAddr, &host);
+
+  for (int i = 0; i < 60; ++i) {
+    w.ping_at(SimTime::seconds(700 * i), kAddr, static_cast<std::uint16_t>(i));
+  }
+  w.sim.run();
+
+  ASSERT_EQ(w.vantage.times.size(), 60u);
+  for (std::size_t i = 0; i < 60; ++i) {
+    const SimTime rtt =
+        w.vantage.times[i] - SimTime::seconds(700 * static_cast<std::int64_t>(i));
+    // Floor: base + 2x transit. Jitter is strictly additive.
+    ASSERT_GE(rtt, SimTime::millis(param.base_ms + 10));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ResidentialLatency,
+                         ::testing::Values(LatencyCase{10, 1, 0.3}, LatencyCase{50, 5, 0.8},
+                                           LatencyCase{150, 20, 1.2},
+                                           LatencyCase{400, 50, 1.0}));
+
+class SatelliteCap : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(SatelliteCap, QueueDelayCappedAtConfiguredValue) {
+  const std::int64_t cap_ms = GetParam();
+  MiniWorld w;
+  auto profile = plain_profile(SimTime::millis(550));
+  profile.type = HostType::kSatellite;
+  profile.satellite.queue_median = SimTime::millis(200);
+  profile.satellite.queue_sigma = 1.5;  // fat tail: the cap must bite
+  profile.satellite.queue_cap = SimTime::millis(cap_ms);
+  Host host{w.ctx, kAddr, profile, util::Prng{11}};
+  w.net.attach_endpoint(kAddr, &host);
+
+  for (int i = 0; i < 100; ++i) {
+    w.ping_at(SimTime::seconds(20 * i), kAddr, static_cast<std::uint16_t>(i));
+  }
+  w.sim.run();
+
+  ASSERT_EQ(w.vantage.times.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    const SimTime rtt =
+        w.vantage.times[i] - SimTime::seconds(20 * static_cast<std::int64_t>(i));
+    ASSERT_LE(rtt, SimTime::millis(550 + cap_ms + 10 + 1));
+    ASSERT_GE(rtt, SimTime::millis(550 + 10));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, SatelliteCap, ::testing::Values(500, 1100, 2200, 2800));
+
+class WakeupSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(WakeupSweep, FirstPingCarriesConfiguredWakeup) {
+  const std::int64_t wake_ms = GetParam();
+  MiniWorld w;
+  auto profile = plain_profile(SimTime::millis(100));
+  profile.type = HostType::kCellular;
+  profile.cellular.wakeup_prob = 1.0;
+  profile.cellular.wakeup_median = SimTime::millis(wake_ms);
+  profile.cellular.wakeup_sigma = 0.0;
+  profile.cellular.idle_timeout = SimTime::seconds(15);
+  profile.cellular.disconnect.mean_off = SimTime::hours(100000);
+  profile.cellular.congestion.episodes.mean_off = SimTime::hours(100000);
+  Host host{w.ctx, kAddr, profile, util::Prng{13}};
+  w.net.attach_endpoint(kAddr, &host);
+
+  w.ping_at(SimTime::seconds(100), kAddr, 0);
+  w.ping_at(SimTime::seconds(101), kAddr, 1);
+  w.sim.run();
+
+  ASSERT_EQ(w.vantage.packets.size(), 2u);
+  std::map<int, SimTime> rtt_by_seq;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto msg = net::parse_icmp(w.vantage.packets[i].payload.view());
+    ASSERT_TRUE(msg.has_value());
+    rtt_by_seq[msg->seq] = w.vantage.times[i] - SimTime::seconds(100 + msg->seq);
+  }
+  EXPECT_EQ(rtt_by_seq[0], SimTime::millis(110 + wake_ms));
+  EXPECT_EQ(rtt_by_seq[1], SimTime::millis(110));
+}
+
+INSTANTIATE_TEST_SUITE_P(Wakeups, WakeupSweep, ::testing::Values(300, 1370, 4000, 9000));
+
+class BufferCapacitySweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BufferCapacitySweep, ExactlyCapacityResponsesSurviveAnEpisode) {
+  const std::uint32_t capacity = GetParam();
+  MiniWorld w;
+  auto profile = plain_profile(SimTime::millis(100));
+  profile.type = HostType::kCellular;
+  profile.cellular.wakeup_prob = 0.0;
+  profile.cellular.disconnect.mean_off = SimTime::seconds(1);
+  profile.cellular.disconnect.on_median = SimTime::seconds(400);
+  profile.cellular.disconnect.on_sigma = 0.0;
+  profile.cellular.buffer_prob = 1.0;
+  profile.cellular.buffer_capacity = capacity;
+  profile.cellular.congestion.episodes.mean_off = SimTime::hours(100000);
+  Host host{w.ctx, kAddr, profile, util::Prng{17}};
+  w.net.attach_endpoint(kAddr, &host);
+
+  // 30 probes well inside the first episode.
+  for (int i = 0; i < 30; ++i) {
+    w.ping_at(SimTime::seconds(50 + i), kAddr, static_cast<std::uint16_t>(i));
+  }
+  w.sim.run();
+  EXPECT_EQ(w.vantage.times.size(), std::min<std::uint32_t>(capacity, 30));
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, BufferCapacitySweep, ::testing::Values(1, 2, 5, 30, 256));
+
+TEST(HostProperty, ResponsesNeverExceedRequestsForPlainHosts) {
+  // Conservation: a non-duplicating host sends at most one response per
+  // request, across a long mixed workload.
+  MiniWorld w;
+  auto profile = plain_profile(SimTime::millis(80));
+  profile.respond_prob = 0.7;
+  Host host{w.ctx, kAddr, profile, util::Prng{19}};
+  w.net.attach_endpoint(kAddr, &host);
+
+  const int probes = 500;
+  for (int i = 0; i < probes; ++i) {
+    w.ping_at(SimTime::millis(1500 * i), kAddr, static_cast<std::uint16_t>(i));
+  }
+  w.sim.run();
+  EXPECT_LE(w.vantage.total_packets(), static_cast<std::uint64_t>(probes));
+  // respond_prob should roughly hold.
+  EXPECT_NEAR(static_cast<double>(w.vantage.total_packets()) / probes, 0.7, 0.08);
+}
+
+}  // namespace
+}  // namespace turtle::hosts

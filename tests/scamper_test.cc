@@ -1,0 +1,194 @@
+#include "probe/scamper.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "hosts/gateways.h"
+#include "hosts/host.h"
+#include "test_world.h"
+
+namespace turtle::probe {
+namespace {
+
+using test::MiniWorld;
+using test::plain_profile;
+
+class ManualResolver : public sim::AddressResolver {
+ public:
+  sim::PacketSink* resolve(const net::Packet& packet) override {
+    const auto it = sinks_.find(packet.dst.value());
+    return it == sinks_.end() ? nullptr : it->second;
+  }
+  void put(net::Ipv4Address addr, sim::PacketSink* sink) { sinks_[addr.value()] = sink; }
+
+ private:
+  std::map<std::uint32_t, sim::PacketSink*> sinks_;
+};
+
+struct ScamperFixture : ::testing::Test {
+  MiniWorld w;
+  ManualResolver resolver;
+  net::Ipv4Address vantage = net::Ipv4Address::from_octets(192, 0, 2, 50);
+  net::Ipv4Address target = net::Ipv4Address::from_octets(10, 0, 0, 8);
+
+  ScamperFixture() { w.net.set_host_resolver(&resolver); }
+};
+
+TEST_F(ScamperFixture, IcmpStreamMatchesEveryProbe) {
+  hosts::Host host{w.ctx, target, plain_profile(SimTime::millis(70)), util::Prng{1}};
+  resolver.put(target, &host);
+
+  ScamperProber prober{w.sim, w.net, vantage};
+  prober.ping(target, 5, SimTime::seconds(1), ProbeProtocol::kIcmp, SimTime{});
+  w.sim.run();
+
+  const auto results = prober.results(target);
+  ASSERT_EQ(results.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(results[i].seq, i);
+    ASSERT_TRUE(results[i].rtt.has_value());
+    EXPECT_EQ(*results[i].rtt, SimTime::millis(80));
+    EXPECT_EQ(results[i].send_time, SimTime::seconds(static_cast<std::int64_t>(i)));
+  }
+  EXPECT_EQ(prober.probes_sent(), 5u);
+  EXPECT_EQ(prober.responses_received(), 5u);
+}
+
+TEST_F(ScamperFixture, TimeoutAppliedAtQueryTime) {
+  // 4 s latency: invisible with scamper's default 2 s timeout, visible
+  // with the tcpdump-style indefinite capture — the paper's methodology.
+  hosts::Host host{w.ctx, target, plain_profile(SimTime::seconds(4)), util::Prng{1}};
+  resolver.put(target, &host);
+
+  ScamperProber prober{w.sim, w.net, vantage};
+  prober.ping(target, 3, SimTime::seconds(10), ProbeProtocol::kIcmp, SimTime{});
+  w.sim.run();
+
+  const auto strict = prober.results(target, SimTime::seconds(2));
+  const auto capture = prober.results(target, ScamperProber::kIndefinite);
+  ASSERT_EQ(strict.size(), 3u);
+  ASSERT_EQ(capture.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(strict[static_cast<std::size_t>(i)].rtt.has_value());
+    ASSERT_TRUE(capture[static_cast<std::size_t>(i)].rtt.has_value());
+    EXPECT_GT(*capture[static_cast<std::size_t>(i)].rtt, SimTime::seconds(4));
+  }
+}
+
+TEST_F(ScamperFixture, UdpProbesMatchViaPortUnreachable) {
+  hosts::Host host{w.ctx, target, plain_profile(SimTime::millis(55)), util::Prng{1}};
+  resolver.put(target, &host);
+
+  ScamperProber prober{w.sim, w.net, vantage};
+  prober.ping(target, 3, SimTime::seconds(1), ProbeProtocol::kUdp, SimTime{});
+  w.sim.run();
+
+  const auto results = prober.results(target, SimTime::seconds(2), ProbeProtocol::kUdp);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.rtt.has_value());
+    EXPECT_EQ(*r.rtt, SimTime::millis(65));
+  }
+}
+
+TEST_F(ScamperFixture, TcpAckProbesMatchViaRst) {
+  hosts::Host host{w.ctx, target, plain_profile(SimTime::millis(45)), util::Prng{1}};
+  resolver.put(target, &host);
+
+  ScamperProber prober{w.sim, w.net, vantage};
+  prober.ping(target, 3, SimTime::seconds(1), ProbeProtocol::kTcpAck, SimTime{});
+  w.sim.run();
+
+  const auto results = prober.results(target, SimTime::seconds(2), ProbeProtocol::kTcpAck);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.rtt.has_value());
+    EXPECT_EQ(*r.rtt, SimTime::millis(55));
+  }
+}
+
+TEST_F(ScamperFixture, ProtocolTripletSeparated) {
+  hosts::Host host{w.ctx, target, plain_profile(SimTime::millis(30)), util::Prng{1}};
+  resolver.put(target, &host);
+
+  ScamperProber prober{w.sim, w.net, vantage};
+  prober.ping(target, 3, SimTime::seconds(1), ProbeProtocol::kIcmp, SimTime{});
+  prober.ping(target, 3, SimTime::seconds(1), ProbeProtocol::kUdp, SimTime::minutes(20));
+  prober.ping(target, 3, SimTime::seconds(1), ProbeProtocol::kTcpAck, SimTime::minutes(40));
+  w.sim.run();
+
+  EXPECT_EQ(prober.results(target, SimTime::seconds(2), ProbeProtocol::kIcmp).size(), 3u);
+  EXPECT_EQ(prober.results(target, SimTime::seconds(2), ProbeProtocol::kUdp).size(), 3u);
+  EXPECT_EQ(prober.results(target, SimTime::seconds(2), ProbeProtocol::kTcpAck).size(), 3u);
+  EXPECT_EQ(prober.results(target).size(), 9u);
+
+  // Per-protocol seq numbering restarts.
+  const auto udp = prober.results(target, SimTime::seconds(2), ProbeProtocol::kUdp);
+  EXPECT_EQ(udp[0].seq, 0u);
+  EXPECT_EQ(udp[2].seq, 2u);
+}
+
+TEST_F(ScamperFixture, FirewallRstObservableViaTtl) {
+  // TCP goes to the firewall; ICMP to nobody (host absent): the TCP mode
+  // shows the uniform firewall TTL, as in Figure 10's analysis.
+  hosts::FirewallSink fw{w.ctx, SimTime::millis(190), 247, util::Prng{2}};
+  resolver.put(target, &fw);
+
+  ScamperProber prober{w.sim, w.net, vantage};
+  prober.ping(target, 3, SimTime::seconds(1), ProbeProtocol::kTcpAck, SimTime{});
+  prober.ping(target, 3, SimTime::seconds(1), ProbeProtocol::kIcmp, SimTime::minutes(20));
+  w.sim.run();
+
+  const auto tcp = prober.results(target, SimTime::seconds(2), ProbeProtocol::kTcpAck);
+  const auto icmp = prober.results(target, SimTime::seconds(2), ProbeProtocol::kIcmp);
+  for (const auto& r : tcp) {
+    ASSERT_TRUE(r.rtt.has_value());
+    EXPECT_EQ(r.reply_ttl, 247);
+  }
+  for (const auto& r : icmp) EXPECT_FALSE(r.rtt.has_value());
+}
+
+TEST_F(ScamperFixture, UnansweredProbesStayEmpty) {
+  ScamperProber prober{w.sim, w.net, vantage};
+  prober.ping(target, 4, SimTime::seconds(1), ProbeProtocol::kIcmp, SimTime{});
+  w.sim.run();
+  const auto results = prober.results(target, ScamperProber::kIndefinite);
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& r : results) EXPECT_FALSE(r.rtt.has_value());
+  EXPECT_TRUE(prober.responsive_targets().empty());
+}
+
+TEST_F(ScamperFixture, ResponsiveTargetsFiltersByTimeout) {
+  hosts::Host slow{w.ctx, target, plain_profile(SimTime::seconds(5)), util::Prng{1}};
+  resolver.put(target, &slow);
+
+  ScamperProber prober{w.sim, w.net, vantage};
+  prober.ping(target, 2, SimTime::seconds(10), ProbeProtocol::kIcmp, SimTime{});
+  w.sim.run();
+
+  EXPECT_TRUE(prober.responsive_targets(SimTime::seconds(2)).empty());
+  const auto with_capture = prober.responsive_targets(ScamperProber::kIndefinite);
+  ASSERT_EQ(with_capture.size(), 1u);
+  EXPECT_EQ(with_capture[0], target);
+}
+
+TEST_F(ScamperFixture, DuplicatesCounted) {
+  auto profile = plain_profile(SimTime::millis(20));
+  profile.duplicate_class = 1;
+  profile.duplicates.mild_prob = 1.0;
+  hosts::Host host{w.ctx, target, profile, util::Prng{5}};
+  resolver.put(target, &host);
+
+  ScamperProber prober{w.sim, w.net, vantage};
+  prober.ping(target, 1, SimTime::seconds(1), ProbeProtocol::kIcmp, SimTime{});
+  w.sim.run();
+
+  const auto results = prober.results(target);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GE(results[0].duplicate_responses, 1u);
+  EXPECT_LE(results[0].duplicate_responses, 3u);
+}
+
+}  // namespace
+}  // namespace turtle::probe

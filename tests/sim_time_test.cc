@@ -1,0 +1,75 @@
+#include "util/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace turtle {
+namespace {
+
+TEST(SimTime, DefaultIsZero) {
+  EXPECT_TRUE(SimTime{}.is_zero());
+  EXPECT_EQ(SimTime{}.as_micros(), 0);
+}
+
+TEST(SimTime, NamedConstructorsAgree) {
+  EXPECT_EQ(SimTime::seconds(1), SimTime::millis(1000));
+  EXPECT_EQ(SimTime::millis(1), SimTime::micros(1000));
+  EXPECT_EQ(SimTime::minutes(1), SimTime::seconds(60));
+  EXPECT_EQ(SimTime::hours(1), SimTime::minutes(60));
+}
+
+TEST(SimTime, FromSecondsRounds) {
+  EXPECT_EQ(SimTime::from_seconds(1.5).as_micros(), 1'500'000);
+  EXPECT_EQ(SimTime::from_seconds(0.0000005).as_micros(), 1);  // rounds up
+  EXPECT_EQ(SimTime::from_seconds(-1.5).as_micros(), -1'500'000);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::seconds(3);
+  const SimTime b = SimTime::millis(500);
+  EXPECT_EQ((a + b).as_millis(), 3500);
+  EXPECT_EQ((a - b).as_millis(), 2500);
+  EXPECT_EQ((b * 4).as_seconds(), 2.0);
+  EXPECT_EQ((a / 2).as_millis(), 1500);
+  EXPECT_EQ((3 * b).as_millis(), 1500);
+}
+
+TEST(SimTime, CompoundAssignment) {
+  SimTime t = SimTime::seconds(1);
+  t += SimTime::millis(250);
+  EXPECT_EQ(t.as_millis(), 1250);
+  t -= SimTime::millis(1250);
+  EXPECT_TRUE(t.is_zero());
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::millis(999), SimTime::seconds(1));
+  EXPECT_GT(SimTime::seconds(2), SimTime::seconds(1));
+  EXPECT_LE(SimTime::seconds(1), SimTime::millis(1000));
+}
+
+TEST(SimTime, TruncateToSecondsMirrorsDatasetPrecision) {
+  EXPECT_EQ(SimTime::micros(3'999'999).truncate_to_seconds(), SimTime::seconds(3));
+  EXPECT_EQ(SimTime::seconds(5).truncate_to_seconds(), SimTime::seconds(5));
+  EXPECT_EQ(SimTime::micros(999'999).truncate_to_seconds(), SimTime{});
+}
+
+TEST(SimTime, IsNegative) {
+  EXPECT_TRUE((SimTime::seconds(1) - SimTime::seconds(2)).is_negative());
+  EXPECT_FALSE(SimTime::seconds(1).is_negative());
+  EXPECT_FALSE(SimTime{}.is_negative());
+}
+
+TEST(SimTime, ToStringPicksUnits) {
+  EXPECT_EQ(SimTime::micros(500).to_string(), "500us");
+  EXPECT_EQ(SimTime::millis(250).to_string(), "250ms");
+  EXPECT_EQ(SimTime::from_seconds(1.37).to_string(), "1.370s");
+}
+
+TEST(SimTime, AsSecondsRoundTrip) {
+  for (const double s : {0.0, 0.000001, 0.123456, 1.0, 59.999999, 3600.0}) {
+    EXPECT_DOUBLE_EQ(SimTime::from_seconds(s).as_seconds(), s) << s;
+  }
+}
+
+}  // namespace
+}  // namespace turtle

@@ -1,0 +1,138 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace turtle::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(SimTime::seconds(2), [&] { fired.push_back(2); });
+  q.push(SimTime::seconds(1), [&] { fired.push_back(1); });
+  q.push(SimTime::seconds(3), [&] { fired.push_back(3); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAtEqualTimes) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.push(SimTime::seconds(1), [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop()();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeAndSize) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.push(SimTime::seconds(5), [] {});
+  q.push(SimTime::seconds(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.next_time(), SimTime::seconds(2));
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen;
+  sim.schedule_at(SimTime::seconds(7), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, SimTime::seconds(7));
+  EXPECT_EQ(sim.now(), SimTime::seconds(7));
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  std::vector<SimTime> at;
+  sim.schedule_at(SimTime::seconds(10), [&] {
+    sim.schedule_after(SimTime::seconds(5), [&] { at.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(at.size(), 1u);
+  EXPECT_EQ(at[0], SimTime::seconds(15));
+}
+
+TEST(Simulator, PastSchedulingClampsToNow) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(SimTime::seconds(10), [&] {
+    sim.schedule_at(SimTime::seconds(1), [&] {
+      fired = true;
+      EXPECT_EQ(sim.now(), SimTime::seconds(10));
+    });
+  });
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, NegativeDelayClamps) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_after(SimTime::seconds(-5), [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), SimTime{});
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime::seconds(1), [&] { ++fired; });
+  sim.schedule_at(SimTime::seconds(2), [&] { ++fired; });
+  sim.schedule_at(SimTime::seconds(3), [&] { ++fired; });
+  sim.run_until(SimTime::seconds(2));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), SimTime::seconds(2));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(SimTime::minutes(5));
+  EXPECT_EQ(sim.now(), SimTime::minutes(5));
+}
+
+TEST(Simulator, StepProcessesOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime::seconds(1), [&] { ++fired; });
+  sim.schedule_at(SimTime::seconds(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(sim.events_processed(), 2u);
+}
+
+TEST(Simulator, EventChainTerminates) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 1000) sim.schedule_after(SimTime::millis(1), chain);
+  };
+  sim.schedule_at(SimTime{}, chain);
+  sim.run();
+  EXPECT_EQ(count, 1000);
+  EXPECT_EQ(sim.now(), SimTime::millis(999));
+}
+
+TEST(Simulator, InterleavedSourcesStayOrdered) {
+  Simulator sim;
+  std::vector<SimTime> order;
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule_at(SimTime::millis(i * 7 % 97), [&] { order.push_back(sim.now()); });
+  }
+  sim.run();
+  for (std::size_t i = 1; i < order.size(); ++i) ASSERT_GE(order[i], order[i - 1]);
+}
+
+}  // namespace
+}  // namespace turtle::sim

@@ -1,0 +1,222 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/prng.h"
+
+namespace turtle::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.push(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.push(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Prng rng{1};
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.push(x);
+    (i < 400 ? left : right).push(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.push(1.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 1.0);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_EQ(percentile_sorted(v, 0), 1.0);
+  EXPECT_EQ(percentile_sorted(v, 100), 5.0);
+  EXPECT_EQ(percentile_sorted(v, 50), 3.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 75), 7.5);
+}
+
+TEST(Percentile, SingleSample) {
+  const std::vector<double> v{7};
+  EXPECT_EQ(percentile_sorted(v, 1), 7.0);
+  EXPECT_EQ(percentile_sorted(v, 99), 7.0);
+}
+
+TEST(Percentile, UnsortedConvenience) {
+  EXPECT_EQ(percentile({5, 1, 3}, 50), 3.0);
+}
+
+TEST(Percentile, MonotoneInP) {
+  Prng rng{3};
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(rng.uniform());
+  std::sort(v.begin(), v.end());
+  double prev = -1;
+  for (double p = 0; p <= 100; p += 0.5) {
+    const double q = percentile_sorted(v, p);
+    ASSERT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(Percentiles, BatchMatchesIndividual) {
+  const std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const std::vector<double> ps{10, 50, 90};
+  const auto batch = percentiles_sorted(v, ps);
+  ASSERT_EQ(batch.size(), 3u);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_EQ(batch[i], percentile_sorted(v, ps[i]));
+  }
+}
+
+TEST(Cdf, EndpointsAndMonotone) {
+  const auto cdf = make_cdf({3, 1, 2, 5, 4}, 100);
+  ASSERT_EQ(cdf.size(), 5u);
+  EXPECT_EQ(cdf.front().x, 1.0);
+  EXPECT_EQ(cdf.back().x, 5.0);
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].x, cdf[i - 1].x);
+    EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+}
+
+TEST(Cdf, DownsamplesToMaxPoints) {
+  std::vector<double> v(10'000);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+  const auto cdf = make_cdf(v, 50);
+  EXPECT_EQ(cdf.size(), 50u);
+  EXPECT_EQ(cdf.front().x, 0.0);
+  EXPECT_EQ(cdf.back().x, 9999.0);
+}
+
+TEST(Cdf, EmptyInput) {
+  EXPECT_TRUE(make_cdf({}).empty());
+  EXPECT_TRUE(make_ccdf({}).empty());
+}
+
+TEST(Ccdf, ComplementOfCdf) {
+  const auto ccdf = make_ccdf({1, 2, 3, 4}, 100);
+  ASSERT_EQ(ccdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(ccdf.back().fraction, 0.0);
+  EXPECT_DOUBLE_EQ(ccdf.front().fraction, 0.75);
+}
+
+TEST(FractionAbove, Basics) {
+  const std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(fraction_above(v, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_above(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_above(v, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_above({}, 1.0), 0.0);
+}
+
+TEST(LogHistogram, BinsCoverRange) {
+  LogHistogram h{1.0, 1000.0, 1};
+  h.add(1.5);
+  h.add(15);
+  h.add(150);
+  const auto bins = h.bins();
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_EQ(bins[0].count, 1u);
+  EXPECT_EQ(bins[1].count, 1u);
+  EXPECT_EQ(bins[2].count, 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(LogHistogram, UnderAndOverflow) {
+  LogHistogram h{1.0, 100.0, 2};
+  h.add(0.5);
+  h.add(-1);
+  h.add(1e9, 3);
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.overflow(), 3u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(LogHistogram, WeightedAdd) {
+  LogHistogram h{1.0, 10.0, 1};
+  h.add(2.0, 100);
+  EXPECT_EQ(h.bins()[0].count, 100u);
+}
+
+TEST(Ewma, FirstSampleInitializesByDefault) {
+  Ewma e{0.1};
+  e.update(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, ExplicitInitialSmoothsFromStart) {
+  Ewma e{0.5, 0.0};
+  e.update(1.0);
+  EXPECT_DOUBLE_EQ(e.value(), 0.5);
+  e.update(1.0);
+  EXPECT_DOUBLE_EQ(e.value(), 0.75);
+}
+
+TEST(Ewma, TracksMax) {
+  Ewma e{0.5, 0.0};
+  e.update(1.0);  // 0.5
+  e.update(0.0);  // 0.25
+  EXPECT_DOUBLE_EQ(e.max_value(), 0.5);
+  EXPECT_DOUBLE_EQ(e.value(), 0.25);
+}
+
+TEST(Ewma, BroadcastFilterTiming) {
+  // With alpha = 0.01 starting at 0, ~22 consecutive ones are needed to
+  // cross 0.2 — the property the paper's filter parameters rely on.
+  Ewma e{0.01, 0.0};
+  int n = 0;
+  while (e.value() <= 0.2) {
+    e.update(1.0);
+    ++n;
+    ASSERT_LT(n, 100);
+  }
+  EXPECT_GE(n, 20);
+  EXPECT_LE(n, 25);
+}
+
+}  // namespace
+}  // namespace turtle::util

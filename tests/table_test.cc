@@ -1,0 +1,66 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace turtle::util {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"a", "bb"});
+  t.add_row({"xxx", "y"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("a    bb"), std::string::npos);
+  EXPECT_NE(s.find("xxx  y"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NO_THROW((void)t.to_string());
+}
+
+TEST(TextTable, GrowsForLongRows) {
+  TextTable t({"a"});
+  t.add_row({"1", "2", "3"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("3"), std::string::npos);
+}
+
+TEST(TextTable, CsvQuotesSpecialCells) {
+  TextTable t({"name", "note"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"quote\"inside", "line\nbreak"});
+  std::ostringstream oss;
+  t.write_csv(oss);
+  const std::string s = oss.str();
+  EXPECT_NE(s.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(s.find("\"line\nbreak\""), std::string::npos);
+  EXPECT_NE(s.find("name,note"), std::string::npos);
+}
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(format_double(0.190, 3), "0.19");
+  EXPECT_EQ(format_double(5.000, 3), "5");
+  EXPECT_EQ(format_double(0.123456, 3), "0.123");
+  EXPECT_EQ(format_double(145.0, 0), "145");
+}
+
+TEST(FormatCount, PaperStyleSuffixes) {
+  EXPECT_EQ(format_count(3'560'000), "3.56M");
+  EXPECT_EQ(format_count(51'900), "51.9K");
+  EXPECT_EQ(format_count(615), "615");
+  EXPECT_EQ(format_count(9'999), "9999");
+}
+
+TEST(FormatPercent, OneDecimal) {
+  EXPECT_EQ(format_percent(0.804), "80.4");
+  EXPECT_EQ(format_percent(0.015), "1.5");
+  EXPECT_EQ(format_percent(1.0), "100.0");
+}
+
+}  // namespace
+}  // namespace turtle::util

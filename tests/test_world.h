@@ -1,0 +1,90 @@
+// Shared fixtures for host/probe/integration tests: a lossless, jitterless
+// network so latency assertions are exact, plus a recording endpoint.
+#pragma once
+
+#include <vector>
+
+#include "hosts/host.h"
+#include "net/icmp.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/prng.h"
+
+namespace turtle::test {
+
+inline sim::Network::Config quiet_network() {
+  sim::Network::Config cfg;
+  cfg.core_loss = 0.0;
+  cfg.transit_jitter_sigma = 0.0;
+  cfg.transit_base = SimTime::millis(5);
+  return cfg;
+}
+
+/// Records every packet delivered to it, with arrival times.
+class RecordingEndpoint : public sim::PacketSink {
+ public:
+  explicit RecordingEndpoint(sim::Simulator& sim) : sim_{sim} {}
+
+  void deliver(const net::Packet& packet, std::uint32_t copies) override {
+    packets.push_back(packet);
+    copy_counts.push_back(copies);
+    times.push_back(sim_.now());
+  }
+
+  /// Total packets including aggregated copies.
+  [[nodiscard]] std::uint64_t total_packets() const {
+    std::uint64_t n = 0;
+    for (const auto c : copy_counts) n += c;
+    return n;
+  }
+
+  std::vector<net::Packet> packets;
+  std::vector<std::uint32_t> copy_counts;
+  std::vector<SimTime> times;
+
+ private:
+  sim::Simulator& sim_;
+};
+
+/// A minimal world: simulator + quiet network + host context + a prober
+/// endpoint at a fixed vantage address.
+struct MiniWorld {
+  sim::Simulator sim;
+  sim::Network net{sim, quiet_network(), util::Prng{0xF00}};
+  hosts::HostContext ctx{sim, net};
+  RecordingEndpoint vantage{sim};
+  net::Ipv4Address vantage_addr = net::Ipv4Address::from_octets(192, 0, 2, 1);
+
+  MiniWorld() { net.attach_endpoint(vantage_addr, &vantage); }
+
+  /// Sends an ICMP echo request from the vantage to `dst` at time `at`.
+  void ping_at(SimTime at, net::Ipv4Address dst, std::uint16_t seq = 0) {
+    sim.schedule_at(at, [this, dst, seq] {
+      net::IcmpMessage echo;
+      echo.type = net::IcmpType::kEchoRequest;
+      echo.id = 0x7777;
+      echo.seq = seq;
+      net::Packet p;
+      p.src = vantage_addr;
+      p.dst = dst;
+      p.protocol = net::Protocol::kIcmp;
+      p.payload = net::serialize_icmp(echo);
+      net.send(p);
+    });
+  }
+};
+
+/// A profile with every stochastic extra disabled: fixed base RTT, no
+/// jitter, always responds. Tests switch individual features back on.
+inline hosts::HostProfile plain_profile(SimTime base_rtt = SimTime::millis(50)) {
+  hosts::HostProfile p;
+  p.type = hosts::HostType::kResidential;
+  p.base_rtt = base_rtt;
+  p.jitter_scale = SimTime{};
+  p.jitter_sigma = 0.0;
+  p.respond_prob = 1.0;
+  p.residential.episode_prob = 0.0;
+  return p;
+}
+
+}  // namespace turtle::test

@@ -1,0 +1,180 @@
+#include "core/trinocular.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "hosts/host.h"
+#include "test_world.h"
+
+namespace turtle::core {
+namespace {
+
+using test::MiniWorld;
+using test::plain_profile;
+
+class ManualResolver : public sim::AddressResolver {
+ public:
+  sim::PacketSink* resolve(const net::Packet& packet) override {
+    const auto it = sinks_.find(packet.dst.value());
+    return it == sinks_.end() ? nullptr : it->second;
+  }
+  void put(net::Ipv4Address addr, sim::PacketSink* sink) { sinks_[addr.value()] = sink; }
+
+ private:
+  std::map<std::uint32_t, sim::PacketSink*> sinks_;
+};
+
+struct TrinocularFixture : ::testing::Test {
+  MiniWorld w;
+  ManualResolver resolver;
+  net::Prefix24 block = net::Prefix24::from_network(10u << 16);
+  std::vector<std::unique_ptr<hosts::Host>> hosts;
+
+  TrinocularFixture() { w.net.set_host_resolver(&resolver); }
+
+  MonitoredBlock add_hosts(int count, SimTime latency, double availability = 0.9) {
+    MonitoredBlock mb;
+    mb.prefix = block;
+    mb.availability = availability;
+    for (int i = 1; i <= count; ++i) {
+      const auto addr = block.address(static_cast<std::uint8_t>(i));
+      auto profile = plain_profile(latency);
+      profile.respond_prob = availability;
+      hosts.push_back(std::make_unique<hosts::Host>(w.ctx, addr, profile,
+                                                    util::Prng{static_cast<std::uint64_t>(i)}));
+      resolver.put(addr, hosts.back().get());
+      mb.ever_responsive.push_back(addr);
+    }
+    return mb;
+  }
+};
+
+TEST_F(TrinocularFixture, HealthyBlockStaysUp) {
+  const auto mb = add_hosts(10, SimTime::millis(50));
+  TrinocularConfig config;
+  config.rounds = 5;
+  TrinocularMonitor monitor{w.sim, w.net, config, util::Prng{1}};
+  monitor.start({mb});
+  w.sim.run();
+
+  const auto stats = monitor.stats();
+  EXPECT_EQ(stats.block_rounds, 5u);
+  EXPECT_EQ(stats.down_rounds, 0u);
+  // A believed-up block usually needs a single confirming probe.
+  EXPECT_LE(stats.probes_sent, 10u);
+  for (const auto& outcome : monitor.outcomes()) {
+    EXPECT_GE(outcome.belief, 0.9);
+    EXPECT_FALSE(outcome.down);
+  }
+}
+
+TEST_F(TrinocularFixture, DeadBlockGoesDown) {
+  MonitoredBlock mb;
+  mb.prefix = block;
+  mb.availability = 0.9;
+  for (int i = 1; i <= 5; ++i) mb.ever_responsive.push_back(block.address(i));
+  // No hosts wired: every probe times out.
+
+  TrinocularConfig config;
+  config.rounds = 3;
+  TrinocularMonitor monitor{w.sim, w.net, config, util::Prng{1}};
+  monitor.start({mb});
+  w.sim.run();
+
+  EXPECT_EQ(monitor.stats().down_rounds, 3u);
+  for (const auto& outcome : monitor.outcomes()) {
+    EXPECT_TRUE(outcome.down);
+    EXPECT_LE(outcome.belief, 0.1);
+    // Adaptive retransmission on the first round (belief starts up);
+    // once the block is believed down, one confirming probe suffices.
+    if (outcome.round == 0) {
+      EXPECT_GE(outcome.probes, 2u);
+    }
+  }
+}
+
+TEST_F(TrinocularFixture, ProbeBudgetRespected) {
+  MonitoredBlock mb;
+  mb.prefix = block;
+  mb.availability = 0.5;  // weak evidence per probe: needs many
+  for (int i = 1; i <= 5; ++i) mb.ever_responsive.push_back(block.address(i));
+
+  TrinocularConfig config;
+  config.rounds = 2;
+  config.max_probes_per_round = 15;
+  TrinocularMonitor monitor{w.sim, w.net, config, util::Prng{1}};
+  monitor.start({mb});
+  w.sim.run();
+
+  for (const auto& outcome : monitor.outcomes()) {
+    EXPECT_LE(outcome.probes, 15u);
+  }
+}
+
+TEST_F(TrinocularFixture, SlowBlockFalselyDownWithShortTimeout) {
+  // Every host answers, but at 8 s — past the 3 s probe timeout.
+  const auto mb = add_hosts(8, SimTime::seconds(8), 1.0);
+  TrinocularConfig config;
+  config.rounds = 3;
+  config.listen_longer = false;
+  TrinocularMonitor monitor{w.sim, w.net, config, util::Prng{1}};
+  monitor.start({mb});
+  w.sim.run();
+
+  // All probes "fail": the block is declared down although it is up.
+  EXPECT_EQ(monitor.stats().down_rounds, 3u);
+}
+
+TEST_F(TrinocularFixture, ListenLongerSavesSlowBlock) {
+  const auto mb = add_hosts(8, SimTime::seconds(8), 1.0);
+  TrinocularConfig config;
+  config.rounds = 3;
+  config.listen_longer = true;
+  config.listen_window = SimTime::seconds(60);
+  TrinocularMonitor monitor{w.sim, w.net, config, util::Prng{1}};
+  monitor.start({mb});
+  w.sim.run();
+
+  EXPECT_EQ(monitor.stats().down_rounds, 0u);
+  EXPECT_GT(monitor.stats().late_saves, 0u);
+  bool any_saved = false;
+  for (const auto& outcome : monitor.outcomes()) any_saved |= outcome.saved_by_late;
+  EXPECT_TRUE(any_saved);
+}
+
+TEST_F(TrinocularFixture, MultipleBlocksIndependent) {
+  const auto healthy = add_hosts(6, SimTime::millis(40));
+  MonitoredBlock dead;
+  dead.prefix = net::Prefix24::from_network((10u << 16) + 1);
+  dead.availability = 0.9;
+  for (int i = 1; i <= 4; ++i) dead.ever_responsive.push_back(dead.prefix.address(i));
+
+  TrinocularConfig config;
+  config.rounds = 2;
+  TrinocularMonitor monitor{w.sim, w.net, config, util::Prng{1}};
+  monitor.start({healthy, dead});
+  w.sim.run();
+
+  for (const auto& outcome : monitor.outcomes()) {
+    if (outcome.prefix == healthy.prefix) {
+      EXPECT_FALSE(outcome.down);
+    } else {
+      EXPECT_TRUE(outcome.down);
+    }
+  }
+}
+
+TEST_F(TrinocularFixture, EmptyBlockListIsIgnored) {
+  MonitoredBlock empty;
+  empty.prefix = block;  // no ever-responsive addresses
+  TrinocularConfig config;
+  config.rounds = 2;
+  TrinocularMonitor monitor{w.sim, w.net, config, util::Prng{1}};
+  monitor.start({empty});
+  w.sim.run();
+  EXPECT_EQ(monitor.stats().block_rounds, 0u);
+}
+
+}  // namespace
+}  // namespace turtle::core

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "net/tcp.h"
+#include "net/udp.h"
+
+namespace turtle::net {
+namespace {
+
+const Ipv4Address kSrc = Ipv4Address::from_octets(192, 0, 2, 1);
+const Ipv4Address kDst = Ipv4Address::from_octets(10, 0, 0, 9);
+
+TEST(Udp, RoundTrip) {
+  UdpDatagram d;
+  d.src_port = 4321;
+  d.dst_port = 33434;
+  d.payload.push_back(0x55);
+
+  const InlineBytes wire = serialize_udp(d, kSrc, kDst);
+  const auto parsed = parse_udp(wire.view(), kSrc, kDst);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_port, 4321);
+  EXPECT_EQ(parsed->dst_port, 33434);
+  ASSERT_EQ(parsed->payload.size(), 1u);
+  EXPECT_EQ(parsed->payload[0], 0x55);
+}
+
+TEST(Udp, PseudoHeaderBindsAddresses) {
+  UdpDatagram d;
+  d.src_port = 1;
+  d.dst_port = 2;
+  const InlineBytes wire = serialize_udp(d, kSrc, kDst);
+  // Same bytes but claimed to be from a different source must not verify.
+  EXPECT_FALSE(parse_udp(wire.view(), Ipv4Address::from_octets(192, 0, 2, 2), kDst).has_value());
+  EXPECT_TRUE(parse_udp(wire.view(), kSrc, kDst).has_value());
+}
+
+TEST(Udp, LengthMismatchRejected) {
+  UdpDatagram d;
+  d.src_port = 7;
+  d.dst_port = 8;
+  InlineBytes wire = serialize_udp(d, kSrc, kDst);
+  wire.push_back(0x00);  // trailing garbage changes actual length
+  EXPECT_FALSE(parse_udp(wire.view(), kSrc, kDst).has_value());
+}
+
+TEST(Udp, ShortInputRejected) {
+  const std::uint8_t buf[4] = {};
+  EXPECT_FALSE(parse_udp({buf, 4}, kSrc, kDst).has_value());
+}
+
+TEST(Udp, CorruptionRejected) {
+  UdpDatagram d;
+  d.src_port = 99;
+  d.dst_port = 100;
+  d.payload.push_back(0x11);
+  InlineBytes wire = serialize_udp(d, kSrc, kDst);
+  wire[8] ^= 0xFF;
+  EXPECT_FALSE(parse_udp(wire.view(), kSrc, kDst).has_value());
+}
+
+TEST(Tcp, RoundTrip) {
+  TcpSegment s;
+  s.src_port = 40321;
+  s.dst_port = 80;
+  s.seq = 0xDEADBEEF;
+  s.ack = 0xCAFEF00D;
+  s.flags = TcpFlags::kAck;
+  s.window = 512;
+
+  const InlineBytes wire = serialize_tcp(s, kSrc, kDst);
+  EXPECT_EQ(wire.size(), 20u);
+  const auto parsed = parse_tcp(wire.view(), kSrc, kDst);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_port, 40321);
+  EXPECT_EQ(parsed->dst_port, 80);
+  EXPECT_EQ(parsed->seq, 0xDEADBEEF);
+  EXPECT_EQ(parsed->ack, 0xCAFEF00D);
+  EXPECT_TRUE(parsed->has(TcpFlags::kAck));
+  EXPECT_FALSE(parsed->has(TcpFlags::kRst));
+  EXPECT_EQ(parsed->window, 512);
+}
+
+TEST(Tcp, PseudoHeaderBindsAddresses) {
+  TcpSegment s;
+  s.flags = TcpFlags::kAck;
+  const InlineBytes wire = serialize_tcp(s, kSrc, kDst);
+  EXPECT_FALSE(parse_tcp(wire.view(), kSrc, Ipv4Address::from_octets(10, 0, 0, 10)).has_value());
+}
+
+TEST(Tcp, RstEchoesAckAsSeq) {
+  TcpSegment probe;
+  probe.src_port = 1111;
+  probe.dst_port = 80;
+  probe.ack = 0x12345678;
+  probe.flags = TcpFlags::kAck;
+
+  const TcpSegment rst = make_rst_for(probe);
+  EXPECT_TRUE(rst.has(TcpFlags::kRst));
+  EXPECT_EQ(rst.seq, 0x12345678u);
+  EXPECT_EQ(rst.src_port, 80);
+  EXPECT_EQ(rst.dst_port, 1111);
+}
+
+TEST(Tcp, ShortAndCorruptRejected) {
+  const std::uint8_t buf[10] = {};
+  EXPECT_FALSE(parse_tcp({buf, 10}, kSrc, kDst).has_value());
+
+  TcpSegment s;
+  s.flags = TcpFlags::kRst;
+  InlineBytes wire = serialize_tcp(s, kSrc, kDst);
+  wire[4] ^= 0x01;
+  EXPECT_FALSE(parse_tcp(wire.view(), kSrc, kDst).has_value());
+}
+
+}  // namespace
+}  // namespace turtle::net

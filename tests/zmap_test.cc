@@ -1,0 +1,167 @@
+#include "probe/zmap.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "hosts/gateways.h"
+#include "hosts/host.h"
+#include "test_world.h"
+
+namespace turtle::probe {
+namespace {
+
+using test::MiniWorld;
+using test::plain_profile;
+
+class ManualResolver : public sim::AddressResolver {
+ public:
+  sim::PacketSink* resolve(const net::Packet& packet) override {
+    const auto it = sinks_.find(packet.dst.value());
+    return it == sinks_.end() ? nullptr : it->second;
+  }
+  void put(net::Ipv4Address addr, sim::PacketSink* sink) { sinks_[addr.value()] = sink; }
+
+ private:
+  std::map<std::uint32_t, sim::PacketSink*> sinks_;
+};
+
+struct ZmapFixture : ::testing::Test {
+  MiniWorld w;
+  ManualResolver resolver;
+  net::Prefix24 block_a = net::Prefix24::from_network(10u << 16);
+  net::Prefix24 block_b = net::Prefix24::from_network((10u << 16) + 1);
+  ZmapConfig config;
+
+  ZmapFixture() {
+    w.net.set_host_resolver(&resolver);
+    config.scan_duration = SimTime::minutes(10);
+  }
+};
+
+TEST_F(ZmapFixture, ProbesEveryAddressExactlyOnce) {
+  ZmapScanner scanner{w.sim, w.net, config};
+  scanner.start({block_a, block_b});
+  w.sim.run();
+  EXPECT_EQ(scanner.probes_sent(), 512u);
+}
+
+TEST_F(ZmapFixture, StatelessRttIsExact) {
+  hosts::Host host{w.ctx, block_a.address(9), plain_profile(SimTime::millis(120)),
+                   util::Prng{1}};
+  resolver.put(block_a.address(9), &host);
+
+  ZmapScanner scanner{w.sim, w.net, config};
+  scanner.start({block_a});
+  w.sim.run();
+
+  ASSERT_EQ(scanner.responses().size(), 1u);
+  const auto& r = scanner.responses()[0];
+  EXPECT_EQ(r.responder, block_a.address(9));
+  EXPECT_EQ(r.probed_dst, block_a.address(9));
+  EXPECT_FALSE(r.address_mismatch());
+  EXPECT_EQ(r.rtt, SimTime::millis(130));  // 120 access + 10 transit
+}
+
+TEST_F(ZmapFixture, NoTimeoutEverLateResponsesRecorded) {
+  // 500 s latency: far beyond any conventional timeout, still captured.
+  hosts::Host host{w.ctx, block_a.address(10), plain_profile(SimTime::seconds(500)),
+                   util::Prng{1}};
+  resolver.put(block_a.address(10), &host);
+
+  ZmapScanner scanner{w.sim, w.net, config};
+  scanner.start({block_a});
+  w.sim.run();
+
+  ASSERT_EQ(scanner.responses().size(), 1u);
+  EXPECT_GT(scanner.responses()[0].rtt, SimTime::seconds(500));
+}
+
+TEST_F(ZmapFixture, BroadcastResponderDetectedByMismatch) {
+  hosts::Host responder{w.ctx, block_a.address(33), plain_profile(SimTime::millis(40)),
+                        util::Prng{1}};
+  resolver.put(block_a.address(33), &responder);
+  hosts::BroadcastGateway gw{{&responder}};
+  resolver.put(block_a.address(255), &gw);
+  resolver.put(block_a.address(0), &gw);
+
+  ZmapScanner scanner{w.sim, w.net, config};
+  scanner.start({block_a});
+  w.sim.run();
+
+  // Three responses from .33: its own probe plus the two broadcast probes.
+  ASSERT_EQ(scanner.responses().size(), 3u);
+  std::set<std::uint32_t> mismatch_octets;
+  for (const auto& r : scanner.responses()) {
+    EXPECT_EQ(r.responder, block_a.address(33));
+    if (r.address_mismatch()) mismatch_octets.insert(r.probed_dst.last_octet());
+  }
+  EXPECT_EQ(mismatch_octets, (std::set<std::uint32_t>{0, 255}));
+}
+
+TEST_F(ZmapFixture, PermutationCoversAllTargetsInAnyOrder) {
+  // Every responsive address must be hit regardless of permutation seed.
+  std::vector<std::unique_ptr<hosts::Host>> live;
+  for (int octet = 1; octet <= 254; octet += 7) {
+    auto host = std::make_unique<hosts::Host>(
+        w.ctx, block_a.address(static_cast<std::uint8_t>(octet)),
+        plain_profile(SimTime::millis(10)), util::Prng{static_cast<std::uint64_t>(octet)});
+    resolver.put(host->address(), host.get());
+    live.push_back(std::move(host));
+  }
+
+  ZmapScanner scanner{w.sim, w.net, config};
+  scanner.start({block_a});
+  w.sim.run();
+  EXPECT_EQ(scanner.responses().size(), live.size());
+}
+
+TEST_F(ZmapFixture, ScanPacingSpreadsOverDuration) {
+  ZmapScanner scanner{w.sim, w.net, config};
+  scanner.start({block_a, block_b});
+  w.sim.run();
+  // The simulator clock after the run spans most of the configured
+  // duration (the last of N batches fires at duration * (N-1)/N).
+  EXPECT_GT(w.sim.now(), config.scan_duration / 2);
+  EXPECT_LE(w.sim.now(), config.scan_duration);
+}
+
+TEST_F(ZmapFixture, IgnoresForeignResponses) {
+  ZmapScanner scanner{w.sim, w.net, config};
+  scanner.start({block_a});
+  // Inject an echo reply with a non-Zmap payload at the vantage.
+  w.sim.schedule_at(SimTime::seconds(1), [&] {
+    net::IcmpMessage msg;
+    msg.type = net::IcmpType::kEchoReply;
+    msg.id = config.icmp_id;
+    net::Packet p;
+    p.src = block_a.address(200);
+    p.dst = config.vantage;
+    p.protocol = net::Protocol::kIcmp;
+    p.payload = net::serialize_icmp(msg);
+    w.net.send(p);
+  });
+  w.sim.run();
+  EXPECT_TRUE(scanner.responses().empty());
+}
+
+TEST_F(ZmapFixture, DuplicateExpansionCapped) {
+  auto profile = plain_profile(SimTime::millis(10));
+  profile.duplicate_class = 2;
+  profile.duplicates.pareto_scale = 50'000.0;
+  profile.duplicates.pareto_shape = 10.0;
+  profile.duplicates.max_responses = 200'000;
+  hosts::Host host{w.ctx, block_a.address(5), profile, util::Prng{3}};
+  resolver.put(block_a.address(5), &host);
+
+  ZmapScanner scanner{w.sim, w.net, config};
+  scanner.start({block_a});
+  w.sim.run();
+  // The flood arrives but the result vector stays bounded.
+  EXPECT_LT(scanner.responses().size(), 10'000u);
+  EXPECT_GT(scanner.responses().size(), 10u);
+}
+
+}  // namespace
+}  // namespace turtle::probe
