@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_block_outage.dir/ablation_block_outage.cc.o"
+  "CMakeFiles/ablation_block_outage.dir/ablation_block_outage.cc.o.d"
+  "ablation_block_outage"
+  "ablation_block_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_block_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multivantage.dir/ablation_multivantage.cc.o"
+  "CMakeFiles/ablation_multivantage.dir/ablation_multivantage.cc.o.d"
+  "ablation_multivantage"
+  "ablation_multivantage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multivantage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

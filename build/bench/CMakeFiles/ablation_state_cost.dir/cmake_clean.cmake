@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_state_cost.dir/ablation_state_cost.cc.o"
+  "CMakeFiles/ablation_state_cost.dir/ablation_state_cost.cc.o.d"
+  "ablation_state_cost"
+  "ablation_state_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_state_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_survey_cdf.dir/fig01_survey_cdf.cc.o"
+  "CMakeFiles/fig01_survey_cdf.dir/fig01_survey_cdf.cc.o.d"
+  "fig01_survey_cdf"
+  "fig01_survey_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_survey_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

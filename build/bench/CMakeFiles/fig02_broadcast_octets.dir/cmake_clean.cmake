@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_broadcast_octets.dir/fig02_broadcast_octets.cc.o"
+  "CMakeFiles/fig02_broadcast_octets.dir/fig02_broadcast_octets.cc.o.d"
+  "fig02_broadcast_octets"
+  "fig02_broadcast_octets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_broadcast_octets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_unmatched_octets.dir/fig03_unmatched_octets.cc.o"
+  "CMakeFiles/fig03_unmatched_octets.dir/fig03_unmatched_octets.cc.o.d"
+  "fig03_unmatched_octets"
+  "fig03_unmatched_octets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_unmatched_octets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_duplicate_ccdf.dir/fig05_duplicate_ccdf.cc.o"
+  "CMakeFiles/fig05_duplicate_ccdf.dir/fig05_duplicate_ccdf.cc.o.d"
+  "fig05_duplicate_ccdf"
+  "fig05_duplicate_ccdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_duplicate_ccdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_filtering_cdf.dir/fig06_filtering_cdf.cc.o"
+  "CMakeFiles/fig06_filtering_cdf.dir/fig06_filtering_cdf.cc.o.d"
+  "fig06_filtering_cdf"
+  "fig06_filtering_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_filtering_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

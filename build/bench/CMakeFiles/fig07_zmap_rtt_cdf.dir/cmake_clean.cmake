@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_zmap_rtt_cdf.dir/fig07_zmap_rtt_cdf.cc.o"
+  "CMakeFiles/fig07_zmap_rtt_cdf.dir/fig07_zmap_rtt_cdf.cc.o.d"
+  "fig07_zmap_rtt_cdf"
+  "fig07_zmap_rtt_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_zmap_rtt_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_scamper_confirm.dir/fig08_scamper_confirm.cc.o"
+  "CMakeFiles/fig08_scamper_confirm.dir/fig08_scamper_confirm.cc.o.d"
+  "fig08_scamper_confirm"
+  "fig08_scamper_confirm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_scamper_confirm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

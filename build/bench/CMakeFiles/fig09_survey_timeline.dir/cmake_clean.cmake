@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_survey_timeline.dir/fig09_survey_timeline.cc.o"
+  "CMakeFiles/fig09_survey_timeline.dir/fig09_survey_timeline.cc.o.d"
+  "fig09_survey_timeline"
+  "fig09_survey_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_survey_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_protocol_comparison.dir/fig10_protocol_comparison.cc.o"
+  "CMakeFiles/fig10_protocol_comparison.dir/fig10_protocol_comparison.cc.o.d"
+  "fig10_protocol_comparison"
+  "fig10_protocol_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_protocol_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_satellite_scatter.dir/fig11_satellite_scatter.cc.o"
+  "CMakeFiles/fig11_satellite_scatter.dir/fig11_satellite_scatter.cc.o.d"
+  "fig11_satellite_scatter"
+  "fig11_satellite_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_satellite_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

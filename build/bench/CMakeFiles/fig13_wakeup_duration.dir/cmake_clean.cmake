@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_wakeup_duration.dir/fig13_wakeup_duration.cc.o"
+  "CMakeFiles/fig13_wakeup_duration.dir/fig13_wakeup_duration.cc.o.d"
+  "fig13_wakeup_duration"
+  "fig13_wakeup_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_wakeup_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_prefix_clustering.dir/fig14_prefix_clustering.cc.o"
+  "CMakeFiles/fig14_prefix_clustering.dir/fig14_prefix_clustering.cc.o.d"
+  "fig14_prefix_clustering"
+  "fig14_prefix_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_prefix_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

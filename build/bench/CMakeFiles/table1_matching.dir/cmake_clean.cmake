@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_matching.dir/table1_matching.cc.o"
+  "CMakeFiles/table1_matching.dir/table1_matching.cc.o.d"
+  "table1_matching"
+  "table1_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_zmap_scans.dir/table3_zmap_scans.cc.o"
+  "CMakeFiles/table3_zmap_scans.dir/table3_zmap_scans.cc.o.d"
+  "table3_zmap_scans"
+  "table3_zmap_scans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_zmap_scans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_turtle_ases.dir/table4_turtle_ases.cc.o"
+  "CMakeFiles/table4_turtle_ases.dir/table4_turtle_ases.cc.o.d"
+  "table4_turtle_ases"
+  "table4_turtle_ases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_turtle_ases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_continents.dir/table5_continents.cc.o"
+  "CMakeFiles/table5_continents.dir/table5_continents.cc.o.d"
+  "table5_continents"
+  "table5_continents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_continents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

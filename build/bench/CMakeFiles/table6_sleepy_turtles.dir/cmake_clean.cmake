@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_sleepy_turtles.dir/table6_sleepy_turtles.cc.o"
+  "CMakeFiles/table6_sleepy_turtles.dir/table6_sleepy_turtles.cc.o.d"
+  "table6_sleepy_turtles"
+  "table6_sleepy_turtles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_sleepy_turtles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_patterns.dir/table7_patterns.cc.o"
+  "CMakeFiles/table7_patterns.dir/table7_patterns.cc.o.d"
+  "table7_patterns"
+  "table7_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

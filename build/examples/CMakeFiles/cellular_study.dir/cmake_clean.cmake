@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellular_study.dir/cellular_study.cpp.o"
+  "CMakeFiles/cellular_study.dir/cellular_study.cpp.o.d"
+  "cellular_study"
+  "cellular_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellular_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

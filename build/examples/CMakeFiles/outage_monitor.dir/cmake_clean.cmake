@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outage_monitor.dir/outage_monitor.cpp.o"
+  "CMakeFiles/outage_monitor.dir/outage_monitor.cpp.o.d"
+  "outage_monitor"
+  "outage_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outage_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

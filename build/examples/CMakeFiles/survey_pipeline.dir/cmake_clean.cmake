@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survey_pipeline.dir/survey_pipeline.cpp.o"
+  "CMakeFiles/survey_pipeline.dir/survey_pipeline.cpp.o.d"
+  "survey_pipeline"
+  "survey_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survey_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/as_ranking.cc" "src/analysis/CMakeFiles/turtle_analysis.dir/as_ranking.cc.o" "gcc" "src/analysis/CMakeFiles/turtle_analysis.dir/as_ranking.cc.o.d"
+  "/root/repo/src/analysis/broadcast_octets.cc" "src/analysis/CMakeFiles/turtle_analysis.dir/broadcast_octets.cc.o" "gcc" "src/analysis/CMakeFiles/turtle_analysis.dir/broadcast_octets.cc.o.d"
+  "/root/repo/src/analysis/dataset.cc" "src/analysis/CMakeFiles/turtle_analysis.dir/dataset.cc.o" "gcc" "src/analysis/CMakeFiles/turtle_analysis.dir/dataset.cc.o.d"
+  "/root/repo/src/analysis/duplicates.cc" "src/analysis/CMakeFiles/turtle_analysis.dir/duplicates.cc.o" "gcc" "src/analysis/CMakeFiles/turtle_analysis.dir/duplicates.cc.o.d"
+  "/root/repo/src/analysis/first_ping.cc" "src/analysis/CMakeFiles/turtle_analysis.dir/first_ping.cc.o" "gcc" "src/analysis/CMakeFiles/turtle_analysis.dir/first_ping.cc.o.d"
+  "/root/repo/src/analysis/patterns.cc" "src/analysis/CMakeFiles/turtle_analysis.dir/patterns.cc.o" "gcc" "src/analysis/CMakeFiles/turtle_analysis.dir/patterns.cc.o.d"
+  "/root/repo/src/analysis/percentiles.cc" "src/analysis/CMakeFiles/turtle_analysis.dir/percentiles.cc.o" "gcc" "src/analysis/CMakeFiles/turtle_analysis.dir/percentiles.cc.o.d"
+  "/root/repo/src/analysis/pipeline.cc" "src/analysis/CMakeFiles/turtle_analysis.dir/pipeline.cc.o" "gcc" "src/analysis/CMakeFiles/turtle_analysis.dir/pipeline.cc.o.d"
+  "/root/repo/src/analysis/satellite.cc" "src/analysis/CMakeFiles/turtle_analysis.dir/satellite.cc.o" "gcc" "src/analysis/CMakeFiles/turtle_analysis.dir/satellite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/probe/CMakeFiles/turtle_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/hosts/CMakeFiles/turtle_hosts.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turtle_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/turtle_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/turtle_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turtle_analysis.dir/as_ranking.cc.o"
+  "CMakeFiles/turtle_analysis.dir/as_ranking.cc.o.d"
+  "CMakeFiles/turtle_analysis.dir/broadcast_octets.cc.o"
+  "CMakeFiles/turtle_analysis.dir/broadcast_octets.cc.o.d"
+  "CMakeFiles/turtle_analysis.dir/dataset.cc.o"
+  "CMakeFiles/turtle_analysis.dir/dataset.cc.o.d"
+  "CMakeFiles/turtle_analysis.dir/duplicates.cc.o"
+  "CMakeFiles/turtle_analysis.dir/duplicates.cc.o.d"
+  "CMakeFiles/turtle_analysis.dir/first_ping.cc.o"
+  "CMakeFiles/turtle_analysis.dir/first_ping.cc.o.d"
+  "CMakeFiles/turtle_analysis.dir/patterns.cc.o"
+  "CMakeFiles/turtle_analysis.dir/patterns.cc.o.d"
+  "CMakeFiles/turtle_analysis.dir/percentiles.cc.o"
+  "CMakeFiles/turtle_analysis.dir/percentiles.cc.o.d"
+  "CMakeFiles/turtle_analysis.dir/pipeline.cc.o"
+  "CMakeFiles/turtle_analysis.dir/pipeline.cc.o.d"
+  "CMakeFiles/turtle_analysis.dir/satellite.cc.o"
+  "CMakeFiles/turtle_analysis.dir/satellite.cc.o.d"
+  "libturtle_analysis.a"
+  "libturtle_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turtle_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/multivantage.cc" "src/core/CMakeFiles/turtle_core.dir/multivantage.cc.o" "gcc" "src/core/CMakeFiles/turtle_core.dir/multivantage.cc.o.d"
+  "/root/repo/src/core/outage_detector.cc" "src/core/CMakeFiles/turtle_core.dir/outage_detector.cc.o" "gcc" "src/core/CMakeFiles/turtle_core.dir/outage_detector.cc.o.d"
+  "/root/repo/src/core/p2_quantile.cc" "src/core/CMakeFiles/turtle_core.dir/p2_quantile.cc.o" "gcc" "src/core/CMakeFiles/turtle_core.dir/p2_quantile.cc.o.d"
+  "/root/repo/src/core/recommendations.cc" "src/core/CMakeFiles/turtle_core.dir/recommendations.cc.o" "gcc" "src/core/CMakeFiles/turtle_core.dir/recommendations.cc.o.d"
+  "/root/repo/src/core/rtt_estimator.cc" "src/core/CMakeFiles/turtle_core.dir/rtt_estimator.cc.o" "gcc" "src/core/CMakeFiles/turtle_core.dir/rtt_estimator.cc.o.d"
+  "/root/repo/src/core/timeout_policy.cc" "src/core/CMakeFiles/turtle_core.dir/timeout_policy.cc.o" "gcc" "src/core/CMakeFiles/turtle_core.dir/timeout_policy.cc.o.d"
+  "/root/repo/src/core/trinocular.cc" "src/core/CMakeFiles/turtle_core.dir/trinocular.cc.o" "gcc" "src/core/CMakeFiles/turtle_core.dir/trinocular.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/turtle_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/turtle_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/turtle_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turtle_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/turtle_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/hosts/CMakeFiles/turtle_hosts.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turtle_core.dir/multivantage.cc.o"
+  "CMakeFiles/turtle_core.dir/multivantage.cc.o.d"
+  "CMakeFiles/turtle_core.dir/outage_detector.cc.o"
+  "CMakeFiles/turtle_core.dir/outage_detector.cc.o.d"
+  "CMakeFiles/turtle_core.dir/p2_quantile.cc.o"
+  "CMakeFiles/turtle_core.dir/p2_quantile.cc.o.d"
+  "CMakeFiles/turtle_core.dir/recommendations.cc.o"
+  "CMakeFiles/turtle_core.dir/recommendations.cc.o.d"
+  "CMakeFiles/turtle_core.dir/rtt_estimator.cc.o"
+  "CMakeFiles/turtle_core.dir/rtt_estimator.cc.o.d"
+  "CMakeFiles/turtle_core.dir/timeout_policy.cc.o"
+  "CMakeFiles/turtle_core.dir/timeout_policy.cc.o.d"
+  "CMakeFiles/turtle_core.dir/trinocular.cc.o"
+  "CMakeFiles/turtle_core.dir/trinocular.cc.o.d"
+  "libturtle_core.a"
+  "libturtle_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turtle_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

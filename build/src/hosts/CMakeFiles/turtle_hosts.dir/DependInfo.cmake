@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hosts/asdb.cc" "src/hosts/CMakeFiles/turtle_hosts.dir/asdb.cc.o" "gcc" "src/hosts/CMakeFiles/turtle_hosts.dir/asdb.cc.o.d"
+  "/root/repo/src/hosts/gateways.cc" "src/hosts/CMakeFiles/turtle_hosts.dir/gateways.cc.o" "gcc" "src/hosts/CMakeFiles/turtle_hosts.dir/gateways.cc.o.d"
+  "/root/repo/src/hosts/host.cc" "src/hosts/CMakeFiles/turtle_hosts.dir/host.cc.o" "gcc" "src/hosts/CMakeFiles/turtle_hosts.dir/host.cc.o.d"
+  "/root/repo/src/hosts/population.cc" "src/hosts/CMakeFiles/turtle_hosts.dir/population.cc.o" "gcc" "src/hosts/CMakeFiles/turtle_hosts.dir/population.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/turtle_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/turtle_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turtle_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

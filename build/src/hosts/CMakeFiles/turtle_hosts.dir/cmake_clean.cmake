@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turtle_hosts.dir/asdb.cc.o"
+  "CMakeFiles/turtle_hosts.dir/asdb.cc.o.d"
+  "CMakeFiles/turtle_hosts.dir/gateways.cc.o"
+  "CMakeFiles/turtle_hosts.dir/gateways.cc.o.d"
+  "CMakeFiles/turtle_hosts.dir/host.cc.o"
+  "CMakeFiles/turtle_hosts.dir/host.cc.o.d"
+  "CMakeFiles/turtle_hosts.dir/population.cc.o"
+  "CMakeFiles/turtle_hosts.dir/population.cc.o.d"
+  "libturtle_hosts.a"
+  "libturtle_hosts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turtle_hosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

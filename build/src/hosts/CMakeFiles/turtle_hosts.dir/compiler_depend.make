@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for turtle_hosts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turtle_net.dir/checksum.cc.o"
+  "CMakeFiles/turtle_net.dir/checksum.cc.o.d"
+  "CMakeFiles/turtle_net.dir/icmp.cc.o"
+  "CMakeFiles/turtle_net.dir/icmp.cc.o.d"
+  "CMakeFiles/turtle_net.dir/ipv4.cc.o"
+  "CMakeFiles/turtle_net.dir/ipv4.cc.o.d"
+  "CMakeFiles/turtle_net.dir/tcp.cc.o"
+  "CMakeFiles/turtle_net.dir/tcp.cc.o.d"
+  "CMakeFiles/turtle_net.dir/udp.cc.o"
+  "CMakeFiles/turtle_net.dir/udp.cc.o.d"
+  "libturtle_net.a"
+  "libturtle_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turtle_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

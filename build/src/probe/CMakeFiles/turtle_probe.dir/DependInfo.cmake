@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/probe/census.cc" "src/probe/CMakeFiles/turtle_probe.dir/census.cc.o" "gcc" "src/probe/CMakeFiles/turtle_probe.dir/census.cc.o.d"
+  "/root/repo/src/probe/records.cc" "src/probe/CMakeFiles/turtle_probe.dir/records.cc.o" "gcc" "src/probe/CMakeFiles/turtle_probe.dir/records.cc.o.d"
+  "/root/repo/src/probe/scamper.cc" "src/probe/CMakeFiles/turtle_probe.dir/scamper.cc.o" "gcc" "src/probe/CMakeFiles/turtle_probe.dir/scamper.cc.o.d"
+  "/root/repo/src/probe/survey.cc" "src/probe/CMakeFiles/turtle_probe.dir/survey.cc.o" "gcc" "src/probe/CMakeFiles/turtle_probe.dir/survey.cc.o.d"
+  "/root/repo/src/probe/zmap.cc" "src/probe/CMakeFiles/turtle_probe.dir/zmap.cc.o" "gcc" "src/probe/CMakeFiles/turtle_probe.dir/zmap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/turtle_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/turtle_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turtle_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

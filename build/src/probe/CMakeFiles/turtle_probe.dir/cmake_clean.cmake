@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turtle_probe.dir/census.cc.o"
+  "CMakeFiles/turtle_probe.dir/census.cc.o.d"
+  "CMakeFiles/turtle_probe.dir/records.cc.o"
+  "CMakeFiles/turtle_probe.dir/records.cc.o.d"
+  "CMakeFiles/turtle_probe.dir/scamper.cc.o"
+  "CMakeFiles/turtle_probe.dir/scamper.cc.o.d"
+  "CMakeFiles/turtle_probe.dir/survey.cc.o"
+  "CMakeFiles/turtle_probe.dir/survey.cc.o.d"
+  "CMakeFiles/turtle_probe.dir/zmap.cc.o"
+  "CMakeFiles/turtle_probe.dir/zmap.cc.o.d"
+  "libturtle_probe.a"
+  "libturtle_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turtle_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turtle_sim.dir/event_queue.cc.o"
+  "CMakeFiles/turtle_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/turtle_sim.dir/network.cc.o"
+  "CMakeFiles/turtle_sim.dir/network.cc.o.d"
+  "CMakeFiles/turtle_sim.dir/processes.cc.o"
+  "CMakeFiles/turtle_sim.dir/processes.cc.o.d"
+  "CMakeFiles/turtle_sim.dir/simulator.cc.o"
+  "CMakeFiles/turtle_sim.dir/simulator.cc.o.d"
+  "libturtle_sim.a"
+  "libturtle_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turtle_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

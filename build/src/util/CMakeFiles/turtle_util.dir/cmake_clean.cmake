@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turtle_util.dir/flags.cc.o"
+  "CMakeFiles/turtle_util.dir/flags.cc.o.d"
+  "CMakeFiles/turtle_util.dir/prng.cc.o"
+  "CMakeFiles/turtle_util.dir/prng.cc.o.d"
+  "CMakeFiles/turtle_util.dir/series.cc.o"
+  "CMakeFiles/turtle_util.dir/series.cc.o.d"
+  "CMakeFiles/turtle_util.dir/sim_time.cc.o"
+  "CMakeFiles/turtle_util.dir/sim_time.cc.o.d"
+  "CMakeFiles/turtle_util.dir/stats.cc.o"
+  "CMakeFiles/turtle_util.dir/stats.cc.o.d"
+  "CMakeFiles/turtle_util.dir/table.cc.o"
+  "CMakeFiles/turtle_util.dir/table.cc.o.d"
+  "libturtle_util.a"
+  "libturtle_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turtle_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libturtle_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_misc_test.dir/analysis_misc_test.cc.o"
+  "CMakeFiles/analysis_misc_test.dir/analysis_misc_test.cc.o.d"
+  "analysis_misc_test"
+  "analysis_misc_test.pdb"
+  "analysis_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_pipeline_test.dir/dataset_pipeline_test.cc.o"
+  "CMakeFiles/dataset_pipeline_test.dir/dataset_pipeline_test.cc.o.d"
+  "dataset_pipeline_test"
+  "dataset_pipeline_test.pdb"
+  "dataset_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/first_ping_patterns_test.dir/first_ping_patterns_test.cc.o"
+  "CMakeFiles/first_ping_patterns_test.dir/first_ping_patterns_test.cc.o.d"
+  "first_ping_patterns_test"
+  "first_ping_patterns_test.pdb"
+  "first_ping_patterns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/first_ping_patterns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

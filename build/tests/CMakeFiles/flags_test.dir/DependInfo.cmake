@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/flags_test.cc" "tests/CMakeFiles/flags_test.dir/flags_test.cc.o" "gcc" "tests/CMakeFiles/flags_test.dir/flags_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/turtle_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/turtle_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/turtle_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/hosts/CMakeFiles/turtle_hosts.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/turtle_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/turtle_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turtle_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

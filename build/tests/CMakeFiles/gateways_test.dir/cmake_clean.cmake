@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateways_test.dir/gateways_test.cc.o"
+  "CMakeFiles/gateways_test.dir/gateways_test.cc.o.d"
+  "gateways_test"
+  "gateways_test.pdb"
+  "gateways_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateways_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

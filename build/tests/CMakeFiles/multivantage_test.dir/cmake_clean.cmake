@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multivantage_test.dir/multivantage_test.cc.o"
+  "CMakeFiles/multivantage_test.dir/multivantage_test.cc.o.d"
+  "multivantage_test"
+  "multivantage_test.pdb"
+  "multivantage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multivantage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outage_detector_test.dir/outage_detector_test.cc.o"
+  "CMakeFiles/outage_detector_test.dir/outage_detector_test.cc.o.d"
+  "outage_detector_test"
+  "outage_detector_test.pdb"
+  "outage_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outage_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

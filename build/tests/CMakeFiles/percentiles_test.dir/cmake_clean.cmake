@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/percentiles_test.dir/percentiles_test.cc.o"
+  "CMakeFiles/percentiles_test.dir/percentiles_test.cc.o.d"
+  "percentiles_test"
+  "percentiles_test.pdb"
+  "percentiles_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/percentiles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

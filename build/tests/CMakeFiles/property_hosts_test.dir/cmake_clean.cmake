@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_hosts_test.dir/property_hosts_test.cc.o"
+  "CMakeFiles/property_hosts_test.dir/property_hosts_test.cc.o.d"
+  "property_hosts_test"
+  "property_hosts_test.pdb"
+  "property_hosts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_hosts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

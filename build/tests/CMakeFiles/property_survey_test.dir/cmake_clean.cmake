@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_survey_test.dir/property_survey_test.cc.o"
+  "CMakeFiles/property_survey_test.dir/property_survey_test.cc.o.d"
+  "property_survey_test"
+  "property_survey_test.pdb"
+  "property_survey_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_survey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scamper_test.dir/scamper_test.cc.o"
+  "CMakeFiles/scamper_test.dir/scamper_test.cc.o.d"
+  "scamper_test"
+  "scamper_test.pdb"
+  "scamper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scamper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/series_fuzz_test.dir/series_fuzz_test.cc.o"
+  "CMakeFiles/series_fuzz_test.dir/series_fuzz_test.cc.o.d"
+  "series_fuzz_test"
+  "series_fuzz_test.pdb"
+  "series_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/series_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

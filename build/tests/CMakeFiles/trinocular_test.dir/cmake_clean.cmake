@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinocular_test.dir/trinocular_test.cc.o"
+  "CMakeFiles/trinocular_test.dir/trinocular_test.cc.o.d"
+  "trinocular_test"
+  "trinocular_test.pdb"
+  "trinocular_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinocular_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_tcp_test.dir/udp_tcp_test.cc.o"
+  "CMakeFiles/udp_tcp_test.dir/udp_tcp_test.cc.o.d"
+  "udp_tcp_test"
+  "udp_tcp_test.pdb"
+  "udp_tcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_tcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zmap_test.dir/zmap_test.cc.o"
+  "CMakeFiles/zmap_test.dir/zmap_test.cc.o.d"
+  "zmap_test"
+  "zmap_test.pdb"
+  "zmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
