@@ -1,0 +1,60 @@
+# Sanitizer and warning policy for the turtle build.
+#
+# One-flag configs:
+#   cmake -B build-asan -S . -DTURTLE_SANITIZE=address
+#   cmake -B build-ubsan -S . -DTURTLE_SANITIZE=undefined
+#   cmake -B build-tsan -S . -DTURTLE_SANITIZE=thread
+# or combined: -DTURTLE_SANITIZE=address,undefined (ASan and UBSan compose;
+# TSan must run alone). Sanitized builds also define TURTLE_FORCE_DCHECKS so
+# the invariant net (util/check.h) is live under the sanitizers.
+#
+#   -DTURTLE_WERROR=ON  promotes warnings to errors (CI default)
+#   -DTURTLE_TIDY=ON    runs clang-tidy alongside compilation (needs
+#                       clang-tidy on PATH; see .clang-tidy)
+
+set(TURTLE_SANITIZE "" CACHE STRING
+    "Comma-separated sanitizers: address, undefined, thread (thread must be alone)")
+option(TURTLE_WERROR "Treat compiler warnings as errors" OFF)
+option(TURTLE_TIDY "Run clang-tidy via CMAKE_CXX_CLANG_TIDY" OFF)
+
+if(TURTLE_WERROR)
+  add_compile_options(-Werror)
+endif()
+
+if(TURTLE_SANITIZE)
+  string(REPLACE "," ";" _turtle_san_list "${TURTLE_SANITIZE}")
+  set(_turtle_san_flags "")
+  foreach(_san IN LISTS _turtle_san_list)
+    string(STRIP "${_san}" _san)
+    if(_san STREQUAL "address")
+      list(APPEND _turtle_san_flags -fsanitize=address)
+    elseif(_san STREQUAL "undefined")
+      # Recover from nothing: any UB report is a hard failure, so CI and
+      # death tests cannot scroll past one.
+      list(APPEND _turtle_san_flags -fsanitize=undefined -fno-sanitize-recover=all)
+    elseif(_san STREQUAL "thread")
+      list(APPEND _turtle_san_flags -fsanitize=thread)
+    else()
+      message(FATAL_ERROR "TURTLE_SANITIZE: unknown sanitizer '${_san}' "
+                          "(expected address, undefined, or thread)")
+    endif()
+  endforeach()
+  if("thread" IN_LIST _turtle_san_list AND NOT _turtle_san_list STREQUAL "thread")
+    message(FATAL_ERROR "TURTLE_SANITIZE: thread cannot combine with other sanitizers")
+  endif()
+
+  add_compile_options(${_turtle_san_flags} -fno-omit-frame-pointer -g)
+  add_link_options(${_turtle_san_flags})
+  # Sanitized runs exist to catch bugs: arm the debug-only invariants too.
+  add_compile_definitions(TURTLE_FORCE_DCHECKS)
+endif()
+
+if(TURTLE_TIDY)
+  find_program(TURTLE_CLANG_TIDY_EXE NAMES clang-tidy clang-tidy-18 clang-tidy-17
+                                           clang-tidy-16 clang-tidy-15)
+  if(NOT TURTLE_CLANG_TIDY_EXE)
+    message(FATAL_ERROR "TURTLE_TIDY=ON but no clang-tidy found on PATH")
+  endif()
+  # Config comes from the repo-root .clang-tidy; warnings-as-errors there.
+  set(CMAKE_CXX_CLANG_TIDY "${TURTLE_CLANG_TIDY_EXE}")
+endif()

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Fast repo-convention linter. Runs in well under a second so it can gate
+# every commit; deeper semantic analysis belongs to clang-tidy
+# (-DTURTLE_TIDY=ON) and the sanitizer presets.
+#
+# Enforced conventions:
+#   1. every header uses `#pragma once`
+#   2. no `using namespace` at namespace scope in headers
+#   3. no raw rand()/srand()/time() in src/ — simulation code must draw
+#      randomness from util/prng and timestamps from util/sim_time, or a
+#      replayed run stops being bit-identical
+#   4. no `float` in src/analysis/ — RTT arithmetic stays in double; float
+#      has only 24 mantissa bits and visibly quantizes the percentile tail
+#
+# Usage: scripts/lint.sh   (from anywhere; exits non-zero with file:line
+# diagnostics on violation)
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+
+failures=0
+
+fail() {
+  # $1 = file:line prefix (may be empty), $2 = message
+  if [ -n "$1" ]; then
+    echo "lint: $1: $2" >&2
+  else
+    echo "lint: $2" >&2
+  fi
+  failures=$((failures + 1))
+}
+
+# Strip // and /* */ comments plus string literals well enough for the
+# token greps below; not a real lexer, but the conventions it guards are
+# all single-token matches.
+strip_comments() {
+  sed -e 's://.*$::' -e 's:/\*.*\*/::g' -e 's:"[^"]*"::g' "$1"
+}
+
+headers=$(find src bench tests -name '*.h' -type f | sort)
+sources=$(find src -name '*.cc' -type f | sort)
+
+# --- 1. #pragma once in every header -----------------------------------
+for h in $headers; do
+  if ! grep -q '^#pragma once' "$h"; then
+    fail "$h" "missing '#pragma once'"
+  fi
+done
+
+# --- 2. no `using namespace` in headers --------------------------------
+for h in $headers; do
+  while IFS= read -r hit; do
+    [ -n "$hit" ] && fail "$h:${hit%%:*}" "'using namespace' in a header leaks into every includer"
+  done <<EOF
+$(strip_comments "$h" | grep -n '^[[:space:]]*using[[:space:]]\+namespace' | cut -d: -f1 | sed 's/$/:/')
+EOF
+done
+
+# --- 3. no raw rand()/srand()/time() in src/ ---------------------------
+for f in $sources $(find src -name '*.h' -type f | sort); do
+  while IFS= read -r line_no; do
+    [ -n "$line_no" ] && fail "$f:$line_no" "raw rand()/srand()/time(): use util/prng (Prng) or util/sim_time (SimTime) so runs replay deterministically"
+  done <<EOF
+$(strip_comments "$f" | grep -n '\(^\|[^_[:alnum:]:.]\)\(std::\)\?s\?rand[[:space:]]*(\|\(^\|[^_[:alnum:]:.]\)\(std::\)\?time[[:space:]]*(' | cut -d: -f1)
+EOF
+done
+
+# --- 4. no float RTT arithmetic in analysis code -----------------------
+for f in $(find src/analysis -name '*.h' -o -name '*.cc' | sort); do
+  while IFS= read -r line_no; do
+    [ -n "$line_no" ] && fail "$f:$line_no" "'float' in analysis code: RTT math stays in double (24-bit mantissas quantize the tail)"
+  done <<EOF
+$(strip_comments "$f" | grep -n '\(^\|[^_[:alnum:]]\)float\($\|[^_[:alnum:]]\)' | cut -d: -f1)
+EOF
+done
+
+if [ "$failures" -gt 0 ]; then
+  echo "lint: $failures violation(s)" >&2
+  exit 1
+fi
+echo "lint: clean"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace turtle::analysis {
 
 PerAddressPercentiles PerAddressPercentiles::compute(std::span<const AddressReport> reports,
@@ -9,6 +11,10 @@ PerAddressPercentiles PerAddressPercentiles::compute(std::span<const AddressRepo
                                                      std::size_t min_samples) {
   PerAddressPercentiles out;
   out.percentiles.assign(percentiles.begin(), percentiles.end());
+  for (const double p : out.percentiles) {
+    TURTLE_CHECK_GE(p, 0.0) << "percentile rank out of [0, 100]";
+    TURTLE_CHECK_LE(p, 100.0) << "percentile rank out of [0, 100]";
+  }
   out.values.resize(percentiles.size());
 
   std::vector<double> sorted;
@@ -25,6 +31,7 @@ PerAddressPercentiles PerAddressPercentiles::compute(std::span<const AddressRepo
 
 std::vector<util::CdfPoint> PerAddressPercentiles::cdf_for(std::size_t p_index,
                                                            std::size_t max_points) const {
+  TURTLE_CHECK_LT(p_index, values.size()) << "no curve for this percentile index";
   return util::make_cdf(values[p_index], max_points);
 }
 
@@ -32,20 +39,21 @@ TimeoutMatrix TimeoutMatrix::compute(const PerAddressPercentiles& per_address,
                                      std::span<const double> row_percentiles) {
   TimeoutMatrix out;
   out.row_percentiles.assign(row_percentiles.begin(), row_percentiles.end());
+  for (const double r : out.row_percentiles) {
+    TURTLE_CHECK_GE(r, 0.0) << "row percentile out of [0, 100]";
+    TURTLE_CHECK_LE(r, 100.0) << "row percentile out of [0, 100]";
+  }
   out.col_percentiles = per_address.percentiles;
-  out.cells.resize(row_percentiles.size());
+  out.cells.assign(row_percentiles.size(),
+                   std::vector<double>(per_address.percentiles.size(), 0.0));
 
   std::vector<double> sorted;
   for (std::size_t c = 0; c < per_address.percentiles.size(); ++c) {
     sorted = per_address.values[c];
     std::sort(sorted.begin(), sorted.end());
+    if (sorted.empty()) continue;
     for (std::size_t r = 0; r < row_percentiles.size(); ++r) {
-      out.cells.resize(row_percentiles.size());
-      if (out.cells[r].size() != per_address.percentiles.size()) {
-        out.cells[r].assign(per_address.percentiles.size(), 0.0);
-      }
-      out.cells[r][c] =
-          sorted.empty() ? 0.0 : util::percentile_sorted(sorted, row_percentiles[r]);
+      out.cells[r][c] = util::percentile_sorted(sorted, row_percentiles[r]);
     }
   }
   return out;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "analysis/pipeline.h"
+#include "util/check.h"
 #include "util/stats.h"
 
 namespace turtle::analysis {
@@ -47,7 +48,11 @@ struct TimeoutMatrix {
   static TimeoutMatrix compute(const PerAddressPercentiles& per_address,
                                std::span<const double> row_percentiles);
 
-  [[nodiscard]] double cell(std::size_t r, std::size_t c) const { return cells[r][c]; }
+  [[nodiscard]] double cell(std::size_t r, std::size_t c) const {
+    TURTLE_DCHECK_LT(r, cells.size());
+    TURTLE_DCHECK_LT(c, cells[r].size());
+    return cells[r][c];
+  }
 };
 
 /// Per-ping aggregation: percentiles over all pings pooled, each ping

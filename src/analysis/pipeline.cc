@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.h"
 #include "util/stats.h"
 
 namespace turtle::analysis {
@@ -38,9 +39,13 @@ Attribution attribute(AddressTimeline& tl) {
     }
     if (req == 0) continue;  // response before any request: ignore entirely
     Request& last = tl.requests[req - 1];
+    TURTLE_DCHECK_GT(um.count, 0u);
     last.responses += um.count;
     out.attributed_responses += um.count;
     const double latency = um.time_s - std::floor(last.time_s);  // 1 s precision
+    // The cursor walk guarantees the attributed request precedes the
+    // response; a negative latency here would fabricate tail mass.
+    TURTLE_DCHECK_GE(latency, 0.0) << "attribution ran backwards in time";
     out.since_last.push_back({last.round, latency});
     if (last.state == RequestState::kTimedOut && !last.consumed_by_delayed) {
       last.consumed_by_delayed = true;
@@ -85,6 +90,13 @@ bool broadcast_filter_flags(const AddressTimeline& timeline, const PipelineConfi
 }
 
 PipelineResult run_pipeline(SurveyDataset& dataset, const PipelineConfig& config) {
+  TURTLE_CHECK_GT(config.broadcast_alpha, 0.0);
+  TURTLE_CHECK_LE(config.broadcast_alpha, 1.0);
+  TURTLE_CHECK_GT(config.broadcast_flag_threshold, 0.0);
+  TURTLE_CHECK_GE(config.broadcast_min_latency_s, 0.0);
+  TURTLE_CHECK_GE(config.broadcast_similarity_s, 0.0);
+  TURTLE_CHECK_GT(config.round_interval_s, 0.0);
+
   PipelineResult result;
   PipelineCounters& c = result.counters;
 

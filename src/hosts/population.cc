@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.h"
+
 namespace turtle::hosts {
 
 namespace {
@@ -21,9 +23,22 @@ SimTime lognorm_time(util::Prng& rng, SimTime median, double sigma) {
 Population::Population(HostContext& ctx, const AsCatalog& catalog,
                        const PopulationConfig& config, util::Prng rng)
     : ctx_{ctx}, catalog_{catalog}, config_{config}, geo_{&catalog_} {
+  TURTLE_CHECK_GT(config_.num_blocks, 0);
+  TURTLE_CHECK_GT(catalog_.size(), 0u) << "population needs at least one AS";
+  for (const double p :
+       {config_.broadcast_block_prob, config_.subnet_split_prob,
+        config_.broadcast_responder_prob, config_.firewall_block_prob,
+        config_.router_unreachable_prob, config_.mild_duplicate_prob,
+        config_.flood_duplicate_prob, config_.rate_limited_prob}) {
+    TURTLE_CHECK_GE(p, 0.0) << "population probability out of [0, 1]";
+    TURTLE_CHECK_LE(p, 1.0) << "population probability out of [0, 1]";
+  }
+  TURTLE_CHECK_GT(config_.severity_scale, 0.0);
+
   // Distribute blocks to ASes proportionally to weight (largest remainder).
   double total_weight = 0;
   for (const AsTraits& as : catalog_.list()) total_weight += as.block_weight;
+  TURTLE_CHECK_GT(total_weight, 0.0) << "AS catalog has no block weight";
 
   std::vector<int> as_blocks(catalog_.size());
   std::vector<std::pair<double, std::size_t>> remainders;
@@ -168,6 +183,9 @@ HostProfile Population::sample_profile(const AsTraits& as, util::Prng& rng) cons
 
   // Host type from the AS mix.
   const double u = rng.uniform();
+  TURTLE_DCHECK_LE(as.datacenter_fraction + as.cellular_fraction + as.satellite_fraction,
+                   1.0)
+      << "AS type fractions exceed 1; residential share would go negative";
   if (u < as.datacenter_fraction) {
     p.type = HostType::kDatacenter;
   } else if (u < as.datacenter_fraction + as.cellular_fraction) {

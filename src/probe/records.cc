@@ -71,7 +71,11 @@ RecordLog RecordLog::load(std::istream& is) {
   log.records_.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     SurveyRecord r;
-    r.type = static_cast<RecordType>(get<std::uint8_t>(is));
+    const auto tag = get<std::uint8_t>(is);
+    if (!is_valid_record_type(tag)) {
+      throw std::runtime_error("RecordLog::load: corrupt record type tag");
+    }
+    r.type = static_cast<RecordType>(tag);
     std::array<char, 3> pad{};
     is.read(pad.data(), pad.size());
     r.address = net::Ipv4Address{get<std::uint32_t>(is)};

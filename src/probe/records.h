@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "net/ipv4.h"
+#include "util/check.h"
 #include "util/sim_time.h"
 
 namespace turtle::probe {
@@ -31,6 +32,12 @@ enum class RecordType : std::uint8_t {
   kUnmatched = 2,  ///< response with no outstanding probe for its source
   kError = 3,      ///< ICMP error (e.g. host unreachable) for a probe
 };
+
+/// True for the four valid wire tags; load() rejects anything else so a
+/// corrupt stream cannot smuggle an out-of-range enum into the analysis.
+[[nodiscard]] constexpr bool is_valid_record_type(std::uint8_t tag) {
+  return tag <= static_cast<std::uint8_t>(RecordType::kError);
+}
 
 /// One survey record. Field meaning depends on `type`:
 ///   kMatched:   address = target, probe_time µs, rtt µs, round
@@ -54,11 +61,22 @@ struct SurveyRecord {
 /// round-trip is exact.
 class RecordLog {
  public:
-  void append(const SurveyRecord& record) { records_.push_back(record); }
+  void append(const SurveyRecord& record) {
+    TURTLE_DCHECK(is_valid_record_type(static_cast<std::uint8_t>(record.type)));
+    TURTLE_DCHECK_GT(record.count, 0u) << "record coalescing zero responses";
+    TURTLE_DCHECK(!record.rtt.is_negative());
+    records_.push_back(record);
+  }
 
   /// Mutable access for in-place coalescing by the prober.
-  [[nodiscard]] SurveyRecord& at(std::size_t i) { return records_[i]; }
-  [[nodiscard]] const SurveyRecord& at(std::size_t i) const { return records_[i]; }
+  [[nodiscard]] SurveyRecord& at(std::size_t i) {
+    TURTLE_DCHECK_LT(i, records_.size());
+    return records_[i];
+  }
+  [[nodiscard]] const SurveyRecord& at(std::size_t i) const {
+    TURTLE_DCHECK_LT(i, records_.size());
+    return records_[i];
+  }
   [[nodiscard]] std::size_t size() const { return records_.size(); }
   [[nodiscard]] const std::vector<SurveyRecord>& records() const { return records_; }
 

@@ -1,10 +1,17 @@
 #include "probe/survey.h"
 
+#include "util/check.h"
+
 namespace turtle::probe {
 
 SurveyProber::SurveyProber(sim::Simulator& sim, sim::Network& net, SurveyConfig config,
                            std::vector<net::Prefix24> blocks, util::Prng rng)
     : sim_{sim}, net_{net}, config_{config}, blocks_{std::move(blocks)}, rng_{rng} {
+  TURTLE_CHECK_GT(config_.rounds, 0);
+  TURTLE_CHECK_GT(config_.round_interval, SimTime{});
+  TURTLE_CHECK_GT(config_.match_timeout, SimTime{});
+  TURTLE_CHECK_LE(config_.match_timeout, config_.round_interval)
+      << "a probe must expire before its target's next round";
   // Each block gets a fixed sub-slot phase so probes from different blocks
   // do not all fire at the same instant; the within-block 2.58 s cadence
   // (and hence the 330 s off-by-one octet spacing) is preserved.
@@ -119,6 +126,11 @@ void SurveyProber::handle_echo_reply(const net::Packet& packet, std::uint32_t co
     rec.address = src;
     rec.probe_time = it->second.send_time;
     rec.rtt = sim_.now() - it->second.send_time;  // µs precision
+    // A matched RTT is bounded by the timeout window: the probe was sent at
+    // send_time and its expiry timer has not fired yet. Negative would mean
+    // the simulator clock ran backwards under us.
+    TURTLE_DCHECK(!rec.rtt.is_negative()) << "negative RTT for " << src.value();
+    TURTLE_DCHECK_LE(rec.rtt, config_.match_timeout);
     rec.round = it->second.round;
     log_.append(rec);
     outstanding_.erase(it);

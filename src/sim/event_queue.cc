@@ -9,6 +9,7 @@ void EventQueue::push(SimTime t, Callback cb) {
 }
 
 EventQueue::Callback EventQueue::pop() {
+  TURTLE_DCHECK(!heap_.empty()) << "pop() on an empty EventQueue";
   Callback cb = std::move(heap_.top().callback);
   heap_.pop();
   return cb;

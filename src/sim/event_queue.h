@@ -11,6 +11,7 @@
 #include <queue>
 #include <vector>
 
+#include "util/check.h"
 #include "util/sim_time.h"
 
 namespace turtle::sim {
@@ -27,7 +28,10 @@ class EventQueue {
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
   /// Timestamp of the next event. Precondition: !empty().
-  [[nodiscard]] SimTime next_time() const { return heap_.top().time; }
+  [[nodiscard]] SimTime next_time() const {
+    TURTLE_DCHECK(!heap_.empty()) << "next_time() on an empty EventQueue";
+    return heap_.top().time;
+  }
 
   /// Removes and returns the next event's callback. Precondition: !empty().
   [[nodiscard]] Callback pop();

@@ -3,16 +3,28 @@
 #include <cmath>
 #include <utility>
 
+#include "util/check.h"
+
 namespace turtle::sim {
 
 Network::Network(Simulator& sim, Config config, util::Prng rng)
-    : sim_{sim}, config_{config}, rng_{rng} {}
+    : sim_{sim}, config_{config}, rng_{rng} {
+  TURTLE_CHECK(!config_.transit_base.is_negative())
+      << "negative transit delay " << config_.transit_base;
+  TURTLE_CHECK_GE(config_.core_loss, 0.0);
+  TURTLE_CHECK_LE(config_.core_loss, 1.0);
+  TURTLE_CHECK_GE(config_.transit_jitter_sigma, 0.0);
+}
 
 void Network::attach_endpoint(net::Ipv4Address addr, PacketSink* sink) {
-  endpoints_[addr.value()] = sink;
+  TURTLE_CHECK(sink != nullptr);
+  const auto [it, inserted] = endpoints_.emplace(addr.value(), sink);
+  TURTLE_CHECK(inserted || it->second == sink)
+      << "endpoint re-attached with a different sink";
 }
 
 void Network::send(const net::Packet& packet, std::uint32_t copies) {
+  TURTLE_DCHECK_GT(copies, 0u) << "send of an empty packet batch";
   packets_sent_ += copies;
 
   PacketSink* sink = nullptr;
@@ -42,6 +54,7 @@ void Network::send(const net::Packet& packet, std::uint32_t copies) {
     packets_dropped_ += copies;
     return;
   }
+  TURTLE_DCHECK_LE(surviving, copies) << "loss thinning grew the batch";
   packets_dropped_ += copies - surviving;
 
   const double jitter = std::exp(config_.transit_jitter_sigma * rng_.normal());

@@ -1,20 +1,27 @@
 #include "sim/simulator.h"
 
+#include <ostream>
 #include <utility>
 
 namespace turtle::sim {
 
 void Simulator::schedule_at(SimTime t, Callback cb) {
+  TURTLE_DCHECK_GE(t, now_) << "schedule_at in the simulated past";
   queue_.push(t < now_ ? now_ : t, std::move(cb));
 }
 
 void Simulator::schedule_after(SimTime delay, Callback cb) {
+  TURTLE_DCHECK(!delay.is_negative()) << "schedule_after with negative delay " << delay;
   schedule_at(delay.is_negative() ? now_ : now_ + delay, std::move(cb));
 }
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  now_ = queue_.next_time();
+  const SimTime t = queue_.next_time();
+  // The queue only ever holds events at or after the clock (push clamps),
+  // so a violation here means heap corruption, not a scheduling mistake.
+  TURTLE_DCHECK_GE(t, now_) << "event queue returned a timestamp behind the clock";
+  now_ = t;
   auto cb = queue_.pop();
   ++events_processed_;
   cb();
@@ -31,6 +38,11 @@ void Simulator::run_until(SimTime t) {
     step();
   }
   if (now_ < t) now_ = t;
+}
+
+void Simulator::describe_check_context(std::ostream& os) const {
+  os << "sim_now=" << now_ << " events=" << events_processed_
+     << " pending=" << queue_.size();
 }
 
 }  // namespace turtle::sim

@@ -8,8 +8,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 
 #include "sim/event_queue.h"
+#include "util/check.h"
 #include "util/sim_time.h"
 
 namespace turtle::sim {
@@ -19,18 +21,29 @@ namespace turtle::sim {
 /// Not thread-safe. Callbacks may schedule further events freely, including
 /// at the current time (they run after all currently queued events at that
 /// time, preserving FIFO order).
-class Simulator {
+///
+/// While a Simulator exists it is registered as a check context, so any
+/// TURTLE_CHECK failure inside an event callback reports the simulated
+/// clock and event counters alongside the failing condition.
+class Simulator : public util::CheckContext {
  public:
   using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   /// Current simulated time. Starts at zero.
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules `cb` at absolute time `t`. Scheduling in the past is a
-  /// logic error and fires immediately-next instead (clamped to now()).
+  /// logic error: it fails a TURTLE_DCHECK in debug builds, and is
+  /// clamped to now() in release builds so a long run degrades rather
+  /// than corrupts the clock.
   void schedule_at(SimTime t, Callback cb);
 
-  /// Schedules `cb` after a relative delay (clamped to be non-negative).
+  /// Schedules `cb` after a relative delay. Negative delays are a logic
+  /// error (DCHECK), clamped to zero in release.
   void schedule_after(SimTime delay, Callback cb);
 
   /// Runs until the event queue is empty.
@@ -47,10 +60,14 @@ class Simulator {
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// CheckContext: "sim_now=<t> events=<n> pending=<m>".
+  void describe_check_context(std::ostream& os) const override;
+
  private:
   EventQueue queue_;
   SimTime now_;
   std::uint64_t events_processed_ = 0;
+  util::ScopedCheckContext check_context_{this};
 };
 
 }  // namespace turtle::sim

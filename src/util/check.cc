@@ -1,0 +1,46 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace turtle::util {
+
+namespace {
+
+// Innermost registered context. thread_local so a future multi-shard
+// driver gets per-shard context for free (and TSan stays quiet).
+thread_local ScopedCheckContext* g_context_top = nullptr;
+
+}  // namespace
+
+ScopedCheckContext::ScopedCheckContext(const CheckContext* context)
+    : context_{context}, prev_{g_context_top} {
+  g_context_top = this;
+}
+
+ScopedCheckContext::~ScopedCheckContext() { g_context_top = prev_; }
+
+namespace check_internal {
+
+CheckFailure::CheckFailure(const char* file, int line, const char* summary) {
+  stream_ << summary << " at " << file << ":" << line;
+}
+
+CheckFailure::~CheckFailure() {
+  stream_ << "\n";
+  for (const ScopedCheckContext* node = g_context_top; node != nullptr;
+       node = node->prev_) {
+    stream_ << "  [context: ";
+    node->context_->describe_check_context(stream_);
+    stream_ << "]\n";
+  }
+  const std::string message = stream_.str();
+  std::fputs("turtle: ", stderr);
+  std::fputs(message.c_str(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace check_internal
+}  // namespace turtle::util

@@ -1,0 +1,177 @@
+// Runtime invariant checking for the simulator and analysis pipeline.
+//
+// A long event-driven simulation that silently clamps a negative RTT or
+// walks past the end of a percentile table does not crash — it skews the
+// latency tail this reproduction exists to measure. These macros make such
+// states loud instead:
+//
+//   TURTLE_CHECK(cond) << "optional streamed context";
+//   TURTLE_CHECK_EQ(a, b);   // also NE, LT, LE, GT, GE; prints both values
+//   TURTLE_DCHECK(cond);     // debug builds only; compiles out in release
+//   TURTLE_UNREACHABLE() << "why this branch cannot happen";
+//
+// Failures print the condition, file:line, any streamed message, and —
+// when a simulation is running — the simulated clock and event counters
+// (see ScopedCheckContext below), then abort(). Aborting keeps the failure
+// visible to sanitizers, CTest, and death tests alike.
+//
+// Policy (see DESIGN.md): TURTLE_CHECK guards cheap, always-on invariants
+// (constructor parameter validation, file-format tags, index bounds on
+// cold paths). TURTLE_DCHECK guards per-event hot-path invariants
+// (monotone timestamps, non-negative RTTs, sortedness scans); it is active
+// when NDEBUG is unset or TURTLE_FORCE_DCHECKS is defined (the sanitizer
+// presets define it) and costs nothing in RelWithDebInfo/Release.
+#pragma once
+
+#include <sstream>
+
+namespace turtle::util {
+
+/// Implemented by long-lived engines (the Simulator) so that a check
+/// failure anywhere below them can report where in simulated time it
+/// happened. Register with a ScopedCheckContext.
+class CheckContext {
+ public:
+  /// Appends a one-line description, e.g. "sim_now=1.370s events=42".
+  virtual void describe_check_context(std::ostream& os) const = 0;
+
+ protected:
+  ~CheckContext() = default;
+};
+
+namespace check_internal {
+class CheckFailure;
+}  // namespace check_internal
+
+/// RAII registration of a CheckContext on a per-thread stack. Failure
+/// messages include every registered context, innermost first.
+class ScopedCheckContext {
+ public:
+  explicit ScopedCheckContext(const CheckContext* context);
+  ~ScopedCheckContext();
+
+  ScopedCheckContext(const ScopedCheckContext&) = delete;
+  ScopedCheckContext& operator=(const ScopedCheckContext&) = delete;
+
+ private:
+  friend class check_internal::CheckFailure;
+
+  const CheckContext* context_;
+  ScopedCheckContext* prev_;
+};
+
+namespace check_internal {
+
+/// Collects the failure message; its destructor prints everything (plus
+/// the registered check contexts) to stderr and aborts. Constructed only
+/// on the failure path, so the fast path stays a single predicted branch.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* summary);
+  ~CheckFailure();  // [[noreturn]] in effect: prints and aborts
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Renders one operand of a TURTLE_CHECK_op failure. Falls back to a
+/// placeholder for types without operator<<.
+template <typename T>
+void print_operand(std::ostream& os, const T& value) {
+  if constexpr (requires(std::ostream& o, const T& v) { o << v; }) {
+    os << value;
+  } else {
+    os << "<unprintable>";
+  }
+}
+
+/// Failure text for a binary comparison, or an empty string on success.
+/// Returned by value; the macro tests it in a while-condition so user
+/// code can stream extra context after the macro.
+struct OpResult {
+  std::string failure;  // empty == check passed
+  explicit operator bool() const { return !failure.empty(); }
+};
+
+template <typename A, typename B, typename Op>
+OpResult check_op(const A& a, const B& b, Op op, const char* expr) {
+  if (op(a, b)) [[likely]] {
+    return {};
+  }
+  std::ostringstream os;
+  os << expr << " (lhs=";
+  print_operand(os, a);
+  os << " vs rhs=";
+  print_operand(os, b);
+  os << ")";
+  return {os.str()};
+}
+
+}  // namespace check_internal
+}  // namespace turtle::util
+
+// A failed check constructs a CheckFailure whose destructor aborts, so the
+// while-loop body runs at most once; the loop form lets callers stream
+// extra context: TURTLE_CHECK(x) << "x came from " << source;
+#define TURTLE_CHECK(cond)                                                   \
+  while (!(cond)) [[unlikely]]                                               \
+  ::turtle::util::check_internal::CheckFailure(__FILE__, __LINE__,           \
+                                               "TURTLE_CHECK(" #cond ") failed") \
+      .stream()
+
+#define TURTLE_CHECK_OP_(a, b, op, opstr)                                    \
+  while (auto turtle_check_result_ = ::turtle::util::check_internal::check_op( \
+             (a), (b), [](const auto& x_, const auto& y_) { return x_ op y_; }, \
+             "TURTLE_CHECK(" #a " " opstr " " #b ") failed"))                \
+  ::turtle::util::check_internal::CheckFailure(__FILE__, __LINE__,           \
+                                               turtle_check_result_.failure.c_str()) \
+      .stream()
+
+#define TURTLE_CHECK_EQ(a, b) TURTLE_CHECK_OP_(a, b, ==, "==")
+#define TURTLE_CHECK_NE(a, b) TURTLE_CHECK_OP_(a, b, !=, "!=")
+#define TURTLE_CHECK_LT(a, b) TURTLE_CHECK_OP_(a, b, <, "<")
+#define TURTLE_CHECK_LE(a, b) TURTLE_CHECK_OP_(a, b, <=, "<=")
+#define TURTLE_CHECK_GT(a, b) TURTLE_CHECK_OP_(a, b, >, ">")
+#define TURTLE_CHECK_GE(a, b) TURTLE_CHECK_OP_(a, b, >=, ">=")
+
+// The for(;;) makes control-flow analysis treat the macro as noreturn, so
+// it can terminate a switch or a non-void function without a dummy return.
+#define TURTLE_UNREACHABLE()                                                 \
+  for (;;)                                                                   \
+  ::turtle::util::check_internal::CheckFailure(__FILE__, __LINE__,           \
+                                               "TURTLE_UNREACHABLE reached") \
+      .stream()
+
+#if !defined(NDEBUG) || defined(TURTLE_FORCE_DCHECKS)
+#define TURTLE_DCHECK_ENABLED 1
+#else
+#define TURTLE_DCHECK_ENABLED 0
+#endif
+
+#if TURTLE_DCHECK_ENABLED
+#define TURTLE_DCHECK(cond) TURTLE_CHECK(cond)
+#define TURTLE_DCHECK_EQ(a, b) TURTLE_CHECK_EQ(a, b)
+#define TURTLE_DCHECK_NE(a, b) TURTLE_CHECK_NE(a, b)
+#define TURTLE_DCHECK_LT(a, b) TURTLE_CHECK_LT(a, b)
+#define TURTLE_DCHECK_LE(a, b) TURTLE_CHECK_LE(a, b)
+#define TURTLE_DCHECK_GT(a, b) TURTLE_CHECK_GT(a, b)
+#define TURTLE_DCHECK_GE(a, b) TURTLE_CHECK_GE(a, b)
+#else
+// Disabled: the condition is parsed (so it cannot rot and its operands
+// count as used) but never evaluated, and the whole statement is dead code
+// the optimizer removes entirely.
+#define TURTLE_DCHECK(cond)                                                  \
+  while (false && !(cond))                                                   \
+  ::turtle::util::check_internal::CheckFailure(__FILE__, __LINE__, "").stream()
+#define TURTLE_DCHECK_EQ(a, b) TURTLE_DCHECK((a) == (b))
+#define TURTLE_DCHECK_NE(a, b) TURTLE_DCHECK((a) != (b))
+#define TURTLE_DCHECK_LT(a, b) TURTLE_DCHECK((a) < (b))
+#define TURTLE_DCHECK_LE(a, b) TURTLE_DCHECK((a) <= (b))
+#define TURTLE_DCHECK_GT(a, b) TURTLE_DCHECK((a) > (b))
+#define TURTLE_DCHECK_GE(a, b) TURTLE_DCHECK((a) >= (b))
+#endif

@@ -1,12 +1,12 @@
 #include "util/prng.h"
 
-#include <cassert>
+#include <algorithm>
 #include <cmath>
 
 namespace turtle::util {
 
 std::uint64_t Prng::uniform_int(std::uint64_t n) {
-  assert(n > 0);
+  TURTLE_DCHECK_GT(n, 0u) << "uniform_int over an empty range";
   // Lemire's nearly-divisionless method: multiply into a 128-bit product and
   // reject the small biased region at the bottom of each residue class.
   std::uint64_t x = next_u64();
@@ -24,7 +24,7 @@ std::uint64_t Prng::uniform_int(std::uint64_t n) {
 }
 
 double Prng::exponential(double mean) {
-  assert(mean > 0);
+  TURTLE_DCHECK_GT(mean, 0.0);
   // 1 - uniform() is in (0, 1], so the log is finite.
   return -mean * std::log(1.0 - uniform());
 }
@@ -45,16 +45,23 @@ double Prng::normal() {
 }
 
 double Prng::pareto(double xm, double alpha) {
-  assert(xm > 0 && alpha > 0);
+  TURTLE_DCHECK(xm > 0 && alpha > 0);
   return xm / std::pow(1.0 - uniform(), 1.0 / alpha);
 }
 
 double Prng::weibull(double shape, double scale) {
-  assert(shape > 0 && scale > 0);
+  TURTLE_DCHECK(shape > 0 && scale > 0);
   return scale * std::pow(-std::log(1.0 - uniform()), 1.0 / shape);
 }
 
 Prng Prng::fork(std::uint64_t stream) const {
+#if TURTLE_DCHECK_ENABLED
+  const auto it = std::lower_bound(forked_streams_.begin(), forked_streams_.end(), stream);
+  TURTLE_DCHECK(it == forked_streams_.end() || *it != stream)
+      << "Prng::fork stream id " << stream
+      << " reused on one generator; the children would be identical";
+  forked_streams_.insert(it, stream);
+#endif
   // Mix the parent's state with the stream id through SplitMix64 twice so
   // that adjacent stream ids yield unrelated children.
   std::uint64_t sm = state_[0] ^ (state_[3] + 0x632BE59BD9B4E019ULL);
@@ -64,7 +71,8 @@ Prng Prng::fork(std::uint64_t stream) const {
 }
 
 ZipfSampler::ZipfSampler(std::size_t n, double s) {
-  assert(n > 0);
+  TURTLE_CHECK_GT(n, 0u) << "ZipfSampler over an empty rank set";
+  TURTLE_CHECK_GE(s, 0.0);
   cdf_.resize(n);
   double total = 0.0;
   for (std::size_t rank = 0; rank < n; ++rank) {

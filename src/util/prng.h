@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/check.h"
+
 namespace turtle::util {
 
 /// SplitMix64 step; used to expand a single seed into generator state and to
@@ -90,6 +92,11 @@ class Prng {
 
   /// Derives an independent generator keyed by `stream`. Deterministic:
   /// the same (parent seed, stream) pair always yields the same child.
+  ///
+  /// Forking the same stream id twice from one generator yields two
+  /// *identical* children — correlated randomness that silently biases
+  /// every derived distribution. Debug builds track the ids handed out by
+  /// this object and fail a TURTLE_DCHECK on reuse.
   [[nodiscard]] Prng fork(std::uint64_t stream) const;
 
  private:
@@ -100,6 +107,9 @@ class Prng {
   std::array<std::uint64_t, 4> state_{};
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;
+#if TURTLE_DCHECK_ENABLED
+  mutable std::vector<std::uint64_t> forked_streams_;  // sorted; debug only
+#endif
 };
 
 /// Zipf(s) sampler over ranks {0, ..., n-1} using a precomputed CDF table

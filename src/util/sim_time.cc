@@ -1,6 +1,7 @@
 #include "util/sim_time.h"
 
 #include <cstdio>
+#include <ostream>
 
 namespace turtle {
 
@@ -16,5 +17,7 @@ std::string SimTime::to_string() const {
   }
   return buf;
 }
+
+std::ostream& operator<<(std::ostream& os, SimTime t) { return os << t.to_string(); }
 
 }  // namespace turtle

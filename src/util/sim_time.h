@@ -10,6 +10,7 @@
 #include <chrono>
 #include <compare>
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 
 namespace turtle {
@@ -75,5 +76,8 @@ class SimTime {
 };
 
 inline constexpr SimTime operator*(std::int64_t k, SimTime t) { return t * k; }
+
+/// Streams the human-readable form; lets TURTLE_CHECK_* print timestamps.
+std::ostream& operator<<(std::ostream& os, SimTime t);
 
 }  // namespace turtle

@@ -1,8 +1,9 @@
 #include "util/stats.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace turtle::util {
 
@@ -44,8 +45,11 @@ void RunningStats::merge(const RunningStats& other) {
 }
 
 double percentile_sorted(std::span<const double> sorted, double p) {
-  assert(!sorted.empty());
-  assert(p >= 0.0 && p <= 100.0);
+  TURTLE_CHECK(!sorted.empty()) << "percentile of an empty sample set";
+  TURTLE_CHECK_GE(p, 0.0) << "percentile rank out of [0, 100]";
+  TURTLE_CHECK_LE(p, 100.0) << "percentile rank out of [0, 100]";
+  TURTLE_DCHECK(std::is_sorted(sorted.begin(), sorted.end()))
+      << "percentile_sorted input is not ascending";
   if (sorted.size() == 1) return sorted[0];
   // Linear interpolation between closest ranks (the "exclusive" variant
   // reduces to this "inclusive" one for our sample sizes).
@@ -57,7 +61,7 @@ double percentile_sorted(std::span<const double> sorted, double p) {
 }
 
 double percentile(std::vector<double> samples, double p) {
-  assert(!samples.empty());
+  TURTLE_CHECK(!samples.empty()) << "percentile of an empty sample set";
   std::sort(samples.begin(), samples.end());
   return percentile_sorted(samples, p);
 }
@@ -110,7 +114,9 @@ double fraction_above(std::span<const double> samples, double threshold) {
 }
 
 LogHistogram::LogHistogram(double lo, double hi, int bins_per_decade) {
-  assert(lo > 0 && hi > lo && bins_per_decade > 0);
+  TURTLE_CHECK_GT(lo, 0.0);
+  TURTLE_CHECK_GT(hi, lo);
+  TURTLE_CHECK_GT(bins_per_decade, 0);
   log_lo_ = std::log10(lo);
   log_step_ = 1.0 / bins_per_decade;
   const double decades = std::log10(hi) - log_lo_;

@@ -58,6 +58,30 @@ TEST(Simulator, ScheduleAfterIsRelative) {
   EXPECT_EQ(at[0], SimTime::seconds(15));
 }
 
+// Scheduling in the simulated past is a DCHECK when DCHECKs are armed
+// (debug and sanitizer builds) and clamps to now() otherwise.
+#if TURTLE_DCHECK_ENABLED
+TEST(SimulatorDeathTest, PastSchedulingTripsDcheck) {
+  EXPECT_DEATH(
+      {
+        Simulator sim;
+        sim.schedule_at(SimTime::seconds(10), [&] {
+          sim.schedule_at(SimTime::seconds(1), [] {});
+        });
+        sim.run();
+      },
+      "schedule_at in the simulated past");
+}
+
+TEST(SimulatorDeathTest, NegativeDelayTripsDcheck) {
+  EXPECT_DEATH(
+      {
+        Simulator sim;
+        sim.schedule_after(SimTime::seconds(-5), [] {});
+      },
+      "negative delay");
+}
+#else
 TEST(Simulator, PastSchedulingClampsToNow) {
   Simulator sim;
   bool fired = false;
@@ -79,6 +103,7 @@ TEST(Simulator, NegativeDelayClamps) {
   EXPECT_TRUE(fired);
   EXPECT_EQ(sim.now(), SimTime{});
 }
+#endif
 
 TEST(Simulator, RunUntilStopsAtBoundary) {
   Simulator sim;
