@@ -10,11 +10,13 @@
 
 #include "analysis/percentiles.h"
 #include "harness.h"
+#include "report.h"
 
 using namespace turtle;
 
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
+  bench::JsonReport report{flags, "ablation_aggregation"};
   auto world = bench::make_world(bench::world_options_from_flags(flags, 300));
   const int rounds = static_cast<int>(flags.get_int("rounds", 50));
 
@@ -44,5 +46,7 @@ int main(int argc, char** argv) {
               "per-address aggregation shows %.1f s is needed for the same coverage —\n"
               "# the chatty-host bias the paper's Section 3.2 design choice avoids\n",
               pooled[4], matrix.cell(4, 4));
+  report.add_events(world->sim.events_processed());
+  report.add_probes(prober.probes_sent());
   return 0;
 }

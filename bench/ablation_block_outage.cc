@@ -11,12 +11,14 @@
 
 #include "core/trinocular.h"
 #include "harness.h"
+#include "report.h"
 #include "probe/census.h"
 
 using namespace turtle;
 
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
+  bench::JsonReport report{flags, "ablation_block_outage"};
   auto options = bench::world_options_from_flags(flags, 250);
   const int rounds = static_cast<int>(flags.get_int("rounds", 12));
   const int survey_rounds = static_cast<int>(flags.get_int("census-passes", 20));
@@ -28,6 +30,8 @@ int main(int argc, char** argv) {
     std::uint64_t cellular_down_rounds = 0;
   };
   std::vector<Row> rows;
+  std::uint64_t total_events = 0;
+  std::uint64_t total_probes = 0;
 
   const auto run = [&](const char* label, SimTime timeout, bool listen) {
     auto world = bench::make_world(options);
@@ -65,6 +69,8 @@ int main(int argc, char** argv) {
     monitor.start(std::move(monitored));
     world->sim.run();
 
+    total_events += world->sim.events_processed();
+    total_probes += census.probes_sent() + monitor.stats().probes_sent;
     Row row{label, monitor.stats(), 0, 0};
     for (const auto& outcome : monitor.outcomes()) {
       if (!is_cellular_block[outcome.prefix.network()]) continue;
@@ -102,5 +108,7 @@ int main(int argc, char** argv) {
          std::to_string(s.late_saves)});
   }
   table.print(std::cout);
+  report.add_events(total_events);
+  report.add_probes(total_probes);
   return 0;
 }

@@ -11,11 +11,13 @@
 #include <set>
 
 #include "harness.h"
+#include "report.h"
 
 using namespace turtle;
 
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
+  bench::JsonReport report{flags, "ablation_broadcast_filter"};
   auto world = bench::make_world(bench::world_options_from_flags(flags, 250));
   // Detection time scales like ~threshold/alpha consecutive rounds; give
   // the slowest swept corner room.
@@ -66,5 +68,7 @@ int main(int argc, char** argv) {
               "0.13%% false negatives; expect the same shape: detection collapses when\n"
               "# the EWMA cannot reach the threshold (alpha too small / threshold too "
               "high) and precision erodes as the filter gets hair-triggered\n");
+  report.add_events(world->sim.events_processed());
+  report.add_probes(prober.probes_sent());
   return 0;
 }

@@ -7,58 +7,75 @@
 // retries are not independent samples of wake-up latency, as the paper
 // notes ("whatever caused the first one to be delayed is likely to cause
 // the followup pings to be delayed as well").
+//
+// Each configuration builds its own World, so the sweep runs as shards
+// (--jobs N); rows merge in configuration order.
 #include <iostream>
 
 #include "core/multivantage.h"
 #include "harness.h"
+#include "report.h"
 
 using namespace turtle;
 
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
+  bench::JsonReport report{flags, "ablation_multivantage"};
   auto options = bench::world_options_from_flags(flags, 80);
   const int rounds = static_cast<int>(flags.get_int("rounds", 6));
+
+  struct Config {
+    const char* label;
+    std::size_t vantage_count;
+    SimTime timeout;
+    bool listen;
+  };
+  const Config configs[] = {
+      {"k=1, 3s timeout", 1, SimTime::seconds(3), false},
+      {"k=3, 1s timeout", 3, SimTime::seconds(1), false},
+      {"k=3, 3s timeout (Thunderping)", 3, SimTime::seconds(3), false},
+      {"k=1, 3s + listen 60s", 1, SimTime::seconds(3), true},
+      {"k=3, 3s + listen 60s", 3, SimTime::seconds(3), true},
+  };
 
   struct Row {
     std::string label;
     core::MultiVantageMonitor::Stats stats;
     std::uint64_t cellular_rounds = 0;
     std::uint64_t cellular_false = 0;
+    std::uint64_t sim_events = 0;
   };
-  std::vector<Row> rows;
 
-  const auto run = [&](const char* label, std::size_t vantage_count, SimTime timeout,
-                       bool listen) {
+  const auto shard_options = bench::shard_options_from_flags(flags, options);
+  sim::ShardRunner runner{shard_options};
+  report.set_jobs(runner.jobs());
+
+  const auto rows = runner.run(std::size(configs), [&](sim::ShardContext& ctx) {
+    const Config& config_spec = configs[ctx.shard_index];
     auto world = bench::make_world(options);
     core::MultiVantageConfig config;
     config.vantages.clear();
-    for (std::size_t v = 0; v < vantage_count; ++v) {
+    for (std::size_t v = 0; v < config_spec.vantage_count; ++v) {
       config.vantages.push_back(
           net::Ipv4Address::from_octets(192, 0, 2, static_cast<std::uint8_t>(41 + v)));
     }
     config.rounds = rounds;
     config.retries = 10;  // Thunderping's retry budget
-    config.probe_timeout = timeout;
-    config.listen_longer = listen;
+    config.probe_timeout = config_spec.timeout;
+    config.listen_longer = config_spec.listen;
     core::MultiVantageMonitor monitor{world->sim, *world->net, config};
     monitor.start(world->population->responsive_addresses());
     world->sim.run();
 
-    Row row{label, monitor.stats(), 0, 0};
+    Row row{config_spec.label, monitor.stats(), 0, 0, world->sim.events_processed()};
     for (const auto& outcome : monitor.outcomes()) {
       const auto* host = world->population->host_at(outcome.target);
       if (host == nullptr || host->profile().type != hosts::HostType::kCellular) continue;
       ++row.cellular_rounds;
       if (outcome.declared_unresponsive) ++row.cellular_false;
     }
-    rows.push_back(std::move(row));
-  };
-
-  run("k=1, 3s timeout", 1, SimTime::seconds(3), false);
-  run("k=3, 1s timeout", 3, SimTime::seconds(1), false);
-  run("k=3, 3s timeout (Thunderping)", 3, SimTime::seconds(3), false);
-  run("k=1, 3s + listen 60s", 1, SimTime::seconds(3), true);
-  run("k=3, 3s + listen 60s", 3, SimTime::seconds(3), true);
+    return row;
+  });
 
   std::printf("# ablation_multivantage: %d blocks, %d rounds, every target alive — all "
               "declarations are false\n",
@@ -66,6 +83,8 @@ int main(int argc, char** argv) {
   util::TextTable table({"configuration", "target-rounds", "false unresponsive", "false %",
                          "cellular false %", "probes", "late responses"});
   for (const auto& row : rows) {
+    report.add_events(row.sim_events);
+    report.add_probes(row.stats.probes_sent);
     const auto& s = row.stats;
     table.add_row(
         {row.label, std::to_string(s.target_rounds), std::to_string(s.unresponsive_declared),

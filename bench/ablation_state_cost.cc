@@ -10,11 +10,13 @@
 #include "core/outage_detector.h"
 #include "core/recommendations.h"
 #include "harness.h"
+#include "report.h"
 
 using namespace turtle;
 
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
+  bench::JsonReport report{flags, "ablation_state_cost"};
   auto options = bench::world_options_from_flags(flags, 150);
   const int survey_rounds = static_cast<int>(flags.get_int("rounds", 40));
   const double probe_rate = flags.get_double("probe-rate", 1000.0);
@@ -46,5 +48,7 @@ int main(int argc, char** argv) {
   std::printf("\n# the paper's conclusion in one row: 60 s of listening costs %.0f KiB at "
               "this rate and covers 98%%+ of pings to 98%% of addresses\n",
               core::prober_state_cost(probe_rate, SimTime::seconds(60)).bytes / 1024.0);
+  report.add_events(world->sim.events_processed());
+  report.add_probes(prober.probes_sent());
   return 0;
 }

@@ -11,11 +11,13 @@
 
 #include "core/outage_detector.h"
 #include "harness.h"
+#include "report.h"
 
 using namespace turtle;
 
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
+  bench::JsonReport report{flags, "ablation_timeout_policy"};
   auto options = bench::world_options_from_flags(flags, 120);
   const int rounds = static_cast<int>(flags.get_int("rounds", 12));
 
@@ -28,6 +30,8 @@ int main(int argc, char** argv) {
     std::uint64_t cellular_false = 0;
   };
   std::vector<PolicyRun> runs;
+  std::uint64_t total_events = 0;
+  std::uint64_t total_probes = 0;
   const int max_probes = static_cast<int>(flags.get_int("max-probes", 3));
 
   const auto run_policy = [&](const core::TimeoutPolicy& policy) {
@@ -39,6 +43,8 @@ int main(int argc, char** argv) {
     detector.start(world->population->responsive_addresses());
     world->sim.run();
 
+    total_events += world->sim.events_processed();
+    total_probes += detector.stats().probes_sent;
     PolicyRun run{policy.name(), detector.stats(), 0, 0};
     // Cellular-only breakdown via population ground truth: the wake-up
     // population is where timeout policy actually matters.
@@ -98,5 +104,7 @@ int main(int argc, char** argv) {
                                         ll.outages_declared
                                   : 0,
               static_cast<unsigned long long>(ll.late_saves));
+  report.add_events(total_events);
+  report.add_probes(total_probes);
   return 0;
 }

@@ -13,6 +13,8 @@ namespace turtle::bench {
 struct AsTableExperiment {
   std::unique_ptr<World> world;
   std::vector<analysis::ScanAddressRtts> scans;
+  std::uint64_t sim_events = 0;  ///< events processed across the shared world
+  std::uint64_t probes = 0;      ///< Zmap probes across all scans
 
   static AsTableExperiment run(const util::Flags& flags, int default_blocks = 1200) {
     AsTableExperiment exp;
@@ -20,8 +22,10 @@ struct AsTableExperiment {
     const int scan_count = static_cast<int>(flags.get_int("scans", 3));
     const auto runs = run_zmap_scans(*exp.world, scan_count);
     for (const auto& run : runs) {
+      exp.probes += run.probes;
       exp.scans.push_back(analysis::ScanAddressRtts::from_responses(run.responses));
     }
+    exp.sim_events = exp.world->sim.events_processed();
     return exp;
   }
 };

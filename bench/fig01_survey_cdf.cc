@@ -8,11 +8,13 @@
 
 #include "analysis/percentiles.h"
 #include "harness.h"
+#include "report.h"
 
 using namespace turtle;
 
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
+  bench::JsonReport report{flags, "fig01_survey_cdf"};
   const auto csv = bench::csv_from_flags(flags);
   auto world = bench::make_world(bench::world_options_from_flags(flags, 300));
   const int rounds = static_cast<int>(flags.get_int("rounds", 40));
@@ -57,5 +59,7 @@ int main(int argc, char** argv) {
               pap.values[6].empty() ? 0.0
                                     : *std::max_element(pap.values[6].begin(),
                                                         pap.values[6].end()));
+  report.add_events(world->sim.events_processed());
+  report.add_probes(prober.probes_sent());
   return 0;
 }

@@ -6,11 +6,13 @@
 
 #include "analysis/broadcast_octets.h"
 #include "zmap_common.h"
+#include "report.h"
 
 using namespace turtle;
 
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
+  bench::JsonReport report{flags, "fig02_broadcast_octets"};
   auto world = bench::make_world(bench::world_options_from_flags(flags, 1200));
 
   const auto runs = bench::run_zmap_scans(*world, 1);
@@ -38,5 +40,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\n# mass on broadcast-like octets: %.1f%% (paper: overwhelmingly dominant)\n",
               hist.total() ? 100.0 * hist.broadcast_like() / hist.total() : 0.0);
+  report.add_events(world->sim.events_processed());
+  report.add_probes(runs[0].probes);
   return 0;
 }

@@ -6,11 +6,13 @@
 
 #include "analysis/broadcast_octets.h"
 #include "harness.h"
+#include "report.h"
 
 using namespace turtle;
 
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
+  bench::JsonReport report{flags, "fig03_unmatched_octets"};
   auto world = bench::make_world(bench::world_options_from_flags(flags, 400));
   const int rounds = static_cast<int>(flags.get_int("rounds", 40));
 
@@ -49,5 +51,7 @@ int main(int argc, char** argv) {
     std::printf("#   octet %d: %llu\n", ranked[static_cast<std::size_t>(i)].second,
                 static_cast<unsigned long long>(ranked[static_cast<std::size_t>(i)].first));
   }
+  report.add_events(world->sim.events_processed());
+  report.add_probes(prober.probes_sent());
   return 0;
 }

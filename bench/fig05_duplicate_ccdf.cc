@@ -6,11 +6,13 @@
 
 #include "analysis/duplicates.h"
 #include "harness.h"
+#include "report.h"
 
 using namespace turtle;
 
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
+  bench::JsonReport report{flags, "fig05_duplicate_ccdf"};
   const auto csv = bench::csv_from_flags(flags);
   auto options = bench::world_options_from_flags(flags, 600);
   // More flood reflectors than the default mix so the tail is populated
@@ -44,5 +46,7 @@ int main(int argc, char** argv) {
 
   bench::print_cdf(std::cout, "CCDF of max responses per echo request (addresses > 2)",
                    stats.ccdf(60), 60, csv);
+  report.add_events(world->sim.events_processed());
+  report.add_probes(prober.probes_sent());
   return 0;
 }

@@ -9,6 +9,7 @@
 
 #include "analysis/percentiles.h"
 #include "harness.h"
+#include "report.h"
 
 using namespace turtle;
 
@@ -33,6 +34,7 @@ std::uint64_t addresses_near(const std::vector<analysis::AddressReport>& reports
 
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
+  bench::JsonReport report{flags, "fig06_filtering_cdf"};
   const auto csv = bench::csv_from_flags(flags);
   auto world = bench::make_world(bench::world_options_from_flags(flags, 300));
   // The broadcast filter's EWMA needs ~23 consecutive rounds to trip.
@@ -102,5 +104,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(bump_before),
               static_cast<unsigned long long>(control_before),
               static_cast<unsigned long long>(bump_after));
+  report.add_events(world->sim.events_processed());
+  report.add_probes(prober.probes_sent());
   return 0;
 }

@@ -9,15 +9,21 @@
 // Mechanism here: the cellular share and episode severity of the synthetic
 // Internet grow year over year, which is the paper's own explanation for
 // the trend.
+//
+// Each year's survey is an independent World, so the years run as shards
+// (--jobs N); rows are merged in year order, making the output identical
+// for every jobs value.
 #include <iostream>
 
 #include "analysis/percentiles.h"
 #include "harness.h"
+#include "report.h"
 
 using namespace turtle;
 
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
+  bench::JsonReport report{flags, "fig09_survey_timeline"};
   const int blocks = static_cast<int>(flags.get_int("blocks", 150));
   const int rounds = static_cast<int>(flags.get_int("rounds", 40));
   const int years = static_cast<int>(flags.get_int("years", 10));  // 2006..2015
@@ -35,52 +41,76 @@ int main(int argc, char** argv) {
     std::int64_t transit_ms;
   };
   const Vantage vantages[] = {{"w", 8}, {"c", 12}, {"j", 85}, {"g", 70}};
+
+  struct YearResult {
+    std::vector<std::string> row;
+    double p99 = -1.0;  // < 0: excluded (broken vantage)
+    std::uint64_t sim_events = 0;
+    std::uint64_t probes = 0;
+  };
+
+  sim::ShardOptions shard_options;
+  shard_options.jobs = static_cast<int>(flags.get_int("jobs", 0));
+  shard_options.seed = seed;
+  sim::ShardRunner runner{shard_options};
+  report.set_jobs(runner.jobs());
+
+  const auto results =
+      runner.run(static_cast<std::size_t>(years), [&](sim::ShardContext& ctx) {
+        const int y = static_cast<int>(ctx.shard_index);
+        const int year = 2006 + y;
+        // Cellular share grows from ~35% to ~130% of the 2015 default;
+        // severity likewise — the drivers of the paper's trend.
+        const double frac = static_cast<double>(y) / std::max(years - 1, 1);
+        bench::WorldOptions options;
+        options.num_blocks = blocks;
+        options.seed = seed + static_cast<std::uint64_t>(y);
+        options.cellular_share_scale = 0.35 + 1.0 * frac;
+        options.severity_scale = 0.5 + 0.8 * frac;
+
+        options.network.transit_base = SimTime::millis(vantages[y % 4].transit_ms);
+
+        // One survey per year; the broken-vantage surveys of 2014 (paper's
+        // IT59j etc.) are modeled with a near-total-loss network.
+        const bool broken = (year == 2014);
+        if (broken) options.network.core_loss = 0.999;
+
+        auto world = bench::make_world(options);
+        const auto prober = bench::run_survey(*world, rounds);
+        const double rate = prober.match_rate();
+
+        YearResult result;
+        result.sim_events = world->sim.events_processed();
+        result.probes = prober.probes_sent();
+        result.row = {"IT" + std::to_string(year), vantages[y % 4].letter,
+                      util::format_percent(rate)};
+        if (broken || rate < 0.01) {
+          // Paper: "these data sets should not be considered further".
+          result.row.insert(result.row.end(), {"-", "-", "-", "-", "-", "-"});
+          return result;
+        }
+
+        const auto analyzed = bench::analyze_survey(prober);
+        const auto pap = analysis::PerAddressPercentiles::compute(
+            analyzed.addresses, util::kPaperPercentiles, 10);
+        const auto matrix = analysis::TimeoutMatrix::compute(pap, util::kPaperPercentiles);
+        // Diagonal cells: c% of pings from c% of addresses.
+        for (std::size_t c = 1; c < matrix.col_percentiles.size(); ++c) {
+          result.row.push_back(
+              util::format_double(matrix.cell(c, c), matrix.cell(c, c) < 10 ? 2 : 0));
+        }
+        result.p99 = matrix.cell(6, 6);
+        return result;
+      });
+
   util::TextTable table({"survey", "vantage", "resp rate %", "min timeout @50%", "@80%",
                          "@90%", "@95%", "@98%", "@99%"});
-
   std::vector<double> p99_by_year;
-  for (int y = 0; y < years; ++y) {
-    const int year = 2006 + y;
-    // Cellular share grows from ~35% to ~130% of the 2015 default;
-    // severity likewise — the drivers of the paper's trend.
-    const double frac = static_cast<double>(y) / std::max(years - 1, 1);
-    bench::WorldOptions options;
-    options.num_blocks = blocks;
-    options.seed = seed + static_cast<std::uint64_t>(y);
-    options.cellular_share_scale = 0.35 + 1.0 * frac;
-    options.severity_scale = 0.5 + 0.8 * frac;
-
-    options.network.transit_base = SimTime::millis(vantages[y % 4].transit_ms);
-
-    // One survey per year; the broken-vantage surveys of 2014 (paper's
-    // IT59j etc.) are modeled with a near-total-loss network.
-    const bool broken = (year == 2014);
-    if (broken) options.network.core_loss = 0.999;
-
-    auto world = bench::make_world(options);
-    const auto prober = bench::run_survey(*world, rounds, 0xBEEF + static_cast<std::uint64_t>(y));
-    const double rate = prober.match_rate();
-
-    std::vector<std::string> row{"IT" + std::to_string(year),
-                                 vantages[y % 4].letter,
-                                 util::format_percent(rate)};
-    if (broken || rate < 0.01) {
-      // Paper: "these data sets should not be considered further".
-      row.insert(row.end(), {"-", "-", "-", "-", "-", "-"});
-      table.add_row(std::move(row));
-      continue;
-    }
-
-    const auto result = bench::analyze_survey(prober);
-    const auto pap = analysis::PerAddressPercentiles::compute(
-        result.addresses, util::kPaperPercentiles, 10);
-    const auto matrix = analysis::TimeoutMatrix::compute(pap, util::kPaperPercentiles);
-    // Diagonal cells: c% of pings from c% of addresses.
-    for (std::size_t c = 1; c < matrix.col_percentiles.size(); ++c) {
-      row.push_back(util::format_double(matrix.cell(c, c), matrix.cell(c, c) < 10 ? 2 : 0));
-    }
-    p99_by_year.push_back(matrix.cell(6, 6));
-    table.add_row(std::move(row));
+  for (const auto& result : results) {
+    table.add_row(result.row);
+    if (result.p99 >= 0) p99_by_year.push_back(result.p99);
+    report.add_events(result.sim_events);
+    report.add_probes(result.probes);
   }
 
   table.print(std::cout);

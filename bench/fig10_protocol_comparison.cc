@@ -10,12 +10,14 @@
 
 #include "analysis/percentiles.h"
 #include "harness.h"
+#include "report.h"
 #include "probe/scamper.h"
 
 using namespace turtle;
 
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
+  bench::JsonReport report{flags, "fig10_protocol_comparison"};
   auto world = bench::make_world(bench::world_options_from_flags(flags, 400));
   const int survey_rounds = static_cast<int>(flags.get_int("rounds", 30));
   const int repeats = static_cast<int>(flags.get_int("repeats", 8));
@@ -103,5 +105,7 @@ int main(int argc, char** argv) {
   std::printf("\n# TCP responses excluded as firewall RSTs (uniform TTL, ~200 ms): %zu "
               "addresses\n",
               firewall_mode[probe::ProbeProtocol::kTcpAck]);
+  report.add_events(world->sim.events_processed());
+  report.add_probes(prober.probes_sent() + scamper.probes_sent());
   return 0;
 }

@@ -8,11 +8,13 @@
 
 #include "analysis/satellite.h"
 #include "harness.h"
+#include "report.h"
 
 using namespace turtle;
 
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
+  bench::JsonReport report{flags, "fig11_satellite_scatter"};
   // Satellite ASes are ~1% of blocks; use a larger world so each of the
   // nine providers contributes a visible cluster.
   auto world = bench::make_world(bench::world_options_from_flags(flags, 1500));
@@ -58,5 +60,7 @@ int main(int argc, char** argv) {
   std::printf("\n# minimum satellite 1st percentile: %.3f s (paper: > 0.5 s, ~2x the "
               "theoretical 0.25 s minimum)\n",
               min_p1);
+  report.add_events(world->sim.events_processed());
+  report.add_probes(prober.probes_sent());
   return 0;
 }

@@ -7,11 +7,13 @@
 #include <iostream>
 
 #include "first_ping_common.h"
+#include "report.h"
 
 using namespace turtle;
 
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
+  bench::JsonReport report{flags, "fig12_first_ping_diff"};
   const auto csv = bench::csv_from_flags(flags);
   const auto exp = bench::FirstPingExperiment::run(flags);
   exp.print_header("fig12_first_ping_diff");
@@ -31,5 +33,7 @@ int main(int argc, char** argv) {
                     .c_str(),
                 static_cast<unsigned long long>(bin.total));
   }
+  report.add_events(exp.sim_events);
+  report.add_probes(exp.probes);
   return 0;
 }

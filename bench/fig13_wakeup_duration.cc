@@ -4,11 +4,13 @@
 #include <iostream>
 
 #include "first_ping_common.h"
+#include "report.h"
 
 using namespace turtle;
 
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
+  bench::JsonReport report{flags, "fig13_wakeup_duration"};
   const auto csv = bench::csv_from_flags(flags);
   const auto exp = bench::FirstPingExperiment::run(flags);
   exp.print_header("fig13_wakeup_duration");
@@ -26,5 +28,7 @@ int main(int argc, char** argv) {
     std::printf("# fraction above 8.5 s: %s%% (paper: ~2%%)\n",
                 util::format_percent(util::fraction_above(durations, 8.5)).c_str());
   }
+  report.add_events(exp.sim_events);
+  report.add_probes(exp.probes);
   return 0;
 }

@@ -20,6 +20,8 @@ struct FirstPingExperiment {
   analysis::FirstPingSummary summary;
   std::size_t selected = 0;   ///< high-median addresses from the survey
   std::size_t screened = 0;   ///< answered the two-ping screen
+  std::uint64_t sim_events = 0;  ///< events processed by the shared world
+  std::uint64_t probes = 0;      ///< survey + screen + stream probes
 
   static FirstPingExperiment run(const util::Flags& flags) {
     auto world = make_world(world_options_from_flags(flags, 400));
@@ -75,6 +77,8 @@ struct FirstPingExperiment {
       observations.push_back(analysis::classify_first_ping(addr, stream));
     }
     exp.summary = analysis::summarize_first_ping(observations);
+    exp.sim_events = world->sim.events_processed();
+    exp.probes = prober.probes_sent() + scamper.probes_sent();
     return exp;
   }
 

@@ -15,6 +15,7 @@
 #include "hosts/population.h"
 #include "probe/survey.h"
 #include "sim/network.h"
+#include "sim/shard_runner.h"
 #include "sim/simulator.h"
 #include "util/flags.h"
 #include "util/prng.h"
@@ -30,6 +31,9 @@ struct World {
   std::unique_ptr<hosts::HostContext> ctx;
   hosts::AsCatalog catalog;
   std::unique_ptr<hosts::Population> population;
+  /// The WorldOptions seed this world was built from; prober streams are
+  /// forked from it so --seed varies them along with the population.
+  util::Prng prober_rng{0};
 
   explicit World(hosts::AsCatalog cat) : catalog{std::move(cat)} {}
 };
@@ -56,6 +60,7 @@ inline std::unique_ptr<World> make_world(WorldOptions options) {
   world->population = std::make_unique<hosts::Population>(*world->ctx, world->catalog,
                                                           options.population, rng.fork(2));
   world->net->set_host_resolver(world->population.get());
+  world->prober_rng = rng.fork(3);
   return world;
 }
 
@@ -71,15 +76,29 @@ inline WorldOptions world_options_from_flags(const util::Flags& flags,
 }
 
 /// Runs an ISI-style survey over the whole population and drains the
-/// simulator (so every delayed response is in the log).
-inline probe::SurveyProber run_survey(World& world, int rounds, std::uint64_t seed = 0xBEEF) {
+/// simulator (so every delayed response is in the log). The prober's
+/// randomness comes from a stream forked off WorldOptions.seed, so --seed
+/// varies the probing schedule along with the population (the default
+/// used to be a hard-coded 0xBEEF that --seed never reached).
+inline probe::SurveyProber run_survey(World& world, int rounds) {
   probe::SurveyConfig config;
   config.rounds = rounds;
   probe::SurveyProber prober{world.sim, *world.net, config, world.population->blocks(),
-                             util::Prng{seed}};
+                             world.prober_rng};
   prober.start();
   world.sim.run();
   return prober;
+}
+
+/// Applies the --jobs flag: how many shards run concurrently. 0 (the
+/// default) resolves to hardware concurrency; --jobs=1 runs shards
+/// serially on the calling thread, byte-identical to any other value.
+inline sim::ShardOptions shard_options_from_flags(const util::Flags& flags,
+                                                  const WorldOptions& world_options) {
+  sim::ShardOptions options;
+  options.jobs = static_cast<int>(flags.get_int("jobs", 0));
+  options.seed = world_options.seed;
+  return options;
 }
 
 /// Survey -> dataset -> filtered pipeline, in one call.

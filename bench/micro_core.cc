@@ -2,7 +2,17 @@
 // and core library: event-queue throughput, survey matcher, ICMP
 // serialization, P2 quantile updates, population generation, and the
 // end-to-end survey rate (probes simulated per wall second).
+//
+// Accepts --json-out=PATH like the other bench binaries; it is rewritten
+// into google-benchmark's own JSON output flags, so scripts/bench_report.sh
+// can collect microbenchmark numbers alongside the harness reports.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
 
 #include "core/p2_quantile.h"
 #include "core/rtt_estimator.h"
@@ -12,6 +22,7 @@
 #include "probe/survey.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "util/inline_function.h"
 #include "util/prng.h"
 
 using namespace turtle;
@@ -34,6 +45,77 @@ void BM_EventQueue(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EventQueue)->Arg(1'000)->Arg(100'000);
+
+// The pre-PR event queue shape — std::priority_queue of entries with an
+// embedded std::function, drained with the same clock/counter bookkeeping
+// Simulator::step does — kept as a reference so the owned 4-ary heap's
+// speedup stays attributable across PRs rather than anecdotal.
+void BM_EventQueueLegacyBinaryHeap(benchmark::State& state) {
+  struct LegacyEntry {
+    SimTime time;
+    std::uint64_t seq;
+    mutable std::function<void()> callback;  // moved out of const top()
+    bool operator<(const LegacyEntry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  util::Prng rng{1};
+  for (auto _ : state) {
+    std::priority_queue<LegacyEntry> heap;
+    std::uint64_t seq = 0;
+    std::int64_t fired = 0;
+    SimTime now;
+    std::uint64_t processed = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      heap.push(LegacyEntry{
+          SimTime::micros(static_cast<std::int64_t>(rng.uniform_int(1'000'000))), seq++,
+          [&fired] { ++fired; }});
+    }
+    while (!heap.empty()) {
+      now = heap.top().time;
+      auto cb = std::move(heap.top().callback);
+      heap.pop();
+      ++processed;
+      cb();
+    }
+    benchmark::DoNotOptimize(fired);
+    benchmark::DoNotOptimize(now);
+    benchmark::DoNotOptimize(processed);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueLegacyBinaryHeap)->Arg(1'000)->Arg(100'000);
+
+// Dispatch cost of the callback type alone: construct + invoke a callable
+// whose capture (24 bytes) exceeds std::function's inline buffer but fits
+// InlineFunction's 48 — the common shape of survey timeout lambdas.
+void BM_StdFunctionDispatch(benchmark::State& state) {
+  std::uint64_t sink = 0;
+  std::uint64_t a = 1, b = 2, c = 3;
+  for (auto _ : state) {
+    std::function<void()> fn{[&sink, a, b, c] { sink += a + b + c; }};
+    fn();
+    benchmark::DoNotOptimize(fn);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StdFunctionDispatch);
+
+void BM_InlineFunctionDispatch(benchmark::State& state) {
+  std::uint64_t sink = 0;
+  std::uint64_t a = 1, b = 2, c = 3;
+  for (auto _ : state) {
+    util::InlineFunction<void(), 48> fn{[&sink, a, b, c] { sink += a + b + c; }};
+    fn();
+    benchmark::DoNotOptimize(fn);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InlineFunctionDispatch);
 
 void BM_IcmpSerializeParse(benchmark::State& state) {
   net::IcmpMessage msg;
@@ -117,4 +199,27 @@ BENCHMARK(BM_SurveyEndToEnd)->Arg(50)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus translation of the repo-wide --json-out=PATH
+// convention into google-benchmark's native JSON output flags.
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  std::vector<char*> rewritten;
+  std::string out_flag;
+  std::string format_flag = "--benchmark_out_format=json";
+  for (auto& arg : args) {
+    constexpr const char* kJsonOut = "--json-out=";
+    if (arg.rfind(kJsonOut, 0) == 0) {
+      out_flag = "--benchmark_out=" + arg.substr(std::strlen(kJsonOut));
+      rewritten.push_back(out_flag.data());
+      rewritten.push_back(format_flag.data());
+    } else {
+      rewritten.push_back(arg.data());
+    }
+  }
+  int rewritten_argc = static_cast<int>(rewritten.size());
+  benchmark::Initialize(&rewritten_argc, rewritten.data());
+  if (benchmark::ReportUnrecognizedArguments(rewritten_argc, rewritten.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "report.h"
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/check.h"
+
+namespace turtle::bench {
+
+namespace {
+
+double monotonic_seconds() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+/// Fixed-format double that round-trips through JSON without exponent
+/// notation surprises.
+std::string render_double(double value) {
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed << value;
+  return os.str();
+}
+
+}  // namespace
+
+std::int64_t peak_rss_bytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<std::int64_t>(usage.ru_maxrss) * 1024;
+}
+
+JsonReport::JsonReport(const util::Flags& flags, std::string name)
+    : name_{std::move(name)},
+      path_{flags.get_string("json-out", "")},
+      start_seconds_{monotonic_seconds()} {}
+
+JsonReport::~JsonReport() { finish(); }
+
+void JsonReport::set_metric(const std::string& key, double value) {
+  extra_.emplace_back(key, render_double(value));
+}
+
+void JsonReport::set_metric(const std::string& key, std::int64_t value) {
+  extra_.emplace_back(key, std::to_string(value));
+}
+
+void JsonReport::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (path_.empty()) return;
+
+  const double wall_s = monotonic_seconds() - start_seconds_;
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"bench\": \"" << name_ << "\",\n";
+  os << "  \"jobs\": " << jobs_ << ",\n";
+  os << "  \"wall_s\": " << render_double(wall_s) << ",\n";
+  os << "  \"peak_rss_bytes\": " << peak_rss_bytes() << ",\n";
+  os << "  \"events\": " << events_ << ",\n";
+  os << "  \"events_per_sec\": "
+     << render_double(wall_s > 0 ? static_cast<double>(events_) / wall_s : 0) << ",\n";
+  os << "  \"probes\": " << probes_ << ",\n";
+  os << "  \"probes_per_sec\": "
+     << render_double(wall_s > 0 ? static_cast<double>(probes_) / wall_s : 0);
+  for (const auto& [key, rendered] : extra_) {
+    os << ",\n  \"" << key << "\": " << rendered;
+  }
+  os << "\n}\n";
+
+  std::ofstream out{path_};
+  TURTLE_CHECK(out.good()) << "cannot open --json-out path " << path_;
+  out << os.str();
+  TURTLE_CHECK(out.good()) << "write to --json-out path " << path_ << " failed";
+  std::fprintf(stderr, "# json report: %s\n", path_.c_str());
+}
+
+}  // namespace turtle::bench

@@ -1,0 +1,67 @@
+// JSON performance reporting for the bench binaries.
+//
+// Every bench accepts --json-out=PATH and, when it is given, writes one
+// JSON object describing the run: wall time, peak RSS, shard concurrency,
+// simulator event totals, and derived rates (events/sec, probes simulated
+// per second). scripts/bench_report.sh runs the suite and merges the
+// objects into a top-level BENCH_results.json so performance is
+// comparable across PRs instead of anecdotal.
+//
+// The emitter is deliberately tiny — flat keys, doubles and integers
+// only — so the output stays diffable and parseable without a JSON
+// library on either side.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/flags.h"
+
+namespace turtle::bench {
+
+/// Peak resident set size of this process in bytes (ru_maxrss scaled).
+[[nodiscard]] std::int64_t peak_rss_bytes();
+
+/// Collects metrics for one bench run; writes them on finish() (or
+/// destruction) to the --json-out path, if one was given. Wall time is
+/// measured from construction to finish(), so construct this first thing
+/// in main().
+class JsonReport {
+ public:
+  /// `name` should match the binary, e.g. "fig09_survey_timeline".
+  JsonReport(const util::Flags& flags, std::string name);
+  ~JsonReport();
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  /// Shard concurrency the bench ran with (1 for serial benches).
+  void set_jobs(int jobs) { jobs_ = jobs; }
+
+  /// Accumulates simulator totals across every World the bench ran;
+  /// events_per_sec / probes_per_sec are derived at finish().
+  void add_events(std::uint64_t events) { events_ += events; }
+  void add_probes(std::uint64_t probes) { probes_ += probes; }
+
+  /// Extra bench-specific metrics (e.g. "speedup_vs_serial").
+  void set_metric(const std::string& key, double value);
+  void set_metric(const std::string& key, std::int64_t value);
+
+  /// Writes the JSON object (if --json-out was given). Idempotent; also
+  /// invoked by the destructor so early returns still report.
+  void finish();
+
+ private:
+  std::string name_;
+  std::string path_;  // empty: reporting disabled
+  double start_seconds_;
+  int jobs_ = 1;
+  std::uint64_t events_ = 0;
+  std::uint64_t probes_ = 0;
+  std::vector<std::pair<std::string, std::string>> extra_;  // key -> rendered value
+  bool finished_ = false;
+};
+
+}  // namespace turtle::bench

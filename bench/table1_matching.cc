@@ -7,11 +7,13 @@
 #include <iostream>
 
 #include "harness.h"
+#include "report.h"
 
 using namespace turtle;
 
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
+  bench::JsonReport report{flags, "table1_matching"};
   auto world = bench::make_world(bench::world_options_from_flags(flags, 400));
   const int rounds = static_cast<int>(flags.get_int("rounds", 50));
 
@@ -51,5 +53,7 @@ int main(int argc, char** argv) {
               "duplicate, paper split 32%%/68%%)\n",
               discarded, static_cast<unsigned long long>(c.broadcast_addresses),
               static_cast<unsigned long long>(c.duplicate_addresses));
+  report.add_events(world->sim.events_processed());
+  report.add_probes(prober.probes_sent());
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "analysis/percentiles.h"
 #include "analysis/pipeline.h"
 #include "harness.h"
+#include "report.h"
 #include "probe/survey.h"
 #include "util/table.h"
 
@@ -17,6 +18,7 @@ using namespace turtle;
 
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
+  bench::JsonReport report{flags, "table2_timeout_matrix"};
   const auto csv = bench::csv_from_flags(flags);
   auto options = bench::world_options_from_flags(flags, /*default_blocks=*/400);
   const int rounds = static_cast<int>(flags.get_int("rounds", 50));
@@ -65,5 +67,7 @@ int main(int argc, char** argv) {
   std::printf("\nTable 2: minimum timeout (s) capturing c%% of pings from r%% of addresses\n");
   if (csv.has_value()) csv->write_table("table2_timeout_matrix", table);
   table.print(std::cout);
+  report.add_events(world->sim.events_processed());
+  report.add_probes(prober.probes_sent());
   return 0;
 }

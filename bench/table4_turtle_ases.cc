@@ -6,11 +6,13 @@
 #include <iostream>
 
 #include "as_tables_common.h"
+#include "report.h"
 
 using namespace turtle;
 
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
+  bench::JsonReport report{flags, "table4_turtle_ases"};
   auto exp = bench::AsTableExperiment::run(flags);
 
   const auto rows = analysis::rank_ases(exp.scans, exp.world->population->geo(), 1.0, 10);
@@ -27,5 +29,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\n# %zu of top %zu ASes are cellular/mixed (paper: 8-9 of 10)\n", cellularish,
               rows.size());
+  report.add_events(exp.sim_events);
+  report.add_probes(exp.probes);
   return 0;
 }

@@ -5,11 +5,13 @@
 #include <iostream>
 
 #include "as_tables_common.h"
+#include "report.h"
 
 using namespace turtle;
 
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
+  bench::JsonReport report{flags, "table5_continents"};
   auto exp = bench::AsTableExperiment::run(flags);
 
   const auto rows = analysis::rank_continents(exp.scans, exp.world->population->geo(), 1.0);
@@ -39,5 +41,7 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::printf("\n# top-2 continents hold %.0f%% of turtles (paper: ~75%%)\n",
               total_turtles ? 100.0 * top2 / total_turtles : 0.0);
+  report.add_events(exp.sim_events);
+  report.add_probes(exp.probes);
   return 0;
 }

@@ -4,51 +4,104 @@
 // classified event. Paper shape: "Loss, then decay" has the most events
 // and addresses; "Sustained high latency and loss" holds the most pings;
 // isolated >100 s pings are rare.
+//
+// Phase 1 (selection survey) runs once; the long per-address streams of
+// phase 2 are sharded over --shards independent Worlds (same seed, same
+// hosts) run concurrently under --jobs. The partition depends only on
+// --shards, so output is identical at any concurrency.
 #include <iostream>
 
 #include "analysis/patterns.h"
 #include "analysis/percentiles.h"
 #include "harness.h"
 #include "probe/scamper.h"
+#include "report.h"
 
 using namespace turtle;
 
+namespace {
+
+struct StreamResult {
+  net::Ipv4Address address;
+  std::vector<probe::ProbeOutcome> outcomes;
+};
+
+struct ShardResult {
+  std::vector<StreamResult> streams;  // in candidate order within the chunk
+  std::uint64_t sim_events = 0;
+  std::uint64_t probes = 0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
-  auto world = bench::make_world(bench::world_options_from_flags(flags, 500));
+  bench::JsonReport report{flags, "table7_patterns"};
+  const auto options = bench::world_options_from_flags(flags, 500);
   const int survey_rounds = static_cast<int>(flags.get_int("rounds", 40));
   const int pings = static_cast<int>(flags.get_int("pings", 2000));
 
+  auto world = bench::make_world(options);
   const auto prober = bench::run_survey(*world, survey_rounds);
+  report.add_events(world->sim.events_processed());
+  report.add_probes(prober.probes_sent());
   const auto result = bench::analyze_survey(prober);
 
   std::vector<net::Ipv4Address> candidates;
-  for (const auto& report : result.addresses) {
-    if (report.rtts_s.size() < 10) continue;
-    if (util::percentile(report.rtts_s, 99) > 100.0) candidates.push_back(report.address);
+  for (const auto& r : result.addresses) {
+    if (r.rtts_s.size() < 10) continue;
+    if (util::percentile(r.rtts_s, 99) > 100.0) candidates.push_back(r.address);
   }
   std::printf("# table7_patterns: %zu addresses with survey p99 > 100 s; %d pings each at "
               "1/s\n",
               candidates.size(), pings);
 
-  probe::ScamperProber scamper{world->sim, *world->net,
-                               net::Ipv4Address::from_octets(198, 51, 100, 12)};
-  const SimTime start = world->sim.now() + SimTime::minutes(2);
-  for (const auto addr : candidates) {
-    scamper.ping(addr, pings, SimTime::seconds(1), probe::ProbeProtocol::kIcmp, start);
-  }
-  world->sim.run();
+  const auto shard_options = bench::shard_options_from_flags(flags, options);
+  sim::ShardRunner runner{shard_options};
+  report.set_jobs(runner.jobs());
+  const std::size_t num_shards = std::max<std::size_t>(
+      1, std::min<std::size_t>(candidates.size(),
+                               static_cast<std::size_t>(flags.get_int("shards", 8))));
+
+  const auto shard_results =
+      runner.run(num_shards, [&](sim::ShardContext& ctx) {
+        const std::size_t lo = candidates.size() * ctx.shard_index / ctx.num_shards;
+        const std::size_t hi = candidates.size() * (ctx.shard_index + 1) / ctx.num_shards;
+
+        auto shard_world = bench::make_world(options);
+        probe::ScamperProber scamper{shard_world->sim, *shard_world->net,
+                                     net::Ipv4Address::from_octets(198, 51, 100, 12)};
+        const SimTime start = SimTime::minutes(2);
+        for (std::size_t i = lo; i < hi; ++i) {
+          scamper.ping(candidates[i], pings, SimTime::seconds(1),
+                       probe::ProbeProtocol::kIcmp, start);
+        }
+        shard_world->sim.run();
+
+        ShardResult shard;
+        shard.sim_events = shard_world->sim.events_processed();
+        shard.probes = scamper.probes_sent();
+        for (std::size_t i = lo; i < hi; ++i) {
+          shard.streams.push_back(StreamResult{
+              candidates[i],
+              scamper.results(candidates[i], probe::ScamperProber::kIndefinite)});
+        }
+        return shard;
+      });
 
   analysis::PatternTable pattern_table;
   std::size_t responded = 0;
-  for (const auto addr : candidates) {
-    const auto outcomes = scamper.results(addr, probe::ScamperProber::kIndefinite);
-    bool any = false;
-    for (const auto& o : outcomes) any |= o.rtt.has_value();
-    if (!any) continue;
-    ++responded;
-    const auto events = analysis::classify_patterns(outcomes);
-    pattern_table.add(addr, events);
+  for (const auto& shard : shard_results) {
+    report.add_events(shard.sim_events);
+    report.add_probes(shard.probes);
+    for (const auto& stream : shard.streams) {
+      bool any = false;
+      for (const auto& o : stream.outcomes) any |= o.rtt.has_value();
+      if (!any) continue;
+      ++responded;
+      const auto events = analysis::classify_patterns(stream.outcomes);
+      pattern_table.add(stream.address, events);
+    }
   }
   std::printf("# %zu of %zu addresses responded (paper: 1400 of 3000)\n", responded,
               candidates.size());

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Runs every bench binary (and micro_core) with --json-out and merges the
+# per-binary reports into a single top-level BENCH_results.json — the
+# perf-regression baseline checked into the repo root. Compare two
+# checkouts by diffing their BENCH_results.json "benches" arrays
+# (events_per_sec / probes_per_sec / wall_s / peak_rss_bytes per bench).
+#
+#   ./scripts/bench_report.sh [options] [-- extra bench flags...]
+#
+# Options:
+#   --out FILE     output path (default: BENCH_results.json)
+#   --jobs N       shard concurrency for the parallel benches (default: 0
+#                  = hardware concurrency; --jobs 1 is the serial baseline)
+#   --build-dir D  CMake build directory (default: build)
+#   --quick        small world scales (~seconds total; the default)
+#   --full         paper scales (minutes)
+#
+# No jq/python dependency: each per-bench report is a complete JSON
+# object, so the merge is plain concatenation.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_results.json"
+JOBS=0
+BUILD_DIR="build"
+SCALE="quick"
+EXTRA_FLAGS=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --out) OUT="$2"; shift 2 ;;
+    --jobs) JOBS="$2"; shift 2 ;;
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --quick) SCALE="quick"; shift ;;
+    --full) SCALE="full"; shift ;;
+    --) shift; EXTRA_FLAGS=("$@"); break ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" --target all >/dev/null
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Small-world overrides keep the quick sweep to seconds per binary while
+# still pushing enough events to make the rates meaningful.
+scale_flags() {
+  case "$SCALE" in
+    quick)
+      case "$1" in
+        fig02_broadcast_octets) echo "--blocks=300" ;;
+        fig11_satellite_scatter) echo "--blocks=400 --rounds=20" ;;
+        table3_zmap_scans) echo "--blocks=200 --scans=3" ;;
+        table4_turtle_ases|table5_continents|table6_sleepy_turtles) echo "--blocks=300" ;;
+        fig08_scamper_confirm|table7_patterns) echo "--blocks=200 --rounds=20" ;;
+        fig09_survey_timeline) echo "--blocks=60 --rounds=10" ;;
+        *) echo "--blocks=100 --rounds=12" ;;
+      esac ;;
+    full) echo "" ;;
+  esac
+}
+
+BENCH_FILES=()
+for bench in "$BUILD_DIR"/bench/*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  [ "$name" = micro_core ] && continue
+  report="$TMP/$name.json"
+  echo "=== $name" >&2
+  # shellcheck disable=SC2046
+  "$bench" $(scale_flags "$name") --jobs="$JOBS" --json-out="$report" \
+    ${EXTRA_FLAGS+"${EXTRA_FLAGS[@]}"} >"$TMP/$name.txt"
+  [ -s "$report" ] || { echo "no report from $name" >&2; exit 1; }
+  BENCH_FILES+=("$report")
+done
+
+echo "=== micro_core" >&2
+"$BUILD_DIR/bench/micro_core" --json-out="$TMP/micro_core.json" \
+  --benchmark_min_time=0.05 >"$TMP/micro_core.txt"
+
+# Merge: {"schema", "generated", "host", "jobs_flag", "benches": [...],
+# "micro_core": <google-benchmark JSON>}.
+{
+  echo "{"
+  echo "  \"schema\": \"turtle-bench-report-v1\","
+  echo "  \"generated\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+  echo "  \"git_rev\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
+  echo "  \"hardware_threads\": $(nproc),"
+  echo "  \"scale\": \"$SCALE\","
+  echo "  \"jobs_flag\": $JOBS,"
+  echo "  \"benches\": ["
+  first=1
+  for f in "${BENCH_FILES[@]}"; do
+    [ "$first" = 1 ] || echo "  ,"
+    first=0
+    sed 's/^/  /' "$f"
+  done
+  echo "  ],"
+  echo "  \"micro_core\":"
+  sed 's/^/  /' "$TMP/micro_core.json"
+  echo "}"
+} >"$OUT"
+
+echo "wrote $OUT (${#BENCH_FILES[@]} benches + micro_core)" >&2

@@ -1,17 +1,65 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <limits>
 #include <utility>
 
 namespace turtle::sim {
 
 void EventQueue::push(SimTime t, Callback cb) {
-  heap_.push(Entry{t, next_seq_++, std::move(cb)});
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    TURTLE_CHECK_LT(callbacks_.size(),
+                    static_cast<std::size_t>(std::numeric_limits<std::uint32_t>::max()))
+        << "event queue slab exceeds 2^32 pending events";
+    slot = static_cast<std::uint32_t>(callbacks_.size());
+    callbacks_.push_back(std::move(cb));
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    callbacks_[slot] = std::move(cb);
+  }
+
+  // Sift-up with a hole: keep the new key aside, slide later parents
+  // down, and place it once — one key move per level instead of a swap.
+  const Entry entry{t, next_seq_++, slot};
+  std::size_t i = heap_.size();
+  heap_.emplace_back();  // hole at the end
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!earlier(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
 }
 
 EventQueue::Callback EventQueue::pop() {
   TURTLE_DCHECK(!heap_.empty()) << "pop() on an empty EventQueue";
-  Callback cb = std::move(heap_.top().callback);
-  heap_.pop();
+  const std::uint32_t slot = heap_.front().slot;
+  Callback cb = std::move(callbacks_[slot]);
+  free_slots_.push_back(slot);
+
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    // Sift-down with a hole at the root, re-inserting `last`.
+    const std::size_t n = heap_.size();
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first_child = kArity * i + 1;
+      if (first_child >= n) break;
+      const std::size_t end_child = std::min(first_child + kArity, n);
+      std::size_t best = first_child;
+      for (std::size_t c = first_child + 1; c < end_child; ++c) {
+        if (earlier(heap_[c], heap_[best])) best = c;
+      }
+      if (!earlier(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
   return cb;
 }
 

@@ -4,14 +4,25 @@
 // insertion order (FIFO). Stability matters: a host that flushes a buffer
 // of delayed responses schedules many events at the same instant, and the
 // resulting record log must be reproducible byte-for-byte across runs.
+//
+// Implemented as an owned 4-ary min-heap over a std::vector rather than
+// std::priority_queue: the wider node halves the tree depth (fewer sifts
+// per operation), and owning the storage gives pop() proper non-const
+// access to move the callback out — std::priority_queue exposes only a
+// const top(), which used to force a `mutable` member and a documented
+// const-cast workaround. The heap nodes hold only the 24-byte ordering key
+// plus a slot index; callbacks live in a side slab with a free list, so a
+// sift moves small keys (a 4-child compare touches two cache lines, not
+// five) and a callback is never moved between push and pop. Callbacks are
+// util::InlineFunction so the dominant small lambda captures (a `this`
+// pointer plus a few words of probe state) never touch the allocator.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "util/check.h"
+#include "util/inline_function.h"
 #include "util/sim_time.h"
 
 namespace turtle::sim {
@@ -19,7 +30,10 @@ namespace turtle::sim {
 /// Priority queue of (time, callback) pairs with FIFO tie-breaking.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  /// 48 inline bytes cover every capture the probers and hosts schedule
+  /// apart from whole-Packet captures (which spill to one heap cell, as
+  /// they already did under std::function's 16-byte buffer).
+  using Callback = util::InlineFunction<void(), 48>;
 
   /// Enqueues `cb` to fire at absolute time `t`.
   void push(SimTime t, Callback cb);
@@ -30,7 +44,7 @@ class EventQueue {
   /// Timestamp of the next event. Precondition: !empty().
   [[nodiscard]] SimTime next_time() const {
     TURTLE_DCHECK(!heap_.empty()) << "next_time() on an empty EventQueue";
-    return heap_.top().time;
+    return heap_.front().time;
   }
 
   /// Removes and returns the next event's callback. Precondition: !empty().
@@ -39,20 +53,21 @@ class EventQueue {
  private:
   struct Entry {
     SimTime time;
-    std::uint64_t seq;  // insertion order, for stable ties
-    // Mutable so the callback can be moved out of the top entry during
-    // pop(); std::priority_queue only exposes a const top().
-    mutable Callback callback;
-
-    bool operator<(const Entry& other) const {
-      // std::priority_queue is a max-heap; invert for earliest-first,
-      // then lowest-seq-first.
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
+    std::uint64_t seq;   // insertion order, for stable ties
+    std::uint32_t slot;  // index into callbacks_
   };
 
-  std::priority_queue<Entry> heap_;
+  static constexpr std::size_t kArity = 4;
+
+  /// Min-heap order: earliest time first, then lowest seq (FIFO).
+  [[nodiscard]] static bool earlier(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<Callback> callbacks_;        ///< slab indexed by Entry::slot
+  std::vector<std::uint32_t> free_slots_;  ///< slab indices ready for reuse
   std::uint64_t next_seq_ = 0;
 };
 

@@ -1,0 +1,35 @@
+#include "sim/shard_runner.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_pool.h"
+
+namespace turtle::sim {
+
+ShardRunner::ShardRunner(ShardOptions options) : options_{options} {
+  jobs_ = options.jobs > 0 ? options.jobs
+                           : static_cast<int>(util::ThreadPool::hardware_threads());
+}
+
+void ShardRunner::run_indexed(std::size_t n,
+                              const std::function<void(std::size_t)>& task) const {
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(jobs_), n);
+  util::ThreadPool pool{workers};
+  std::mutex mutex;
+  std::condition_variable all_done;
+  std::size_t remaining = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.submit([&, i] {
+      task(i);
+      const std::lock_guard<std::mutex> lock{mutex};
+      if (--remaining == 0) all_done.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock{mutex};
+  all_done.wait(lock, [&] { return remaining == 0; });
+}
+
+}  // namespace turtle::sim

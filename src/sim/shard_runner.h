@@ -1,0 +1,128 @@
+// Parallel execution of independent simulation shards.
+//
+// The paper's analyses aggregate over independent units — distinct /24
+// blocks, separately dated Zmap scans, per-address Scamper streams, one
+// survey per year — and the simulator is single-threaded, so the natural
+// scaling axis is to run one Simulator ("World") per unit and merge the
+// results. ShardRunner owns that pattern:
+//
+//   * the caller supplies a task `fn(ShardContext&) -> Result`; each call
+//     must build its own Simulator/World and touch no state shared with
+//     other shards (the check-context stack is thread_local, so per-shard
+//     CHECK failures still report their own simulated clock);
+//   * every shard gets a PRNG forked deterministically from the master
+//     seed as Prng{seed}.fork(shard_index) — forked serially on the
+//     calling thread before any worker starts, so shard streams are
+//     identical no matter how many threads run them;
+//   * results come back as a vector in shard order, whatever order the
+//     shards finished in. Merging in shard order is what keeps output
+//     byte-for-byte reproducible regardless of --jobs; combiners such as
+//     RunningStats::merge and record-log concatenation preserve this.
+//
+// With jobs == 1 the shards run inline on the calling thread, in order,
+// with no pool — bit-identical to a serial loop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/prng.h"
+
+namespace turtle::sim {
+
+struct ShardOptions {
+  /// Maximum shards in flight. 0 means hardware concurrency; 1 runs
+  /// serially on the calling thread.
+  int jobs = 0;
+  /// Master seed; shard i receives Prng{seed}.fork(i).
+  std::uint64_t seed = 1;
+};
+
+/// Per-shard inputs. `rng` is this shard's private generator; drawing a
+/// world seed from it (`rng.next_u64()`) or forking sub-streams are both
+/// deterministic and independent of every other shard.
+struct ShardContext {
+  std::size_t shard_index = 0;
+  std::size_t num_shards = 0;
+  util::Prng rng{0};
+};
+
+/// Runs N independent shard tasks over at most `jobs` threads and returns
+/// their results in shard order.
+class ShardRunner {
+ public:
+  explicit ShardRunner(ShardOptions options);
+
+  /// Resolved concurrency (never 0).
+  [[nodiscard]] int jobs() const { return jobs_; }
+
+  /// Runs `fn` once per shard. `fn` may mutate its ShardContext (the rng
+  /// draws); exceptions are captured per shard and the lowest-indexed one
+  /// is rethrown after every shard has finished.
+  template <typename Fn>
+  auto run(std::size_t num_shards, Fn&& fn)
+      -> std::vector<std::invoke_result_t<Fn&, ShardContext&>>;
+
+ private:
+  /// Type-erased parallel driver (implemented in the .cc so the pool is
+  /// not a header dependency): runs task(i) for i in [0, n) on `jobs`
+  /// threads and blocks until all complete. Tasks must not throw.
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& task) const;
+
+  ShardOptions options_;
+  int jobs_;
+};
+
+template <typename Fn>
+auto ShardRunner::run(std::size_t num_shards, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, ShardContext&>> {
+  using Result = std::invoke_result_t<Fn&, ShardContext&>;
+  static_assert(!std::is_reference_v<Result>, "shard tasks must return by value");
+
+  // Fork every shard stream up front on the calling thread: determinism
+  // does not depend on jobs, and the debug fork-reuse tracker on the
+  // master generator is never touched concurrently.
+  const util::Prng master{options_.seed};
+  std::vector<ShardContext> contexts;
+  contexts.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    contexts.push_back(ShardContext{i, num_shards, master.fork(i)});
+  }
+
+  std::vector<std::optional<Result>> slots(num_shards);
+  std::vector<std::exception_ptr> errors(num_shards);
+
+  if (jobs_ <= 1 || num_shards <= 1) {
+    for (std::size_t i = 0; i < num_shards; ++i) {
+      slots[i].emplace(fn(contexts[i]));  // serial: exceptions propagate directly
+    }
+  } else {
+    run_indexed(num_shards, [&](std::size_t i) {
+      try {
+        slots[i].emplace(fn(contexts[i]));
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+    for (auto& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+  }
+
+  std::vector<Result> results;
+  results.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    TURTLE_CHECK(slots[i].has_value()) << "shard " << i << " produced no result";
+    results.push_back(std::move(*slots[i]));
+  }
+  return results;
+}
+
+}  // namespace turtle::sim

@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <iosfwd>
 
 #include "sim/event_queue.h"
@@ -27,7 +26,10 @@ namespace turtle::sim {
 /// clock and event counters alongside the failing condition.
 class Simulator : public util::CheckContext {
  public:
-  using Callback = std::function<void()>;
+  /// Move-only small-buffer callable; see EventQueue::Callback. Anything
+  /// invocable as void() converts, including std::function for callers
+  /// that need a copyable handle (e.g. self-rescheduling chains).
+  using Callback = EventQueue::Callback;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;

@@ -1,0 +1,52 @@
+// Fixed-size thread pool for running independent simulation shards.
+//
+// Deliberately minimal: one shared FIFO guarded by a mutex, no work
+// stealing, no futures. Shard workloads are few (tens) and coarse (whole
+// simulated worlds, seconds of work each), so queue contention is
+// irrelevant and a simple design is easy to reason about under TSan.
+// Determinism comes from the layer above: shards never share mutable
+// state, and the ShardRunner merges results in shard order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace turtle::util {
+
+/// Runs submitted tasks on a fixed set of worker threads. The destructor
+/// finishes every task already submitted, then joins the workers.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`; runs as soon as a worker frees up. Tasks must not
+  /// throw — exceptions must be captured by the caller's closure (the
+  /// ShardRunner stores them per shard and rethrows after the join).
+  void submit(std::function<void()> task);
+
+  [[nodiscard]] std::size_t num_threads() const { return threads_.size(); }
+
+  /// std::thread::hardware_concurrency(), but never zero.
+  [[nodiscard]] static std::size_t hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  bool stopping_ = false;
+};
+
+}  // namespace turtle::util

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -37,6 +38,55 @@ TEST(EventQueue, NextTimeAndSize) {
   EXPECT_EQ(q.size(), 2u);
   EXPECT_EQ(q.next_time(), SimTime::seconds(2));
 }
+
+// Interleaved push/pop exercises the callback slab's free list: popped
+// slots are recycled while FIFO stability at equal times must still hold
+// (seq numbers keep ordering even when slots are reused out of order).
+TEST(EventQueue, FifoSurvivesSlotRecycling) {
+  EventQueue q;
+  std::vector<int> fired;
+  int next = 0;
+  for (int wave = 0; wave < 20; ++wave) {
+    for (int i = 0; i < 7; ++i) {
+      const int id = next++;
+      q.push(SimTime::seconds(100), [&fired, id] { fired.push_back(id); });
+    }
+    // Drain a prefix so free slots interleave with live ones.
+    for (int i = 0; i < 3; ++i) q.pop()();
+  }
+  while (!q.empty()) q.pop()();
+  ASSERT_EQ(fired.size(), static_cast<std::size_t>(next));
+  for (int i = 0; i < next; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, MoveOnlyCallback) {
+  EventQueue q;
+  auto value = std::make_unique<int>(41);
+  int seen = 0;
+  q.push(SimTime::seconds(1), [v = std::move(value), &seen] { seen = *v + 1; });
+  q.pop()();
+  EXPECT_EQ(seen, 42);
+}
+
+#if TURTLE_DCHECK_ENABLED
+TEST(EventQueueDeathTest, PopOnEmptyTripsDcheck) {
+  EXPECT_DEATH(
+      {
+        EventQueue q;
+        q.pop();
+      },
+      "pop\\(\\) on an empty EventQueue");
+}
+
+TEST(EventQueueDeathTest, NextTimeOnEmptyTripsDcheck) {
+  EXPECT_DEATH(
+      {
+        EventQueue q;
+        (void)q.next_time();
+      },
+      "next_time\\(\\) on an empty EventQueue");
+}
+#endif
 
 TEST(Simulator, ClockAdvancesToEventTime) {
   Simulator sim;
