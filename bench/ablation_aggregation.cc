@@ -17,11 +17,13 @@ using namespace turtle;
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
   bench::JsonReport report{flags, "ablation_aggregation"};
-  auto world = bench::make_world(bench::world_options_from_flags(flags, 300));
+  auto options = bench::world_options_from_flags(flags, 300);
+  bench::wire_obs(options, report);
+  auto world = bench::make_world(options);
   const int rounds = static_cast<int>(flags.get_int("rounds", 50));
 
   const auto prober = bench::run_survey(*world, rounds);
-  const auto result = bench::analyze_survey(prober);
+  const auto result = bench::analyze_survey(*world, prober);
 
   const auto per_address = analysis::PerAddressPercentiles::compute(
       result.addresses, util::kPaperPercentiles, 10);

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
   bench::JsonReport report{flags, "ablation_block_outage"};
   auto options = bench::world_options_from_flags(flags, 250);
+  bench::wire_obs(options, report);
   const int rounds = static_cast<int>(flags.get_int("rounds", 12));
   const int survey_rounds = static_cast<int>(flags.get_int("census-passes", 20));
 

@@ -18,7 +18,9 @@ using namespace turtle;
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
   bench::JsonReport report{flags, "ablation_broadcast_filter"};
-  auto world = bench::make_world(bench::world_options_from_flags(flags, 250));
+  auto options = bench::world_options_from_flags(flags, 250);
+  bench::wire_obs(options, report);
+  auto world = bench::make_world(options);
   // Detection time scales like ~threshold/alpha consecutive rounds; give
   // the slowest swept corner room.
   const int rounds = static_cast<int>(flags.get_int("rounds", 60));

@@ -46,13 +46,17 @@ int main(int argc, char** argv) {
     std::uint64_t sim_events = 0;
   };
 
-  const auto shard_options = bench::shard_options_from_flags(flags, options);
+  auto shard_options = bench::shard_options_from_flags(flags, options);
+  bench::wire_obs(shard_options, report);
   sim::ShardRunner runner{shard_options};
   report.set_jobs(runner.jobs());
 
   const auto rows = runner.run(std::size(configs), [&](sim::ShardContext& ctx) {
     const Config& config_spec = configs[ctx.shard_index];
-    auto world = bench::make_world(options);
+    auto shard_world_options = options;
+    shard_world_options.registry = ctx.registry;
+    shard_world_options.trace = ctx.trace;
+    auto world = bench::make_world(shard_world_options);
     core::MultiVantageConfig config;
     config.vantages.clear();
     for (std::size_t v = 0; v < config_spec.vantage_count; ++v) {

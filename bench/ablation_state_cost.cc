@@ -18,13 +18,14 @@ int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
   bench::JsonReport report{flags, "ablation_state_cost"};
   auto options = bench::world_options_from_flags(flags, 150);
+  bench::wire_obs(options, report);
   const int survey_rounds = static_cast<int>(flags.get_int("rounds", 40));
   const double probe_rate = flags.get_double("probe-rate", 1000.0);
 
   // Table 2 matrix from a survey of this world, for the false-loss column.
   auto world = bench::make_world(options);
   const auto prober = bench::run_survey(*world, survey_rounds);
-  const auto result = bench::analyze_survey(prober);
+  const auto result = bench::analyze_survey(*world, prober);
   const auto pap = analysis::PerAddressPercentiles::compute(
       result.addresses, util::kPaperPercentiles, 10);
   const auto matrix = analysis::TimeoutMatrix::compute(pap, util::kPaperPercentiles);

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
   bench::JsonReport report{flags, "ablation_timeout_policy"};
   auto options = bench::world_options_from_flags(flags, 120);
+  bench::wire_obs(options, report);
   const int rounds = static_cast<int>(flags.get_int("rounds", 12));
 
   // Independent identical worlds per policy (policies must not share host

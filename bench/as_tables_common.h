@@ -16,9 +16,14 @@ struct AsTableExperiment {
   std::uint64_t sim_events = 0;  ///< events processed across the shared world
   std::uint64_t probes = 0;      ///< Zmap probes across all scans
 
-  static AsTableExperiment run(const util::Flags& flags, int default_blocks = 1200) {
+  /// `report`, when given, receives the world's metrics/trace directly
+  /// (wire_obs), so --metrics-out works on every AS-table bench.
+  static AsTableExperiment run(const util::Flags& flags, int default_blocks = 1200,
+                               JsonReport* report = nullptr) {
     AsTableExperiment exp;
-    exp.world = make_world(world_options_from_flags(flags, default_blocks));
+    auto options = world_options_from_flags(flags, default_blocks);
+    if (report != nullptr) wire_obs(options, *report);
+    exp.world = make_world(options);
     const int scan_count = static_cast<int>(flags.get_int("scans", 3));
     const auto runs = run_zmap_scans(*exp.world, scan_count);
     for (const auto& run : runs) {

@@ -16,7 +16,9 @@ int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
   bench::JsonReport report{flags, "fig01_survey_cdf"};
   const auto csv = bench::csv_from_flags(flags);
-  auto world = bench::make_world(bench::world_options_from_flags(flags, 300));
+  auto options = bench::world_options_from_flags(flags, 300);
+  bench::wire_obs(options, report);
+  auto world = bench::make_world(options);
   const int rounds = static_cast<int>(flags.get_int("rounds", 40));
 
   const auto prober = bench::run_survey(*world, rounds);

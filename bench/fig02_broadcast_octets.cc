@@ -13,7 +13,9 @@ using namespace turtle;
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
   bench::JsonReport report{flags, "fig02_broadcast_octets"};
-  auto world = bench::make_world(bench::world_options_from_flags(flags, 1200));
+  auto options = bench::world_options_from_flags(flags, 1200);
+  bench::wire_obs(options, report);
+  auto world = bench::make_world(options);
 
   const auto runs = bench::run_zmap_scans(*world, 1);
   const auto& responses = runs[0].responses;

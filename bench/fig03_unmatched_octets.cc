@@ -13,7 +13,9 @@ using namespace turtle;
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
   bench::JsonReport report{flags, "fig03_unmatched_octets"};
-  auto world = bench::make_world(bench::world_options_from_flags(flags, 400));
+  auto options = bench::world_options_from_flags(flags, 400);
+  bench::wire_obs(options, report);
+  auto world = bench::make_world(options);
   const int rounds = static_cast<int>(flags.get_int("rounds", 40));
 
   const auto prober = bench::run_survey(*world, rounds);

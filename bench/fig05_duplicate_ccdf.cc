@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   // at bench scale (the paper had 2 weeks x 4M addresses to find 26
   // million-response reflectors; we scale the incidence instead).
   options.population.flood_duplicate_prob = flags.get_double("flood-prob", 0.002);
+  bench::wire_obs(options, report);
   auto world = bench::make_world(options);
   const int rounds = static_cast<int>(flags.get_int("rounds", 40));
 
@@ -28,7 +29,7 @@ int main(int argc, char** argv) {
   analysis::PipelineConfig no_filter;
   no_filter.filter_broadcast = false;
   no_filter.filter_duplicates = false;
-  const auto result = bench::analyze_survey(prober, no_filter);
+  const auto result = bench::analyze_survey(*world, prober, no_filter);
   const auto stats = analysis::duplicate_stats(result.addresses);
 
   std::printf("# fig05_duplicate_ccdf: %zu blocks, %d rounds, %llu planted flood hosts\n",

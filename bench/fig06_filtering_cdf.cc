@@ -36,7 +36,9 @@ int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
   bench::JsonReport report{flags, "fig06_filtering_cdf"};
   const auto csv = bench::csv_from_flags(flags);
-  auto world = bench::make_world(bench::world_options_from_flags(flags, 300));
+  auto options = bench::world_options_from_flags(flags, 300);
+  bench::wire_obs(options, report);
+  auto world = bench::make_world(options);
   // The broadcast filter's EWMA needs ~23 consecutive rounds to trip.
   const int rounds = static_cast<int>(flags.get_int("rounds", 50));
 

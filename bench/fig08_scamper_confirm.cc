@@ -41,16 +41,20 @@ int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
   bench::JsonReport report{flags, "fig08_scamper_confirm"};
   const auto csv = bench::csv_from_flags(flags);
-  const auto options = bench::world_options_from_flags(flags, 500);
+  auto options = bench::world_options_from_flags(flags, 500);
   const int survey_rounds = static_cast<int>(flags.get_int("rounds", 50));
   const int pings = static_cast<int>(flags.get_int("pings", 300));
 
-  // Phase 1: survey to select high-latency addresses (p95 >= 100 s).
+  // Phase 1: survey to select high-latency addresses (p95 >= 100 s). The
+  // phase-1 world writes into the report's sinks directly; phase-2 shard
+  // worlds use per-shard sinks merged in shard order (shard WorldOptions
+  // override registry/trace below).
+  bench::wire_obs(options, report);
   auto world = bench::make_world(options);
   const auto prober = bench::run_survey(*world, survey_rounds);
   report.add_events(world->sim.events_processed());
   report.add_probes(prober.probes_sent());
-  const auto result = bench::analyze_survey(prober);
+  const auto result = bench::analyze_survey(*world, prober);
 
   std::vector<net::Ipv4Address> candidates;
   for (const auto& r : result.addresses) {
@@ -67,7 +71,8 @@ int main(int argc, char** argv) {
 
   // Phase 2: Scamper streams with tcpdump-style indefinite matching,
   // sharded over chunks of the candidate list.
-  const auto shard_options = bench::shard_options_from_flags(flags, options);
+  auto shard_options = bench::shard_options_from_flags(flags, options);
+  bench::wire_obs(shard_options, report);
   sim::ShardRunner runner{shard_options};
   report.set_jobs(runner.jobs());
   const std::size_t num_shards = std::min<std::size_t>(
@@ -79,9 +84,13 @@ int main(int argc, char** argv) {
         const std::size_t lo = candidates.size() * ctx.shard_index / ctx.num_shards;
         const std::size_t hi = candidates.size() * (ctx.shard_index + 1) / ctx.num_shards;
 
-        auto shard_world = bench::make_world(options);
+        auto shard_world_options = options;
+        shard_world_options.registry = ctx.registry;
+        shard_world_options.trace = ctx.trace;
+        auto shard_world = bench::make_world(shard_world_options);
         probe::ScamperProber scamper{shard_world->sim, *shard_world->net,
-                                     net::Ipv4Address::from_octets(198, 51, 100, 9)};
+                                     net::Ipv4Address::from_octets(198, 51, 100, 9),
+                                     shard_world->registry, shard_world->trace};
         const SimTime start = SimTime::minutes(5);
         for (std::size_t i = lo; i < hi; ++i) {
           scamper.ping(candidates[i], pings, SimTime::seconds(10),

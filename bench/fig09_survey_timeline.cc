@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
   sim::ShardOptions shard_options;
   shard_options.jobs = static_cast<int>(flags.get_int("jobs", 0));
   shard_options.seed = seed;
+  bench::wire_obs(shard_options, report);
   sim::ShardRunner runner{shard_options};
   report.set_jobs(runner.jobs());
 
@@ -75,6 +76,8 @@ int main(int argc, char** argv) {
         const bool broken = (year == 2014);
         if (broken) options.network.core_loss = 0.999;
 
+        options.registry = ctx.registry;
+        options.trace = ctx.trace;
         auto world = bench::make_world(options);
         const auto prober = bench::run_survey(*world, rounds);
         const double rate = prober.match_rate();
@@ -90,7 +93,7 @@ int main(int argc, char** argv) {
           return result;
         }
 
-        const auto analyzed = bench::analyze_survey(prober);
+        const auto analyzed = bench::analyze_survey(*world, prober);
         const auto pap = analysis::PerAddressPercentiles::compute(
             analyzed.addresses, util::kPaperPercentiles, 10);
         const auto matrix = analysis::TimeoutMatrix::compute(pap, util::kPaperPercentiles);

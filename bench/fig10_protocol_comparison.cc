@@ -18,14 +18,16 @@ using namespace turtle;
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
   bench::JsonReport report{flags, "fig10_protocol_comparison"};
-  auto world = bench::make_world(bench::world_options_from_flags(flags, 400));
+  auto options = bench::world_options_from_flags(flags, 400);
+  bench::wire_obs(options, report);
+  auto world = bench::make_world(options);
   const int survey_rounds = static_cast<int>(flags.get_int("rounds", 30));
   const int repeats = static_cast<int>(flags.get_int("repeats", 8));
 
   // Select high-latency addresses: top of the median/p80/p90/p95 sorts,
   // like the paper's four overlapping samples.
   const auto prober = bench::run_survey(*world, survey_rounds);
-  const auto result = bench::analyze_survey(prober);
+  const auto result = bench::analyze_survey(*world, prober);
   std::vector<net::Ipv4Address> targets;
   for (const auto& report : result.addresses) {
     if (report.rtts_s.size() < 10) continue;
@@ -35,7 +37,8 @@ int main(int argc, char** argv) {
               targets.size());
 
   probe::ScamperProber scamper{world->sim, *world->net,
-                               net::Ipv4Address::from_octets(198, 51, 100, 10)};
+                               net::Ipv4Address::from_octets(198, 51, 100, 10),
+                               world->registry, world->trace};
   SimTime t = world->sim.now() + SimTime::minutes(5);
   for (int rep = 0; rep < repeats; ++rep) {
     for (const auto proto : {probe::ProbeProtocol::kIcmp, probe::ProbeProtocol::kUdp,

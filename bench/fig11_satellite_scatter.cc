@@ -17,11 +17,13 @@ int main(int argc, char** argv) {
   bench::JsonReport report{flags, "fig11_satellite_scatter"};
   // Satellite ASes are ~1% of blocks; use a larger world so each of the
   // nine providers contributes a visible cluster.
-  auto world = bench::make_world(bench::world_options_from_flags(flags, 1500));
+  auto options = bench::world_options_from_flags(flags, 1500);
+  bench::wire_obs(options, report);
+  auto world = bench::make_world(options);
   const int rounds = static_cast<int>(flags.get_int("rounds", 60));
 
   const auto prober = bench::run_survey(*world, rounds);
-  const auto result = bench::analyze_survey(prober);
+  const auto result = bench::analyze_survey(*world, prober);
   const auto scatter =
       analysis::satellite_scatter(result.addresses, world->population->geo(), 30);
 

@@ -12,7 +12,7 @@ int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
   bench::JsonReport report{flags, "fig13_wakeup_duration"};
   const auto csv = bench::csv_from_flags(flags);
-  const auto exp = bench::FirstPingExperiment::run(flags);
+  const auto exp = bench::FirstPingExperiment::run(flags, &report);
   exp.print_header("fig13_wakeup_duration");
 
   auto durations = exp.summary.wakeup_durations();

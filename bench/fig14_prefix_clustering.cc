@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
   bench::JsonReport report{flags, "fig14_prefix_clustering"};
   const auto csv = bench::csv_from_flags(flags);
-  const auto exp = bench::FirstPingExperiment::run(flags);
+  const auto exp = bench::FirstPingExperiment::run(flags, &report);
   exp.print_header("fig14_prefix_clustering");
 
   const auto fractions = exp.summary.prefix_drop_fractions();

@@ -23,12 +23,16 @@ struct FirstPingExperiment {
   std::uint64_t sim_events = 0;  ///< events processed by the shared world
   std::uint64_t probes = 0;      ///< survey + screen + stream probes
 
-  static FirstPingExperiment run(const util::Flags& flags) {
-    auto world = make_world(world_options_from_flags(flags, 400));
+  /// `report`, when given, receives the world's metrics/trace directly
+  /// (wire_obs), so --metrics-out works on every first-ping bench.
+  static FirstPingExperiment run(const util::Flags& flags, JsonReport* report = nullptr) {
+    auto options = world_options_from_flags(flags, 400);
+    if (report != nullptr) wire_obs(options, *report);
+    auto world = make_world(options);
     const int survey_rounds = static_cast<int>(flags.get_int("rounds", 30));
 
     const auto prober = run_survey(*world, survey_rounds);
-    const auto result = analyze_survey(prober);
+    const auto result = analyze_survey(*world, prober);
 
     std::vector<net::Ipv4Address> candidates;
     for (const auto& report : result.addresses) {
@@ -40,7 +44,8 @@ struct FirstPingExperiment {
     exp.selected = candidates.size();
 
     probe::ScamperProber scamper{world->sim, *world->net,
-                                 net::Ipv4Address::from_octets(198, 51, 100, 11)};
+                                 net::Ipv4Address::from_octets(198, 51, 100, 11),
+                                 world->registry, world->trace};
     const SimTime screen_start = world->sim.now() + SimTime::minutes(2);
     for (const auto addr : candidates) {
       scamper.ping(addr, 2, SimTime::seconds(5), probe::ProbeProtocol::kIcmp, screen_start);

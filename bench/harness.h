@@ -13,7 +13,10 @@
 #include "analysis/pipeline.h"
 #include "hosts/asdb.h"
 #include "hosts/population.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "probe/survey.h"
+#include "report.h"
 #include "sim/network.h"
 #include "sim/shard_runner.h"
 #include "sim/simulator.h"
@@ -26,6 +29,15 @@
 namespace turtle::bench {
 
 struct World {
+  /// Observability sinks. `registry` is never null: it points at the
+  /// external registry passed via WorldOptions (a JsonReport's merged
+  /// registry, or a shard's private one) or at `owned_registry` as a
+  /// fallback. `trace` may be null (tracing off). Declared before `sim`
+  /// so the simulator can bind its metrics during construction.
+  std::unique_ptr<obs::Registry> owned_registry;
+  obs::Registry* registry;
+  obs::TraceSink* trace;
+
   sim::Simulator sim;
   std::unique_ptr<sim::Network> net;
   std::unique_ptr<hosts::HostContext> ctx;
@@ -35,7 +47,14 @@ struct World {
   /// forked from it so --seed varies them along with the population.
   util::Prng prober_rng{0};
 
-  explicit World(hosts::AsCatalog cat) : catalog{std::move(cat)} {}
+  explicit World(hosts::AsCatalog cat, obs::Registry* external_registry = nullptr,
+                 obs::TraceSink* external_trace = nullptr)
+      : owned_registry{external_registry != nullptr ? nullptr
+                                                    : std::make_unique<obs::Registry>()},
+        registry{external_registry != nullptr ? external_registry : owned_registry.get()},
+        trace{external_trace},
+        sim{registry, trace},
+        catalog{std::move(cat)} {}
 };
 
 struct WorldOptions {
@@ -45,13 +64,21 @@ struct WorldOptions {
   double severity_scale = 1.0;
   hosts::PopulationConfig population;  ///< num_blocks/severity overwritten
   sim::Network::Config network;
+  /// External observability sinks for this world. When `registry` is null
+  /// the World owns a private one (accessible as world->registry); `trace`
+  /// null simply disables span recording. Point these at a JsonReport's
+  /// sinks (wire_obs) or a ShardContext's.
+  obs::Registry* registry = nullptr;
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Builds a fully wired world.
 inline std::unique_ptr<World> make_world(WorldOptions options) {
   auto world = std::make_unique<World>(
-      hosts::AsCatalog::standard(options.cellular_share_scale, options.severity_scale));
+      hosts::AsCatalog::standard(options.cellular_share_scale, options.severity_scale),
+      options.registry, options.trace);
   util::Prng rng{options.seed};
+  options.network.registry = world->registry;
   world->net = std::make_unique<sim::Network>(world->sim, options.network, rng.fork(1));
   world->ctx = std::make_unique<hosts::HostContext>(
       hosts::HostContext{world->sim, *world->net});
@@ -83,11 +110,30 @@ inline WorldOptions world_options_from_flags(const util::Flags& flags,
 inline probe::SurveyProber run_survey(World& world, int rounds) {
   probe::SurveyConfig config;
   config.rounds = rounds;
+  config.registry = world.registry;
+  config.trace = world.trace;
   probe::SurveyProber prober{world.sim, *world.net, config, world.population->blocks(),
                              world.prober_rng};
   prober.start();
   world.sim.run();
   return prober;
+}
+
+/// Points WorldOptions at the report's merged observability sinks, so a
+/// serial bench's Worlds write straight into the --metrics-out /
+/// --trace-out output. Construct the JsonReport before any World: the
+/// report must outlive them (Simulator destructors flush gauges).
+inline void wire_obs(WorldOptions& options, JsonReport& report) {
+  options.registry = &report.registry();
+  options.trace = report.trace_sink();
+}
+
+/// Sharded variant: per-shard private sinks are created by the runner and
+/// merged into the report's in shard order, keeping --metrics-out
+/// byte-identical across --jobs values.
+inline void wire_obs(sim::ShardOptions& options, JsonReport& report) {
+  options.metrics = &report.registry();
+  options.trace = report.trace_sink();
 }
 
 /// Applies the --jobs flag: how many shards run concurrently. 0 (the
@@ -106,6 +152,17 @@ inline analysis::PipelineResult analyze_survey(const probe::SurveyProber& prober
                                                analysis::PipelineConfig config = {}) {
   auto dataset = analysis::SurveyDataset::from_log(prober.log());
   return analysis::run_pipeline(dataset, config);
+}
+
+/// Same, but wired to the world's observability sinks: Table 1 lands in
+/// the registry as "pipeline.*" counters and the pipeline contributes a
+/// wall-clock span to the trace.
+inline analysis::PipelineResult analyze_survey(World& world,
+                                               const probe::SurveyProber& prober,
+                                               analysis::PipelineConfig config = {}) {
+  config.registry = world.registry;
+  config.trace = world.trace;
+  return analyze_survey(prober, config);
 }
 
 /// Builds the optional CSV export directory from the --csv-dir flag.

@@ -5,20 +5,27 @@
 //
 // Accepts --json-out=PATH like the other bench binaries; it is rewritten
 // into google-benchmark's own JSON output flags, so scripts/bench_report.sh
-// can collect microbenchmark numbers alongside the harness reports.
+// can collect microbenchmark numbers alongside the harness reports. Also
+// accepts --metrics-out=PATH / --trace-out=PATH: after the benchmarks it
+// runs one small instrumented survey + pipeline and dumps the registry /
+// Chrome trace, so the obs layer is exercised from this binary too.
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <queue>
 #include <string>
 #include <vector>
 
+#include "analysis/pipeline.h"
 #include "core/p2_quantile.h"
 #include "core/rtt_estimator.h"
 #include "hosts/asdb.h"
 #include "hosts/population.h"
 #include "net/icmp.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "probe/survey.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -197,21 +204,59 @@ void BM_SurveyEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_SurveyEndToEnd)->Arg(50)->Unit(benchmark::kMillisecond);
 
+// One small instrumented survey world + analysis pipeline, purely to
+// populate a registry/trace for --metrics-out / --trace-out.
+void run_instrumented_sample(obs::Registry& registry, obs::TraceSink* trace) {
+  sim::Simulator sim{&registry, trace};
+  sim::Network::Config net_config;
+  net_config.registry = &registry;
+  sim::Network net{sim, net_config, util::Prng{1}};
+  hosts::HostContext ctx{sim, net};
+  hosts::PopulationConfig config;
+  config.num_blocks = 20;
+  const auto catalog = hosts::AsCatalog::standard();
+  hosts::Population population{ctx, catalog, config, util::Prng{2}};
+  net.set_host_resolver(&population);
+
+  probe::SurveyConfig survey_config;
+  survey_config.rounds = 4;
+  survey_config.registry = &registry;
+  survey_config.trace = trace;
+  probe::SurveyProber prober{sim, net, survey_config, population.blocks(), util::Prng{3}};
+  prober.start();
+  sim.run();
+
+  auto dataset = analysis::SurveyDataset::from_log(prober.log());
+  analysis::PipelineConfig pipeline_config;
+  pipeline_config.registry = &registry;
+  pipeline_config.trace = trace;
+  (void)analysis::run_pipeline(dataset, pipeline_config);
+}
+
 }  // namespace
 
 // BENCHMARK_MAIN(), plus translation of the repo-wide --json-out=PATH
-// convention into google-benchmark's native JSON output flags.
+// convention into google-benchmark's native JSON output flags, and the
+// repo-wide --metrics-out/--trace-out observability outputs.
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv, argv + argc);
   std::vector<char*> rewritten;
   std::string out_flag;
   std::string format_flag = "--benchmark_out_format=json";
+  std::string metrics_path;
+  std::string trace_path;
   for (auto& arg : args) {
     constexpr const char* kJsonOut = "--json-out=";
+    constexpr const char* kMetricsOut = "--metrics-out=";
+    constexpr const char* kTraceOut = "--trace-out=";
     if (arg.rfind(kJsonOut, 0) == 0) {
       out_flag = "--benchmark_out=" + arg.substr(std::strlen(kJsonOut));
       rewritten.push_back(out_flag.data());
       rewritten.push_back(format_flag.data());
+    } else if (arg.rfind(kMetricsOut, 0) == 0) {
+      metrics_path = arg.substr(std::strlen(kMetricsOut));
+    } else if (arg.rfind(kTraceOut, 0) == 0) {
+      trace_path = arg.substr(std::strlen(kTraceOut));
     } else {
       rewritten.push_back(arg.data());
     }
@@ -221,5 +266,21 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(rewritten_argc, rewritten.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  if (!metrics_path.empty() || !trace_path.empty()) {
+    obs::Registry registry;
+    obs::TraceSink trace;
+    run_instrumented_sample(registry, trace_path.empty() ? nullptr : &trace);
+    if (!metrics_path.empty()) {
+      std::ofstream out{metrics_path};
+      registry.write_json(out, /*include_wall_clock=*/false);
+      std::fprintf(stderr, "# metrics written to %s\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      std::ofstream out{trace_path};
+      trace.write_chrome_json(out);
+      std::fprintf(stderr, "# trace written to %s\n", trace_path.c_str());
+    }
+  }
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/json.h"
 #include "util/check.h"
 
 namespace turtle::bench {
@@ -17,15 +18,6 @@ namespace {
 double monotonic_seconds() {
   const auto now = std::chrono::steady_clock::now().time_since_epoch();
   return std::chrono::duration<double>(now).count();
-}
-
-/// Fixed-format double that round-trips through JSON without exponent
-/// notation surprises.
-std::string render_double(double value) {
-  std::ostringstream os;
-  os.precision(6);
-  os << std::fixed << value;
-  return os.str();
 }
 
 }  // namespace
@@ -40,12 +32,14 @@ std::int64_t peak_rss_bytes() {
 JsonReport::JsonReport(const util::Flags& flags, std::string name)
     : name_{std::move(name)},
       path_{flags.get_string("json-out", "")},
+      metrics_path_{flags.get_string("metrics-out", "")},
+      trace_path_{flags.get_string("trace-out", "")},
       start_seconds_{monotonic_seconds()} {}
 
 JsonReport::~JsonReport() { finish(); }
 
 void JsonReport::set_metric(const std::string& key, double value) {
-  extra_.emplace_back(key, render_double(value));
+  extra_.emplace_back(key, obs::json_fixed(value));
 }
 
 void JsonReport::set_metric(const std::string& key, std::int64_t value) {
@@ -55,24 +49,51 @@ void JsonReport::set_metric(const std::string& key, std::int64_t value) {
 void JsonReport::finish() {
   if (finished_) return;
   finished_ = true;
+
+  // Standalone deterministic dump: wall-clock ("wall.*") metrics are
+  // excluded so the file is byte-identical across --jobs values and
+  // machines. scripts compare these with cmp(1).
+  if (!metrics_path_.empty()) {
+    std::ofstream out{metrics_path_};
+    TURTLE_CHECK(out.good()) << "cannot open --metrics-out path " << metrics_path_;
+    registry_.write_json(out, /*include_wall_clock=*/false);
+    TURTLE_CHECK(out.good()) << "write to --metrics-out path " << metrics_path_
+                             << " failed";
+    std::fprintf(stderr, "# metrics: %s\n", metrics_path_.c_str());
+  }
+
+  if (!trace_path_.empty()) {
+    std::ofstream out{trace_path_};
+    TURTLE_CHECK(out.good()) << "cannot open --trace-out path " << trace_path_;
+    trace_.write_chrome_json(out);
+    TURTLE_CHECK(out.good()) << "write to --trace-out path " << trace_path_ << " failed";
+    std::fprintf(stderr, "# trace: %s (%zu events)\n", trace_path_.c_str(),
+                 trace_.size());
+  }
+
   if (path_.empty()) return;
 
   const double wall_s = monotonic_seconds() - start_seconds_;
   std::ostringstream os;
   os << "{\n";
-  os << "  \"bench\": \"" << name_ << "\",\n";
+  os << "  \"bench\": " << obs::json_quote(name_) << ",\n";
   os << "  \"jobs\": " << jobs_ << ",\n";
-  os << "  \"wall_s\": " << render_double(wall_s) << ",\n";
+  os << "  \"wall_s\": " << obs::json_fixed(wall_s) << ",\n";
   os << "  \"peak_rss_bytes\": " << peak_rss_bytes() << ",\n";
   os << "  \"events\": " << events_ << ",\n";
   os << "  \"events_per_sec\": "
-     << render_double(wall_s > 0 ? static_cast<double>(events_) / wall_s : 0) << ",\n";
+     << obs::json_fixed(wall_s > 0 ? static_cast<double>(events_) / wall_s : 0)
+     << ",\n";
   os << "  \"probes\": " << probes_ << ",\n";
   os << "  \"probes_per_sec\": "
-     << render_double(wall_s > 0 ? static_cast<double>(probes_) / wall_s : 0);
+     << obs::json_fixed(wall_s > 0 ? static_cast<double>(probes_) / wall_s : 0);
   for (const auto& [key, rendered] : extra_) {
-    os << ",\n  \"" << key << "\": " << rendered;
+    os << ",\n  " << obs::json_quote(key) << ": " << rendered;
   }
+  // The performance report keeps the wall-clock metrics: it is already
+  // machine-specific (wall_s, RSS), so "wall.pool.*" belongs here.
+  os << ",\n  \"metrics\": "
+     << registry_.to_json(/*include_wall_clock=*/true);
   os << "\n}\n";
 
   std::ofstream out{path_};

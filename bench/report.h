@@ -7,6 +7,14 @@
 // objects into a top-level BENCH_results.json so performance is
 // comparable across PRs instead of anecdotal.
 //
+// Every bench also accepts --metrics-out=PATH (the deterministic
+// obs::Registry dump, byte-identical across --jobs values) and
+// --trace-out=PATH (a Chrome trace-event file of sim-time spans, loadable
+// in Perfetto / chrome://tracing). The report owns the merged sinks:
+// serial benches point their World at registry()/trace_sink(), sharded
+// benches point ShardOptions at them and the runner merges per-shard
+// sinks in shard order.
+//
 // The emitter is deliberately tiny — flat keys, doubles and integers
 // only — so the output stays diffable and parseable without a JSON
 // library on either side.
@@ -17,6 +25,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/flags.h"
 
 namespace turtle::bench {
@@ -49,18 +59,41 @@ class JsonReport {
   void set_metric(const std::string& key, double value);
   void set_metric(const std::string& key, std::int64_t value);
 
-  /// Writes the JSON object (if --json-out was given). Idempotent; also
-  /// invoked by the destructor so early returns still report.
+  /// The merged deterministic metrics registry. Point Worlds (serial) or
+  /// ShardOptions::metrics (sharded) here; the dump is written to
+  /// --metrics-out and embedded in the --json-out object at finish().
+  /// The report outlives every World constructed after it, so Simulator
+  /// destructors may still write through this pointer.
+  [[nodiscard]] obs::Registry& registry() { return registry_; }
+
+  /// The merged trace sink, or nullptr when --trace-out was not given —
+  /// pass directly to World/ShardOptions trace pointers.
+  [[nodiscard]] obs::TraceSink* trace_sink() {
+    return trace_path_.empty() ? nullptr : &trace_;
+  }
+
+  /// Merges/appends externally collected sinks (for benches that cannot
+  /// point their Worlds at the report's own sinks).
+  void add_registry(const obs::Registry& registry) { registry_.merge_from(registry); }
+  void add_trace(const obs::TraceSink& trace) { trace_.append(trace); }
+
+  /// Writes the JSON object (if --json-out was given) plus the
+  /// --metrics-out and --trace-out files. Idempotent; also invoked by the
+  /// destructor so early returns still report.
   void finish();
 
  private:
   std::string name_;
-  std::string path_;  // empty: reporting disabled
+  std::string path_;          // empty: --json-out reporting disabled
+  std::string metrics_path_;  // empty: no standalone metrics dump
+  std::string trace_path_;    // empty: tracing disabled
   double start_seconds_;
   int jobs_ = 1;
   std::uint64_t events_ = 0;
   std::uint64_t probes_ = 0;
   std::vector<std::pair<std::string, std::string>> extra_;  // key -> rendered value
+  obs::Registry registry_;
+  obs::TraceSink trace_;
   bool finished_ = false;
 };
 

@@ -14,7 +14,9 @@ using namespace turtle;
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
   bench::JsonReport report{flags, "table1_matching"};
-  auto world = bench::make_world(bench::world_options_from_flags(flags, 400));
+  auto options = bench::world_options_from_flags(flags, 400);
+  bench::wire_obs(options, report);
+  auto world = bench::make_world(options);
   const int rounds = static_cast<int>(flags.get_int("rounds", 50));
 
   const auto prober = bench::run_survey(*world, rounds);
@@ -22,7 +24,7 @@ int main(int argc, char** argv) {
               world->population->blocks().size(), rounds,
               static_cast<unsigned long long>(prober.probes_sent()));
 
-  const auto result = bench::analyze_survey(prober);
+  const auto result = bench::analyze_survey(*world, prober);
   const auto& c = result.counters;
 
   util::TextTable table({"", "Packets", "Addresses"});

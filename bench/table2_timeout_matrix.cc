@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   bench::JsonReport report{flags, "table2_timeout_matrix"};
   const auto csv = bench::csv_from_flags(flags);
   auto options = bench::world_options_from_flags(flags, /*default_blocks=*/400);
+  bench::wire_obs(options, report);
   const int rounds = static_cast<int>(flags.get_int("rounds", 50));
 
   auto world = bench::make_world(options);
@@ -33,6 +34,8 @@ int main(int argc, char** argv) {
 
   probe::SurveyConfig survey_config;
   survey_config.rounds = rounds;
+  survey_config.registry = world->registry;
+  survey_config.trace = world->trace;
   probe::SurveyProber prober{world->sim, *world->net, survey_config,
                              world->population->blocks(), util::Prng{options.seed ^ 0xBEEF}};
   prober.start();
@@ -45,6 +48,8 @@ int main(int argc, char** argv) {
 
   auto dataset = analysis::SurveyDataset::from_log(prober.log());
   analysis::PipelineConfig pipeline_config;
+  pipeline_config.registry = world->registry;
+  pipeline_config.trace = world->trace;
   const auto result = analysis::run_pipeline(dataset, pipeline_config);
   std::printf("# addresses: %zu kept, %zu broadcast-flagged, %zu duplicate-flagged\n",
               result.addresses.size(), result.broadcast_flagged.size(),

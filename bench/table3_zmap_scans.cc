@@ -21,7 +21,8 @@ int main(int argc, char** argv) {
   const auto options = bench::world_options_from_flags(flags, 600);
   const int scans = static_cast<int>(flags.get_int("scans", 6));
 
-  const auto shard_options = bench::shard_options_from_flags(flags, options);
+  auto shard_options = bench::shard_options_from_flags(flags, options);
+  bench::wire_obs(shard_options, report);
   report.set_jobs(sim::ShardRunner{shard_options}.jobs());
   const auto runs = bench::run_zmap_scans_sharded(options, shard_options, scans,
                                                   SimTime::hours(1), SimTime::hours(36));

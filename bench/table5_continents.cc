@@ -12,7 +12,7 @@ using namespace turtle;
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
   bench::JsonReport report{flags, "table5_continents"};
-  auto exp = bench::AsTableExperiment::run(flags);
+  auto exp = bench::AsTableExperiment::run(flags, /*default_blocks=*/1200, &report);
 
   const auto rows = analysis::rank_continents(exp.scans, exp.world->population->geo(), 1.0);
   std::printf("# table5_continents: %zu blocks, %zu scans\n",

@@ -13,7 +13,7 @@ using namespace turtle;
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
   bench::JsonReport report{flags, "table6_sleepy_turtles"};
-  auto exp = bench::AsTableExperiment::run(flags, /*default_blocks=*/1600);
+  auto exp = bench::AsTableExperiment::run(flags, /*default_blocks=*/1600, &report);
 
   const auto rows = analysis::rank_ases(exp.scans, exp.world->population->geo(), 100.0, 10);
   std::printf("# table6_sleepy_turtles: %zu blocks, %zu scans\n",

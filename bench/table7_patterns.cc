@@ -37,15 +37,16 @@ struct ShardResult {
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
   bench::JsonReport report{flags, "table7_patterns"};
-  const auto options = bench::world_options_from_flags(flags, 500);
+  auto options = bench::world_options_from_flags(flags, 500);
   const int survey_rounds = static_cast<int>(flags.get_int("rounds", 40));
   const int pings = static_cast<int>(flags.get_int("pings", 2000));
 
+  bench::wire_obs(options, report);
   auto world = bench::make_world(options);
   const auto prober = bench::run_survey(*world, survey_rounds);
   report.add_events(world->sim.events_processed());
   report.add_probes(prober.probes_sent());
-  const auto result = bench::analyze_survey(prober);
+  const auto result = bench::analyze_survey(*world, prober);
 
   std::vector<net::Ipv4Address> candidates;
   for (const auto& r : result.addresses) {
@@ -56,7 +57,8 @@ int main(int argc, char** argv) {
               "1/s\n",
               candidates.size(), pings);
 
-  const auto shard_options = bench::shard_options_from_flags(flags, options);
+  auto shard_options = bench::shard_options_from_flags(flags, options);
+  bench::wire_obs(shard_options, report);
   sim::ShardRunner runner{shard_options};
   report.set_jobs(runner.jobs());
   const std::size_t num_shards = std::max<std::size_t>(
@@ -68,9 +70,13 @@ int main(int argc, char** argv) {
         const std::size_t lo = candidates.size() * ctx.shard_index / ctx.num_shards;
         const std::size_t hi = candidates.size() * (ctx.shard_index + 1) / ctx.num_shards;
 
-        auto shard_world = bench::make_world(options);
+        auto shard_world_options = options;
+        shard_world_options.registry = ctx.registry;
+        shard_world_options.trace = ctx.trace;
+        auto shard_world = bench::make_world(shard_world_options);
         probe::ScamperProber scamper{shard_world->sim, *shard_world->net,
-                                     net::Ipv4Address::from_octets(198, 51, 100, 12)};
+                                     net::Ipv4Address::from_octets(198, 51, 100, 12),
+                                     shard_world->registry, shard_world->trace};
         const SimTime start = SimTime::minutes(2);
         for (std::size_t i = lo; i < hi; ++i) {
           scamper.ping(candidates[i], pings, SimTime::seconds(1),

@@ -33,6 +33,8 @@ inline std::vector<ScanRun> run_zmap_scans(World& world, int count,
     probe::ZmapConfig config;
     config.scan_duration = scan_duration;
     config.permutation_seed = static_cast<std::uint64_t>(i) + 1;
+    config.registry = world.registry;
+    config.trace = world.trace;
     auto scanner = std::make_unique<probe::ZmapScanner>(world.sim, *world.net, config);
     ScanRun run;
     run.begin = world.sim.now();
@@ -63,7 +65,12 @@ inline std::vector<ScanRun> run_zmap_scans_sharded(const WorldOptions& world_opt
                                                    SimTime gap = SimTime::hours(12)) {
   sim::ShardRunner runner{shard_options};
   return runner.run(static_cast<std::size_t>(count), [&](sim::ShardContext& ctx) {
-    auto world = make_world(world_options);
+    // Each shard writes into its private ShardContext sinks; the runner
+    // merges them into ShardOptions::metrics/trace in scan order.
+    WorldOptions shard_world_options = world_options;
+    shard_world_options.registry = ctx.registry;
+    shard_world_options.trace = ctx.trace;
+    auto world = make_world(shard_world_options);
     // Advance to this scan's date: host radio schedules and congestion
     // episodes evolve exactly as they would have under the serial runner's
     // shared clock (minus the probing load of the earlier scans).
@@ -72,6 +79,8 @@ inline std::vector<ScanRun> run_zmap_scans_sharded(const WorldOptions& world_opt
     probe::ZmapConfig config;
     config.scan_duration = scan_duration;
     config.permutation_seed = ctx.shard_index + 1;
+    config.registry = world->registry;
+    config.trace = world->trace;
     probe::ZmapScanner scanner{world->sim, *world->net, config};
     ScanRun run;
     run.begin = world->sim.now();

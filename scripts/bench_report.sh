@@ -73,12 +73,17 @@ for bench in "$BUILD_DIR"/bench/*; do
   "$bench" $(scale_flags "$name") --jobs="$JOBS" --json-out="$report" \
     ${EXTRA_FLAGS+"${EXTRA_FLAGS[@]}"} >"$TMP/$name.txt"
   [ -s "$report" ] || { echo "no report from $name" >&2; exit 1; }
+  # Every bench folds its obs registry into the report under "metrics";
+  # a missing key means the binary was not wired through JsonReport.
+  grep -q '"metrics"' "$report" || { echo "$name report lacks a metrics key" >&2; exit 1; }
   BENCH_FILES+=("$report")
 done
 
 echo "=== micro_core" >&2
 "$BUILD_DIR/bench/micro_core" --json-out="$TMP/micro_core.json" \
+  --metrics-out="$TMP/micro_core_metrics.json" \
   --benchmark_min_time=0.05 >"$TMP/micro_core.txt"
+[ -s "$TMP/micro_core_metrics.json" ] || { echo "micro_core wrote no metrics" >&2; exit 1; }
 
 # Merge: {"schema", "generated", "host", "jobs_flag", "benches": [...],
 # "micro_core": <google-benchmark JSON>}.
@@ -98,6 +103,9 @@ echo "=== micro_core" >&2
     sed 's/^/  /' "$f"
   done
   echo "  ],"
+  echo "  \"metrics\":"
+  sed 's/^/  /' "$TMP/micro_core_metrics.json"
+  echo "  ,"
   echo "  \"micro_core\":"
   sed 's/^/  /' "$TMP/micro_core.json"
   echo "}"

@@ -11,6 +11,10 @@
 #      replayed run stops being bit-identical
 #   4. no `float` in src/analysis/ — RTT arithmetic stays in double; float
 #      has only 24 mantissa bits and visibly quantizes the percentile tail
+#   5. no wall-clock reads in src/obs/ — the metrics/trace layer's whole
+#      contract is byte-identical output across --jobs and machines; wall
+#      durations are measured by callers and handed in as integers under
+#      "wall.*" names, never sampled inside obs itself
 #
 # Usage: scripts/lint.sh   (from anywhere; exits non-zero with file:line
 # diagnostics on violation)
@@ -71,6 +75,15 @@ for f in $(find src/analysis -name '*.h' -o -name '*.cc' | sort); do
     [ -n "$line_no" ] && fail "$f:$line_no" "'float' in analysis code: RTT math stays in double (24-bit mantissas quantize the tail)"
   done <<EOF
 $(strip_comments "$f" | grep -n '\(^\|[^_[:alnum:]]\)float\($\|[^_[:alnum:]]\)' | cut -d: -f1)
+EOF
+done
+
+# --- 5. no wall-clock reads in src/obs/ --------------------------------
+for f in $(find src/obs -name '*.h' -o -name '*.cc' | sort); do
+  while IFS= read -r line_no; do
+    [ -n "$line_no" ] && fail "$f:$line_no" "wall-clock read in src/obs: callers measure wall time and pass integers in; obs output must stay deterministic"
+  done <<EOF
+$(strip_comments "$f" | grep -n 'std::chrono\|steady_clock\|system_clock\|high_resolution_clock\|gettimeofday\|clock_gettime' | cut -d: -f1)
 EOF
 done
 

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Opens a --trace-out file in Perfetto. The trace is plain Chrome
+# trace-event JSON, so the whole trick is serving it where
+# ui.perfetto.dev's deep-link fetcher can reach it:
+#
+#   scripts/trace_open.sh trace.json
+#
+# prints the https://ui.perfetto.dev/#!/?url=... deep link and serves the
+# file on localhost:9001 until interrupted (Perfetto fetches it from the
+# browser, so the server must outlive the page load). Offline, the same
+# file loads via "Open trace file" in Perfetto or chrome://tracing.
+set -euo pipefail
+
+TRACE="${1:?usage: scripts/trace_open.sh TRACE_JSON [PORT]}"
+PORT="${2:-9001}"
+[ -f "$TRACE" ] || { echo "no such trace: $TRACE" >&2; exit 1; }
+
+DIR="$(cd "$(dirname "$TRACE")" && pwd)"
+NAME="$(basename "$TRACE")"
+echo "open: https://ui.perfetto.dev/#!/?url=http://127.0.0.1:$PORT/$NAME"
+echo "serving $DIR on 127.0.0.1:$PORT (ctrl-C to stop)"
+# --bind keeps the trace off the network; Perfetto runs in your browser,
+# so localhost is all it needs. The CORS header lets the fetch succeed.
+exec python3 -c "
+import http.server
+class Cors(http.server.SimpleHTTPRequestHandler):
+    def __init__(self, *a, **k):
+        super().__init__(*a, directory='$DIR', **k)
+    def end_headers(self):
+        self.send_header('Access-Control-Allow-Origin', '*')
+        super().end_headers()
+http.server.ThreadingHTTPServer(('127.0.0.1', $PORT), Cors).serve_forever()
+"

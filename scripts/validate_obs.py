@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validates the observability outputs of a bench run (CI gate).
+
+Usage:
+    scripts/validate_obs.py --metrics M.json --trace T.json [--stdout OUT.txt]
+
+Checks:
+  * the metrics file is valid JSON with the turtle-metrics-v1 schema,
+    non-empty counter/histogram sections, and no wall.* names (the
+    deterministic dump must exclude them);
+  * histogram bucket_counts are consistent (len == bounds + 1 overflow,
+    sum == count);
+  * the trace file is valid JSON in Chrome trace-event shape: every event
+    has name/ph/pid/tid/ts, complete spans carry non-negative dur;
+  * with --stdout pointing at table1_matching's captured output, the
+    printed Table 1 rows exactly equal the pipeline.* counters — the live
+    metrics are the analysis, not a parallel reimplementation of it.
+"""
+import argparse
+import json
+import re
+import sys
+
+FAILURES = []
+
+
+def check(cond, message):
+    if not cond:
+        FAILURES.append(message)
+
+
+def validate_metrics(path):
+    with open(path) as f:
+        m = json.load(f)
+    check(m.get("schema") == "turtle-metrics-v1", "metrics: bad schema field")
+    for section in ("counters", "gauges", "histograms"):
+        check(isinstance(m.get(section), dict), f"metrics: missing {section}")
+    check(m.get("counters"), "metrics: no counters recorded")
+    check(m.get("histograms"), "metrics: no histograms recorded")
+    for name in list(m.get("counters", {})) + list(m.get("gauges", {})) + list(
+            m.get("histograms", {})):
+        check(not name.startswith("wall."),
+              f"metrics: wall-clock metric {name!r} leaked into deterministic dump")
+    bounds = m.get("histogram_bucket_bounds_us", [])
+    check(bounds and bounds == sorted(bounds), "metrics: bucket bounds missing/unsorted")
+    check(5_000_000 in bounds, "metrics: 5 s is not a bucket boundary")
+    for name, h in m.get("histograms", {}).items():
+        counts = h.get("bucket_counts", [])
+        check(len(counts) == len(bounds) + 1,
+              f"metrics: {name} has {len(counts)} buckets, want {len(bounds) + 1}")
+        check(sum(counts) == h.get("count"),
+              f"metrics: {name} bucket sum {sum(counts)} != count {h.get('count')}")
+    return m
+
+
+def validate_trace(path):
+    with open(path) as f:
+        t = json.load(f)
+    events = t.get("traceEvents")
+    check(isinstance(events, list), "trace: no traceEvents array")
+    check(events, "trace: empty traceEvents")
+    for e in events or []:
+        for key in ("name", "cat", "ph", "pid", "tid", "ts"):
+            check(key in e, f"trace: event missing {key!r}: {e}")
+        check(e.get("ph") in ("X", "i", "C"), f"trace: unexpected phase {e.get('ph')!r}")
+        if e.get("ph") == "X":
+            check(e.get("dur", -1) >= 0, f"trace: complete span with bad dur: {e}")
+        if e.get("ph") == "C":
+            check("value" in e.get("args", {}), f"trace: counter without value: {e}")
+    return t
+
+
+# Table 1 as printed by table1_matching: "<label>  <packets>  <addresses>".
+TABLE1_ROWS = {
+    "Survey-detected": "survey_detected",
+    "Naive matching": "naive",
+    "Broadcast responses": "broadcast",
+    "Duplicate responses": "duplicate",
+    "Survey + Delayed": "combined",
+}
+
+
+def validate_table1(metrics, stdout_path):
+    with open(stdout_path) as f:
+        text = f.read()
+    counters = metrics.get("counters", {})
+    matched = 0
+    for label, key in TABLE1_ROWS.items():
+        m = re.search(rf"^{re.escape(label)}\s+(\d+)\s+(\d+)\s*$", text, re.M)
+        check(m, f"table1: printed row {label!r} not found")
+        if not m:
+            continue
+        matched += 1
+        packets, addresses = int(m.group(1)), int(m.group(2))
+        check(counters.get(f"pipeline.{key}.packets") == packets,
+              f"table1: {label}: printed {packets} packets, "
+              f"counter {counters.get(f'pipeline.{key}.packets')}")
+        check(counters.get(f"pipeline.{key}.addresses") == addresses,
+              f"table1: {label}: printed {addresses} addresses, "
+              f"counter {counters.get(f'pipeline.{key}.addresses')}")
+    check(matched == len(TABLE1_ROWS), "table1: incomplete table in stdout")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metrics", required=True)
+    parser.add_argument("--trace")
+    parser.add_argument("--stdout", help="captured table1_matching output")
+    args = parser.parse_args()
+
+    metrics = validate_metrics(args.metrics)
+    if args.trace:
+        validate_trace(args.trace)
+    if args.stdout:
+        validate_table1(metrics, args.stdout)
+
+    if FAILURES:
+        for failure in FAILURES:
+            print(f"validate_obs: {failure}", file=sys.stderr)
+        return 1
+    print("validate_obs: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 #include "analysis/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "util/check.h"
@@ -97,6 +98,8 @@ PipelineResult run_pipeline(SurveyDataset& dataset, const PipelineConfig& config
   TURTLE_CHECK_GE(config.broadcast_similarity_s, 0.0);
   TURTLE_CHECK_GT(config.round_interval_s, 0.0);
 
+  const auto wall_start = std::chrono::steady_clock::now();
+
   PipelineResult result;
   PipelineCounters& c = result.counters;
 
@@ -160,6 +163,27 @@ PipelineResult run_pipeline(SurveyDataset& dataset, const PipelineConfig& config
       result.addresses.push_back(std::move(report));
     }
   }
+
+  // Publish Table 1 as live metrics, bit-equal to the returned counters.
+  // Done once after the loop, so a registry never perturbs the analysis.
+  if (config.registry != nullptr) {
+    obs::Registry& reg = *config.registry;
+    reg.counter("pipeline.survey_detected.packets").inc(c.survey_detected_packets);
+    reg.counter("pipeline.survey_detected.addresses").inc(c.survey_detected_addresses);
+    reg.counter("pipeline.naive.packets").inc(c.naive_packets);
+    reg.counter("pipeline.naive.addresses").inc(c.naive_addresses);
+    reg.counter("pipeline.broadcast.packets").inc(c.broadcast_packets);
+    reg.counter("pipeline.broadcast.addresses").inc(c.broadcast_addresses);
+    reg.counter("pipeline.duplicate.packets").inc(c.duplicate_packets);
+    reg.counter("pipeline.duplicate.addresses").inc(c.duplicate_addresses);
+    reg.counter("pipeline.combined.packets").inc(c.combined_packets);
+    reg.counter("pipeline.combined.addresses").inc(c.combined_addresses);
+  }
+  TURTLE_TRACE(config.trace,
+               span_wall("analysis.pipeline", "pipeline",
+                         std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count()));
   return result;
 }
 

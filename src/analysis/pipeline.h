@@ -22,6 +22,8 @@
 
 #include "analysis/dataset.h"
 #include "net/ipv4.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace turtle::analysis {
 
@@ -43,6 +45,15 @@ struct PipelineConfig {
   /// and the before/after comparison of Figure 6).
   bool filter_broadcast = true;
   bool filter_duplicates = true;
+
+  /// Optional metrics sink: run_pipeline publishes the Table 1 counters
+  /// under "pipeline.<row>.packets" / "pipeline.<row>.addresses" (rows:
+  /// survey_detected, naive, broadcast, duplicate, combined), exactly
+  /// equal to the returned PipelineCounters.
+  obs::Registry* registry = nullptr;
+  /// Optional trace sink: one wall-clock span per run_pipeline call on the
+  /// analysis track (pid 1 — the pipeline runs outside simulated time).
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Final per-address latency report.

@@ -1,0 +1,103 @@
+#include "obs/metrics.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace turtle::obs {
+
+Counter& Registry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  check_new_name(name);
+  return counters_.emplace(std::string{name}, Counter{}).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  check_new_name(name);
+  return gauges_.emplace(std::string{name}, Gauge{}).first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  check_new_name(name);
+  return histograms_.emplace(std::string{name}, Histogram{}).first->second;
+}
+
+void Registry::check_new_name(std::string_view name) const {
+  TURTLE_CHECK(!name.empty()) << "metric with an empty name";
+  TURTLE_CHECK(counters_.find(name) == counters_.end() &&
+               gauges_.find(name) == gauges_.end() &&
+               histograms_.find(name) == histograms_.end())
+      << "metric name '" << std::string{name} << "' reused across metric kinds";
+}
+
+void Registry::merge_from(const Registry& other) {
+  for (const auto& [name, metric] : other.counters_) counter(name).merge_from(metric);
+  for (const auto& [name, metric] : other.gauges_) gauge(name).merge_from(metric);
+  for (const auto& [name, metric] : other.histograms_) histogram(name).merge_from(metric);
+}
+
+void Registry::write_json(std::ostream& os, bool include_wall_clock) const {
+  const auto skip = [&](const std::string& name) {
+    return !include_wall_clock && is_wall_clock(name);
+  };
+
+  os << "{\n";
+  os << "  \"schema\": \"turtle-metrics-v1\",\n";
+
+  os << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, metric] : counters_) {
+    if (skip(name)) continue;
+    os << (first ? "\n" : ",\n") << "    " << json_quote(name) << ": " << metric.value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, metric] : gauges_) {
+    if (skip(name)) continue;
+    os << (first ? "\n" : ",\n") << "    " << json_quote(name) << ": " << metric.value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  // One shared bound table; per-histogram counts are a parallel array with
+  // one extra trailing cell for the > 120 s overflow bucket.
+  os << "  \"histogram_bucket_bounds_us\": [";
+  for (std::size_t i = 0; i < Histogram::kBucketBoundsUs.size(); ++i) {
+    os << (i ? ", " : "") << Histogram::kBucketBoundsUs[i];
+  }
+  os << "],\n";
+
+  os << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, metric] : histograms_) {
+    if (skip(name)) continue;
+    os << (first ? "\n" : ",\n") << "    " << json_quote(name) << ": {\n";
+    os << "      \"count\": " << metric.count() << ",\n";
+    os << "      \"sum_us\": " << metric.sum_us() << ",\n";
+    os << "      \"bucket_counts\": [";
+    for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      os << (i ? ", " : "") << metric.bucket_count(i);
+    }
+    os << "]\n    }";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n";
+  os << "}\n";
+}
+
+std::string Registry::to_json(bool include_wall_clock) const {
+  std::ostringstream os;
+  write_json(os, include_wall_clock);
+  return os.str();
+}
+
+}  // namespace turtle::obs

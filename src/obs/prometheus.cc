@@ -1,0 +1,58 @@
+// Prometheus text exposition writer for obs::Registry. Kept apart from
+// the deterministic JSON dump on purpose: a Prometheus scrape is a live,
+// wall-clock artifact, so it includes wall.* metrics and renders
+// durations in seconds the way Prometheus conventions expect.
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace turtle::obs {
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted names map
+/// dots (and anything else exotic) to underscores under a turtle_ prefix.
+std::string prometheus_name(std::string_view name) {
+  std::string out = "turtle_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const Registry& registry) {
+  for (const auto& [name, metric] : registry.counters()) {
+    const std::string pname = prometheus_name(name);
+    os << "# TYPE " << pname << " counter\n";
+    os << pname << " " << metric.value() << "\n";
+  }
+  for (const auto& [name, metric] : registry.gauges()) {
+    const std::string pname = prometheus_name(name);
+    os << "# TYPE " << pname << " gauge\n";
+    os << pname << " " << metric.value() << "\n";
+  }
+  for (const auto& [name, metric] : registry.histograms()) {
+    const std::string pname = prometheus_name(name);
+    os << "# TYPE " << pname << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < Histogram::kBucketBoundsUs.size(); ++i) {
+      cumulative += metric.bucket_count(i);
+      os << pname << "_bucket{le=\""
+         << json_fixed(static_cast<double>(Histogram::kBucketBoundsUs[i]) / 1e6, 6)
+         << "\"} " << cumulative << "\n";
+    }
+    os << pname << "_bucket{le=\"+Inf\"} " << metric.count() << "\n";
+    os << pname << "_sum " << json_fixed(static_cast<double>(metric.sum_us()) / 1e6, 6)
+       << "\n";
+    os << pname << "_count " << metric.count() << "\n";
+  }
+}
+
+}  // namespace turtle::obs

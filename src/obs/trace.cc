@@ -1,0 +1,60 @@
+#include "obs/trace.h"
+
+#include <ostream>
+
+#include "obs/json.h"
+#include "util/check.h"
+
+namespace turtle::obs {
+
+void TraceSink::instant(const char* name, const char* category, SimTime ts) {
+  events_.push_back(Event{name, category, 'i', 0, 0, ts.as_micros(), 0, 0});
+}
+
+void TraceSink::complete(const char* name, const char* category, SimTime start,
+                         SimTime end) {
+  TURTLE_DCHECK_GE(end, start) << "trace span '" << name << "' ends before it starts";
+  const std::int64_t dur = end < start ? 0 : (end - start).as_micros();
+  events_.push_back(Event{name, category, 'X', 0, 0, start.as_micros(), dur, 0});
+}
+
+void TraceSink::counter(const char* name, SimTime ts, std::int64_t value) {
+  events_.push_back(Event{name, "counter", 'C', 0, 0, ts.as_micros(), 0, value});
+}
+
+void TraceSink::span_wall(const char* name, const char* category, std::int64_t dur_us) {
+  if (dur_us < 0) dur_us = 0;
+  events_.push_back(Event{name, category, 'X', 1, 0, wall_cursor_us_, dur_us, 0});
+  wall_cursor_us_ += dur_us;
+}
+
+void TraceSink::merge_from(const TraceSink& other, std::int32_t tid) {
+  events_.reserve(events_.size() + other.events_.size());
+  for (Event event : other.events_) {
+    event.tid = tid;
+    events_.push_back(event);
+  }
+}
+
+void TraceSink::append(const TraceSink& other) {
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+}
+
+void TraceSink::write_chrome_json(std::ostream& os) const {
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  for (const Event& e : events_) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << " {\"name\": " << json_quote(e.name) << ", \"cat\": " << json_quote(e.category)
+       << ", \"ph\": \"" << e.phase << "\", \"pid\": " << e.pid << ", \"tid\": " << e.tid
+       << ", \"ts\": " << e.ts_us;
+    if (e.phase == 'X') os << ", \"dur\": " << e.dur_us;
+    if (e.phase == 'i') os << ", \"s\": \"t\"";
+    if (e.phase == 'C') os << ", \"args\": {\"value\": " << e.value << "}";
+    os << "}";
+  }
+  os << (first ? "" : "\n") << "]}\n";
+}
+
+}  // namespace turtle::obs

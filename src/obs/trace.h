@@ -1,0 +1,111 @@
+// Sim-time trace spans and instants, exported as Chrome trace-event JSON
+// (loadable in Perfetto / chrome://tracing via --trace-out).
+//
+// The simulator's clock is integer microseconds and the trace-event
+// format's `ts` field is microseconds, so simulated time maps onto the
+// trace timeline exactly: a probe that waited 47 s for its response shows
+// as a 47 s span. Recorded event kinds:
+//
+//   * complete spans ("X")  — probe lifecycle: sent -> matched / timeout
+//   * instants ("i")        — survey round starts, unmatched responses
+//   * counter samples ("C") — event-queue depth over simulated time
+//   * wall spans            — analysis-pipeline stages on a separate
+//                             process track (pid 1); durations are real,
+//                             placement is sequential, and nothing
+//                             wall-clock ever enters deterministic output
+//
+// Call sites go through TURTLE_TRACE(sink, call...), which follows the
+// TURTLE_DCHECK zero-cost discipline: with TURTLE_TRACE_DISABLED defined
+// (cmake -DTURTLE_TRACING=OFF) the arguments still parse but the whole
+// statement is dead code the optimizer removes entirely — asm-verified,
+// zero instructions at the call site. Enabled but with a null sink, the
+// cost is one predicted branch.
+//
+// Event names/categories must be string literals (or otherwise outlive
+// the sink): the sink stores the pointers, never copies.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace turtle::obs {
+
+/// Records trace events for one World/shard. Single-threaded, like the
+/// Registry; the ShardRunner merges per-shard sinks in shard order onto
+/// distinct tid tracks.
+class TraceSink {
+ public:
+  struct Event {
+    const char* name;
+    const char* category;
+    char phase;           ///< 'X' complete, 'i' instant, 'C' counter
+    std::int32_t pid;     ///< 0 = simulated time, 1 = analysis wall time
+    std::int32_t tid;     ///< shard index after a merge
+    std::int64_t ts_us;
+    std::int64_t dur_us;  ///< 'X' only
+    std::int64_t value;   ///< 'C' only
+  };
+
+  /// A point event at simulated time `ts` (thread-scoped).
+  void instant(const char* name, const char* category, SimTime ts);
+
+  /// A [start, end] span in simulated time. end < start is a logic error
+  /// (DCHECK) and clamps to a zero-length span in release.
+  void complete(const char* name, const char* category, SimTime start, SimTime end);
+
+  /// A counter-track sample ("C"), e.g. event-queue depth over sim time.
+  void counter(const char* name, SimTime ts, std::int64_t value);
+
+  /// A wall-clock span on the separate analysis track (pid 1). Spans are
+  /// placed sequentially from 0 so the track shows honest durations
+  /// without mixing wall timestamps into the simulated timeline.
+  void span_wall(const char* name, const char* category, std::int64_t dur_us);
+
+  /// Appends `other`'s events re-tagged with thread id `tid` (shard-
+  /// ordered merge; tracks stay distinguishable in the viewer).
+  void merge_from(const TraceSink& other, std::int32_t tid);
+
+  /// Appends `other`'s events verbatim (report-level aggregation).
+  void append(const TraceSink& other);
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+
+  /// Chrome trace-event JSON: {"traceEvents": [...]}.
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  std::vector<Event> events_;
+  std::int64_t wall_cursor_us_ = 0;
+};
+
+}  // namespace turtle::obs
+
+#if !defined(TURTLE_TRACE_DISABLED)
+#define TURTLE_TRACE_ENABLED 1
+#else
+#define TURTLE_TRACE_ENABLED 0
+#endif
+
+// TURTLE_TRACE(sink_ptr, instant("probe.sent", "survey", now));
+// Null-safe: does nothing when sink_ptr is null. Compiled out entirely
+// (arguments parsed, never evaluated) when tracing is disabled.
+#if TURTLE_TRACE_ENABLED
+#define TURTLE_TRACE(sink, ...)                                          \
+  do {                                                                   \
+    if (::turtle::obs::TraceSink* turtle_trace_sink_ = (sink))           \
+      turtle_trace_sink_->__VA_ARGS__;                                   \
+  } while (false)
+#else
+#define TURTLE_TRACE(sink, ...)                                          \
+  do {                                                                   \
+    if (false) {                                                         \
+      ::turtle::obs::TraceSink* turtle_trace_sink_ = (sink);             \
+      turtle_trace_sink_->__VA_ARGS__;                                   \
+    }                                                                    \
+  } while (false)
+#endif

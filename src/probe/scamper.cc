@@ -4,8 +4,18 @@
 
 namespace turtle::probe {
 
-ScamperProber::ScamperProber(sim::Simulator& sim, sim::Network& net, net::Ipv4Address vantage)
-    : sim_{sim}, net_{net}, vantage_{vantage} {}
+ScamperProber::ScamperProber(sim::Simulator& sim, sim::Network& net,
+                             net::Ipv4Address vantage, obs::Registry* registry,
+                             obs::TraceSink* trace)
+    : sim_{sim},
+      net_{net},
+      vantage_{vantage},
+      probes_sent_{registry ? &registry->counter("scamper.probes_sent")
+                            : &fallback_sent_},
+      responses_received_{registry ? &registry->counter("scamper.responses_received")
+                                   : &fallback_responses_},
+      rtt_{registry ? &registry->histogram("scamper.rtt") : &fallback_rtt_},
+      trace_{trace} {}
 
 void ScamperProber::ping(net::Ipv4Address target, int count, SimTime interval,
                          ProbeProtocol protocol, SimTime start) {
@@ -68,7 +78,7 @@ void ScamperProber::send_probe(net::Ipv4Address target, ProbeProtocol protocol) 
     }
   }
 
-  ++probes_sent_;
+  probes_sent_->inc();
   net_.send(packet);
 }
 
@@ -109,7 +119,7 @@ void ScamperProber::deliver(const net::Packet& packet, std::uint32_t copies) {
 
 void ScamperProber::note_response(net::Ipv4Address src, std::uint32_t token, std::uint8_t ttl,
                                   std::uint32_t copies) {
-  responses_received_ += copies;
+  responses_received_->inc(copies);
   const auto target_it = targets_.find(src.value());
   if (target_it == targets_.end()) return;
   TargetState& state = target_it->second;
@@ -121,6 +131,9 @@ void ScamperProber::note_response(net::Ipv4Address src, std::uint32_t token, std
     probe.reply_time = sim_.now();
     probe.reply_ttl = ttl;
     probe.duplicate_responses += copies - 1;
+    rtt_->observe(sim_.now() - probe.send_time);
+    TURTLE_TRACE(trace_,
+                 complete("probe.matched", "scamper", probe.send_time, sim_.now()));
   } else {
     probe.duplicate_responses += copies;
   }

@@ -23,6 +23,8 @@
 #include "net/ipv4.h"
 #include "net/tcp.h"
 #include "net/udp.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "util/sim_time.h"
@@ -56,7 +58,11 @@ class ScamperProber : public sim::PacketSink {
   /// tcpdump-capture configuration.
   static constexpr SimTime kIndefinite = SimTime::micros(std::numeric_limits<std::int64_t>::max() / 4);
 
-  ScamperProber(sim::Simulator& sim, sim::Network& net, net::Ipv4Address vantage);
+  /// `registry` adds "scamper.*" counters and the "scamper.rtt" histogram
+  /// of first-response RTTs; `trace` adds one span per first response.
+  /// Both optional.
+  ScamperProber(sim::Simulator& sim, sim::Network& net, net::Ipv4Address vantage,
+                obs::Registry* registry = nullptr, obs::TraceSink* trace = nullptr);
 
   /// Schedules a stream of `count` probes to `target`, one every
   /// `interval`, starting at absolute time `start`.
@@ -75,8 +81,10 @@ class ScamperProber : public sim::PacketSink {
   [[nodiscard]] std::vector<net::Ipv4Address> responsive_targets(
       SimTime timeout = kIndefinite) const;
 
-  [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
-  [[nodiscard]] std::uint64_t responses_received() const { return responses_received_; }
+  [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_->value(); }
+  [[nodiscard]] std::uint64_t responses_received() const {
+    return responses_received_->value();
+  }
 
  private:
   struct SentProbe {
@@ -105,8 +113,14 @@ class ScamperProber : public sim::PacketSink {
 
   std::unordered_map<std::uint32_t, TargetState> targets_;
   std::uint32_t next_token_ = 1;
-  std::uint64_t probes_sent_ = 0;
-  std::uint64_t responses_received_ = 0;
+
+  obs::Counter fallback_sent_;
+  obs::Counter fallback_responses_;
+  obs::Histogram fallback_rtt_;
+  obs::Counter* probes_sent_;          ///< "scamper.probes_sent"
+  obs::Counter* responses_received_;   ///< "scamper.responses_received"
+  obs::Histogram* rtt_;                ///< "scamper.rtt" (first responses)
+  obs::TraceSink* trace_;
 };
 
 }  // namespace turtle::probe

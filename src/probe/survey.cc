@@ -6,7 +6,28 @@ namespace turtle::probe {
 
 SurveyProber::SurveyProber(sim::Simulator& sim, sim::Network& net, SurveyConfig config,
                            std::vector<net::Prefix24> blocks, util::Prng rng)
-    : sim_{sim}, net_{net}, config_{config}, blocks_{std::move(blocks)}, rng_{rng} {
+    : sim_{sim},
+      net_{net},
+      config_{config},
+      blocks_{std::move(blocks)},
+      rng_{rng},
+      probes_sent_{config.registry ? &config.registry->counter("survey.probes_sent")
+                                   : &fallback_sent_},
+      responses_received_{config.registry
+                              ? &config.registry->counter("survey.responses_received")
+                              : &fallback_responses_},
+      matched_{config.registry ? &config.registry->counter("survey.matched")
+                               : &fallback_matched_},
+      timeouts_{config.registry ? &config.registry->counter("survey.timeouts")
+                                : &fallback_timeouts_},
+      unmatched_packets_{config.registry
+                             ? &config.registry->counter("survey.unmatched_packets")
+                             : &fallback_unmatched_},
+      errors_{config.registry ? &config.registry->counter("survey.errors")
+                              : &fallback_errors_},
+      rtt_{config.registry ? &config.registry->histogram("survey.rtt")
+                           : &fallback_rtt_},
+      trace_{config.trace} {
   TURTLE_CHECK_GT(config_.rounds, 0);
   TURTLE_CHECK_GT(config_.round_interval, SimTime{});
   TURTLE_CHECK_GT(config_.match_timeout, SimTime{});
@@ -41,6 +62,11 @@ void SurveyProber::probe_slot(std::size_t block_index, int round, int slot) {
   const net::Ipv4Address target = blocks_[block_index].address(octet);
   const SimTime now = sim_.now();
 
+  // One round marker per round, from the first block's first slot; the
+  // round boundaries frame every probe span in the trace timeline.
+  TURTLE_TRACE(block_index == 0 && slot == 0 ? trace_ : nullptr,
+               instant("survey.round", "survey", now));
+
   net::IcmpMessage echo;
   echo.type = net::IcmpType::kEchoRequest;
   echo.id = config_.icmp_id;
@@ -55,7 +81,7 @@ void SurveyProber::probe_slot(std::size_t block_index, int round, int slot) {
   // Source-address-only matching: one outstanding probe per target.
   outstanding_[target.value()] =
       Outstanding{now, static_cast<std::uint32_t>(round)};
-  ++probes_sent_;
+  probes_sent_->inc();
   net_.send(packet);
 
   // Timer: if the probe is still outstanding when it fires, the probe is
@@ -67,6 +93,8 @@ void SurveyProber::probe_slot(std::size_t block_index, int round, int slot) {
     const auto it = outstanding_.find(target.value());
     if (it == outstanding_.end() || it->second.send_time != sent_at) return;
     outstanding_.erase(it);
+    timeouts_->inc();
+    TURTLE_TRACE(trace_, complete("probe.timeout", "survey", sent_at, sim_.now()));
     SurveyRecord rec;
     rec.type = RecordType::kTimeout;
     rec.address = target;
@@ -95,7 +123,7 @@ void SurveyProber::deliver(const net::Packet& packet, std::uint32_t copies) {
   if (!msg.has_value()) return;
 
   if (msg->is_echo_reply()) {
-    responses_received_ += copies;
+    responses_received_->inc(copies);
     handle_echo_reply(packet, copies);
     return;
   }
@@ -114,6 +142,7 @@ void SurveyProber::deliver(const net::Packet& packet, std::uint32_t copies) {
     rec.round = it->second.round;
     log_.append(rec);
     outstanding_.erase(it);
+    errors_->inc();
   }
 }
 
@@ -134,6 +163,9 @@ void SurveyProber::handle_echo_reply(const net::Packet& packet, std::uint32_t co
     rec.round = it->second.round;
     log_.append(rec);
     outstanding_.erase(it);
+    matched_->inc();
+    rtt_->observe(rec.rtt);
+    TURTLE_TRACE(trace_, complete("probe.matched", "survey", rec.probe_time, sim_.now()));
     if (copies > 1) record_unmatched(src, copies - 1);
     return;
   }
@@ -141,6 +173,8 @@ void SurveyProber::handle_echo_reply(const net::Packet& packet, std::uint32_t co
 }
 
 void SurveyProber::record_unmatched(net::Ipv4Address src, std::uint32_t copies) {
+  unmatched_packets_->inc(copies);
+  TURTLE_TRACE(trace_, instant("response.unmatched", "survey", sim_.now()));
   const std::int64_t second = sim_.now().truncate_to_seconds().as_micros();
   const auto it = last_unmatched_.find(src.value());
   if (it != last_unmatched_.end() && it->second.second == second) {

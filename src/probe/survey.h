@@ -19,6 +19,8 @@
 
 #include "net/icmp.h"
 #include "net/ipv4.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "probe/records.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -32,6 +34,12 @@ struct SurveyConfig {
   SimTime match_timeout = SimTime::seconds(3);
   int rounds = 20;
   std::uint16_t icmp_id = 0x5153;
+  /// Optional metrics sink ("survey.*" counters and the "survey.rtt"
+  /// matched-RTT histogram). Usually the owning World's registry.
+  obs::Registry* registry = nullptr;
+  /// Optional trace sink: probe lifecycle spans (matched / timed-out) and
+  /// per-round instants, all on the simulated clock.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Runs one survey. Construct, `start()`, then run the simulator; the
@@ -51,16 +59,18 @@ class SurveyProber : public sim::PacketSink {
   void deliver(const net::Packet& packet, std::uint32_t copies) override;
 
   [[nodiscard]] const RecordLog& log() const { return log_; }
-  [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
+  [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_->value(); }
   /// Echo replies received, including duplicates and broadcast responses.
-  [[nodiscard]] std::uint64_t responses_received() const { return responses_received_; }
+  [[nodiscard]] std::uint64_t responses_received() const {
+    return responses_received_->value();
+  }
   /// Fraction of probes matched within the timeout — the "response rate"
   /// the paper reports per survey (Figure 9's bottom panel), immune to
   /// duplicate floods inflating the raw response count.
   [[nodiscard]] double match_rate() const {
-    return probes_sent_ ? static_cast<double>(log_.count_of(RecordType::kMatched)) /
-                              static_cast<double>(probes_sent_)
-                        : 0.0;
+    return probes_sent() ? static_cast<double>(log_.count_of(RecordType::kMatched)) /
+                               static_cast<double>(probes_sent())
+                         : 0.0;
   }
 
  private:
@@ -94,8 +104,24 @@ class SurveyProber : public sim::PacketSink {
   std::unordered_map<std::uint32_t, Outstanding> outstanding_;
   std::unordered_map<std::uint32_t, UnmatchedSlot> last_unmatched_;
   RecordLog log_;
-  std::uint64_t probes_sent_ = 0;
-  std::uint64_t responses_received_ = 0;
+
+  // Registry-backed counters with private fallbacks so the hot paths never
+  // branch on "is a registry attached".
+  obs::Counter fallback_sent_;
+  obs::Counter fallback_responses_;
+  obs::Counter fallback_matched_;
+  obs::Counter fallback_timeouts_;
+  obs::Counter fallback_unmatched_;
+  obs::Counter fallback_errors_;
+  obs::Histogram fallback_rtt_;
+  obs::Counter* probes_sent_;         ///< "survey.probes_sent"
+  obs::Counter* responses_received_;  ///< "survey.responses_received"
+  obs::Counter* matched_;             ///< "survey.matched"
+  obs::Counter* timeouts_;            ///< "survey.timeouts"
+  obs::Counter* unmatched_packets_;   ///< "survey.unmatched_packets"
+  obs::Counter* errors_;              ///< "survey.errors"
+  obs::Histogram* rtt_;               ///< "survey.rtt" (matched only)
+  obs::TraceSink* trace_;
 };
 
 }  // namespace turtle::probe

@@ -5,7 +5,18 @@
 namespace turtle::probe {
 
 ZmapScanner::ZmapScanner(sim::Simulator& sim, sim::Network& net, ZmapConfig config)
-    : sim_{sim}, net_{net}, config_{config} {}
+    : sim_{sim},
+      net_{net},
+      config_{config},
+      probes_sent_{config.registry ? &config.registry->counter("zmap.probes_sent")
+                                   : &fallback_sent_},
+      responses_received_{config.registry ? &config.registry->counter("zmap.responses")
+                                          : &fallback_responses_},
+      address_mismatch_{config.registry
+                            ? &config.registry->counter("zmap.address_mismatch")
+                            : &fallback_mismatch_},
+      rtt_{config.registry ? &config.registry->histogram("zmap.rtt") : &fallback_rtt_},
+      trace_{config.trace} {}
 
 void ZmapScanner::start(const std::vector<net::Prefix24>& blocks) {
   blocks_ = blocks;
@@ -58,7 +69,7 @@ void ZmapScanner::probe_index(std::uint64_t index) {
   packet.protocol = net::Protocol::kIcmp;
   packet.payload = net::serialize_icmp(echo);
 
-  ++probes_sent_;
+  probes_sent_->inc();
   net_.send(packet);
 }
 
@@ -75,6 +86,10 @@ void ZmapScanner::deliver(const net::Packet& packet, std::uint32_t copies) {
   r.probed_dst = tp->probed_destination;
   r.recv_time = sim_.now();
   r.rtt = sim_.now() - tp->send_time;
+  responses_received_->inc(copies);
+  if (r.address_mismatch()) address_mismatch_->inc(copies);
+  rtt_->observe(r.rtt);
+  TURTLE_TRACE(trace_, complete("probe.matched", "zmap", tp->send_time, sim_.now()));
   // Duplicates carry the same payload; record each copy like the real
   // (stateless) receiver would, but cap the expansion per delivery so a
   // DoS flood cannot balloon the result vector.

@@ -14,6 +14,8 @@
 
 #include "net/icmp.h"
 #include "net/ipv4.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "util/sim_time.h"
@@ -31,6 +33,12 @@ struct ZmapConfig {
   int batch_size = 64;
   /// Permutation seed (Zmap randomizes target order).
   std::uint64_t permutation_seed = 1;
+  /// Optional metrics sink ("zmap.*" counters and the "zmap.rtt"
+  /// histogram of stateless-matched RTTs).
+  obs::Registry* registry = nullptr;
+  /// Optional trace sink: one span per matched response (send → receive,
+  /// from the timing payload) on the simulated clock.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// One received echo response, as the scanner's output row.
@@ -58,7 +66,7 @@ class ZmapScanner : public sim::PacketSink {
   void deliver(const net::Packet& packet, std::uint32_t copies) override;
 
   [[nodiscard]] const std::vector<ZmapResponse>& responses() const { return responses_; }
-  [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
+  [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_->value(); }
 
  private:
   void send_batch(std::uint64_t start_index);
@@ -74,7 +82,16 @@ class ZmapScanner : public sim::PacketSink {
   SimTime batch_gap_;
 
   std::vector<ZmapResponse> responses_;
-  std::uint64_t probes_sent_ = 0;
+
+  obs::Counter fallback_sent_;
+  obs::Counter fallback_responses_;
+  obs::Counter fallback_mismatch_;
+  obs::Histogram fallback_rtt_;
+  obs::Counter* probes_sent_;          ///< "zmap.probes_sent"
+  obs::Counter* responses_received_;   ///< "zmap.responses"
+  obs::Counter* address_mismatch_;     ///< "zmap.address_mismatch"
+  obs::Histogram* rtt_;              ///< "zmap.rtt"
+  obs::TraceSink* trace_;
 };
 
 }  // namespace turtle::probe

@@ -25,6 +25,7 @@ void EventQueue::push(SimTime t, Callback cb) {
   const Entry entry{t, next_seq_++, slot};
   std::size_t i = heap_.size();
   heap_.emplace_back();  // hole at the end
+  if (heap_.size() > high_water_) high_water_ = heap_.size();
   while (i > 0) {
     const std::size_t parent = (i - 1) / kArity;
     if (!earlier(entry, heap_[parent])) break;

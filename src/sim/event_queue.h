@@ -41,6 +41,10 @@ class EventQueue {
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
+  /// Most events ever pending at once — the queue-depth high-water mark.
+  /// The Simulator exports it as the "sim.queue_high_water" gauge.
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+
   /// Timestamp of the next event. Precondition: !empty().
   [[nodiscard]] SimTime next_time() const {
     TURTLE_DCHECK(!heap_.empty()) << "next_time() on an empty EventQueue";
@@ -69,6 +73,7 @@ class EventQueue {
   std::vector<Callback> callbacks_;        ///< slab indexed by Entry::slot
   std::vector<std::uint32_t> free_slots_;  ///< slab indices ready for reuse
   std::uint64_t next_seq_ = 0;
+  std::size_t high_water_ = 0;
 };
 
 }  // namespace turtle::sim

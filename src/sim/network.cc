@@ -8,7 +8,18 @@
 namespace turtle::sim {
 
 Network::Network(Simulator& sim, Config config, util::Prng rng)
-    : sim_{sim}, config_{config}, rng_{rng} {
+    : sim_{sim},
+      config_{config},
+      rng_{rng},
+      packets_sent_{config.registry ? &config.registry->counter("net.packets_sent")
+                                    : &fallback_sent_},
+      packets_dropped_{config.registry ? &config.registry->counter("net.packets_dropped")
+                                       : &fallback_dropped_},
+      packets_delivered_{config.registry
+                             ? &config.registry->counter("net.packets_delivered")
+                             : &fallback_delivered_},
+      transit_delay_{config.registry ? &config.registry->histogram("net.transit_delay")
+                                     : &fallback_transit_delay_} {
   TURTLE_CHECK(!config_.transit_base.is_negative())
       << "negative transit delay " << config_.transit_base;
   TURTLE_CHECK_GE(config_.core_loss, 0.0);
@@ -25,7 +36,7 @@ void Network::attach_endpoint(net::Ipv4Address addr, PacketSink* sink) {
 
 void Network::send(const net::Packet& packet, std::uint32_t copies) {
   TURTLE_DCHECK_GT(copies, 0u) << "send of an empty packet batch";
-  packets_sent_ += copies;
+  packets_sent_->inc(copies);
 
   PacketSink* sink = nullptr;
   if (const auto it = endpoints_.find(packet.dst.value()); it != endpoints_.end()) {
@@ -34,7 +45,7 @@ void Network::send(const net::Packet& packet, std::uint32_t copies) {
     sink = host_resolver_->resolve(packet);
   }
   if (sink == nullptr) {
-    packets_dropped_ += copies;
+    packets_dropped_->inc(copies);
     return;
   }
 
@@ -51,16 +62,17 @@ void Network::send(const net::Packet& packet, std::uint32_t copies) {
     }
   }
   if (surviving == 0) {
-    packets_dropped_ += copies;
+    packets_dropped_->inc(copies);
     return;
   }
   TURTLE_DCHECK_LE(surviving, copies) << "loss thinning grew the batch";
-  packets_dropped_ += copies - surviving;
+  packets_dropped_->inc(copies - surviving);
 
   const double jitter = std::exp(config_.transit_jitter_sigma * rng_.normal());
   const SimTime transit = SimTime::from_seconds(config_.transit_base.as_seconds() * jitter);
 
-  packets_delivered_ += surviving;
+  transit_delay_->observe(transit);
+  packets_delivered_->inc(surviving);
   sim_.schedule_after(transit, [sink, packet, surviving] { sink->deliver(packet, surviving); });
 }
 

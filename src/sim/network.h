@@ -11,6 +11,7 @@
 #include <map>
 
 #include "net/packet.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "util/prng.h"
 #include "util/sim_time.h"
@@ -51,6 +52,11 @@ class Network {
     double transit_jitter_sigma = 0.15;
     /// Per-leg loss probability in the core (access loss is the host's).
     double core_loss = 0.002;
+    /// Optional metrics sink ("net.packets_*" counters plus the
+    /// "net.transit_delay" per-leg delay histogram). Usually the owning
+    /// World's registry; private counters keep the accessors working
+    /// when absent.
+    obs::Registry* registry = nullptr;
   };
 
   Network(Simulator& sim, Config config, util::Prng rng);
@@ -68,10 +74,13 @@ class Network {
   /// or dropped (loss / unresolvable destination).
   void send(const net::Packet& packet, std::uint32_t copies = 1);
 
-  /// Counters for sanity checks and the response-rate plots.
-  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
-  [[nodiscard]] std::uint64_t packets_dropped() const { return packets_dropped_; }
-  [[nodiscard]] std::uint64_t packets_delivered() const { return packets_delivered_; }
+  /// Counters for sanity checks and the response-rate plots. Thin shims
+  /// over the registry metrics.
+  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_->value(); }
+  [[nodiscard]] std::uint64_t packets_dropped() const { return packets_dropped_->value(); }
+  [[nodiscard]] std::uint64_t packets_delivered() const {
+    return packets_delivered_->value();
+  }
 
   [[nodiscard]] Simulator& simulator() { return sim_; }
 
@@ -82,9 +91,14 @@ class Network {
   AddressResolver* host_resolver_ = nullptr;
   std::map<std::uint32_t, PacketSink*> endpoints_;
 
-  std::uint64_t packets_sent_ = 0;
-  std::uint64_t packets_dropped_ = 0;
-  std::uint64_t packets_delivered_ = 0;
+  obs::Counter fallback_sent_;
+  obs::Counter fallback_dropped_;
+  obs::Counter fallback_delivered_;
+  obs::Histogram fallback_transit_delay_;
+  obs::Counter* packets_sent_;         ///< "net.packets_sent"
+  obs::Counter* packets_dropped_;      ///< "net.packets_dropped"
+  obs::Counter* packets_delivered_;    ///< "net.packets_delivered"
+  obs::Histogram* transit_delay_;      ///< "net.transit_delay"
 };
 
 }  // namespace turtle::sim

@@ -18,6 +18,19 @@ void ShardRunner::run_indexed(std::size_t n,
   const std::size_t workers =
       std::min<std::size_t>(static_cast<std::size_t>(jobs_), n);
   util::ThreadPool pool{workers};
+
+  // Wall-clock pool observability. The per-task histogram is fed from the
+  // observer hook (serialized under the pool mutex); everything lands
+  // under "wall.*" names, which Registry::write_json excludes from the
+  // deterministic dump — pool timing depends on machine load and --jobs,
+  // so it must never reach byte-compared output.
+  obs::Histogram* task_duration = nullptr;
+  if (options_.metrics != nullptr) {
+    task_duration = &options_.metrics->histogram("wall.pool.task_duration");
+    pool.set_task_observer(
+        [task_duration](std::int64_t task_us) { task_duration->observe_us(task_us); });
+  }
+
   std::mutex mutex;
   std::condition_variable all_done;
   std::size_t remaining = n;
@@ -30,6 +43,16 @@ void ShardRunner::run_indexed(std::size_t n,
   }
   std::unique_lock<std::mutex> lock{mutex};
   all_done.wait(lock, [&] { return remaining == 0; });
+
+  if (options_.metrics != nullptr) {
+    const util::ThreadPool::Stats stats = pool.stats();
+    options_.metrics->counter("wall.pool.tasks_submitted")
+        .inc(stats.tasks_submitted);
+    options_.metrics->counter("wall.pool.tasks_run").inc(stats.tasks_run);
+    options_.metrics->gauge("wall.pool.threads")
+        .set_max(static_cast<std::int64_t>(pool.num_threads()));
+    options_.metrics->gauge("wall.pool.max_task_us").set_max(stats.max_task_us);
+  }
 }
 
 }  // namespace turtle::sim

@@ -27,11 +27,14 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/prng.h"
 
@@ -43,15 +46,30 @@ struct ShardOptions {
   int jobs = 0;
   /// Master seed; shard i receives Prng{seed}.fork(i).
   std::uint64_t seed = 1;
+  /// When set, every shard gets a private obs::Registry (via its
+  /// ShardContext) and the runner merges them into this one in shard
+  /// order after all shards finish — counters sum, gauges max,
+  /// histograms add element-wise, all commutative, so the merged registry
+  /// is byte-identical for --jobs 1 and --jobs N. Thread-pool wall-clock
+  /// stats land here too, under "wall.*" names that the deterministic
+  /// dump excludes.
+  obs::Registry* metrics = nullptr;
+  /// When set, every shard gets a private obs::TraceSink, merged here in
+  /// shard order with tid = shard index (one named track per shard).
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Per-shard inputs. `rng` is this shard's private generator; drawing a
 /// world seed from it (`rng.next_u64()`) or forking sub-streams are both
-/// deterministic and independent of every other shard.
+/// deterministic and independent of every other shard. `registry` and
+/// `trace` are this shard's private sinks (non-null exactly when the
+/// matching ShardOptions field is set); pass them into the shard's World.
 struct ShardContext {
   std::size_t shard_index = 0;
   std::size_t num_shards = 0;
   util::Prng rng{0};
+  obs::Registry* registry = nullptr;
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Runs N independent shard tasks over at most `jobs` threads and returns
@@ -91,9 +109,20 @@ auto ShardRunner::run(std::size_t num_shards, Fn&& fn)
   // master generator is never touched concurrently.
   const util::Prng master{options_.seed};
   std::vector<ShardContext> contexts;
+  std::vector<std::unique_ptr<obs::Registry>> shard_metrics;
+  std::vector<std::unique_ptr<obs::TraceSink>> shard_traces;
   contexts.reserve(num_shards);
   for (std::size_t i = 0; i < num_shards; ++i) {
-    contexts.push_back(ShardContext{i, num_shards, master.fork(i)});
+    ShardContext context{i, num_shards, master.fork(i)};
+    if (options_.metrics != nullptr) {
+      shard_metrics.push_back(std::make_unique<obs::Registry>());
+      context.registry = shard_metrics.back().get();
+    }
+    if (options_.trace != nullptr) {
+      shard_traces.push_back(std::make_unique<obs::TraceSink>());
+      context.trace = shard_traces.back().get();
+    }
+    contexts.push_back(std::move(context));
   }
 
   std::vector<std::optional<Result>> slots(num_shards);
@@ -113,6 +142,15 @@ auto ShardRunner::run(std::size_t num_shards, Fn&& fn)
     });
     for (auto& error : errors) {
       if (error) std::rethrow_exception(error);
+    }
+  }
+
+  // Shard-ordered merge on the calling thread: the one place the
+  // per-shard observability streams join the deterministic output.
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    if (options_.metrics != nullptr) options_.metrics->merge_from(*shard_metrics[i]);
+    if (options_.trace != nullptr) {
+      options_.trace->merge_from(*shard_traces[i], static_cast<std::int32_t>(i));
     }
   }
 

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <iosfwd>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "util/check.h"
 #include "util/sim_time.h"
@@ -31,7 +33,14 @@ class Simulator : public util::CheckContext {
   /// that need a copyable handle (e.g. self-rescheduling chains).
   using Callback = EventQueue::Callback;
 
-  Simulator() = default;
+  /// `registry` (usually the owning World's) receives the engine metrics:
+  /// "sim.events_processed", "sim.event_times" (distinct timestamps, so
+  /// callbacks-per-event-time is derivable), and the "sim.queue_high_water"
+  /// gauge. Without a registry the same counters are kept privately so the
+  /// accessors below still work. `trace`, when set, receives periodic
+  /// event-queue depth samples on the "sim.queue_depth" counter track.
+  explicit Simulator(obs::Registry* registry = nullptr, obs::TraceSink* trace = nullptr);
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -57,8 +66,9 @@ class Simulator : public util::CheckContext {
   /// Processes a single event; returns false when the queue is empty.
   bool step();
 
-  /// Total events processed so far (for microbenchmarks and sanity checks).
-  [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
+  /// Total events processed so far. Thin shim over the registry counter
+  /// (the metric is the source of truth since the obs layer landed).
+  [[nodiscard]] std::uint64_t events_processed() const { return events_->value(); }
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
@@ -66,9 +76,19 @@ class Simulator : public util::CheckContext {
   void describe_check_context(std::ostream& os) const override;
 
  private:
+  /// Copies the queue's high-water mark into the registry gauge. Called
+  /// from run()/run_until() and the destructor rather than per push, so
+  /// the scheduling hot path pays only the queue's own size compare.
+  void sync_queue_metrics();
+
   EventQueue queue_;
   SimTime now_;
-  std::uint64_t events_processed_ = 0;
+  obs::Counter fallback_events_;
+  obs::Counter fallback_event_times_;
+  obs::Counter* events_;            ///< "sim.events_processed"
+  obs::Counter* event_times_;       ///< "sim.event_times"
+  obs::Gauge* queue_high_water_;    ///< "sim.queue_high_water" (null w/o registry)
+  obs::TraceSink* trace_;
   util::ScopedCheckContext check_context_{this};
 };
 

@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <chrono>
 #include <utility>
 
 #include "util/check.h"
@@ -29,8 +30,21 @@ void ThreadPool::submit(std::function<void()> task) {
     const std::lock_guard<std::mutex> lock{mutex_};
     TURTLE_CHECK(!stopping_) << "submit() on a stopping ThreadPool";
     tasks_.push_back(std::move(task));
+    ++stats_.tasks_submitted;
   }
   task_ready_.notify_one();
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return stats_;
+}
+
+void ThreadPool::set_task_observer(std::function<void(std::int64_t)> observer) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  TURTLE_CHECK(stats_.tasks_submitted == 0)
+      << "task observer installed after tasks were submitted";
+  task_observer_ = std::move(observer);
 }
 
 void ThreadPool::worker_loop() {
@@ -43,7 +57,18 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
+    const auto start = std::chrono::steady_clock::now();
     task();
+    const auto task_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      ++stats_.tasks_run;
+      stats_.busy_us += task_us;
+      if (task_us > stats_.max_task_us) stats_.max_task_us = task_us;
+      if (task_observer_) task_observer_(task_us);
+    }
   }
 }
 

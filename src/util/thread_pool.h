@@ -10,6 +10,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -22,6 +23,17 @@ namespace turtle::util {
 /// finishes every task already submitted, then joins the workers.
 class ThreadPool {
  public:
+  /// Wall-clock observability counters. Everything here is measured in
+  /// real time and therefore NON-deterministic: consumers (the
+  /// ShardRunner) export it under "wall.*" metric names, which the
+  /// deterministic registry dump excludes by design.
+  struct Stats {
+    std::uint64_t tasks_submitted = 0;
+    std::uint64_t tasks_run = 0;
+    std::int64_t busy_us = 0;      ///< summed wall time inside tasks
+    std::int64_t max_task_us = 0;  ///< longest single task
+  };
+
   /// Spawns `num_threads` workers (at least one).
   explicit ThreadPool(std::size_t num_threads);
   ~ThreadPool();
@@ -34,6 +46,15 @@ class ThreadPool {
   /// ShardRunner stores them per shard and rethrows after the join).
   void submit(std::function<void()> task);
 
+  /// Snapshot of the wall-clock stats (thread-safe).
+  [[nodiscard]] Stats stats() const;
+
+  /// Observability hook: invoked after each task completes with its
+  /// wall-clock duration in microseconds. Called from worker threads
+  /// under the pool's mutex, so observers are serialized but must stay
+  /// cheap (a histogram observe, not I/O). Set before submitting.
+  void set_task_observer(std::function<void(std::int64_t task_us)> observer);
+
   [[nodiscard]] std::size_t num_threads() const { return threads_.size(); }
 
   /// std::thread::hardware_concurrency(), but never zero.
@@ -44,9 +65,11 @@ class ThreadPool {
 
   std::vector<std::thread> threads_;
   std::deque<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable task_ready_;
   bool stopping_ = false;
+  Stats stats_;
+  std::function<void(std::int64_t)> task_observer_;
 };
 
 }  // namespace turtle::util

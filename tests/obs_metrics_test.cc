@@ -1,0 +1,204 @@
+// Tests for the obs metrics layer: counter/gauge/histogram semantics,
+// the 5 s bucket edge the paper's timeout argument hinges on, merge
+// associativity (the property that makes shard-order merges --jobs
+// independent), JSON/Prometheus output, and the wall.* exclusion rule.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace turtle::obs {
+namespace {
+
+TEST(Counter, IncAndMergeSum) {
+  Counter a;
+  Counter b;
+  a.inc();
+  a.inc(41);
+  b.inc(100);
+  EXPECT_EQ(a.value(), 42u);
+  a.merge_from(b);
+  EXPECT_EQ(a.value(), 142u);
+}
+
+TEST(Gauge, MergeTakesMax) {
+  Gauge a;
+  Gauge b;
+  a.set(10);
+  a.set_max(7);  // lower: ignored
+  EXPECT_EQ(a.value(), 10);
+  b.set(25);
+  a.merge_from(b);
+  EXPECT_EQ(a.value(), 25);
+  b.merge_from(a);  // commutative endpoint
+  EXPECT_EQ(b.value(), 25);
+}
+
+// Index of the bucket whose bound is `bound_us` in kBucketBoundsUs.
+std::size_t bucket_index(std::int64_t bound_us) {
+  for (std::size_t i = 0; i < Histogram::kBucketBoundsUs.size(); ++i) {
+    if (Histogram::kBucketBoundsUs[i] == bound_us) return i;
+  }
+  ADD_FAILURE() << bound_us << " is not a bucket bound";
+  return 0;
+}
+
+TEST(Histogram, LeSemanticsAtBucketEdges) {
+  Histogram h;
+  h.observe_us(0);  // below the first bound
+  h.observe_us(1);  // exactly the first bound: le => bucket 0
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  h.observe_us(2);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum_us(), 3);
+}
+
+TEST(Histogram, FiveSecondEdgeIsFirstClass) {
+  // The paper's central number: a 5 s timeout captures ~95% of pings from
+  // ~95% of addresses. 5 s must be an exact bucket boundary so "within
+  // the timeout" vs "would have been discarded" is a clean split.
+  const std::size_t five_s = bucket_index(5'000'000);
+  Histogram h;
+  h.observe(SimTime::seconds(5));  // exactly 5 s: le => the 5 s bucket
+  EXPECT_EQ(h.bucket_count(five_s), 1u);
+  h.observe_us(5'000'001);  // one microsecond later: next bucket
+  EXPECT_EQ(h.bucket_count(five_s), 1u);
+  EXPECT_EQ(h.bucket_count(five_s + 1), 1u);
+}
+
+TEST(Histogram, OverflowBucketBeyond120s) {
+  Histogram h;
+  h.observe(SimTime::seconds(120));  // exactly the last bound
+  EXPECT_EQ(h.bucket_count(Histogram::kNumBuckets - 2), 1u);
+  h.observe(SimTime::seconds(121));
+  h.observe(SimTime::hours(2));
+  EXPECT_EQ(h.bucket_count(Histogram::kNumBuckets - 1), 2u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, MergeIsElementwiseSum) {
+  Histogram a;
+  Histogram b;
+  a.observe_us(3);
+  b.observe_us(3);
+  b.observe_us(7'000'000);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum_us(), 3 + 3 + 7'000'000);
+  EXPECT_EQ(a.bucket_count(bucket_index(5)), 2u);
+  EXPECT_EQ(a.bucket_count(bucket_index(10'000'000)), 1u);
+}
+
+void fill(Registry& r, std::uint64_t c, std::int64_t g, std::int64_t us) {
+  r.counter("c").inc(c);
+  r.gauge("g").set_max(g);
+  r.histogram("h").observe_us(us);
+}
+
+TEST(Registry, MergeIsAssociativeAndCommutative) {
+  // (a + b) + c == a + (b + c) and a + b == b + a, compared via the
+  // canonical JSON dump. This is the exact property the ShardRunner's
+  // shard-ordered merge relies on for --jobs independence.
+  Registry a1, b1, c1;
+  fill(a1, 1, 10, 5'000'000);
+  fill(b1, 2, 30, 17);
+  fill(c1, 4, 20, 9'999'999);
+  Registry a2, b2, c2;
+  fill(a2, 1, 10, 5'000'000);
+  fill(b2, 2, 30, 17);
+  fill(c2, 4, 20, 9'999'999);
+
+  // left fold: ((a + b) + c)
+  a1.merge_from(b1);
+  a1.merge_from(c1);
+  // right fold: a + (b + c)
+  b2.merge_from(c2);
+  a2.merge_from(b2);
+  EXPECT_EQ(a1.to_json(), a2.to_json());
+
+  Registry x, y;
+  fill(x, 1, 10, 5'000'000);
+  fill(y, 2, 30, 17);
+  Registry x2, y2;
+  fill(x2, 1, 10, 5'000'000);
+  fill(y2, 2, 30, 17);
+  x.merge_from(y);
+  y2.merge_from(x2);
+  EXPECT_EQ(x.to_json(), y2.to_json());
+}
+
+TEST(Registry, SameNameReturnsSameMetric) {
+  Registry r;
+  Counter& a = r.counter("net.packets");
+  r.counter("other");
+  Counter& b = r.counter("net.packets");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(Registry, CrossKindNameCollisionDies) {
+  Registry r;
+  r.counter("x");
+  EXPECT_DEATH(r.histogram("x"), "metric name");
+}
+
+TEST(Registry, WallClockExcludedFromDeterministicDump) {
+  Registry r;
+  r.counter("survey.probes_sent").inc(7);
+  r.counter("wall.pool.tasks_run").inc(3);
+  r.gauge("wall.pool.threads").set(8);
+  EXPECT_TRUE(Registry::is_wall_clock("wall.pool.threads"));
+  EXPECT_FALSE(Registry::is_wall_clock("survey.rtt"));
+
+  const std::string deterministic = r.to_json(/*include_wall_clock=*/false);
+  EXPECT_NE(deterministic.find("survey.probes_sent"), std::string::npos);
+  EXPECT_EQ(deterministic.find("wall.pool"), std::string::npos);
+
+  const std::string full = r.to_json(/*include_wall_clock=*/true);
+  EXPECT_NE(full.find("wall.pool.tasks_run"), std::string::npos);
+  EXPECT_NE(full.find("wall.pool.threads"), std::string::npos);
+}
+
+TEST(Registry, JsonShapeIsStable) {
+  Registry r;
+  r.counter("b.count").inc(2);
+  r.counter("a.count").inc(1);
+  r.gauge("depth").set(5);
+  r.histogram("rtt").observe_us(5'000'000);
+  std::ostringstream os;
+  r.write_json(os);
+  const std::string json = os.str();
+  // Keys sorted within each section; histogram carries count/sum/buckets.
+  EXPECT_LT(json.find("\"a.count\""), json.find("\"b.count\""));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"sum_us\": 5000000"), std::string::npos);
+  EXPECT_EQ(os.str(), r.to_json());
+}
+
+TEST(Prometheus, ExpositionFormat) {
+  Registry r;
+  r.counter("survey.probes_sent").inc(12);
+  r.gauge("queue.high_water").set(9);
+  r.histogram("survey.rtt").observe(SimTime::seconds(5));
+  std::ostringstream os;
+  write_prometheus(os, r);
+  const std::string text = os.str();
+  // Names sanitized to underscores under a turtle_ prefix, TYPE lines
+  // present, le buckets cumulative and in seconds, +Inf terminal bucket.
+  EXPECT_NE(text.find("# TYPE turtle_survey_probes_sent counter"), std::string::npos);
+  EXPECT_NE(text.find("turtle_survey_probes_sent 12"), std::string::npos);
+  EXPECT_NE(text.find("turtle_queue_high_water 9"), std::string::npos);
+  EXPECT_NE(text.find("turtle_survey_rtt_bucket{le=\"5.000000\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("turtle_survey_rtt_count 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace turtle::obs

@@ -15,6 +15,8 @@
 
 #include "hosts/asdb.h"
 #include "hosts/population.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "probe/records.h"
 #include "probe/survey.h"
 #include "sim/network.h"
@@ -148,6 +150,71 @@ TEST(ShardRunner, SurveyWorkloadIsByteIdenticalAcrossJobCounts) {
   EXPECT_EQ(merged_a.min(), merged_b.min());
   EXPECT_EQ(merged_a.max(), merged_b.max());
   EXPECT_GT(merged_a.count(), 0u);
+}
+
+// A shard workload that routes its survey metrics and trace through the
+// per-shard sinks the runner hands out via ShardContext.
+int run_instrumented_shard(ShardContext& ctx) {
+  Simulator sim{ctx.registry, ctx.trace};
+  Network::Config net_config;
+  net_config.registry = ctx.registry;
+  Network net{sim, net_config, util::Prng{ctx.rng.next_u64()}};
+  hosts::HostContext host_ctx{sim, net};
+  hosts::PopulationConfig config;
+  config.num_blocks = 3;
+  const auto catalog = hosts::AsCatalog::standard();
+  hosts::Population population{host_ctx, catalog, config,
+                               util::Prng{ctx.rng.next_u64()}};
+  net.set_host_resolver(&population);
+
+  probe::SurveyConfig survey_config;
+  survey_config.rounds = 3;
+  survey_config.registry = ctx.registry;
+  survey_config.trace = ctx.trace;
+  probe::SurveyProber prober{sim, net, survey_config, population.blocks(),
+                             util::Prng{ctx.rng.next_u64()}};
+  prober.start();
+  sim.run();
+  return 0;
+}
+
+TEST(ShardRunner, MergedMetricsAreByteIdenticalAcrossJobCounts) {
+  const std::uint64_t seed = 42;
+  const std::size_t shards = 6;
+
+  obs::Registry metrics_serial;
+  obs::Registry metrics_threaded;
+  obs::TraceSink trace_serial;
+  obs::TraceSink trace_threaded;
+  ShardRunner serial{ShardOptions{
+      .jobs = 1, .seed = seed, .metrics = &metrics_serial, .trace = &trace_serial}};
+  ShardRunner threaded{ShardOptions{
+      .jobs = 8, .seed = seed, .metrics = &metrics_threaded, .trace = &trace_threaded}};
+  serial.run(shards, run_instrumented_shard);
+  threaded.run(shards, run_instrumented_shard);
+
+  // The deterministic dump (wall.* excluded) must be byte-identical: the
+  // runner merges per-shard registries in shard order, and every merge is
+  // commutative integer arithmetic.
+  EXPECT_GT(metrics_serial.counters().size(), 0u);
+  EXPECT_GT(metrics_serial.counter("survey.probes_sent").value(), 0u);
+  EXPECT_EQ(metrics_serial.to_json(/*include_wall_clock=*/false),
+            metrics_threaded.to_json(/*include_wall_clock=*/false));
+
+  // Wall-clock pool stats exist (threaded run) but never enter the dump.
+  EXPECT_GT(metrics_threaded.counter("wall.pool.tasks_run").value(), 0u);
+  EXPECT_EQ(metrics_serial.to_json(false).find("wall."), std::string::npos);
+
+  // Traces merge in shard order too: identical event streams, with tid
+  // tracking the shard index on both sides. (Both streams are empty when
+  // the tree is built with -DTURTLE_TRACING=OFF.)
+  ASSERT_EQ(trace_serial.size(), trace_threaded.size());
+  if (TURTLE_TRACE_ENABLED) EXPECT_GT(trace_serial.size(), 0u);
+  for (std::size_t i = 0; i < trace_serial.size(); ++i) {
+    EXPECT_EQ(trace_serial.events()[i].tid, trace_threaded.events()[i].tid);
+    EXPECT_EQ(trace_serial.events()[i].ts_us, trace_threaded.events()[i].ts_us);
+    EXPECT_STREQ(trace_serial.events()[i].name, trace_threaded.events()[i].name);
+  }
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 
 namespace turtle::sim {
@@ -185,6 +186,32 @@ TEST(Simulator, StepProcessesOneEvent) {
   EXPECT_TRUE(sim.step());
   EXPECT_FALSE(sim.step());
   EXPECT_EQ(sim.events_processed(), 2u);
+}
+
+TEST(Simulator, RegistryBackedCountersMatchShims) {
+  obs::Registry registry;
+  {
+    Simulator sim{&registry};
+    for (int i = 0; i < 5; ++i) {
+      sim.schedule_at(SimTime::seconds(i), [] {});
+    }
+    sim.schedule_at(SimTime::seconds(0), [] {});  // same timestamp as event 0
+    sim.run();
+    // The member shim and the registry counter are the same cell.
+    EXPECT_EQ(sim.events_processed(), 6u);
+    EXPECT_EQ(registry.counter("sim.events_processed").value(), 6u);
+    EXPECT_EQ(registry.counter("sim.event_times").value(), 5u);  // distinct timestamps
+  }
+  // Destruction flushed the queue high-water gauge: all 6 events were
+  // enqueued before any ran.
+  EXPECT_EQ(registry.gauge("sim.queue_high_water").value(), 6);
+}
+
+TEST(Simulator, WithoutRegistryFallbackCountersStillWork) {
+  Simulator sim;
+  sim.schedule_at(SimTime::seconds(1), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 1u);
 }
 
 TEST(Simulator, EventChainTerminates) {
