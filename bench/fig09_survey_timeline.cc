@@ -28,6 +28,10 @@ int main(int argc, char** argv) {
   const int rounds = static_cast<int>(flags.get_int("rounds", 40));
   const int years = static_cast<int>(flags.get_int("years", 10));  // 2006..2015
   const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  // Parsed once, shared read-only by every shard; each shard's world forks
+  // its own injector stream from (fault_seed, world seed).
+  const auto fault_plan = bench::fault_plan_from_flags(flags);
+  const auto fault_seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 1));
 
   std::printf("# fig09_survey_timeline: %d surveys of %d blocks x %d rounds\n", years, blocks,
               rounds);
@@ -68,6 +72,8 @@ int main(int argc, char** argv) {
         options.seed = seed + static_cast<std::uint64_t>(y);
         options.cellular_share_scale = 0.35 + 1.0 * frac;
         options.severity_scale = 0.5 + 0.8 * frac;
+        options.fault_plan = fault_plan;
+        options.fault_seed = fault_seed;
 
         options.network.transit_base = SimTime::millis(vantages[y % 4].transit_ms);
 

@@ -9,8 +9,12 @@
 #include <memory>
 #include <optional>
 #include <ostream>
+#include <sstream>
+#include <string>
 
 #include "analysis/pipeline.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 #include "hosts/asdb.h"
 #include "hosts/population.h"
 #include "obs/metrics.h"
@@ -46,6 +50,12 @@ struct World {
   /// The WorldOptions seed this world was built from; prober streams are
   /// forked from it so --seed varies them along with the population.
   util::Prng prober_rng{0};
+  /// Fault plan this world runs under (null = clean run). The injector is
+  /// installed as the network's fault hook; its randomness is forked from
+  /// --fault-seed per world seed, so faults are deterministic per shard
+  /// and independent of the workload streams.
+  std::shared_ptr<const fault::FaultPlan> fault_plan;
+  std::unique_ptr<fault::FaultInjector> fault_injector;
 
   explicit World(hosts::AsCatalog cat, obs::Registry* external_registry = nullptr,
                  obs::TraceSink* external_trace = nullptr)
@@ -70,6 +80,11 @@ struct WorldOptions {
   /// sinks (wire_obs) or a ShardContext's.
   obs::Registry* registry = nullptr;
   obs::TraceSink* trace = nullptr;
+  /// Optional fault plan (see --fault-plan). Shared so sharded benches can
+  /// hand the same parsed plan to every shard's world; each world still
+  /// gets its own injector (forked fault randomness, per-shard counters).
+  std::shared_ptr<const fault::FaultPlan> fault_plan;
+  std::uint64_t fault_seed = 1;
 };
 
 /// Builds a fully wired world.
@@ -80,6 +95,16 @@ inline std::unique_ptr<World> make_world(WorldOptions options) {
   util::Prng rng{options.seed};
   options.network.registry = world->registry;
   world->net = std::make_unique<sim::Network>(world->sim, options.network, rng.fork(1));
+  if (options.fault_plan != nullptr && !options.fault_plan->empty()) {
+    world->fault_plan = options.fault_plan;
+    // Fork by the world seed so every shard draws an independent fault
+    // stream, yet reruns with the same (--fault-seed, --seed) pair are
+    // byte-identical.
+    world->fault_injector = std::make_unique<fault::FaultInjector>(
+        world->sim, *world->fault_plan,
+        util::Prng{options.fault_seed}.fork(options.seed), world->registry);
+    world->net->set_fault_hook(world->fault_injector.get());
+  }
   world->ctx = std::make_unique<hosts::HostContext>(
       hosts::HostContext{world->sim, *world->net});
   options.population.num_blocks = options.num_blocks;
@@ -91,7 +116,20 @@ inline std::unique_ptr<World> make_world(WorldOptions options) {
   return world;
 }
 
-/// Applies the common --blocks/--seed/--cellular-scale/--severity flags.
+/// Applies the --fault-plan <file> / --fault-seed flags (and rejects any
+/// other --fault-* flag with the list of valid names). Returns a null plan
+/// when --fault-plan is absent: the world runs clean and creates no
+/// "fault.*" metrics.
+inline std::shared_ptr<const fault::FaultPlan> fault_plan_from_flags(
+    const util::Flags& flags) {
+  fault::check_fault_flags(flags);
+  const std::string path = flags.get_string("fault-plan", "");
+  if (path.empty()) return nullptr;
+  return std::make_shared<const fault::FaultPlan>(fault::FaultPlan::load_file(path));
+}
+
+/// Applies the common --blocks/--seed/--cellular-scale/--severity flags,
+/// plus --fault-plan/--fault-seed (every bench accepts them).
 inline WorldOptions world_options_from_flags(const util::Flags& flags,
                                              int default_blocks = 400) {
   WorldOptions options;
@@ -99,6 +137,8 @@ inline WorldOptions world_options_from_flags(const util::Flags& flags,
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   options.cellular_share_scale = flags.get_double("cellular-scale", 1.0);
   options.severity_scale = flags.get_double("severity", 1.0);
+  options.fault_plan = fault_plan_from_flags(flags);
+  options.fault_seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 1));
   return options;
 }
 
@@ -112,9 +152,19 @@ inline probe::SurveyProber run_survey(World& world, int rounds) {
   config.rounds = rounds;
   config.registry = world.registry;
   config.trace = world.trace;
+  // Crash faults need a checkpoint to resume from.
+  if (world.fault_plan != nullptr &&
+      world.fault_plan->has_kind(fault::FaultKind::kProberCrash)) {
+    config.checkpoints = true;
+  }
   probe::SurveyProber prober{world.sim, *world.net, config, world.population->blocks(),
                              world.prober_rng};
   prober.start();
+  if (world.fault_injector != nullptr) {
+    // The callback only fires inside world.sim.run() below, while `prober`
+    // is still live on this frame.
+    world.fault_injector->arm([&prober](SimTime restart) { prober.crash(restart); });
+  }
   world.sim.run();
   return prober;
 }
@@ -157,11 +207,30 @@ inline analysis::PipelineResult analyze_survey(const probe::SurveyProber& prober
 /// Same, but wired to the world's observability sinks: Table 1 lands in
 /// the registry as "pipeline.*" counters and the pipeline contributes a
 /// wall-clock span to the trace.
+///
+/// When the world's fault plan injects record corruption, the analysis
+/// consumes the log the way an operator would after a damaged transfer:
+/// serialize, flip bits, and reload tolerantly. Corrupt records the loader
+/// can detect are counted under "fault.records.load_skipped" and dropped
+/// (always equal to "fault.records.detectable"); silent corruptions flow
+/// into the pipeline as plausible-but-wrong rows, as they would in life.
 inline analysis::PipelineResult analyze_survey(World& world,
                                                const probe::SurveyProber& prober,
                                                analysis::PipelineConfig config = {}) {
   config.registry = world.registry;
   config.trace = world.trace;
+  if (world.fault_injector != nullptr && world.fault_injector->corruption_enabled()) {
+    std::ostringstream out;
+    prober.log().save(out);
+    std::string bytes = out.str();
+    world.fault_injector->corrupt_record_stream(bytes);
+    std::istringstream in{std::move(bytes)};
+    probe::RecordLog::LoadStats stats;
+    const probe::RecordLog damaged = probe::RecordLog::load(in, &stats);
+    world.registry->counter("fault.records.load_skipped").inc(stats.records_dropped());
+    auto dataset = analysis::SurveyDataset::from_log(damaged);
+    return analysis::run_pipeline(dataset, config);
+  }
   return analyze_survey(prober, config);
 }
 

@@ -3,6 +3,7 @@
 
 Usage:
     scripts/validate_obs.py --metrics M.json --trace T.json [--stdout OUT.txt]
+                            [--fault]
 
 Checks:
   * the metrics file is valid JSON with the turtle-metrics-v1 schema,
@@ -14,7 +15,14 @@ Checks:
     has name/ph/pid/tid/ts, complete spans carry non-negative dur;
   * with --stdout pointing at table1_matching's captured output, the
     printed Table 1 rows exactly equal the pipeline.* counters — the live
-    metrics are the analysis, not a parallel reimplementation of it.
+    metrics are the analysis, not a parallel reimplementation of it;
+  * with --fault (a run under --fault-plan), the fault.* counters
+    reconcile: every injected fault is observed somewhere — drops, delays
+    and extra copies match between injector and network, crashes match
+    between injector and prober, and every corrupted record is classified
+    and either skipped by the loader or passed through silently. A missing
+    counter counts as zero, so the equations also hold for plans that only
+    use some fault kinds.
 """
 import argparse
 import json
@@ -101,11 +109,45 @@ def validate_table1(metrics, stdout_path):
     check(matched == len(TABLE1_ROWS), "table1: incomplete table in stdout")
 
 
+# The turtle::fault reconciliation contract (see fault_injector.h): each
+# entry is (sum of injected-side counters) == (sum of observed-side
+# counters). Absent counters read as zero.
+FAULT_EQUATIONS = [
+    (("fault.injected.outage_drops", "fault.injected.loss_drops"),
+     ("fault.net.dropped_packets",)),
+    (("fault.injected.delayed_packets",), ("fault.net.delayed_packets",)),
+    (("fault.injected.dup_copies", "fault.injected.broadcast_copies"),
+     ("fault.net.extra_copies",)),
+    (("fault.injected.crashes",), ("fault.survey.crashes",)),
+    (("fault.records.hit",),
+     ("fault.records.detectable", "fault.records.silent")),
+    (("fault.records.detectable",), ("fault.records.load_skipped",)),
+]
+
+
+def validate_fault(metrics):
+    counters = metrics.get("counters", {})
+    fault_counters = {k: v for k, v in counters.items() if k.startswith("fault.")}
+    check(fault_counters, "fault: no fault.* counters in a --fault run")
+    for injected, observed in FAULT_EQUATIONS:
+        lhs = sum(counters.get(name, 0) for name in injected)
+        rhs = sum(counters.get(name, 0) for name in observed)
+        check(lhs == rhs,
+              f"fault: {' + '.join(injected)} = {lhs} but "
+              f"{' + '.join(observed)} = {rhs}")
+    # Note: survey.* aggregate counters (matched/timeouts) intentionally
+    # diverge from the record log under crashes — records roll back to the
+    # last checkpoint while counters keep counting — so they are NOT
+    # asserted here.
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--metrics", required=True)
     parser.add_argument("--trace")
     parser.add_argument("--stdout", help="captured table1_matching output")
+    parser.add_argument("--fault", action="store_true",
+                        help="the run used --fault-plan: check fault.* reconciliation")
     args = parser.parse_args()
 
     metrics = validate_metrics(args.metrics)
@@ -113,6 +155,8 @@ def main():
         validate_trace(args.trace)
     if args.stdout:
         validate_table1(metrics, args.stdout)
+    if args.fault:
+        validate_fault(metrics)
 
     if FAILURES:
         for failure in FAILURES:

@@ -51,10 +51,17 @@ SurveyDataset SurveyDataset::from_log(const probe::RecordLog& log) {
 
   // Timeout records are emitted 3 s after their probe, so a timed-out
   // request can appear *after* a matched request that was actually sent
-  // later. Restore per-address send-time order.
+  // later. Restore per-address send-time order. Unmatched responses are
+  // sorted too: log order is arrival order on clean data, but a
+  // silently-corrupted timestamp (or a crash/resume splice) can break
+  // monotonicity, and the attribution cursor walk requires it.
   for (AddressTimeline& tl : ds.timelines_) {
     std::stable_sort(tl.requests.begin(), tl.requests.end(),
                      [](const Request& a, const Request& b) { return a.time_s < b.time_s; });
+    std::stable_sort(tl.unmatched.begin(), tl.unmatched.end(),
+                     [](const UnmatchedResponse& a, const UnmatchedResponse& b) {
+                       return a.time_s < b.time_s;
+                     });
   }
   return ds;
 }

@@ -25,6 +25,11 @@ struct Attribution {
   };
   std::vector<SinceLast> since_last;
   std::uint64_t attributed_responses = 0;  ///< unmatched packets with a prior request
+  /// Responses discarded as structurally impossible (negative latency
+  /// against every candidate request). Zero on clean data; nonzero only
+  /// when silently-corrupted records slip past the loader's structural
+  /// checks. Counted, skipped, never fatal.
+  std::uint64_t dropped_responses = 0;
 };
 
 Attribution attribute(AddressTimeline& tl) {
@@ -41,12 +46,18 @@ Attribution attribute(AddressTimeline& tl) {
     if (req == 0) continue;  // response before any request: ignore entirely
     Request& last = tl.requests[req - 1];
     TURTLE_DCHECK_GT(um.count, 0u);
+    const double latency = um.time_s - std::floor(last.time_s);  // 1 s precision
+    if (latency < 0.0) {
+      // The cursor walk guarantees the attributed request precedes the
+      // response on clean data; a negative latency can only come from a
+      // silently-corrupted timestamp and would fabricate tail mass.
+      // Graceful degradation: count it and move on — one bad record must
+      // not abort a whole survey analysis.
+      out.dropped_responses += um.count;
+      continue;
+    }
     last.responses += um.count;
     out.attributed_responses += um.count;
-    const double latency = um.time_s - std::floor(last.time_s);  // 1 s precision
-    // The cursor walk guarantees the attributed request precedes the
-    // response; a negative latency here would fabricate tail mass.
-    TURTLE_DCHECK_GE(latency, 0.0) << "attribution ran backwards in time";
     out.since_last.push_back({last.round, latency});
     if (last.state == RequestState::kTimedOut && !last.consumed_by_delayed) {
       last.consumed_by_delayed = true;
@@ -105,6 +116,7 @@ PipelineResult run_pipeline(SurveyDataset& dataset, const PipelineConfig& config
 
   for (AddressTimeline& tl : dataset.timelines()) {
     const Attribution attr = attribute(tl);
+    c.dropped_packets += attr.dropped_responses;
 
     std::uint32_t survey_detected = 0;
     std::uint32_t timeouts = 0;
@@ -178,6 +190,11 @@ PipelineResult run_pipeline(SurveyDataset& dataset, const PipelineConfig& config
     reg.counter("pipeline.duplicate.addresses").inc(c.duplicate_addresses);
     reg.counter("pipeline.combined.packets").inc(c.combined_packets);
     reg.counter("pipeline.combined.addresses").inc(c.combined_addresses);
+    // Created only when nonzero: a clean run's metrics dump must stay
+    // byte-identical to one produced before the fault layer existed.
+    if (c.dropped_packets > 0) {
+      reg.counter("pipeline.dropped.packets").inc(c.dropped_packets);
+    }
   }
   TURTLE_TRACE(config.trace,
                span_wall("analysis.pipeline", "pipeline",

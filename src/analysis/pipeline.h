@@ -81,6 +81,11 @@ struct PipelineCounters {
   std::uint64_t duplicate_addresses = 0;
   std::uint64_t combined_packets = 0;  ///< survey-detected + delayed, kept
   std::uint64_t combined_addresses = 0;
+  /// Responses discarded as structurally impossible (negative attribution
+  /// latency). Always zero on clean data; nonzero only when
+  /// silently-corrupted records survive the loader. Published as
+  /// "pipeline.dropped.packets" only when nonzero.
+  std::uint64_t dropped_packets = 0;
 };
 
 struct PipelineResult {

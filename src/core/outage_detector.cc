@@ -39,6 +39,7 @@ void OutageDetector::begin_check(net::Ipv4Address target, std::uint32_t round) {
   ep.decision =
       policy_.decide(state.estimator.samples() || state.estimator.losses() ? &state.estimator
                                                                            : nullptr);
+  if (config_.retry != nullptr) ep.decision.give_up_after = config_.retry->listen_window();
   ep.generation = next_generation_++;
   state.episode_active = true;
 
@@ -67,8 +68,17 @@ void OutageDetector::send_probe(net::Ipv4Address target) {
   net_.send(packet);
 
   const std::uint64_t generation = ep.generation;
-  if (static_cast<int>(ep.probes_sent) < config_.max_probes) {
-    sim_.schedule_after(ep.decision.retransmit_after, [this, target, generation] {
+  const int max_probes =
+      config_.retry != nullptr ? config_.retry->max_attempts() : config_.max_probes;
+  if (static_cast<int>(ep.probes_sent) < max_probes) {
+    // Pacing of follow-ups: the retry policy's schedule when one is
+    // configured (fixed / backoff / listen-longer), otherwise the timeout
+    // policy's single retransmit deadline.
+    const SimTime next_delay =
+        config_.retry != nullptr
+            ? config_.retry->retry_delay(static_cast<int>(ep.probes_sent))
+            : ep.decision.retransmit_after;
+    sim_.schedule_after(next_delay, [this, target, generation] {
       on_retransmit_timer(target, generation);
     });
   } else {

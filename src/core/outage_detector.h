@@ -31,8 +31,15 @@ struct OutageDetectorConfig {
   SimTime check_interval = SimTime::minutes(11);
   /// Number of checks to run per target.
   int rounds = 10;
-  /// Probes per check before giving up (first probe + retries).
+  /// Probes per check before giving up (first probe + retries). Ignored
+  /// when `retry` is set.
   int max_probes = 3;
+  /// Optional retry policy (turtle::fault resilience layer). When set it
+  /// overrides the per-check retry sequence: attempt count, the pacing of
+  /// follow-up probes, and the listen window after the last attempt. The
+  /// TimeoutPolicy still decides the *first* retransmit deadline (and
+  /// thereby what counts as a "late" response). Must outlive the detector.
+  const RetryPolicy* retry = nullptr;
 };
 
 /// Outcome of one reachability check of one target.

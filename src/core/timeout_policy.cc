@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <stdexcept>
 
 namespace turtle::core {
 
@@ -34,5 +35,37 @@ TimeoutDecision Rfc6298Policy::decide(const RttEstimator* estimator) const {
 }
 
 std::string Rfc6298Policy::name() const { return "rfc6298"; }
+
+std::string FixedRetryPolicy::name() const {
+  return "retry-fixed(" + delay_.to_string() + " x " + std::to_string(attempts_) + ")";
+}
+
+SimTime ExponentialBackoffPolicy::retry_delay(int attempt) const {
+  SimTime delay = base_;
+  for (int i = 1; i < attempt && delay < cap_; ++i) {
+    delay = SimTime::from_seconds(delay.as_seconds() * multiplier_);
+  }
+  return std::min(delay, cap_);
+}
+
+std::string ExponentialBackoffPolicy::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "retry-backoff(%s x %.2g, cap %s)",
+                base_.to_string().c_str(), multiplier_, cap_.to_string().c_str());
+  return buf;
+}
+
+std::string ListenLongerRetryPolicy::name() const {
+  return "retry-listen-longer(" + retransmit_.to_string() + "/" + listen_.to_string() +
+         ")";
+}
+
+std::unique_ptr<RetryPolicy> make_retry_policy(const std::string& spec) {
+  if (spec == "fixed") return std::make_unique<FixedRetryPolicy>();
+  if (spec == "backoff") return std::make_unique<ExponentialBackoffPolicy>();
+  if (spec == "listen-longer") return std::make_unique<ListenLongerRetryPolicy>();
+  throw std::invalid_argument("unknown retry policy '" + spec +
+                              "'; valid: fixed, backoff, listen-longer");
+}
 
 }  // namespace turtle::core

@@ -105,4 +105,101 @@ class Rfc6298Policy final : public TimeoutPolicy {
   SimTime give_up_;
 };
 
+// ---------------------------------------------------------------------------
+// Retry policies (turtle::fault resilience layer)
+// ---------------------------------------------------------------------------
+
+/// How follow-up probes pace out when a destination keeps not answering.
+/// Orthogonal to TimeoutPolicy: a TimeoutPolicy derives the first
+/// retransmit/give-up pair from RTT history, while a RetryPolicy schedules
+/// the retry *sequence* — how many attempts, how far apart, and how long
+/// to keep listening after the last one. Probers under injected outages
+/// select one of these per run to study recovery behaviour.
+class RetryPolicy {
+ public:
+  virtual ~RetryPolicy() = default;
+
+  /// Delay before attempt `attempt` (1-based: the wait after the
+  /// attempt-th probe went unanswered).
+  [[nodiscard]] virtual SimTime retry_delay(int attempt) const = 0;
+
+  /// Total probes per check, first attempt included. Always >= 1.
+  [[nodiscard]] virtual int max_attempts() const = 0;
+
+  /// How long to keep listening after the final attempt before declaring
+  /// loss. Late responses inside this window still count.
+  [[nodiscard]] virtual SimTime listen_window() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Evenly spaced retries: the conventional "3 tries, 3 s apart".
+class FixedRetryPolicy final : public RetryPolicy {
+ public:
+  FixedRetryPolicy(SimTime delay = SimTime::seconds(3), int attempts = 3,
+                   SimTime listen = SimTime::seconds(3))
+      : delay_{delay}, attempts_{attempts}, listen_{listen} {}
+
+  [[nodiscard]] SimTime retry_delay(int) const override { return delay_; }
+  [[nodiscard]] int max_attempts() const override { return attempts_; }
+  [[nodiscard]] SimTime listen_window() const override { return listen_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  SimTime delay_;
+  int attempts_;
+  SimTime listen_;
+};
+
+/// Exponential backoff with a cap: delay_i = min(base * multiplier^(i-1),
+/// cap). The polite choice under a suspected outage — probing pressure
+/// decays instead of hammering a recovering block.
+class ExponentialBackoffPolicy final : public RetryPolicy {
+ public:
+  ExponentialBackoffPolicy(SimTime base = SimTime::seconds(1), double multiplier = 2.0,
+                           SimTime cap = SimTime::seconds(30), int attempts = 5,
+                           SimTime listen = SimTime::seconds(30))
+      : base_{base}, multiplier_{multiplier}, cap_{cap}, attempts_{attempts},
+        listen_{listen} {}
+
+  [[nodiscard]] SimTime retry_delay(int attempt) const override;
+  [[nodiscard]] int max_attempts() const override { return attempts_; }
+  [[nodiscard]] SimTime listen_window() const override { return listen_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  SimTime base_;
+  double multiplier_;
+  SimTime cap_;
+  int attempts_;
+  SimTime listen_;
+};
+
+/// The paper's Section 7 recommendation as a retry policy: retransmit on a
+/// quick ~3 s cadence for responsiveness, but keep listening a long
+/// (default 60 s) window after the last attempt so surprisingly high delay
+/// is not misread as loss.
+class ListenLongerRetryPolicy final : public RetryPolicy {
+ public:
+  ListenLongerRetryPolicy(SimTime retransmit = SimTime::seconds(3), int attempts = 3,
+                          SimTime listen = SimTime::seconds(60))
+      : retransmit_{retransmit}, attempts_{attempts}, listen_{listen} {}
+
+  [[nodiscard]] SimTime retry_delay(int) const override { return retransmit_; }
+  [[nodiscard]] int max_attempts() const override { return attempts_; }
+  [[nodiscard]] SimTime listen_window() const override { return listen_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  SimTime retransmit_;
+  int attempts_;
+  SimTime listen_;
+};
+
+/// Builds a retry policy from its spec name: "fixed", "backoff", or
+/// "listen-longer" (each with library defaults). Throws
+/// std::invalid_argument for anything else, listing the valid names —
+/// mirroring how fault plans reject unknown kinds.
+[[nodiscard]] std::unique_ptr<RetryPolicy> make_retry_policy(const std::string& spec);
+
 }  // namespace turtle::core

@@ -1,0 +1,367 @@
+#include "fault/fault_plan.h"
+
+#include <array>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace turtle::fault {
+
+namespace {
+
+constexpr std::string_view kSchemaTag = "turtle-fault-plan-v1";
+
+constexpr std::array<std::string_view, 7> kKindNames = {
+    "block_outage",   "loss_burst",   "delay_spike",      "dup_storm",
+    "broadcast_flip", "prober_crash", "record_corruption"};
+
+// ---------------------------------------------------------------------------
+// A deliberately small JSON reader: objects, arrays, strings (with the
+// common escapes), numbers, true/false/null. Plans are tiny hand-written
+// documents; clear errors matter more than speed, and no dependency may be
+// added for this.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_{text} {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("fault plan JSON (offset " + std::to_string(pos_) +
+                                "): " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        JsonValue v;
+        v.type = JsonValue::Type::kString;
+        v.string = string();
+        return v;
+      }
+      case 't': case 'f': return boolean();
+      case 'n': literal("null"); return JsonValue{};
+      default: return number();
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      std::string key = string();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default: fail("unsupported escape in string");
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    if (text_[pos_] == 't') {
+      literal("true");
+      v.boolean = true;
+    } else {
+      literal("false");
+      v.boolean = false;
+    }
+    return v;
+  }
+
+  void literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      fail("unrecognized token");
+    }
+    pos_ += word.size();
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token{text_.substr(start, pos_ - start)};
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("malformed number '" + token + "'");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = parsed;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Spec extraction + validation
+// ---------------------------------------------------------------------------
+
+[[noreturn]] void spec_fail(std::size_t index, FaultKind kind, const std::string& what) {
+  throw std::invalid_argument("fault plan: faults[" + std::to_string(index) + "] (" +
+                              std::string{fault_kind_name(kind)} + "): " + what);
+}
+
+double get_number(const JsonValue& entry, std::string_view key, double def,
+                  std::size_t index, FaultKind kind) {
+  const JsonValue* v = entry.find(key);
+  if (v == nullptr) return def;
+  if (v->type != JsonValue::Type::kNumber) {
+    spec_fail(index, kind, "field '" + std::string{key} + "' must be a number");
+  }
+  return v->number;
+}
+
+void validate_spec(std::size_t index, const FaultSpec& s) {
+  const auto require = [&](bool ok, const char* what) {
+    if (!ok) spec_fail(index, s.kind, what);
+  };
+  require(!s.start.is_negative(), "start_s must be >= 0");
+  require(!s.duration.is_negative(), "duration_s must be >= 0");
+  require(s.rate > 0.0 && s.rate <= 1.0, "rate must be in (0, 1]");
+  switch (s.kind) {
+    case FaultKind::kBlockOutage:
+    case FaultKind::kLossBurst:
+      require(s.duration > SimTime{}, "duration_s must be > 0");
+      break;
+    case FaultKind::kDelaySpike:
+      require(s.duration > SimTime{}, "duration_s must be > 0");
+      require(s.delay > SimTime{}, "delay_s must be > 0");
+      break;
+    case FaultKind::kDupStorm:
+    case FaultKind::kBroadcastFlip:
+      require(s.duration > SimTime{}, "duration_s must be > 0");
+      require(s.copies >= 1, "copies must be >= 1");
+      break;
+    case FaultKind::kProberCrash:
+      require(!s.restart_delay.is_negative(), "restart_delay_s must be >= 0");
+      break;
+    case FaultKind::kRecordCorruption:
+      // rate already checked; windows/prefixes are meaningless here.
+      require(!s.has_prefix, "prefix is not applicable");
+      break;
+  }
+}
+
+FaultSpec spec_from_json(std::size_t index, const JsonValue& entry) {
+  if (entry.type != JsonValue::Type::kObject) {
+    throw std::invalid_argument("fault plan: faults[" + std::to_string(index) +
+                                "] must be an object");
+  }
+  const JsonValue* kind_field = entry.find("kind");
+  if (kind_field == nullptr || kind_field->type != JsonValue::Type::kString) {
+    throw std::invalid_argument("fault plan: faults[" + std::to_string(index) +
+                                "] is missing string field 'kind'");
+  }
+  const auto kind = parse_fault_kind(kind_field->string);
+  if (!kind.has_value()) {
+    throw std::invalid_argument("fault plan: faults[" + std::to_string(index) +
+                                "]: unknown kind '" + kind_field->string +
+                                "'; valid kinds: " + valid_fault_kind_names());
+  }
+  FaultSpec s;
+  s.kind = *kind;
+  s.start = SimTime::from_seconds(get_number(entry, "start_s", 0.0, index, s.kind));
+  s.duration = SimTime::from_seconds(get_number(entry, "duration_s", 0.0, index, s.kind));
+  s.rate = get_number(entry, "rate", 1.0, index, s.kind);
+  s.delay = SimTime::from_seconds(get_number(entry, "delay_s", 0.0, index, s.kind));
+  const double copies = get_number(entry, "copies", 1.0, index, s.kind);
+  if (copies < 0.0 || copies > 1e6 || copies != static_cast<double>(static_cast<std::uint32_t>(copies))) {
+    spec_fail(index, s.kind, "copies must be an integer in [0, 1e6]");
+  }
+  s.copies = static_cast<std::uint32_t>(copies);
+  s.restart_delay =
+      SimTime::from_seconds(get_number(entry, "restart_delay_s", 0.0, index, s.kind));
+  if (const JsonValue* prefix = entry.find("prefix"); prefix != nullptr) {
+    if (prefix->type != JsonValue::Type::kString) {
+      spec_fail(index, s.kind, "field 'prefix' must be a dotted-quad string");
+    }
+    const auto addr = net::Ipv4Address::parse(prefix->string);
+    if (!addr.has_value()) {
+      spec_fail(index, s.kind, "malformed prefix '" + prefix->string + "'");
+    }
+    s.has_prefix = true;
+    s.prefix = net::Prefix24::containing(*addr);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind kind) {
+  return kKindNames.at(static_cast<std::size_t>(kind));
+}
+
+std::optional<FaultKind> parse_fault_kind(std::string_view name) {
+  for (std::size_t i = 0; i < kKindNames.size(); ++i) {
+    if (kKindNames[i] == name) return static_cast<FaultKind>(i);
+  }
+  return std::nullopt;
+}
+
+std::string valid_fault_kind_names() {
+  std::string out;
+  for (const std::string_view name : kKindNames) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+FaultPlan::FaultPlan(std::vector<FaultSpec> faults) : faults_{std::move(faults)} {
+  for (std::size_t i = 0; i < faults_.size(); ++i) validate_spec(i, faults_[i]);
+}
+
+FaultPlan FaultPlan::parse_json(std::string_view text) {
+  const JsonValue root = JsonParser{text}.parse();
+  if (root.type != JsonValue::Type::kObject) {
+    throw std::invalid_argument("fault plan: document must be a JSON object");
+  }
+  const JsonValue* schema = root.find("schema");
+  if (schema == nullptr || schema->type != JsonValue::Type::kString ||
+      schema->string != kSchemaTag) {
+    throw std::invalid_argument(std::string{"fault plan: missing or wrong schema tag "
+                                            "(expected \""} +
+                                std::string{kSchemaTag} + "\")");
+  }
+  const JsonValue* faults = root.find("faults");
+  if (faults == nullptr || faults->type != JsonValue::Type::kArray) {
+    throw std::invalid_argument("fault plan: missing array field 'faults'");
+  }
+  std::vector<FaultSpec> specs;
+  specs.reserve(faults->array.size());
+  for (std::size_t i = 0; i < faults->array.size(); ++i) {
+    specs.push_back(spec_from_json(i, faults->array[i]));
+  }
+  return FaultPlan{std::move(specs)};
+}
+
+FaultPlan FaultPlan::load_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error("fault plan: cannot open " + path);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return parse_json(contents.str());
+}
+
+bool FaultPlan::has_kind(FaultKind kind) const {
+  for (const FaultSpec& s : faults_) {
+    if (s.kind == kind) return true;
+  }
+  return false;
+}
+
+void check_fault_flags(const util::Flags& flags) {
+  flags.reject_unknown("fault-", {"fault-plan", "fault-seed"},
+                       "valid fault kinds (inside the plan file): " +
+                           valid_fault_kind_names());
+}
+
+}  // namespace turtle::fault

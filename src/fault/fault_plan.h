@@ -1,0 +1,127 @@
+// Fault plans: a declarative, serializable description of which faults to
+// inject into a run, and when.
+//
+// The paper's measurement pipeline survived the real Internet — outages,
+// loss bursts, bufferbloat spikes, duplicate floods, broadcast amplifiers,
+// crashed probers, corrupted capture files. turtle::fault reproduces those
+// conditions *deterministically*: a plan is a list of sim-time windows,
+// each carrying one fault kind, and every random choice the injector makes
+// comes from a seed-forked PRNG substream, so a faulted run replays
+// byte-identically across --jobs values and machines.
+//
+// Plans load from a small JSON document (schema "turtle-fault-plan-v1"):
+//
+//   {"schema": "turtle-fault-plan-v1",
+//    "faults": [
+//      {"kind": "block_outage", "start_s": 600, "duration_s": 120,
+//       "prefix": "10.0.7.0"},
+//      {"kind": "dup_storm", "start_s": 900, "duration_s": 60,
+//       "rate": 0.5, "copies": 20},
+//      {"kind": "prober_crash", "start_s": 1400, "restart_delay_s": 90},
+//      {"kind": "record_corruption", "rate": 0.01}]}
+//
+// Field semantics per kind are documented on FaultKind below; unknown
+// kinds and structurally invalid specs throw std::invalid_argument with
+// the offending entry's index, so a typo in a plan fails loudly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "util/flags.h"
+#include "util/sim_time.h"
+
+namespace turtle::fault {
+
+enum class FaultKind : std::uint8_t {
+  /// All packets to or from `prefix` (or everything, with no prefix) are
+  /// dropped inside the window. Models a routed outage / RED episode.
+  kBlockOutage = 0,
+  /// Each packet matching the window (and prefix, if any) is independently
+  /// dropped with probability `rate`. Models a congestion loss episode.
+  kLossBurst = 1,
+  /// Matching packets get `delay_s` added on top of normal transit, with
+  /// probability `rate` (default: all). Models a bufferbloat spike.
+  kDelaySpike = 2,
+  /// Packets *sourced* inside `prefix` (responses!) are amplified: with
+  /// probability `rate`, `copies` duplicates join the batch. Models the
+  /// duplicate/DoS response storms of Section 3.3.
+  kDupStorm = 3,
+  /// Echo *requests* destined into `prefix` are amplified by `copies`,
+  /// so one probe elicits many replies — a subnet-broadcast amplifier
+  /// switching on (the 165/330/495 s artifact source, Section 3.3.1).
+  kBroadcastFlip = 4,
+  /// The survey prober crashes at `start_s`, losing all in-memory state,
+  /// and restarts from its last round-boundary checkpoint after
+  /// `restart_delay_s`. No window; `duration_s` is ignored.
+  kProberCrash = 5,
+  /// Each serialized survey record is independently hit with probability
+  /// `rate`: one random bit flips. No window. Applied to the record
+  /// stream between save and load, like disk/transfer corruption.
+  kRecordCorruption = 6,
+};
+
+/// Canonical wire name ("block_outage", "loss_burst", ...).
+[[nodiscard]] std::string_view fault_kind_name(FaultKind kind);
+
+/// Inverse of fault_kind_name; nullopt for unknown names.
+[[nodiscard]] std::optional<FaultKind> parse_fault_kind(std::string_view name);
+
+/// All valid kind names, comma-separated — for error messages.
+[[nodiscard]] std::string valid_fault_kind_names();
+
+/// One fault instance. Which fields matter depends on `kind` (see the
+/// enumerators); FaultPlan validation rejects specs whose required fields
+/// are missing or out of range.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kBlockOutage;
+  SimTime start;
+  SimTime duration;
+  double rate = 1.0;            ///< per-packet / per-record probability
+  SimTime delay;                ///< delay_spike: added transit delay
+  std::uint32_t copies = 1;     ///< dup_storm / broadcast_flip amplification
+  bool has_prefix = false;
+  net::Prefix24 prefix;         ///< scope, when has_prefix
+  SimTime restart_delay;        ///< prober_crash: downtime before resume
+
+  /// The [start, start+duration) injection window.
+  [[nodiscard]] SimTime end() const { return start + duration; }
+};
+
+/// An immutable, validated list of FaultSpecs.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Builds from already-constructed specs (tests, programmatic plans).
+  /// Validates; throws std::invalid_argument on a bad spec.
+  explicit FaultPlan(std::vector<FaultSpec> faults);
+
+  /// Parses and validates the JSON document described above. Throws
+  /// std::invalid_argument on malformed JSON, a wrong/missing schema tag,
+  /// an unknown kind (the message lists valid_fault_kind_names()), or an
+  /// invalid spec.
+  static FaultPlan parse_json(std::string_view text);
+
+  /// parse_json over a file's contents; std::runtime_error if unreadable.
+  static FaultPlan load_file(const std::string& path);
+
+  [[nodiscard]] const std::vector<FaultSpec>& faults() const { return faults_; }
+  [[nodiscard]] bool empty() const { return faults_.empty(); }
+  [[nodiscard]] bool has_kind(FaultKind kind) const;
+
+ private:
+  std::vector<FaultSpec> faults_;
+};
+
+/// Flag hygiene for every bench: rejects any --fault-* flag that is not
+/// --fault-plan or --fault-seed, with an error listing the valid flags and
+/// fault kinds. A typo like --fault-pln must fail, not silently no-op a
+/// whole fault experiment.
+void check_fault_flags(const util::Flags& flags);
+
+}  // namespace turtle::fault

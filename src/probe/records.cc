@@ -1,5 +1,6 @@
 #include "probe/records.h"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <istream>
@@ -58,7 +59,31 @@ void RecordLog::save(std::ostream& os) const {
   if (!os) throw std::runtime_error("RecordLog::save: write failed");
 }
 
-RecordLog RecordLog::load(std::istream& is) {
+bool RecordLog::record_is_loadable(const unsigned char* bytes, SurveyRecord* out) {
+  SurveyRecord r;
+  const std::uint8_t tag = bytes[0];
+  if (!is_valid_record_type(tag)) return false;
+  r.type = static_cast<RecordType>(tag);
+  std::uint32_t address = 0;
+  std::int64_t probe_time_us = 0;
+  std::int64_t rtt_us = 0;
+  std::memcpy(&address, bytes + 4, sizeof address);
+  std::memcpy(&probe_time_us, bytes + 8, sizeof probe_time_us);
+  std::memcpy(&rtt_us, bytes + 16, sizeof rtt_us);
+  std::memcpy(&r.round, bytes + 24, sizeof r.round);
+  std::memcpy(&r.count, bytes + 28, sizeof r.count);
+  r.address = net::Ipv4Address{address};
+  r.probe_time = SimTime::micros(probe_time_us);
+  r.rtt = SimTime::micros(rtt_us);
+  // Structural validity: negative times or a zero coalescing count can
+  // only come from corruption (append() DCHECKs them out at write time),
+  // and letting them through would crash or skew the analysis.
+  if (r.probe_time.is_negative() || r.rtt.is_negative() || r.count == 0) return false;
+  if (out != nullptr) *out = r;
+  return true;
+}
+
+RecordLog RecordLog::load(std::istream& is, LoadStats* stats) {
   std::array<char, 4> magic{};
   is.read(magic.data(), magic.size());
   if (!is || magic != kMagic) throw std::runtime_error("RecordLog::load: bad magic");
@@ -66,24 +91,35 @@ RecordLog RecordLog::load(std::istream& is) {
     throw std::runtime_error("RecordLog::load: unsupported version");
   }
   const auto n = get<std::uint64_t>(is);
+  if (!is) throw std::runtime_error("RecordLog::load: truncated header");
+
+  LoadStats local;
+  LoadStats& s = stats != nullptr ? *stats : local;
+  s = LoadStats{};
 
   RecordLog log;
-  log.records_.reserve(n);
+  // The declared count is untrusted input (a corrupted header count must
+  // not drive a multi-exabyte reserve); the vector grows naturally past
+  // the cap if the records really are there.
+  log.records_.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(n, 1u << 20)));
+  std::array<unsigned char, kRecordBytes> buffer{};
   for (std::uint64_t i = 0; i < n; ++i) {
-    SurveyRecord r;
-    const auto tag = get<std::uint8_t>(is);
-    if (!is_valid_record_type(tag)) {
-      throw std::runtime_error("RecordLog::load: corrupt record type tag");
+    is.read(reinterpret_cast<char*>(buffer.data()), buffer.size());
+    if (static_cast<std::size_t>(is.gcount()) < buffer.size()) {
+      // Stream ended before the declared count: a crashed writer or a
+      // truncated transfer. Count the missing tail and stop — never
+      // fatal. loaded + skipped + truncated == declared, always.
+      s.records_truncated += n - i;
+      break;
     }
-    r.type = static_cast<RecordType>(tag);
-    std::array<char, 3> pad{};
-    is.read(pad.data(), pad.size());
-    r.address = net::Ipv4Address{get<std::uint32_t>(is)};
-    r.probe_time = SimTime::micros(get<std::int64_t>(is));
-    r.rtt = SimTime::micros(get<std::int64_t>(is));
-    r.round = get<std::uint32_t>(is);
-    r.count = get<std::uint32_t>(is);
-    if (!is) throw std::runtime_error("RecordLog::load: truncated record stream");
+    SurveyRecord r;
+    if (!record_is_loadable(buffer.data(), &r)) {
+      // Fixed-width records make resync exact: skip this one and carry on
+      // at the next 32-byte boundary.
+      ++s.records_skipped;
+      continue;
+    }
+    ++s.records_loaded;
     log.records_.push_back(r);
   }
   return log;

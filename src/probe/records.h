@@ -16,6 +16,7 @@
 // keeps million-response DoS floods from bloating the log).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <vector>
@@ -83,10 +84,38 @@ class RecordLog {
   /// Counts by type (sanity checks and Table 1).
   [[nodiscard]] std::uint64_t count_of(RecordType type) const;
 
-  /// Binary serialization. Throws std::runtime_error on I/O failure or a
-  /// corrupt header.
+  /// On-disk layout constants (documented in records.cc). Exposed so the
+  /// fault layer can corrupt a serialized stream record-by-record and
+  /// predict — via `record_is_loadable` — exactly which corruptions the
+  /// loader will detect.
+  static constexpr std::size_t kHeaderBytes = 16;  ///< magic + version + count
+  static constexpr std::size_t kRecordBytes = 32;
+
+  /// The loader's per-record validation, applied to one serialized
+  /// 32-byte record. A record failing this is *detectably* corrupt (the
+  /// loader counts and skips it); a corrupted record passing it is
+  /// *silently* corrupt (wrong data, structurally valid). Optionally
+  /// decodes into `out`.
+  static bool record_is_loadable(const unsigned char* bytes, SurveyRecord* out = nullptr);
+
+  /// Load-path accounting. Corrupt or truncated *records* are counted and
+  /// skipped, never fatal; only a corrupt file header still throws.
+  struct LoadStats {
+    std::uint64_t records_loaded = 0;
+    std::uint64_t records_skipped = 0;  ///< detectably corrupt, resynced past
+    std::uint64_t records_truncated = 0;  ///< partial record at end of stream
+    [[nodiscard]] std::uint64_t records_dropped() const {
+      return records_skipped + records_truncated;
+    }
+  };
+
+  /// Binary serialization. save() throws std::runtime_error on I/O
+  /// failure. load() throws only on a corrupt header (bad magic or
+  /// unsupported version); mid-stream corruption is skipped at
+  /// record granularity (the format is fixed-width, so resync is exact)
+  /// and reported through `stats`.
   void save(std::ostream& os) const;
-  static RecordLog load(std::istream& is);
+  static RecordLog load(std::istream& is, LoadStats* stats = nullptr);
 
  private:
   std::vector<SurveyRecord> records_;

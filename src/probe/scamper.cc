@@ -10,6 +10,7 @@ ScamperProber::ScamperProber(sim::Simulator& sim, sim::Network& net,
     : sim_{sim},
       net_{net},
       vantage_{vantage},
+      registry_{registry},
       probes_sent_{registry ? &registry->counter("scamper.probes_sent")
                             : &fallback_sent_},
       responses_received_{registry ? &registry->counter("scamper.responses_received")
@@ -127,16 +128,30 @@ void ScamperProber::note_response(net::Ipv4Address src, std::uint32_t token, std
   if (token_it == state.by_token.end()) return;
 
   SentProbe& probe = state.probes[token_it->second];
+  std::uint32_t extra = copies;
   if (!probe.reply_time.has_value()) {
     probe.reply_time = sim_.now();
     probe.reply_ttl = ttl;
-    probe.duplicate_responses += copies - 1;
+    extra = copies - 1;
     rtt_->observe(sim_.now() - probe.send_time);
     TURTLE_TRACE(trace_,
                  complete("probe.matched", "scamper", probe.send_time, sim_.now()));
-  } else {
-    probe.duplicate_responses += copies;
   }
+  // Saturating duplicate accounting: a storm past the cap is suppressed
+  // (and counted) instead of accumulated toward a u32 wrap.
+  const std::uint32_t room = max_duplicates_per_probe_ > probe.duplicate_responses
+                                 ? max_duplicates_per_probe_ - probe.duplicate_responses
+                                 : 0;
+  if (extra > room) {
+    if (dups_suppressed_ == nullptr) {
+      dups_suppressed_ = registry_ != nullptr
+                             ? &registry_->counter("fault.scamper.dups_suppressed")
+                             : &fallback_dups_suppressed_;
+    }
+    dups_suppressed_->inc(extra - room);
+    extra = room;
+  }
+  probe.duplicate_responses += extra;
 }
 
 std::vector<ProbeOutcome> ScamperProber::results(net::Ipv4Address target, SimTime timeout,

@@ -81,6 +81,12 @@ class ScamperProber : public sim::PacketSink {
   [[nodiscard]] std::vector<net::Ipv4Address> responsive_targets(
       SimTime timeout = kIndefinite) const;
 
+  /// Graceful-degradation bound: per-probe duplicate responses beyond
+  /// this are counted under "fault.scamper.dups_suppressed" instead of
+  /// accumulated, so a DoS storm saturates a u32 statistic rather than
+  /// skewing it. Clean runs never reach the default.
+  void set_max_duplicates_per_probe(std::uint32_t cap) { max_duplicates_per_probe_ = cap; }
+
   [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_->value(); }
   [[nodiscard]] std::uint64_t responses_received() const {
     return responses_received_->value();
@@ -113,13 +119,19 @@ class ScamperProber : public sim::PacketSink {
 
   std::unordered_map<std::uint32_t, TargetState> targets_;
   std::uint32_t next_token_ = 1;
+  std::uint32_t max_duplicates_per_probe_ = std::uint32_t{1} << 20;
 
+  obs::Registry* registry_;
   obs::Counter fallback_sent_;
   obs::Counter fallback_responses_;
   obs::Histogram fallback_rtt_;
   obs::Counter* probes_sent_;          ///< "scamper.probes_sent"
   obs::Counter* responses_received_;   ///< "scamper.responses_received"
   obs::Histogram* rtt_;                ///< "scamper.rtt" (first responses)
+  /// "fault.scamper.dups_suppressed"; bound lazily (clean runs never
+  /// create the fault series).
+  obs::Counter fallback_dups_suppressed_;
+  obs::Counter* dups_suppressed_ = nullptr;
   obs::TraceSink* trace_;
 };
 

@@ -1,5 +1,7 @@
 #include "probe/survey.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace turtle::probe {
@@ -48,9 +50,11 @@ SurveyProber::SurveyProber(sim::Simulator& sim, sim::Network& net, SurveyConfig 
 void SurveyProber::start() {
   net_.attach_endpoint(config_.vantage, this);
   for (std::size_t b = 0; b < blocks_.size(); ++b) {
-    const SimTime first = block_phase_[b];
-    sim_.schedule_at(first, [this, b] { probe_slot(b, /*round=*/0, /*slot=*/0); });
+    schedule_slot(b, /*round=*/0, /*slot=*/0);
   }
+  // The boundary-0 checkpoint makes a crash before the first round
+  // boundary recoverable: resume restarts from an empty log.
+  if (config_.checkpoints) take_checkpoint(0);
 }
 
 SimTime SurveyProber::end_time() const {
@@ -81,6 +85,8 @@ void SurveyProber::probe_slot(std::size_t block_index, int round, int slot) {
   // Source-address-only matching: one outstanding probe per target.
   outstanding_[target.value()] =
       Outstanding{now, static_cast<std::uint32_t>(round)};
+  pending_fifo_.emplace_back(target.value(), now);
+  evict_excess_pending();
   probes_sent_->inc();
   net_.send(packet);
 
@@ -89,18 +95,10 @@ void SurveyProber::probe_slot(std::size_t block_index, int round, int slot) {
   // unmatched. FIFO tie-breaking means a response arriving exactly at the
   // deadline counts as late, like a real timer firing first.
   const SimTime sent_at = now;
-  sim_.schedule_after(config_.match_timeout, [this, target, sent_at, round] {
-    const auto it = outstanding_.find(target.value());
-    if (it == outstanding_.end() || it->second.send_time != sent_at) return;
-    outstanding_.erase(it);
-    timeouts_->inc();
-    TURTLE_TRACE(trace_, complete("probe.timeout", "survey", sent_at, sim_.now()));
-    SurveyRecord rec;
-    rec.type = RecordType::kTimeout;
-    rec.address = target;
-    rec.probe_time = sent_at.truncate_to_seconds();
-    rec.round = static_cast<std::uint32_t>(round);
-    log_.append(rec);
+  const std::uint64_t epoch = epoch_;
+  sim_.schedule_after(config_.match_timeout, [this, epoch, target, sent_at, round] {
+    if (epoch != epoch_) return;
+    expire_probe(target, sent_at, static_cast<std::uint32_t>(round));
   });
 
   // Chain the next probe of this block.
@@ -111,14 +109,200 @@ void SurveyProber::probe_slot(std::size_t block_index, int round, int slot) {
     ++next_round;
     if (next_round >= config_.rounds) return;
   }
-  const SimTime next_at = config_.round_interval * next_round + block_phase_[block_index] +
-                          (config_.round_interval / 256) * next_slot;
-  sim_.schedule_at(next_at, [this, block_index, next_round, next_slot] {
-    probe_slot(block_index, next_round, next_slot);
+  schedule_slot(block_index, next_round, next_slot);
+}
+
+SimTime SurveyProber::slot_time(std::size_t block_index, int round, int slot) const {
+  return config_.round_interval * round + block_phase_[block_index] +
+         (config_.round_interval / 256) * slot;
+}
+
+void SurveyProber::schedule_slot(std::size_t block_index, int round, int slot) {
+  const std::uint64_t epoch = epoch_;
+  sim_.schedule_at(slot_time(block_index, round, slot),
+                   [this, epoch, block_index, round, slot] {
+                     if (epoch != epoch_) return;
+                     probe_slot(block_index, round, slot);
+                   });
+}
+
+void SurveyProber::expire_probe(net::Ipv4Address target, SimTime sent_at,
+                                std::uint32_t round) {
+  const auto it = outstanding_.find(target.value());
+  if (it == outstanding_.end() || it->second.send_time != sent_at) return;
+  outstanding_.erase(it);
+  timeouts_->inc();
+  TURTLE_TRACE(trace_, complete("probe.timeout", "survey", sent_at, sim_.now()));
+  SurveyRecord rec;
+  rec.type = RecordType::kTimeout;
+  rec.address = target;
+  rec.probe_time = sent_at.truncate_to_seconds();
+  rec.round = round;
+  log_.append(rec);
+}
+
+void SurveyProber::evict_excess_pending() {
+  while (outstanding_.size() > config_.max_pending && !pending_fifo_.empty()) {
+    const auto [addr, sent] = pending_fifo_.front();
+    pending_fifo_.pop_front();
+    const auto it = outstanding_.find(addr);
+    // Stale shadow entry: the probe already matched, errored or expired.
+    if (it == outstanding_.end() || it->second.send_time != sent) continue;
+    fault_counter(pending_evicted_, "fault.survey.pending_evicted").inc();
+    timeouts_->inc();
+    SurveyRecord rec;
+    rec.type = RecordType::kTimeout;
+    rec.address = net::Ipv4Address{addr};
+    rec.probe_time = sent.truncate_to_seconds();
+    rec.round = it->second.round;
+    log_.append(rec);
+    outstanding_.erase(it);
+  }
+}
+
+obs::Counter& SurveyProber::fault_counter(obs::Counter*& slot, const char* name) {
+  if (slot == nullptr) {
+    slot = config_.registry != nullptr ? &config_.registry->counter(name)
+                                       : &fallback_fault_;
+  }
+  return *slot;
+}
+
+void SurveyProber::take_checkpoint(std::uint32_t completed_rounds) {
+  SurveyCheckpoint cp;
+  cp.round = completed_rounds;
+  cp.taken_at = sim_.now();
+  cp.rng = rng_.state();
+  cp.log = log_;
+  cp.pending.reserve(outstanding_.size());
+  for (const auto& [addr, o] : outstanding_) {
+    cp.pending.push_back(SurveyCheckpoint::PendingProbe{addr, o.send_time, o.round});
+  }
+  // Hash-map iteration order is an implementation detail; sorting makes
+  // the serialized checkpoint — and hence everything a resume derives from
+  // it — independent of it.
+  std::sort(cp.pending.begin(), cp.pending.end(),
+            [](const SurveyCheckpoint::PendingProbe& a,
+               const SurveyCheckpoint::PendingProbe& b) {
+              return a.send_time != b.send_time ? a.send_time < b.send_time
+                                                : a.address < b.address;
+            });
+  checkpoint_bytes_ = cp.to_bytes();
+  checkpoint_log_size_ = log_.size();
+  fault_counter(checkpoints_taken_, "fault.survey.checkpoints").inc();
+  // Chain the next boundary. The chain event is created here — before any
+  // of the next round's slot events exist — so FIFO tie-breaking runs the
+  // checkpoint ahead of probes firing exactly at the boundary.
+  if (completed_rounds < static_cast<std::uint32_t>(config_.rounds)) {
+    const std::uint32_t next = completed_rounds + 1;
+    const std::uint64_t epoch = epoch_;
+    sim_.schedule_at(config_.round_interval * static_cast<int>(next),
+                     [this, epoch, next] {
+                       if (epoch != epoch_) return;
+                       take_checkpoint(next);
+                     });
+  }
+}
+
+void SurveyProber::crash(SimTime restart_delay) {
+  TURTLE_CHECK(config_.checkpoints)
+      << "SurveyProber::crash requires SurveyConfig::checkpoints";
+  TURTLE_CHECK(!checkpoint_bytes_.empty()) << "crash before start()";
+  TURTLE_CHECK(!restart_delay.is_negative());
+  ++epoch_;  // orphan every scheduled slot, timer and checkpoint event
+  crashed_ = true;
+  fault_counter(crashes_, "fault.survey.crashes").inc();
+  // Everything since the last checkpoint is gone. These counters record
+  // how much, so an analysis of a crashed run can quantify the loss.
+  fault_counter(records_lost_, "fault.survey.records_lost")
+      .inc(log_.size() - checkpoint_log_size_);
+  fault_counter(pending_lost_, "fault.survey.pending_lost").inc(outstanding_.size());
+  outstanding_.clear();
+  last_unmatched_.clear();
+  pending_fifo_.clear();
+  const std::uint64_t epoch = epoch_;
+  sim_.schedule_after(restart_delay, [this, epoch] {
+    if (epoch != epoch_) return;
+    resume_from_checkpoint();
   });
 }
 
+void SurveyProber::resume_from_checkpoint() {
+  SurveyCheckpoint cp = SurveyCheckpoint::from_bytes(checkpoint_bytes_);
+  crashed_ = false;
+  rng_ = util::Prng::from_state(cp.rng);
+  log_ = std::move(cp.log);
+  checkpoint_log_size_ = log_.size();
+  const SimTime now = sim_.now();
+
+  // Restored pending probes: the crash window swallowed whatever became of
+  // them. Ones past their deadline are re-expired as TIMEOUT records so
+  // the resumed stream stays self-consistent; the rest get fresh timers.
+  for (const SurveyCheckpoint::PendingProbe& p : cp.pending) {
+    const net::Ipv4Address target{p.address};
+    const SimTime deadline = p.send_time + config_.match_timeout;
+    if (deadline <= now) {
+      timeouts_->inc();
+      SurveyRecord rec;
+      rec.type = RecordType::kTimeout;
+      rec.address = target;
+      rec.probe_time = p.send_time.truncate_to_seconds();
+      rec.round = p.round;
+      log_.append(rec);
+      continue;
+    }
+    outstanding_[p.address] = Outstanding{p.send_time, p.round};
+    pending_fifo_.emplace_back(p.address, p.send_time);
+    const std::uint64_t epoch = epoch_;
+    const SimTime sent_at = p.send_time;
+    const std::uint32_t round = p.round;
+    sim_.schedule_at(deadline, [this, epoch, target, sent_at, round] {
+      if (epoch != epoch_) return;
+      expire_probe(target, sent_at, round);
+    });
+  }
+
+  // Each block resumes at its next not-yet-passed slot. Slots the crash
+  // window covered are skipped, not replayed: their outcomes (if the
+  // probes were ever sent) rolled back with the log.
+  std::uint64_t missed = 0;
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    int round = static_cast<int>(cp.round);
+    int slot = 0;
+    while (round < config_.rounds && slot_time(b, round, slot) < now) {
+      ++missed;
+      if (++slot == 256) {
+        slot = 0;
+        ++round;
+      }
+    }
+    if (round < config_.rounds) schedule_slot(b, round, slot);
+  }
+  fault_counter(slots_missed_, "fault.survey.slots_missed").inc(missed);
+
+  // Restart the checkpoint chain at the next boundary still ahead of us.
+  std::uint32_t next = cp.round + 1;
+  while (next <= static_cast<std::uint32_t>(config_.rounds) &&
+         config_.round_interval * static_cast<int>(next) < now) {
+    ++next;
+  }
+  if (next <= static_cast<std::uint32_t>(config_.rounds)) {
+    const std::uint64_t epoch = epoch_;
+    sim_.schedule_at(config_.round_interval * static_cast<int>(next),
+                     [this, epoch, next] {
+                       if (epoch != epoch_) return;
+                       take_checkpoint(next);
+                     });
+  }
+}
+
 void SurveyProber::deliver(const net::Packet& packet, std::uint32_t copies) {
+  if (crashed_) {
+    // The process is down; the address still exists but nobody is
+    // listening. Responses arriving inside the crash window vanish.
+    fault_counter(recv_while_down_, "fault.survey.recv_while_down").inc(copies);
+    return;
+  }
   const auto msg = net::parse_icmp(packet.payload.view());
   if (!msg.has_value()) return;
 
@@ -180,6 +364,13 @@ void SurveyProber::record_unmatched(net::Ipv4Address src, std::uint32_t copies) 
   if (it != last_unmatched_.end() && it->second.second == second) {
     log_.at(it->second.record_index).count += copies;
     return;
+  }
+  if (last_unmatched_.size() >= config_.max_unmatched_slots) {
+    // Bounded coalescing index: a flood from many distinct sources cannot
+    // grow it without limit. Flushing restarts coalescing — subsequent
+    // responses open fresh records — so only log compactness is lost.
+    last_unmatched_.clear();
+    fault_counter(unmatched_flushed_, "fault.survey.unmatched_flushed").inc();
   }
   SurveyRecord rec;
   rec.type = RecordType::kUnmatched;

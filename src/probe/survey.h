@@ -13,14 +13,19 @@
 // 1 s-precision UNMATCHED record plus a TIMEOUT record for the probe.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/icmp.h"
 #include "net/ipv4.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "probe/checkpoint.h"
 #include "probe/records.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -40,6 +45,21 @@ struct SurveyConfig {
   /// Optional trace sink: probe lifecycle spans (matched / timed-out) and
   /// per-round instants, all on the simulated clock.
   obs::TraceSink* trace = nullptr;
+
+  // --- Resilience knobs (turtle::fault) ---------------------------------
+  /// Bound on outstanding probes. A duplicate/DoS storm cannot grow the
+  /// pending map without limit: past the bound the *oldest* outstanding
+  /// probe is written off as a TIMEOUT record and evicted (counted under
+  /// "fault.survey.pending_evicted"). FIFO order keeps eviction
+  /// deterministic — hash-map iteration order is not.
+  std::size_t max_pending = std::size_t{1} << 20;
+  /// Bound on the unmatched-coalescing index. Overflow flushes the index
+  /// ("fault.survey.unmatched_flushed"); coalescing restarts, so a flush
+  /// only costs log compactness, never correctness.
+  std::size_t max_unmatched_slots = std::size_t{1} << 20;
+  /// Serialize a checkpoint at start and at every round boundary.
+  /// Required by crash(); off by default so faultless runs are unchanged.
+  bool checkpoints = false;
 };
 
 /// Runs one survey. Construct, `start()`, then run the simulator; the
@@ -57,6 +77,20 @@ class SurveyProber : public sim::PacketSink {
   [[nodiscard]] SimTime end_time() const;
 
   void deliver(const net::Packet& packet, std::uint32_t copies) override;
+
+  /// Fault layer: simulated process crash. All in-memory state is lost and
+  /// every scheduled callback of this prober is orphaned; `restart_delay`
+  /// later the prober reloads its last round-boundary checkpoint and
+  /// resumes each block at its next not-yet-passed slot. Restored pending
+  /// probes past their deadline are re-expired as TIMEOUT records, so the
+  /// resumed record stream stays self-consistent. Requires
+  /// SurveyConfig::checkpoints and may only be called after start().
+  void crash(SimTime restart_delay);
+
+  /// Last serialized checkpoint (SurveyCheckpoint::from_bytes decodes it).
+  /// Non-empty once start() ran with checkpoints enabled; a driver that
+  /// wants durable restarts can persist exactly these bytes.
+  [[nodiscard]] const std::string& checkpoint_bytes() const { return checkpoint_bytes_; }
 
   [[nodiscard]] const RecordLog& log() const { return log_; }
   [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_->value(); }
@@ -83,6 +117,21 @@ class SurveyProber : public sim::PacketSink {
   void handle_echo_reply(const net::Packet& packet, std::uint32_t copies);
   void record_unmatched(net::Ipv4Address src, std::uint32_t copies);
 
+  /// Absolute sim time of a (round, slot) for a block, phase included.
+  [[nodiscard]] SimTime slot_time(std::size_t block_index, int round, int slot) const;
+  /// schedule_at(slot_time(...)) with the current-epoch guard attached.
+  void schedule_slot(std::size_t block_index, int round, int slot);
+  /// Shared body of the match-timeout timer and resume-time re-expiry.
+  void expire_probe(net::Ipv4Address target, SimTime sent_at, std::uint32_t round);
+  void take_checkpoint(std::uint32_t completed_rounds);
+  void resume_from_checkpoint();
+  void evict_excess_pending();
+  /// Lazily binds a fault counter: registry-backed when a registry is
+  /// attached, shared fallback otherwise. Lazy so a faultless run never
+  /// creates "fault.*" series and its metrics dump is byte-identical to
+  /// builds without this layer.
+  obs::Counter& fault_counter(obs::Counter*& slot, const char* name);
+
   struct Outstanding {
     SimTime send_time;
     std::uint32_t round;
@@ -105,6 +154,17 @@ class SurveyProber : public sim::PacketSink {
   std::unordered_map<std::uint32_t, UnmatchedSlot> last_unmatched_;
   RecordLog log_;
 
+  /// Insertion-ordered (address, send_time) shadow of outstanding_; the
+  /// deterministic eviction order for max_pending. Entries go stale when a
+  /// probe is matched/expired; eviction skips those lazily.
+  std::deque<std::pair<std::uint32_t, SimTime>> pending_fifo_;
+  /// Bumped by crash(): every scheduled lambda captures the epoch it was
+  /// created under and no-ops if the prober crashed since.
+  std::uint64_t epoch_ = 0;
+  bool crashed_ = false;
+  std::string checkpoint_bytes_;
+  std::size_t checkpoint_log_size_ = 0;  ///< log_.size() at last checkpoint
+
   // Registry-backed counters with private fallbacks so the hot paths never
   // branch on "is a registry attached".
   obs::Counter fallback_sent_;
@@ -122,6 +182,17 @@ class SurveyProber : public sim::PacketSink {
   obs::Counter* errors_;              ///< "survey.errors"
   obs::Histogram* rtt_;               ///< "survey.rtt" (matched only)
   obs::TraceSink* trace_;
+
+  // Fault-path counters, bound lazily on first use (see fault_counter).
+  obs::Counter fallback_fault_;
+  obs::Counter* crashes_ = nullptr;            ///< "fault.survey.crashes"
+  obs::Counter* records_lost_ = nullptr;       ///< "fault.survey.records_lost"
+  obs::Counter* pending_lost_ = nullptr;       ///< "fault.survey.pending_lost"
+  obs::Counter* slots_missed_ = nullptr;       ///< "fault.survey.slots_missed"
+  obs::Counter* pending_evicted_ = nullptr;    ///< "fault.survey.pending_evicted"
+  obs::Counter* unmatched_flushed_ = nullptr;  ///< "fault.survey.unmatched_flushed"
+  obs::Counter* recv_while_down_ = nullptr;    ///< "fault.survey.recv_while_down"
+  obs::Counter* checkpoints_taken_ = nullptr;  ///< "fault.survey.checkpoints"
 };
 
 }  // namespace turtle::probe

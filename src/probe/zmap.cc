@@ -93,8 +93,22 @@ void ZmapScanner::deliver(const net::Packet& packet, std::uint32_t copies) {
   // Duplicates carry the same payload; record each copy like the real
   // (stateless) receiver would, but cap the expansion per delivery so a
   // DoS flood cannot balloon the result vector.
-  const std::uint32_t expand = std::min<std::uint32_t>(copies, 16);
-  for (std::uint32_t i = 0; i < expand; ++i) responses_.push_back(r);
+  std::uint64_t expand = std::min<std::uint32_t>(copies, 16);
+  // Global degradation cap: past max_responses the scanner keeps running
+  // and counting, it just stops storing rows.
+  const std::uint64_t room = config_.max_responses > responses_.size()
+                                 ? config_.max_responses - responses_.size()
+                                 : 0;
+  if (expand > room) {
+    if (responses_dropped_ == nullptr) {
+      responses_dropped_ = config_.registry != nullptr
+                               ? &config_.registry->counter("fault.zmap.responses_dropped")
+                               : &fallback_dropped_;
+    }
+    responses_dropped_->inc(expand - room);
+    expand = room;
+  }
+  for (std::uint64_t i = 0; i < expand; ++i) responses_.push_back(r);
 }
 
 }  // namespace turtle::probe

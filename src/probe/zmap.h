@@ -33,6 +33,11 @@ struct ZmapConfig {
   int batch_size = 64;
   /// Permutation seed (Zmap randomizes target order).
   std::uint64_t permutation_seed = 1;
+  /// Hard cap on stored response rows (graceful degradation): past it,
+  /// further responses are counted under "fault.zmap.responses_dropped"
+  /// and discarded, so a duplicate/DoS storm cannot grow the result
+  /// vector without bound. Never reached by clean runs.
+  std::size_t max_responses = std::size_t{1} << 22;
   /// Optional metrics sink ("zmap.*" counters and the "zmap.rtt"
   /// histogram of stateless-matched RTTs).
   obs::Registry* registry = nullptr;
@@ -91,6 +96,10 @@ class ZmapScanner : public sim::PacketSink {
   obs::Counter* responses_received_;   ///< "zmap.responses"
   obs::Counter* address_mismatch_;     ///< "zmap.address_mismatch"
   obs::Histogram* rtt_;              ///< "zmap.rtt"
+  /// "fault.zmap.responses_dropped"; bound lazily so clean runs never
+  /// create the fault series.
+  obs::Counter fallback_dropped_;
+  obs::Counter* responses_dropped_ = nullptr;
   obs::TraceSink* trace_;
 };
 

@@ -27,6 +27,20 @@ Network::Network(Simulator& sim, Config config, util::Prng rng)
   TURTLE_CHECK_GE(config_.transit_jitter_sigma, 0.0);
 }
 
+void Network::set_fault_hook(FaultHook* hook) {
+  fault_hook_ = hook;
+  if (hook == nullptr) return;
+  if (config_.registry != nullptr) {
+    fault_dropped_ = &config_.registry->counter("fault.net.dropped_packets");
+    fault_delayed_ = &config_.registry->counter("fault.net.delayed_packets");
+    fault_copies_ = &config_.registry->counter("fault.net.extra_copies");
+  } else {
+    fault_dropped_ = &fallback_fault_dropped_;
+    fault_delayed_ = &fallback_fault_delayed_;
+    fault_copies_ = &fallback_fault_copies_;
+  }
+}
+
 void Network::attach_endpoint(net::Ipv4Address addr, PacketSink* sink) {
   TURTLE_CHECK(sink != nullptr);
   const auto [it, inserted] = endpoints_.emplace(addr.value(), sink);
@@ -37,6 +51,28 @@ void Network::attach_endpoint(net::Ipv4Address addr, PacketSink* sink) {
 void Network::send(const net::Packet& packet, std::uint32_t copies) {
   TURTLE_DCHECK_GT(copies, 0u) << "send of an empty packet batch";
   packets_sent_->inc(copies);
+
+  // Fault injection first: an outage swallows the batch before it can
+  // resolve, a duplicate storm widens it, a delay spike stretches transit.
+  // The applied-side counters here must mirror the injector's own
+  // injected-side counters exactly (CI reconciles them).
+  SimTime fault_delay{};
+  if (fault_hook_ != nullptr) {
+    const FaultHook::Action action = fault_hook_->on_send(packet, copies);
+    if (action.drop) {
+      fault_dropped_->inc(copies);
+      packets_dropped_->inc(copies);
+      return;
+    }
+    if (action.extra_copies > 0) {
+      fault_copies_->inc(action.extra_copies);
+      copies += action.extra_copies;
+    }
+    if (action.extra_delay > SimTime{}) {
+      fault_delayed_->inc();
+      fault_delay = action.extra_delay;
+    }
+  }
 
   PacketSink* sink = nullptr;
   if (const auto it = endpoints_.find(packet.dst.value()); it != endpoints_.end()) {
@@ -69,7 +105,8 @@ void Network::send(const net::Packet& packet, std::uint32_t copies) {
   packets_dropped_->inc(copies - surviving);
 
   const double jitter = std::exp(config_.transit_jitter_sigma * rng_.normal());
-  const SimTime transit = SimTime::from_seconds(config_.transit_base.as_seconds() * jitter);
+  const SimTime transit =
+      SimTime::from_seconds(config_.transit_base.as_seconds() * jitter) + fault_delay;
 
   transit_delay_->observe(transit);
   packets_delivered_->inc(surviving);

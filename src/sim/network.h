@@ -30,6 +30,28 @@ class PacketSink {
   virtual void deliver(const net::Packet& packet, std::uint32_t copies) = 0;
 };
 
+/// Fault-injection hook consulted once per Network::send. The fabric stays
+/// dumb: it asks "what happens to this packet?" and applies the verdict,
+/// while the policy (which faults are active, which prefixes they hit,
+/// what the PRNG draws) lives in turtle::fault::FaultInjector. Keeping the
+/// interface here avoids a sim -> fault dependency.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// What the active faults do to one send.
+  struct Action {
+    bool drop = false;             ///< swallow the whole batch
+    SimTime extra_delay{};         ///< added on top of normal transit
+    std::uint32_t extra_copies = 0;  ///< duplicates added to the batch
+  };
+
+  /// Must be deterministic in (packet, copies, simulated time, hook
+  /// state): the Network calls it in event order, which is identical
+  /// across --jobs values.
+  [[nodiscard]] virtual Action on_send(const net::Packet& packet, std::uint32_t copies) = 0;
+};
+
 /// Maps a packet to its destination endpoint. Implemented by the host
 /// population's table; returns nullptr for unassigned addresses (the
 /// packet silently disappears, like a probe to dark space). The whole
@@ -65,6 +87,12 @@ class Network {
   /// network. Called once during setup.
   void set_host_resolver(AddressResolver* resolver) { host_resolver_ = resolver; }
 
+  /// Installs (or clears, with nullptr) the fault-injection hook. The
+  /// hook must outlive the network. The "fault.net.*" counters record
+  /// what the fabric actually applied, as the cross-check against the
+  /// injector's own "fault.injected.*" counters.
+  void set_fault_hook(FaultHook* hook);
+
   /// Attaches a prober endpoint (vantage point) at a specific address.
   /// Packets destined to `addr` are delivered to `sink`.
   void attach_endpoint(net::Ipv4Address addr, PacketSink* sink);
@@ -89,7 +117,17 @@ class Network {
   Config config_;
   util::Prng rng_;
   AddressResolver* host_resolver_ = nullptr;
+  FaultHook* fault_hook_ = nullptr;
   std::map<std::uint32_t, PacketSink*> endpoints_;
+
+  // Applied-fault counters, bound when a hook is installed (cold path;
+  // faultless runs never create them, keeping metrics dumps unchanged).
+  obs::Counter fallback_fault_dropped_;
+  obs::Counter fallback_fault_delayed_;
+  obs::Counter fallback_fault_copies_;
+  obs::Counter* fault_dropped_ = nullptr;   ///< "fault.net.dropped_packets"
+  obs::Counter* fault_delayed_ = nullptr;   ///< "fault.net.delayed_packets"
+  obs::Counter* fault_copies_ = nullptr;    ///< "fault.net.extra_copies"
 
   obs::Counter fallback_sent_;
   obs::Counter fallback_dropped_;

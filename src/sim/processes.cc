@@ -1,6 +1,9 @@
 #include "sim/processes.h"
 
 #include <cmath>
+#include <utility>
+
+#include "util/check.h"
 
 namespace turtle::sim {
 
@@ -28,6 +31,24 @@ void OnOffProcess::advance_to(SimTime t) {
 bool OnOffProcess::on_at(SimTime t) {
   advance_to(t);
   return t >= on_start_;
+}
+
+WindowOverlay::WindowOverlay(std::vector<Window> windows) : windows_{std::move(windows)} {
+  std::sort(windows_.begin(), windows_.end(),
+            [](const Window& a, const Window& b) { return a.start < b.start; });
+  for (const Window& w : windows_) {
+    TURTLE_CHECK_LT(w.start, w.end) << "empty or inverted fault window";
+  }
+}
+
+bool WindowOverlay::active_at(SimTime t) {
+  // Advance past windows that ended at or before t. Overlap is handled by
+  // checking every window from the cursor whose start precedes t.
+  while (cursor_ < windows_.size() && windows_[cursor_].end <= t) ++cursor_;
+  for (std::size_t i = cursor_; i < windows_.size() && windows_[i].start <= t; ++i) {
+    if (t < windows_[i].end) return true;
+  }
+  return false;
 }
 
 BacklogProcess::BacklogProcess(Params params, util::Prng rng)

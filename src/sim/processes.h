@@ -8,6 +8,8 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
+#include <vector>
 
 #include "util/prng.h"
 #include "util/sim_time.h"
@@ -82,6 +84,37 @@ class BacklogProcess {
   SimTime last_query_;
   double backlog_s_ = 0.0;
   bool loaded_ = false;
+};
+
+/// A deterministic set of half-open [start, end) windows, queried in
+/// non-decreasing time order — the scheduled counterpart of OnOffProcess.
+/// Where OnOffProcess *samples* episodes from a PRNG, WindowOverlay
+/// *replays* episodes somebody planned (the fault injector's outages,
+/// loss bursts, and storms are all scheduled windows in sim time). The
+/// monotone cursor keeps per-packet queries O(1) amortized no matter how
+/// many windows a plan carries.
+class WindowOverlay {
+ public:
+  struct Window {
+    SimTime start;
+    SimTime end;  ///< exclusive
+  };
+
+  WindowOverlay() = default;
+  /// Windows are sorted by start; overlapping windows behave as their
+  /// union.
+  explicit WindowOverlay(std::vector<Window> windows);
+
+  /// True when `t` falls inside any window. Queries must be non-decreasing
+  /// in `t` (event order guarantees this for per-packet queries).
+  [[nodiscard]] bool active_at(SimTime t);
+
+  [[nodiscard]] bool empty() const { return windows_.empty(); }
+  [[nodiscard]] const std::vector<Window>& windows() const { return windows_; }
+
+ private:
+  std::vector<Window> windows_;
+  std::size_t cursor_ = 0;
 };
 
 /// A FIFO bottleneck queue observed directly by probe traffic, used where

@@ -63,6 +63,33 @@ bool Flags::get_bool(const std::string& name, bool def) const {
   throw std::invalid_argument("flag --" + name + " expects a boolean, got '" + v + "'");
 }
 
+void Flags::reject_unknown(std::string_view prefix,
+                           std::initializer_list<std::string_view> allowed,
+                           std::string_view hint) const {
+  for (const auto& [name, _] : values_) {
+    if (std::string_view{name}.substr(0, prefix.size()) != prefix) continue;
+    bool ok = false;
+    for (const std::string_view a : allowed) {
+      if (name == a) {
+        ok = true;
+        break;
+      }
+    }
+    if (ok) continue;
+    std::string message = "unknown flag --" + name + "; valid --" + std::string(prefix) +
+                          "* flags are:";
+    for (const std::string_view a : allowed) {
+      message += " --";
+      message += a;
+    }
+    if (!hint.empty()) {
+      message += ". ";
+      message += hint;
+    }
+    throw std::invalid_argument(message);
+  }
+}
+
 std::vector<std::string> Flags::names() const {
   std::vector<std::string> out;
   out.reserve(values_.size());

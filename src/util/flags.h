@@ -7,8 +7,10 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace turtle::util {
@@ -32,6 +34,14 @@ class Flags {
 
   /// Names of all flags that were set (used to reject typos in tests).
   [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Rejects typos within a flag family: throws std::invalid_argument if
+  /// any set flag starts with `prefix` but is not one of `allowed`. The
+  /// error lists the allowed names plus `hint` (e.g. the valid fault
+  /// kinds), so a mistyped --fault-* flag fails loudly instead of being
+  /// silently ignored.
+  void reject_unknown(std::string_view prefix, std::initializer_list<std::string_view> allowed,
+                      std::string_view hint = {}) const;
 
  private:
   std::map<std::string, std::string> values_;

@@ -90,6 +90,25 @@ class Prng {
   /// Weibull with shape k > 0 and scale lambda > 0.
   double weibull(double shape, double scale);
 
+  /// Serializable generator state, for checkpoint/resume. Restoring drops
+  /// any cached Box-Muller variate: the restored stream is deterministic
+  /// but resumes at the next full draw, which is exactly what a prober
+  /// restarting from a checkpoint needs (replay from the checkpoint is
+  /// bit-identical; it does not have to match an uncrashed run).
+  struct State {
+    std::array<std::uint64_t, 4> words{};
+  };
+
+  [[nodiscard]] State state() const { return State{state_}; }
+
+  [[nodiscard]] static Prng from_state(const State& state) {
+    Prng rng{0};
+    rng.state_ = state.words;
+    rng.cached_normal_ = 0.0;
+    rng.has_cached_normal_ = false;
+    return rng;
+  }
+
   /// Derives an independent generator keyed by `stream`. Deterministic:
   /// the same (parent seed, stream) pair always yields the same child.
   ///

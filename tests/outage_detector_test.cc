@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <sstream>
 
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 #include "hosts/host.h"
+#include "probe/survey.h"
 #include "test_world.h"
 
 namespace turtle::core {
@@ -155,6 +159,160 @@ TEST_F(DetectorFixture, StateCostGrowsWithGiveUp) {
   w2.sim.run();
 
   EXPECT_GT(d2.stats().state_probe_seconds, d1.stats().state_probe_seconds * 3);
+}
+
+// --- retry policies (turtle::fault resilience layer) -----------------------
+
+TEST_F(DetectorFixture, RetryPolicyOverridesAttemptBudget) {
+  // Dead target, 5-attempt backoff policy: the detector retries past the
+  // config's max_probes=3.
+  ExponentialBackoffPolicy retry{SimTime::seconds(1), 2.0, SimTime::seconds(8),
+                                 /*attempts=*/5, /*listen=*/SimTime::seconds(20)};
+  config.retry = &retry;
+  FixedTimeoutPolicy policy{SimTime::seconds(3)};
+  OutageDetector detector{w.sim, w.net, config, policy};
+  detector.start({target});
+  w.sim.run();
+
+  EXPECT_EQ(detector.stats().probes_sent, 3u * 5);
+  EXPECT_EQ(detector.stats().outages_declared, 3u);
+}
+
+TEST_F(DetectorFixture, ListenLongerRetryPolicySavesSlowHost) {
+  // The paper's recommendation as a RetryPolicy: retransmit every 3 s but
+  // listen 60 s. A 10 s host is saved even under a fixed timeout policy.
+  hosts::Host host{w.ctx, target, plain_profile(SimTime::seconds(10)), util::Prng{1}};
+  resolver.put(target, &host);
+
+  ListenLongerRetryPolicy retry;
+  config.retry = &retry;
+  FixedTimeoutPolicy policy{SimTime::seconds(3)};
+  OutageDetector detector{w.sim, w.net, config, policy};
+  detector.start({target});
+  w.sim.run();
+
+  EXPECT_EQ(detector.stats().outages_declared, 0u);
+  EXPECT_EQ(detector.stats().late_saves, 3u);
+}
+
+TEST(RetryPolicies, BackoffGrowsAndCaps) {
+  ExponentialBackoffPolicy p{SimTime::seconds(1), 2.0, SimTime::seconds(5), 6,
+                             SimTime::seconds(30)};
+  EXPECT_EQ(p.retry_delay(1), SimTime::seconds(1));
+  EXPECT_EQ(p.retry_delay(2), SimTime::seconds(2));
+  EXPECT_EQ(p.retry_delay(3), SimTime::seconds(4));
+  EXPECT_EQ(p.retry_delay(4), SimTime::seconds(5));  // capped
+  EXPECT_EQ(p.retry_delay(10), SimTime::seconds(5));
+}
+
+TEST(RetryPolicies, FactoryRejectsUnknownSpec) {
+  EXPECT_NE(make_retry_policy("fixed"), nullptr);
+  EXPECT_NE(make_retry_policy("backoff"), nullptr);
+  EXPECT_NE(make_retry_policy("listen-longer"), nullptr);
+  EXPECT_THROW((void)make_retry_policy("adaptive-ish"), std::invalid_argument);
+}
+
+// --- injected block outages ------------------------------------------------
+
+struct OutageFaultFixture : DetectorFixture {
+  obs::Registry reg;
+
+  fault::FaultPlan plan_json(const std::string& faults) {
+    return fault::FaultPlan::parse_json(
+        R"({"schema": "turtle-fault-plan-v1", "faults": [)" + faults + "]}");
+  }
+};
+
+TEST_F(OutageFaultFixture, OutageAtTimeZero) {
+  // The outage begins before the very first probe: round 0 must be a
+  // clean declared outage (no state from "before" to lean on), and the
+  // detector must recover on its own once the window ends.
+  hosts::Host host{w.ctx, target, plain_profile(SimTime::millis(50)), util::Prng{1}};
+  resolver.put(target, &host);
+
+  const auto plan = plan_json(R"({"kind": "block_outage", "start_s": 0, "duration_s": 30})");
+  fault::FaultInjector inj{w.sim, plan, util::Prng{9}, &reg};
+  w.net.set_fault_hook(&inj);
+
+  FixedTimeoutPolicy policy{SimTime::seconds(3)};
+  OutageDetector detector{w.sim, w.net, config, policy};
+  detector.start({target});
+  w.sim.run();
+
+  ASSERT_EQ(detector.outcomes().size(), 3u);
+  EXPECT_TRUE(detector.outcomes()[0].declared_outage);   // inside [0, 30)
+  EXPECT_FALSE(detector.outcomes()[1].declared_outage);  // 11 min: recovered
+  EXPECT_FALSE(detector.outcomes()[2].declared_outage);
+  EXPECT_GT(reg.counter("fault.injected.outage_drops").value(), 0u);
+}
+
+TEST_F(OutageFaultFixture, BackToBackOutagesShorterThanARound) {
+  // Two short outages within one 11-minute check interval: the one the
+  // check lands in is declared; the one between checks is invisible —
+  // periodic probing samples outages, it does not integrate them.
+  hosts::Host host{w.ctx, target, plain_profile(SimTime::millis(50)), util::Prng{1}};
+  resolver.put(target, &host);
+
+  // Checks run at t = 0, 660, 1320 s. Windows: [650, 680) catches the
+  // second check (send + full 3-probe retry + response all inside);
+  // [700, 730) falls strictly between checks.
+  const auto plan = plan_json(
+      R"({"kind": "block_outage", "start_s": 650, "duration_s": 30},
+         {"kind": "block_outage", "start_s": 700, "duration_s": 30})");
+  fault::FaultInjector inj{w.sim, plan, util::Prng{9}, &reg};
+  w.net.set_fault_hook(&inj);
+
+  FixedTimeoutPolicy policy{SimTime::seconds(3)};
+  OutageDetector detector{w.sim, w.net, config, policy};
+  detector.start({target});
+  w.sim.run();
+
+  ASSERT_EQ(detector.outcomes().size(), 3u);
+  EXPECT_FALSE(detector.outcomes()[0].declared_outage);
+  EXPECT_TRUE(detector.outcomes()[1].declared_outage);   // caught by check 1
+  EXPECT_FALSE(detector.outcomes()[2].declared_outage);  // second window unseen
+  EXPECT_EQ(detector.stats().outages_declared, 1u);
+}
+
+TEST_F(OutageFaultFixture, OutageSpanningCheckpointResume) {
+  // A network outage brackets a prober crash+resume: the survey must come
+  // back from its checkpoint *into* the still-dark window (all timeouts),
+  // then match again once the outage lifts. Exercises the resume path's
+  // interaction with an environment fault, not just a clean network.
+  net::Prefix24 block = net::Prefix24::from_network(10u << 16);
+  hosts::Host host{w.ctx, block.address(10), plain_profile(SimTime::millis(80)),
+                   util::Prng{1}};
+  resolver.put(block.address(10), &host);
+
+  // Round interval 660 s; crash at 700 s (round 1), restart 60 s later at
+  // 760 s; outage [690, 900) spans the whole crash and the resume.
+  const auto plan = plan_json(R"({"kind": "block_outage", "start_s": 690, "duration_s": 210})");
+  fault::FaultInjector inj{w.sim, plan, util::Prng{9}, &reg};
+  w.net.set_fault_hook(&inj);
+
+  probe::SurveyConfig survey_config;
+  survey_config.rounds = 4;
+  survey_config.checkpoints = true;
+  survey_config.registry = &reg;
+  probe::SurveyProber prober{w.sim, w.net, survey_config, {block}, util::Prng{5}};
+  prober.start();
+  w.sim.schedule_at(SimTime::seconds(700), [&] { prober.crash(SimTime::seconds(60)); });
+  w.sim.run();
+
+  EXPECT_EQ(reg.counter("fault.survey.crashes").value(), 1u);
+  // The prober survived both faults and finished all four rounds: the
+  // host matched in round 0 (clean) and in round 3 (after the outage);
+  // every probe it sent is accounted for in the log.
+  std::uint64_t matched_before = 0;
+  std::uint64_t matched_after = 0;
+  for (const auto& rec : prober.log().records()) {
+    if (rec.type != probe::RecordType::kMatched) continue;
+    if (rec.probe_time < SimTime::seconds(690)) ++matched_before;
+    if (rec.probe_time >= SimTime::seconds(900)) ++matched_after;
+  }
+  EXPECT_GT(matched_before, 0u);
+  EXPECT_GT(matched_after, 0u);
+  EXPECT_GT(reg.counter("fault.injected.outage_drops").value(), 0u);
 }
 
 TEST_F(DetectorFixture, AdaptivePolicyLearnsPerDestination) {

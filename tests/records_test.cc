@@ -66,7 +66,9 @@ TEST(RecordLog, LoadRejectsBadMagic) {
   EXPECT_THROW((void)RecordLog::load(buf), std::runtime_error);
 }
 
-TEST(RecordLog, LoadRejectsTruncation) {
+TEST(RecordLog, LoadCountsTruncatedTail) {
+  // Graceful degradation: a partial record at end of stream (crashed
+  // writer, cut transfer) is counted and skipped, never fatal.
   RecordLog log;
   log.append(sample(RecordType::kMatched, 1, 1));
   log.append(sample(RecordType::kMatched, 2, 2));
@@ -75,7 +77,48 @@ TEST(RecordLog, LoadRejectsTruncation) {
   std::string bytes = buf.str();
   bytes.resize(bytes.size() - 10);
   std::stringstream truncated{bytes};
-  EXPECT_THROW((void)RecordLog::load(truncated), std::runtime_error);
+  RecordLog::LoadStats stats;
+  const RecordLog loaded = RecordLog::load(truncated, &stats);
+  EXPECT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(stats.records_loaded, 1u);
+  EXPECT_EQ(stats.records_truncated, 1u);
+  EXPECT_EQ(stats.records_skipped, 0u);
+  EXPECT_EQ(stats.records_loaded + stats.records_dropped(), 2u);
+}
+
+TEST(RecordLog, LoadSkipsCorruptRecordMidStream) {
+  // A corrupt record tag mid-stream is skipped at exact 32-byte record
+  // granularity; the surrounding records load unharmed.
+  RecordLog log;
+  log.append(sample(RecordType::kMatched, 1, 10));
+  log.append(sample(RecordType::kMatched, 2, 20));
+  log.append(sample(RecordType::kMatched, 3, 30));
+  std::stringstream buf;
+  log.save(buf);
+  std::string bytes = buf.str();
+  bytes[RecordLog::kHeaderBytes + RecordLog::kRecordBytes] = '\x7F';  // record 1's tag
+  std::stringstream corrupted{bytes};
+  RecordLog::LoadStats stats;
+  const RecordLog loaded = RecordLog::load(corrupted, &stats);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.at(0).address.value(), 1u);
+  EXPECT_EQ(loaded.at(1).address.value(), 3u);
+  EXPECT_EQ(stats.records_loaded, 2u);
+  EXPECT_EQ(stats.records_skipped, 1u);
+  EXPECT_EQ(stats.records_truncated, 0u);
+}
+
+TEST(RecordLog, LoadRejectsCorruptHeaderOnly) {
+  // Header corruption stays fatal: there is no way to trust anything
+  // after a bad magic or version.
+  RecordLog log;
+  log.append(sample(RecordType::kMatched, 1, 10));
+  std::stringstream buf;
+  log.save(buf);
+  std::string bytes = buf.str();
+  bytes[4] = '\x09';  // version word
+  std::stringstream corrupted{bytes};
+  EXPECT_THROW((void)RecordLog::load(corrupted), std::runtime_error);
 }
 
 TEST(RecordLog, InPlaceCoalescing) {
