@@ -56,6 +56,7 @@ scale_flags() {
         table4_turtle_ases|table5_continents|table6_sleepy_turtles) echo "--blocks=300" ;;
         fig08_scamper_confirm|table7_patterns) echo "--blocks=200 --rounds=20" ;;
         fig09_survey_timeline) echo "--blocks=60 --rounds=10" ;;
+        serve_loadgen) echo "--blocks=60 --rounds=10 --shards=2 --duration=20 --rate=500" ;;
         *) echo "--blocks=100 --rounds=12" ;;
       esac ;;
     full) echo "" ;;

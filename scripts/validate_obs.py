@@ -3,7 +3,7 @@
 
 Usage:
     scripts/validate_obs.py --metrics M.json --trace T.json [--stdout OUT.txt]
-                            [--fault]
+                            [--fault] [--serve]
 
 Checks:
   * the metrics file is valid JSON with the turtle-metrics-v1 schema,
@@ -19,10 +19,16 @@ Checks:
   * with --fault (a run under --fault-plan), the fault.* counters
     reconcile: every injected fault is observed somewhere — drops, delays
     and extra copies match between injector and network, crashes match
-    between injector and prober, and every corrupted record is classified
-    and either skipped by the loader or passed through silently. A missing
-    counter counts as zero, so the equations also hold for plans that only
-    use some fault kinds.
+    between injector and prober/server, and every corrupted record is
+    classified and either skipped by the loader or passed through
+    silently. A missing counter counts as zero, so the equations also
+    hold for plans that only use some fault kinds;
+  * with --serve (a bench/serve_loadgen run), the serving ledger closes:
+    every offered request is served, shed (with an attributed reason), or
+    still queued at finalize; cache hits + misses == lookups; each lookup
+    is answered by exactly one scope tier; the latency histogram holds
+    one observation per served request; and a crashed server rebuilt its
+    snapshot at least once.
 """
 import argparse
 import json
@@ -118,7 +124,7 @@ FAULT_EQUATIONS = [
     (("fault.injected.delayed_packets",), ("fault.net.delayed_packets",)),
     (("fault.injected.dup_copies", "fault.injected.broadcast_copies"),
      ("fault.net.extra_copies",)),
-    (("fault.injected.crashes",), ("fault.survey.crashes",)),
+    (("fault.injected.crashes",), ("fault.survey.crashes", "fault.serve.crashes")),
     (("fault.records.hit",),
      ("fault.records.detectable", "fault.records.silent")),
     (("fault.records.detectable",), ("fault.records.load_skipped",)),
@@ -141,6 +147,40 @@ def validate_fault(metrics):
     # asserted here.
 
 
+def validate_serve(metrics):
+    counters = metrics.get("counters", {})
+    check(any(k.startswith("serve.") for k in counters),
+          "serve: no serve.* counters in a --serve run")
+    c = lambda name: counters.get(name, 0)
+
+    # The admission ledger: nothing offered is ever silently dropped.
+    check(c("serve.served") + c("serve.shed") + c("serve.queued") == c("serve.offered"),
+          f"serve: served {c('serve.served')} + shed {c('serve.shed')} + "
+          f"queued {c('serve.queued')} != offered {c('serve.offered')}")
+    check(c("serve.shed_overload") + c("serve.shed_down") + c("serve.shed_net")
+          == c("serve.shed"),
+          "serve: shed reasons do not sum to serve.shed")
+
+    # The execution ledger: one cache consult and one scope tier per lookup.
+    check(c("serve.cache_hits") + c("serve.cache_misses") == c("serve.lookups"),
+          f"serve: cache hits {c('serve.cache_hits')} + misses "
+          f"{c('serve.cache_misses')} != lookups {c('serve.lookups')}")
+    check(c("serve.scope_block") + c("serve.scope_as") + c("serve.scope_global")
+          == c("serve.lookups"),
+          "serve: scope counters do not sum to serve.lookups")
+
+    # One latency observation per served request.
+    latency = metrics.get("histograms", {}).get("serve.latency", {})
+    check(latency.get("count", 0) == c("serve.served"),
+          f"serve: latency histogram count {latency.get('count', 0)} != "
+          f"served {c('serve.served')}")
+
+    # Crash recovery actually rebuilt a snapshot.
+    if c("fault.serve.crashes") > 0:
+        check(c("serve.snapshot_rebuilds") >= 1,
+              "serve: server crashed but never rebuilt a snapshot")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--metrics", required=True)
@@ -148,6 +188,8 @@ def main():
     parser.add_argument("--stdout", help="captured table1_matching output")
     parser.add_argument("--fault", action="store_true",
                         help="the run used --fault-plan: check fault.* reconciliation")
+    parser.add_argument("--serve", action="store_true",
+                        help="a serve_loadgen run: check the serve.* accounting ledger")
     args = parser.parse_args()
 
     metrics = validate_metrics(args.metrics)
@@ -157,6 +199,8 @@ def main():
         validate_table1(metrics, args.stdout)
     if args.fault:
         validate_fault(metrics)
+    if args.serve:
+        validate_serve(metrics)
 
     if FAILURES:
         for failure in FAILURES:

@@ -98,10 +98,23 @@ RecordLog RecordLog::load(std::istream& is, LoadStats* stats) {
   s = LoadStats{};
 
   RecordLog log;
-  // The declared count is untrusted input (a corrupted header count must
-  // not drive a multi-exabyte reserve); the vector grows naturally past
-  // the cap if the records really are there.
-  log.records_.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(n, 1u << 20)));
+  // Reserve the declared record count up front so million-record logs load
+  // without reallocation churn. The count is untrusted input (a corrupted
+  // header must not drive a multi-exabyte reserve), so on a seekable
+  // stream it is cross-checked against the bytes actually remaining; when
+  // the stream cannot be sized, fall back to a fixed cap and let the
+  // vector grow naturally past it if the records really are there.
+  std::uint64_t reserve_cap = 1u << 20;
+  if (const std::istream::pos_type here = is.tellg(); here != std::istream::pos_type(-1)) {
+    is.seekg(0, std::ios_base::end);
+    const std::istream::pos_type end = is.tellg();
+    is.seekg(here);
+    if (end != std::istream::pos_type(-1) && end >= here) {
+      reserve_cap = static_cast<std::uint64_t>(end - here) / kRecordBytes;
+    }
+  }
+  is.clear();  // a failed tellg/seekg must not poison the record reads
+  log.records_.reserve(static_cast<std::size_t>(std::min(n, reserve_cap)));
   std::array<unsigned char, kRecordBytes> buffer{};
   for (std::uint64_t i = 0; i < n; ++i) {
     is.read(reinterpret_cast<char*>(buffer.data()), buffer.size());

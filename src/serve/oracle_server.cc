@@ -1,0 +1,252 @@
+#include "serve/oracle_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/packet.h"
+#include "util/check.h"
+
+namespace turtle::serve {
+
+OracleServer::OracleServer(sim::Simulator& sim, ServerConfig config,
+                           std::shared_ptr<const OracleSnapshot> snapshot)
+    : sim_{sim}, config_{std::move(config)}, snapshot_{std::move(snapshot)} {
+  TURTLE_CHECK_GT(config_.queue_capacity, 0u);
+  TURTLE_CHECK_GT(config_.batch_size, 0u);
+  if (config_.registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    config_.registry = owned_registry_.get();
+  }
+  obs::Registry& registry = *config_.registry;
+  offered_ = &registry.counter("serve.offered");
+  served_ = &registry.counter("serve.served");
+  shed_ = &registry.counter("serve.shed");
+  shed_overload_ = &registry.counter("serve.shed_overload");
+  shed_down_ = &registry.counter("serve.shed_down");
+  shed_net_ = &registry.counter("serve.shed_net");
+  queued_ = &registry.counter("serve.queued");
+  lookups_ = &registry.counter("serve.lookups");
+  cache_hits_ = &registry.counter("serve.cache_hits");
+  cache_misses_ = &registry.counter("serve.cache_misses");
+  batches_ = &registry.counter("serve.batches");
+  snapshot_swaps_ = &registry.counter("serve.snapshot_swaps");
+  snapshot_rebuilds_ = &registry.counter("serve.snapshot_rebuilds");
+  scope_block_ = &registry.counter("serve.scope_block");
+  scope_as_ = &registry.counter("serve.scope_as");
+  scope_global_ = &registry.counter("serve.scope_global");
+  queue_high_water_ = &registry.gauge("serve.queue_high_water");
+  snapshot_version_ = &registry.gauge("serve.snapshot_version");
+  latency_ = &registry.histogram("serve.latency");
+  if (snapshot_ != nullptr) {
+    snapshot_version_->set_max(static_cast<std::int64_t>(snapshot_->version()));
+  }
+}
+
+void OracleServer::submit(const Request& request, Callback callback) {
+  offered_->inc();
+  Pending pending{request, sim_.now(), std::move(callback)};
+
+  if (fault_hook_ != nullptr) {
+    // Show the admission path to the injector as a client -> server
+    // datagram so prefix-scoped plans (delay_spike on the server's /24,
+    // dup_storm on the client's) apply to serving traffic naturally.
+    net::Packet packet;
+    packet.src = config_.client_addr;
+    packet.dst = config_.server_addr;
+    packet.protocol = net::Protocol::kUdp;
+    const sim::FaultHook::Action action = fault_hook_->on_send(packet, 1);
+    if (action.drop) {
+      if (fault_dropped_ == nullptr) {
+        fault_dropped_ = &config_.registry->counter("fault.net.dropped_packets");
+      }
+      fault_dropped_->inc();
+      shed(ShedReason::kNet);
+      return;
+    }
+    if (action.extra_copies > 0) {
+      if (fault_copies_ == nullptr) {
+        fault_copies_ = &config_.registry->counter("fault.net.extra_copies");
+      }
+      fault_copies_->inc(action.extra_copies);
+      // Duplicates are spurious wire-level copies: full requests for
+      // accounting and load, but nobody is waiting on their answers.
+      offered_->inc(action.extra_copies);
+    }
+    if (action.extra_delay > SimTime{}) {
+      if (fault_delayed_ == nullptr) {
+        fault_delayed_ = &config_.registry->counter("fault.net.delayed_packets");
+      }
+      fault_delayed_->inc();
+      for (std::uint32_t i = 0; i < action.extra_copies; ++i) {
+        sim_.schedule_after(action.extra_delay,
+                            [this, copy = Pending{request, pending.submit_time, nullptr}]() mutable {
+                              arrive(std::move(copy));
+                            });
+      }
+      sim_.schedule_after(action.extra_delay, [this, p = std::move(pending)]() mutable {
+        arrive(std::move(p));
+      });
+      return;
+    }
+    for (std::uint32_t i = 0; i < action.extra_copies; ++i) {
+      arrive(Pending{request, pending.submit_time, nullptr});
+    }
+  }
+  arrive(std::move(pending));
+}
+
+void OracleServer::arrive(Pending pending) {
+  if (down_) {
+    shed(ShedReason::kDown);
+    return;
+  }
+  if (queue_.size() >= config_.queue_capacity) {
+    shed(ShedReason::kOverload);
+    return;
+  }
+  queue_.push_back(std::move(pending));
+  queue_high_water_->set_max(static_cast<std::int64_t>(queue_.size()));
+  if (!busy_) start_batch();
+}
+
+void OracleServer::shed(ShedReason reason) {
+  shed_->inc();
+  switch (reason) {
+    case ShedReason::kOverload:
+      shed_overload_->inc();
+      break;
+    case ShedReason::kDown:
+      shed_down_->inc();
+      break;
+    case ShedReason::kNet:
+      shed_net_->inc();
+      break;
+  }
+}
+
+void OracleServer::start_batch() {
+  TURTLE_DCHECK(!busy_);
+  TURTLE_DCHECK(!down_);
+  TURTLE_DCHECK(!queue_.empty());
+  busy_ = true;
+  batches_->inc();
+
+  const SimTime batch_start = sim_.now();
+  SimTime cost = config_.batch_overhead;
+  const std::size_t take = std::min(config_.batch_size, queue_.size());
+  in_flight_.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    Pending pending = std::move(queue_.front());
+    queue_.pop_front();
+    cost = cost + touch_cache(pending.request.addr);
+    // Results are computed at dispatch against the snapshot serving *now*;
+    // a swap landing before the batch completes does not retroactively
+    // change answers already in flight.
+    LookupResult result;
+    if (snapshot_ != nullptr) {
+      result = snapshot_->lookup(pending.request.addr, pending.request.addr_coverage,
+                                 pending.request.ping_coverage);
+    }
+    lookups_->inc();
+    switch (result.scope) {
+      case LookupScope::kBlock:
+        scope_block_->inc();
+        break;
+      case LookupScope::kAs:
+        scope_as_->inc();
+        break;
+      case LookupScope::kGlobal:
+        scope_global_->inc();
+        break;
+    }
+    in_flight_.push_back(InFlight{std::move(pending), result});
+  }
+  const SimTime batch_end = batch_start + cost;
+  TURTLE_TRACE(config_.trace, complete("serve.batch", "serve", batch_start, batch_end));
+  sim_.schedule_at(batch_end, [this, epoch = epoch_] { complete_batch(epoch); });
+}
+
+void OracleServer::complete_batch(std::uint64_t epoch) {
+  // A stale epoch means the server crashed while this batch was in
+  // flight; its requests were already shed by crash().
+  if (epoch != epoch_) return;
+  for (InFlight& entry : in_flight_) {
+    const SimTime latency = sim_.now() - entry.pending.submit_time;
+    latency_->observe(latency);
+    served_->inc();
+    if (entry.pending.callback) entry.pending.callback(entry.result, latency);
+  }
+  in_flight_.clear();
+  busy_ = false;
+  if (!down_ && !queue_.empty()) start_batch();
+}
+
+void OracleServer::swap_snapshot(std::shared_ptr<const OracleSnapshot> snapshot) {
+  snapshot_ = std::move(snapshot);
+  snapshot_swaps_->inc();
+  // The working set described the old snapshot's aggregates; a swapped-in
+  // snapshot starts cold.
+  lru_.clear();
+  lru_index_.clear();
+  if (snapshot_ != nullptr) {
+    snapshot_version_->set_max(static_cast<std::int64_t>(snapshot_->version()));
+  }
+  TURTLE_TRACE(config_.trace, instant("serve.snapshot_swap", "serve", sim_.now()));
+}
+
+void OracleServer::crash(SimTime restart_delay) {
+  if (fault_crashes_ == nullptr) {
+    fault_crashes_ = &config_.registry->counter("fault.serve.crashes");
+  }
+  fault_crashes_->inc();
+  down_ = true;
+  ++epoch_;  // orphan any scheduled batch completion
+  // Everything the dead process held is shed — counted, never silent.
+  for (std::size_t i = 0; i < in_flight_.size(); ++i) shed(ShedReason::kDown);
+  in_flight_.clear();
+  for (std::size_t i = 0; i < queue_.size(); ++i) shed(ShedReason::kDown);
+  queue_.clear();
+  busy_ = false;
+  snapshot_.reset();
+  lru_.clear();
+  lru_index_.clear();
+  TURTLE_TRACE(config_.trace, instant("serve.crash", "serve", sim_.now()));
+  sim_.schedule_after(restart_delay, [this] { restart(); });
+}
+
+void OracleServer::restart() {
+  if (rebuild_) {
+    snapshot_ = rebuild_();
+    snapshot_rebuilds_->inc();
+    if (snapshot_ != nullptr) {
+      snapshot_version_->set_max(static_cast<std::int64_t>(snapshot_->version()));
+    }
+  }
+  down_ = false;
+  TURTLE_TRACE(config_.trace, instant("serve.restart", "serve", sim_.now()));
+  if (!busy_ && !queue_.empty()) start_batch();
+}
+
+void OracleServer::finalize() {
+  const std::size_t leftover = queue_.size() + in_flight_.size();
+  queued_->inc(leftover);
+}
+
+SimTime OracleServer::touch_cache(net::Ipv4Address addr) {
+  const std::uint32_t network = net::Prefix24::containing(addr).network();
+  if (const auto it = lru_index_.find(network); it != lru_index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    cache_hits_->inc();
+    return config_.service_time_hit;
+  }
+  cache_misses_->inc();
+  lru_.push_front(network);
+  lru_index_[network] = lru_.begin();
+  if (lru_.size() > config_.cache_capacity) {
+    lru_index_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return config_.service_time_miss;
+}
+
+}  // namespace turtle::serve

@@ -1,0 +1,174 @@
+#include "serve/oracle_snapshot.h"
+
+#include <cmath>
+#include <utility>
+
+#include "analysis/pipeline.h"
+#include "core/recommendations.h"
+#include "util/check.h"
+
+namespace turtle::serve {
+
+namespace {
+
+/// Saturating sample-confidence factor: 0 at n = 0, -> 1 as n grows.
+double sample_factor(std::uint64_t n) {
+  return static_cast<double>(n) / (static_cast<double>(n) + 16.0);
+}
+
+}  // namespace
+
+const char* lookup_scope_name(LookupScope scope) {
+  switch (scope) {
+    case LookupScope::kBlock:
+      return "block";
+    case LookupScope::kAs:
+      return "as";
+    case LookupScope::kGlobal:
+      return "global";
+  }
+  TURTLE_UNREACHABLE();
+}
+
+OracleSnapshot OracleSnapshot::build(analysis::SurveyDataset& dataset, SnapshotConfig config,
+                                     const hosts::GeoDatabase* geo) {
+  TURTLE_CHECK(!config.percentiles.empty()) << "snapshot needs at least one percentile";
+  OracleSnapshot snapshot{std::move(config)};
+
+  // Run the paper's filtering pipeline first so broadcast and duplicate
+  // responders never poison a tier's quantiles. No registry: the serving
+  // layer publishes serve.* metrics, not a second copy of pipeline.*.
+  analysis::PipelineConfig pipeline_config;
+  const analysis::PipelineResult result = analysis::run_pipeline(dataset, pipeline_config);
+
+  for (const analysis::AddressReport& report : result.addresses) {
+    const std::uint32_t network = net::Prefix24::containing(report.address).network();
+    auto [block_it, inserted] = snapshot.block_index_.try_emplace(network, snapshot.blocks_.size());
+    if (inserted) {
+      snapshot.blocks_.push_back(snapshot.make_aggregate());
+      if (geo != nullptr) {
+        if (const hosts::AsTraits* traits = geo->lookup(report.address); traits != nullptr) {
+          snapshot.block_asn_.emplace(network, traits->asn);
+          auto [as_it, as_inserted] =
+              snapshot.as_index_.try_emplace(traits->asn, snapshot.ases_.size());
+          if (as_inserted) snapshot.ases_.push_back(snapshot.make_aggregate());
+        }
+      }
+    }
+    Aggregate& block = snapshot.blocks_[snapshot.block_index_.at(network)];
+    Aggregate* as_aggregate = nullptr;
+    if (const auto asn_it = snapshot.block_asn_.find(network); asn_it != snapshot.block_asn_.end()) {
+      as_aggregate = &snapshot.ases_[snapshot.as_index_.at(asn_it->second)];
+    }
+    for (const double rtt_s : report.rtts_s) {
+      snapshot.fold(block, rtt_s);
+      if (as_aggregate != nullptr) snapshot.fold(*as_aggregate, rtt_s);
+      ++snapshot.total_samples_;
+    }
+  }
+
+  // The global tier is exactly the offline Table 2 recipe
+  // (bench/table2_timeout_matrix.cc): per-address percentiles, then
+  // percentile-of-percentiles. Keeping the recipe identical is what makes
+  // global lookups equal core::recommend_timeout on the same cells.
+  const analysis::PerAddressPercentiles per_address = analysis::PerAddressPercentiles::compute(
+      result.addresses, snapshot.config_.percentiles, snapshot.config_.min_samples_per_address);
+  if (per_address.address_count() > 0) {
+    snapshot.matrix_ =
+        analysis::TimeoutMatrix::compute(per_address, snapshot.config_.percentiles);
+  }
+  return snapshot;
+}
+
+OracleSnapshot OracleSnapshot::build(const probe::RecordLog& log, SnapshotConfig config,
+                                     const hosts::GeoDatabase* geo) {
+  analysis::SurveyDataset dataset = analysis::SurveyDataset::from_log(log);
+  return build(dataset, std::move(config), geo);
+}
+
+LookupResult OracleSnapshot::lookup(net::Ipv4Address addr, double addr_coverage,
+                                    double ping_coverage) const {
+  const std::uint32_t network = net::Prefix24::containing(addr).network();
+  const std::size_t p = percentile_index(ping_coverage);
+
+  if (const Aggregate* block = find_block(network);
+      block != nullptr && block->samples >= config_.min_block_samples) {
+    return LookupResult{
+        .timeout = SimTime::from_seconds(block->quantiles[p].value()),
+        .scope = LookupScope::kBlock,
+        .samples = block->samples,
+        .confidence = 1.0 * sample_factor(block->samples),
+        .version = config_.version,
+    };
+  }
+  if (const Aggregate* as_aggregate = find_as(network);
+      as_aggregate != nullptr && as_aggregate->samples >= config_.min_as_samples) {
+    return LookupResult{
+        .timeout = SimTime::from_seconds(as_aggregate->quantiles[p].value()),
+        .scope = LookupScope::kAs,
+        .samples = as_aggregate->samples,
+        .confidence = 0.9 * sample_factor(as_aggregate->samples),
+        .version = config_.version,
+    };
+  }
+  LookupResult global{
+      .timeout = SimTime{},
+      .scope = LookupScope::kGlobal,
+      .samples = total_samples_,
+      .confidence = 0.0,
+      .version = config_.version,
+  };
+  if (has_data()) {
+    global.timeout = core::recommend_timeout(matrix_, addr_coverage, ping_coverage);
+    global.confidence = 0.75 * sample_factor(total_samples_);
+  }
+  return global;
+}
+
+std::uint64_t OracleSnapshot::block_samples(net::Ipv4Address addr) const {
+  const Aggregate* block = find_block(net::Prefix24::containing(addr).network());
+  return block == nullptr ? 0 : block->samples;
+}
+
+OracleSnapshot::Aggregate OracleSnapshot::make_aggregate() const {
+  Aggregate aggregate;
+  aggregate.quantiles.reserve(config_.percentiles.size());
+  for (const double p : config_.percentiles) {
+    aggregate.quantiles.emplace_back(p / 100.0);
+  }
+  return aggregate;
+}
+
+void OracleSnapshot::fold(Aggregate& aggregate, double rtt_s) {
+  for (core::P2Quantile& quantile : aggregate.quantiles) quantile.add(rtt_s);
+  ++aggregate.samples;
+}
+
+const OracleSnapshot::Aggregate* OracleSnapshot::find_block(std::uint32_t network) const {
+  const auto it = block_index_.find(network);
+  return it == block_index_.end() ? nullptr : &blocks_[it->second];
+}
+
+const OracleSnapshot::Aggregate* OracleSnapshot::find_as(std::uint32_t network) const {
+  const auto asn_it = block_asn_.find(network);
+  if (asn_it == block_asn_.end()) return nullptr;
+  const auto it = as_index_.find(asn_it->second);
+  return it == as_index_.end() ? nullptr : &ases_[it->second];
+}
+
+std::size_t OracleSnapshot::percentile_index(double p) const {
+  // Same nearest-percentile clamping core::recommend_timeout uses, so the
+  // tiers agree on what "99% ping coverage" means.
+  std::size_t best = 0;
+  double best_dist = std::abs(config_.percentiles[0] - p);
+  for (std::size_t i = 1; i < config_.percentiles.size(); ++i) {
+    const double d = std::abs(config_.percentiles[i] - p);
+    if (d < best_dist) {
+      best = i;
+      best_dist = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace turtle::serve

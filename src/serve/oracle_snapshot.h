@@ -1,0 +1,146 @@
+// The timeout oracle's immutable, versioned index: what timeout should a
+// prober use for address X?
+//
+// The paper's deliverable is operational advice ("retransmit after ~3 s,
+// keep listening for 60 s") with strong per-population variation — cellular
+// and satellite ASes need far longer than the global tables suggest. A
+// snapshot turns one survey's record log into a queryable structure with
+// three tiers of answer, most specific first:
+//
+//   * per-/24-block pooled-ping quantiles, held as core::P2Quantile
+//     estimators (five markers, ~40 bytes per tracked quantile) so a
+//     million-block snapshot stays cheap — the same bounded-state argument
+//     the paper makes for prober timeout state (Section 2.1);
+//   * per-AS quantiles (same estimators pooled over the AS's blocks),
+//     attributed through the hosts::GeoDatabase, for blocks with too few
+//     samples of their own;
+//   * the global analysis::TimeoutMatrix (Table 2), answered through
+//     core::recommend_timeout — by construction, a global-scope lookup is
+//     *exactly* the offline recommendation for the same matrix cell.
+//
+// Snapshots are immutable after build() and carry a version; the serving
+// layer (OracleServer) hot-swaps to a newer snapshot atomically while
+// in-flight requests finish on the one they were dispatched against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "analysis/percentiles.h"
+#include "core/p2_quantile.h"
+#include "hosts/geodb.h"
+#include "net/ipv4.h"
+#include "probe/records.h"
+#include "util/sim_time.h"
+
+namespace turtle::serve {
+
+struct SnapshotConfig {
+  /// Quantiles tracked per block/AS and the matrix axes, in percent. Must
+  /// match the percentiles the offline tables use (util::kPaperPercentiles)
+  /// for the parity guarantee with core::recommend_timeout to be exact.
+  std::vector<double> percentiles{1, 50, 80, 90, 95, 98, 99};
+
+  /// Below this many latency samples a block defers to its AS aggregate,
+  /// and an AS to the global matrix. A quantile of a handful of pings is
+  /// noise, not a timeout recommendation.
+  std::size_t min_block_samples = 25;
+  std::size_t min_as_samples = 100;
+
+  /// Per-address sample floor for the global matrix (the offline tables
+  /// use 10; keep them aligned or parity breaks).
+  std::size_t min_samples_per_address = 10;
+
+  /// Version tag carried by every lookup answered from this snapshot.
+  std::uint64_t version = 1;
+};
+
+/// Which tier answered a lookup.
+enum class LookupScope : std::uint8_t { kBlock = 0, kAs = 1, kGlobal = 2 };
+
+[[nodiscard]] const char* lookup_scope_name(LookupScope scope);
+
+struct LookupResult {
+  /// Recommended give-up timeout. Block/AS scope: the ping_coverage
+  /// quantile of that population's pooled pings. Global scope: the
+  /// (addr_coverage, ping_coverage) matrix cell via core::recommend_timeout.
+  SimTime timeout;
+  LookupScope scope = LookupScope::kGlobal;
+  /// Latency samples behind the answer (the tier's pool size).
+  std::uint64_t samples = 0;
+  /// Deterministic heuristic in [0, 1): scope weight (block 1.0, AS 0.9,
+  /// global 0.75) times the saturating sample factor n / (n + 16).
+  double confidence = 0.0;
+  /// Version of the snapshot that answered.
+  std::uint64_t version = 0;
+};
+
+/// Immutable per-survey index. Build once, share via shared_ptr, never
+/// mutate — the serving layer relies on snapshots being frozen.
+class OracleSnapshot {
+ public:
+  /// Builds from a grouped dataset (mutated by the filtering pipeline —
+  /// pass a fresh one). `geo`, when given, enables the AS tier; without it
+  /// lookups fall back block -> global. The pipeline's broadcast and
+  /// duplicate filters run first, so poisoned responders never contribute
+  /// to any tier's quantiles.
+  static OracleSnapshot build(analysis::SurveyDataset& dataset, SnapshotConfig config = {},
+                              const hosts::GeoDatabase* geo = nullptr);
+
+  /// Convenience: groups the log, then builds. This is the crash-recovery
+  /// path too: a server that lost its snapshot reloads the checkpointed
+  /// record log and rebuilds from it.
+  static OracleSnapshot build(const probe::RecordLog& log, SnapshotConfig config = {},
+                              const hosts::GeoDatabase* geo = nullptr);
+
+  /// Answers "what timeout for this address at this coverage target".
+  /// addr_coverage only matters at global scope (for a specific block the
+  /// address population is known); both coverages clamp to the nearest
+  /// configured percentile, exactly like core::recommend_timeout.
+  [[nodiscard]] LookupResult lookup(net::Ipv4Address addr, double addr_coverage,
+                                    double ping_coverage) const;
+
+  [[nodiscard]] std::uint64_t version() const { return config_.version; }
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  [[nodiscard]] std::size_t as_count() const { return ases_.size(); }
+  [[nodiscard]] std::uint64_t total_samples() const { return total_samples_; }
+  /// True when the underlying survey produced any usable addresses.
+  [[nodiscard]] bool has_data() const { return !matrix_.cells.empty(); }
+
+  /// The Table 2 matrix global lookups answer from (tests assert the
+  /// recommend_timeout parity against exactly this object).
+  [[nodiscard]] const analysis::TimeoutMatrix& matrix() const { return matrix_; }
+
+  /// Samples pooled in `addr`'s /24 aggregate (0 when the block is dark).
+  [[nodiscard]] std::uint64_t block_samples(net::Ipv4Address addr) const;
+
+ private:
+  /// One tier's pooled-ping quantile estimators: P2 markers per configured
+  /// percentile plus the pool size.
+  struct Aggregate {
+    std::vector<core::P2Quantile> quantiles;
+    std::uint64_t samples = 0;
+  };
+
+  explicit OracleSnapshot(SnapshotConfig config) : config_{std::move(config)} {}
+
+  [[nodiscard]] Aggregate make_aggregate() const;
+  void fold(Aggregate& aggregate, double rtt_s);
+  [[nodiscard]] const Aggregate* find_block(std::uint32_t network) const;
+  [[nodiscard]] const Aggregate* find_as(std::uint32_t network) const;
+  [[nodiscard]] std::size_t percentile_index(double p) const;
+
+  SnapshotConfig config_;
+  std::unordered_map<std::uint32_t, std::size_t> block_index_;  // /24 network -> blocks_
+  std::vector<Aggregate> blocks_;
+  std::unordered_map<std::uint32_t, std::size_t> as_index_;  // asn -> ases_
+  std::vector<Aggregate> ases_;
+  std::unordered_map<std::uint32_t, std::uint32_t> block_asn_;  // /24 network -> asn
+  analysis::TimeoutMatrix matrix_;
+  std::uint64_t total_samples_ = 0;
+};
+
+}  // namespace turtle::serve

@@ -1,0 +1,138 @@
+// Dedicated coverage for core::P2Quantile, which the serve layer's block
+// and AS aggregates now depend on: exact behaviour below five
+// observations, and convergence against exact sample quantiles on
+// uniform, lognormal, and heavy-tailed (Pareto) inputs.
+#include "core/p2_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/prng.h"
+#include "util/stats.h"
+
+namespace turtle {
+namespace {
+
+/// Exact sample quantile with the same linear-interpolation convention as
+/// util::percentile_sorted (and P2Quantile's own <5-observation path).
+double exact_quantile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  return util::percentile_sorted(samples, q * 100.0);
+}
+
+TEST(P2Quantile, EmptyEstimatorReturnsZero) {
+  const core::P2Quantile estimator{0.5};
+  EXPECT_EQ(estimator.count(), 0u);
+  EXPECT_EQ(estimator.value(), 0.0);
+}
+
+TEST(P2Quantile, SingleObservationIsExact) {
+  core::P2Quantile estimator{0.9};
+  estimator.add(42.0);
+  EXPECT_EQ(estimator.count(), 1u);
+  EXPECT_DOUBLE_EQ(estimator.value(), 42.0);
+}
+
+TEST(P2Quantile, FewerThanFiveObservationsMatchExactSampleQuantile) {
+  // Every prefix of length 1..4 must return the exact sample quantile of
+  // what has been seen so far, for several q values and insertion orders.
+  const std::vector<std::vector<double>> inputs = {
+      {3.0, 1.0, 4.0, 1.5},
+      {10.0, 0.1, 5.0, 2.5},
+      {-2.0, 7.0, 0.0, 3.0},
+  };
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    for (const auto& input : inputs) {
+      core::P2Quantile estimator{q};
+      std::vector<double> seen;
+      for (const double x : input) {
+        estimator.add(x);
+        seen.push_back(x);
+        EXPECT_DOUBLE_EQ(estimator.value(), exact_quantile(seen, q))
+            << "q=" << q << " after " << seen.size() << " observations";
+      }
+    }
+  }
+}
+
+TEST(P2Quantile, FiveObservationsSwitchToMarkers) {
+  // At exactly 5 observations the markers are the sorted sample, so the
+  // median marker equals the exact median.
+  core::P2Quantile estimator{0.5};
+  for (const double x : {5.0, 1.0, 4.0, 2.0, 3.0}) estimator.add(x);
+  EXPECT_EQ(estimator.count(), 5u);
+  EXPECT_DOUBLE_EQ(estimator.value(), 3.0);
+}
+
+struct Convergence {
+  const char* name;
+  double q;
+  double rel_tolerance;
+};
+
+/// Drives `n` draws from `sample` into both an estimator and an exact
+/// vector; asserts relative error at the end.
+template <typename SampleFn>
+void check_convergence(const char* name, double q, double rel_tolerance, SampleFn sample,
+                       std::size_t n = 20'000) {
+  core::P2Quantile estimator{q};
+  std::vector<double> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = sample();
+    estimator.add(x);
+    samples.push_back(x);
+  }
+  const double exact = exact_quantile(std::move(samples), q);
+  ASSERT_GT(exact, 0.0);
+  const double rel_error = std::abs(estimator.value() - exact) / exact;
+  EXPECT_LT(rel_error, rel_tolerance)
+      << name << " q=" << q << ": P2 " << estimator.value() << " vs exact " << exact;
+}
+
+TEST(P2Quantile, ConvergesOnUniform) {
+  util::Prng rng{101};
+  for (const auto& c : {Convergence{"uniform", 0.5, 0.01}, Convergence{"uniform", 0.9, 0.01},
+                        Convergence{"uniform", 0.99, 0.02}}) {
+    check_convergence(c.name, c.q, c.rel_tolerance, [&rng] { return rng.uniform(1.0, 2.0); });
+  }
+}
+
+TEST(P2Quantile, ConvergesOnLognormal) {
+  // Lognormal is the shape of the repo's RTT distributions (multiplicative
+  // jitter); sigma 1 gives a fat right tail.
+  util::Prng rng{202};
+  for (const auto& c :
+       {Convergence{"lognormal", 0.5, 0.02}, Convergence{"lognormal", 0.9, 0.03},
+        Convergence{"lognormal", 0.99, 0.06}}) {
+    check_convergence(c.name, c.q, c.rel_tolerance, [&rng] { return rng.lognormal(0.0, 1.0); });
+  }
+}
+
+TEST(P2Quantile, ConvergesOnParetoHeavyTail) {
+  // Pareto alpha 1.5: infinite variance, the hardest case for five
+  // markers. Tail quantiles carry a wider tolerance — the point is that
+  // the estimate stays in the right ballpark, not that it is exact.
+  util::Prng rng{303};
+  for (const auto& c : {Convergence{"pareto", 0.5, 0.03}, Convergence{"pareto", 0.9, 0.08},
+                        Convergence{"pareto", 0.99, 0.25}}) {
+    check_convergence(c.name, c.q, c.rel_tolerance, [&rng] { return rng.pareto(1.0, 1.5); });
+  }
+}
+
+TEST(P2Quantile, DeterministicAcrossRuns) {
+  // Same seed, same draws, same estimate — bit-identical.
+  const auto run = [] {
+    util::Prng rng{7};
+    core::P2Quantile estimator{0.95};
+    for (int i = 0; i < 1000; ++i) estimator.add(rng.lognormal(0.0, 0.5));
+    return estimator.value();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace turtle
