@@ -11,11 +11,19 @@
 #   -DTURTLE_WERROR=ON  promotes warnings to errors (CI default)
 #   -DTURTLE_TIDY=ON    runs clang-tidy alongside compilation (needs
 #                       clang-tidy on PATH; see .clang-tidy)
+#   -DTURTLE_THREAD_SAFETY=ON  promotes Clang's -Wthread-safety analysis
+#                       to an error. Requires a Clang compiler (GCC has no
+#                       equivalent); the annotations themselves
+#                       (src/util/thread_annotations.h) compile to nothing
+#                       elsewhere, so only this enforcement gate is
+#                       Clang-only. CI runs it as the static-analysis job.
 
 set(TURTLE_SANITIZE "" CACHE STRING
     "Comma-separated sanitizers: address, undefined, thread (thread must be alone)")
 option(TURTLE_WERROR "Treat compiler warnings as errors" OFF)
 option(TURTLE_TIDY "Run clang-tidy via CMAKE_CXX_CLANG_TIDY" OFF)
+option(TURTLE_THREAD_SAFETY
+       "Enforce Clang thread-safety analysis (-Werror=thread-safety)" OFF)
 
 if(TURTLE_WERROR)
   add_compile_options(-Werror)
@@ -47,6 +55,18 @@ if(TURTLE_SANITIZE)
   add_link_options(${_turtle_san_flags})
   # Sanitized runs exist to catch bugs: arm the debug-only invariants too.
   add_compile_definitions(TURTLE_FORCE_DCHECKS)
+endif()
+
+if(TURTLE_THREAD_SAFETY)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(FATAL_ERROR
+        "TURTLE_THREAD_SAFETY=ON requires Clang (got ${CMAKE_CXX_COMPILER_ID}); "
+        "configure with -DCMAKE_CXX_COMPILER=clang++")
+  endif()
+  # -Wthread-safety covers the analysis + attribute-misuse groups; promote
+  # the whole family so a violated TURTLE_GUARDED_BY contract fails the
+  # build even without TURTLE_WERROR.
+  add_compile_options(-Wthread-safety -Werror=thread-safety)
 endif()
 
 if(TURTLE_TIDY)

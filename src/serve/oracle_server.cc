@@ -80,18 +80,27 @@ void OracleServer::submit(const Request& request, Callback callback) {
       for (std::uint32_t i = 0; i < action.extra_copies; ++i) {
         sim_.schedule_after(action.extra_delay,
                             [this, copy = Pending{request, pending.submit_time, nullptr}]() mutable {
-                              arrive(std::move(copy));
+                              arrive_entry(std::move(copy));
                             });
       }
       sim_.schedule_after(action.extra_delay, [this, p = std::move(pending)]() mutable {
-        arrive(std::move(p));
+        arrive_entry(std::move(p));
       });
       return;
     }
+    const util::MutexLock lock{mu_};
     for (std::uint32_t i = 0; i < action.extra_copies; ++i) {
       arrive(Pending{request, pending.submit_time, nullptr});
     }
+    arrive(std::move(pending));
+    return;
   }
+  const util::MutexLock lock{mu_};
+  arrive(std::move(pending));
+}
+
+void OracleServer::arrive_entry(Pending pending) {
+  const util::MutexLock lock{mu_};
   arrive(std::move(pending));
 }
 
@@ -167,21 +176,32 @@ void OracleServer::start_batch() {
 }
 
 void OracleServer::complete_batch(std::uint64_t epoch) {
-  // A stale epoch means the server crashed while this batch was in
-  // flight; its requests were already shed by crash().
-  if (epoch != epoch_) return;
-  for (InFlight& entry : in_flight_) {
+  std::vector<InFlight> completed;
+  {
+    const util::MutexLock lock{mu_};
+    // A stale epoch means the server crashed while this batch was in
+    // flight; its requests were already shed by crash().
+    if (epoch != epoch_) return;
+    completed.swap(in_flight_);
+  }
+  // Callbacks run outside the lock: a callback is user code and may
+  // legally re-enter submit(). busy_ stays true until after they fire, so
+  // re-entrant submissions queue instead of starting a nested batch —
+  // same dispatch order as before the lock existed.
+  for (InFlight& entry : completed) {
     const SimTime latency = sim_.now() - entry.pending.submit_time;
     latency_->observe(latency);
     served_->inc();
     if (entry.pending.callback) entry.pending.callback(entry.result, latency);
   }
-  in_flight_.clear();
+  const util::MutexLock lock{mu_};
+  if (epoch != epoch_) return;  // crashed while callbacks ran
   busy_ = false;
   if (!down_ && !queue_.empty()) start_batch();
 }
 
 void OracleServer::swap_snapshot(std::shared_ptr<const OracleSnapshot> snapshot) {
+  const util::MutexLock lock{mu_};
   snapshot_ = std::move(snapshot);
   snapshot_swaps_->inc();
   // The working set described the old snapshot's aggregates; a swapped-in
@@ -199,6 +219,7 @@ void OracleServer::crash(SimTime restart_delay) {
     fault_crashes_ = &config_.registry->counter("fault.serve.crashes");
   }
   fault_crashes_->inc();
+  const util::MutexLock lock{mu_};
   down_ = true;
   ++epoch_;  // orphan any scheduled batch completion
   // Everything the dead process held is shed — counted, never silent.
@@ -215,19 +236,23 @@ void OracleServer::crash(SimTime restart_delay) {
 }
 
 void OracleServer::restart() {
+  std::shared_ptr<const OracleSnapshot> rebuilt;
   if (rebuild_) {
-    snapshot_ = rebuild_();
+    rebuilt = rebuild_();  // user code: build outside the lock
     snapshot_rebuilds_->inc();
-    if (snapshot_ != nullptr) {
-      snapshot_version_->set_max(static_cast<std::int64_t>(snapshot_->version()));
+    if (rebuilt != nullptr) {
+      snapshot_version_->set_max(static_cast<std::int64_t>(rebuilt->version()));
     }
   }
+  const util::MutexLock lock{mu_};
+  if (rebuild_) snapshot_ = std::move(rebuilt);
   down_ = false;
   TURTLE_TRACE(config_.trace, instant("serve.restart", "serve", sim_.now()));
   if (!busy_ && !queue_.empty()) start_batch();
 }
 
 void OracleServer::finalize() {
+  const util::MutexLock lock{mu_};
   const std::size_t leftover = queue_.size() + in_flight_.size();
   queued_->inc(leftover);
 }

@@ -27,7 +27,9 @@
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "util/inline_function.h"
+#include "util/mutex.h"
 #include "util/sim_time.h"
+#include "util/thread_annotations.h"
 
 namespace turtle::serve {
 
@@ -88,19 +90,22 @@ class OracleServer {
   /// the request completes; shed requests never fire it (the shed is
   /// counted instead). Fault-injected duplicates of the request are
   /// admitted as independent requests with no callback.
-  void submit(const Request& request, Callback callback);
+  void submit(const Request& request, Callback callback) TURTLE_EXCLUDES(mu_);
 
   /// Atomically replaces the serving snapshot. Requests already dispatched
   /// keep the results computed against the old snapshot; the working-set
   /// cache is invalidated (its contents described the old aggregates).
-  void swap_snapshot(std::shared_ptr<const OracleSnapshot> snapshot);
+  /// Safe to call from an admin thread once the daemon backend lands: the
+  /// swap happens under mu_, the same lock the dispatch path holds.
+  void swap_snapshot(std::shared_ptr<const OracleSnapshot> snapshot)
+      TURTLE_EXCLUDES(mu_);
 
   /// Crash: the live snapshot and working set are lost, queued and
   /// in-flight requests are shed (counted under serve.shed_down), and the
   /// server restarts after `restart_delay`, rebuilding a snapshot via the
   /// set_rebuild callback — the checkpointed-record-log recovery path.
   /// Wire this to fault::FaultInjector::arm.
-  void crash(SimTime restart_delay);
+  void crash(SimTime restart_delay) TURTLE_EXCLUDES(mu_);
 
   /// Rebuild hook used by crash recovery. Typically loads the checkpointed
   /// record log and builds a fresh snapshot from it.
@@ -118,11 +123,20 @@ class OracleServer {
 
   /// Call after the simulation drains: folds still-pending requests into
   /// serve.queued so offered == served + shed + queued closes exactly.
-  void finalize();
+  void finalize() TURTLE_EXCLUDES(mu_);
 
-  [[nodiscard]] bool down() const { return down_; }
-  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
-  [[nodiscard]] const OracleSnapshot* snapshot() const { return snapshot_.get(); }
+  [[nodiscard]] bool down() const TURTLE_EXCLUDES(mu_) {
+    const util::MutexLock lock{mu_};
+    return down_;
+  }
+  [[nodiscard]] std::size_t queue_depth() const TURTLE_EXCLUDES(mu_) {
+    const util::MutexLock lock{mu_};
+    return queue_.size();
+  }
+  [[nodiscard]] const OracleSnapshot* snapshot() const TURTLE_EXCLUDES(mu_) {
+    const util::MutexLock lock{mu_};
+    return snapshot_.get();
+  }
 
  private:
   struct Pending {
@@ -138,31 +152,40 @@ class OracleServer {
   enum class ShedReason : std::uint8_t { kOverload, kDown, kNet };
 
   /// Arrival at the admission gate (after any fault-injected entry delay).
-  void arrive(Pending pending);
+  void arrive(Pending pending) TURTLE_REQUIRES(mu_);
+  /// Lock-taking wrapper for arrivals scheduled as simulator events.
+  void arrive_entry(Pending pending) TURTLE_EXCLUDES(mu_);
   void shed(ShedReason reason);
-  void start_batch();
-  void complete_batch(std::uint64_t epoch);
-  void restart();
+  void start_batch() TURTLE_REQUIRES(mu_);
+  void complete_batch(std::uint64_t epoch) TURTLE_EXCLUDES(mu_);
+  void restart() TURTLE_EXCLUDES(mu_);
   /// LRU working-set consult; returns the per-request service time.
-  SimTime touch_cache(net::Ipv4Address addr);
+  SimTime touch_cache(net::Ipv4Address addr) TURTLE_REQUIRES(mu_);
 
   sim::Simulator& sim_;
   ServerConfig config_;
-  std::shared_ptr<const OracleSnapshot> snapshot_;
   std::function<std::shared_ptr<const OracleSnapshot>()> rebuild_;
   sim::FaultHook* fault_hook_ = nullptr;
 
-  std::deque<Pending> queue_;
-  std::vector<InFlight> in_flight_;
-  bool busy_ = false;
-  bool down_ = false;
+  /// Guards every piece of serving state below: the queue, the dispatch
+  /// batch, the LRU working set, the snapshot pointer the swap path
+  /// replaces, and the crash-epoch guard. In-sim use is single-threaded
+  /// (every acquisition uncontended); the lock is the contract the
+  /// event-loop daemon and admin hot-swap threads will rely on.
+  mutable util::Mutex mu_;
+  std::shared_ptr<const OracleSnapshot> snapshot_ TURTLE_GUARDED_BY(mu_);
+  std::deque<Pending> queue_ TURTLE_GUARDED_BY(mu_);
+  std::vector<InFlight> in_flight_ TURTLE_GUARDED_BY(mu_);
+  bool busy_ TURTLE_GUARDED_BY(mu_) = false;
+  bool down_ TURTLE_GUARDED_BY(mu_) = false;
   /// Bumped on crash; a scheduled batch completion whose epoch is stale
   /// belongs to a crashed server incarnation and must not run.
-  std::uint64_t epoch_ = 0;
+  std::uint64_t epoch_ TURTLE_GUARDED_BY(mu_) = 0;
 
   /// LRU working set: most-recent block at the front.
-  std::list<std::uint32_t> lru_;
-  std::unordered_map<std::uint32_t, std::list<std::uint32_t>::iterator> lru_index_;
+  std::list<std::uint32_t> lru_ TURTLE_GUARDED_BY(mu_);
+  std::unordered_map<std::uint32_t, std::list<std::uint32_t>::iterator> lru_index_
+      TURTLE_GUARDED_BY(mu_);
 
   /// Private registry used when the config has none, so the accounting
   /// pointers below are always live (accessor-style uses in tests).

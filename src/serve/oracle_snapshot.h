@@ -80,6 +80,16 @@ struct LookupResult {
 
 /// Immutable per-survey index. Build once, share via shared_ptr, never
 /// mutate — the serving layer relies on snapshots being frozen.
+///
+/// Thread contract (checked by -Wthread-safety at the call sites): a
+/// snapshot deliberately holds no mutex of its own. Every mutation
+/// (`fold`, the build statics) happens before the object is shared, every
+/// public const accessor reads only frozen state (core::P2Quantile::value
+/// is const with no mutable members), so concurrent lookup() calls from
+/// many serving threads need no lock. The one guarded thing is *which*
+/// snapshot is live, and that pointer lives in OracleServer under its
+/// mu_ (TURTLE_GUARDED_BY) — in-flight requests keep their dispatch-time
+/// shared_ptr, so a hot-swap never frees a snapshot mid-lookup.
 class OracleSnapshot {
  public:
   /// Builds from a grouped dataset (mutated by the filtering pipeline —

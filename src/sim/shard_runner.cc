@@ -1,9 +1,8 @@
 #include "sim/shard_runner.h"
 
 #include <algorithm>
-#include <condition_variable>
-#include <mutex>
 
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 
 namespace turtle::sim {
@@ -31,18 +30,14 @@ void ShardRunner::run_indexed(std::size_t n,
         [task_duration](std::int64_t task_us) { task_duration->observe_us(task_us); });
   }
 
-  std::mutex mutex;
-  std::condition_variable all_done;
-  std::size_t remaining = n;
+  util::BlockingCounter all_done{n};
   for (std::size_t i = 0; i < n; ++i) {
     pool.submit([&, i] {
       task(i);
-      const std::lock_guard<std::mutex> lock{mutex};
-      if (--remaining == 0) all_done.notify_one();
+      all_done.count_down();
     });
   }
-  std::unique_lock<std::mutex> lock{mutex};
-  all_done.wait(lock, [&] { return remaining == 0; });
+  all_done.wait();
 
   if (options_.metrics != nullptr) {
     const util::ThreadPool::Stats stats = pool.stats();

@@ -67,6 +67,7 @@ struct ShardOptions {
 struct ShardContext {
   std::size_t shard_index = 0;
   std::size_t num_shards = 0;
+  // turtlint: allow(D3) aggregate default; ShardRunner replaces it with a fork
   util::Prng rng{0};
   obs::Registry* registry = nullptr;
   obs::TraceSink* trace = nullptr;

@@ -102,6 +102,7 @@ class Prng {
   [[nodiscard]] State state() const { return State{state_}; }
 
   [[nodiscard]] static Prng from_state(const State& state) {
+    // turtlint: allow(D3) seed is discarded; state_ is overwritten below
     Prng rng{0};
     rng.state_ = state.words;
     rng.cached_normal_ = 0.0;

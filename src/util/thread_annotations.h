@@ -1,0 +1,70 @@
+// Compiler-enforced lock discipline: thin macro layer over Clang's Thread
+// Safety Analysis (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+//
+// Under Clang the macros expand to the analysis attributes, and a build
+// configured with -DTURTLE_THREAD_SAFETY=ON (cmake/Sanitizers.cmake)
+// promotes -Wthread-safety to an error — "which mutex guards this field"
+// becomes a compile-time contract instead of a comment. Under every other
+// compiler (the default GCC toolchain included) the macros expand to
+// nothing, so annotated code builds everywhere.
+//
+// The annotations only bite on capability types: use util::Mutex /
+// util::MutexLock (src/util/mutex.h), not raw std::mutex — libstdc++'s
+// std::mutex carries no capability attribute, so the analysis cannot see
+// through it.
+//
+// Naming follows the Clang documentation's canonical macro set with a
+// TURTLE_ prefix. The ones used most:
+//
+//   TURTLE_GUARDED_BY(mu)   on a data member: reads and writes require mu
+//   TURTLE_REQUIRES(mu)     on a function: caller must already hold mu
+//   TURTLE_ACQUIRE(mu)      on a function: acquires mu, returns holding it
+//   TURTLE_RELEASE(mu)      on a function: releases mu
+//   TURTLE_EXCLUDES(mu)     on a function: caller must NOT hold mu
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define TURTLE_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define TURTLE_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names it in diagnostics).
+#define TURTLE_CAPABILITY(x) TURTLE_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose lifetime acquires/releases a capability.
+#define TURTLE_SCOPED_CAPABILITY TURTLE_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member: accessible only while holding the given mutex.
+#define TURTLE_GUARDED_BY(x) TURTLE_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member: the pointed-to data is guarded (the pointer itself is not).
+#define TURTLE_PT_GUARDED_BY(x) TURTLE_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function precondition: the caller holds the mutex(es) for the whole call.
+#define TURTLE_REQUIRES(...) \
+  TURTLE_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function effect: acquires the mutex(es); held when the call returns.
+#define TURTLE_ACQUIRE(...) \
+  TURTLE_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function effect: releases the mutex(es) the caller held.
+#define TURTLE_RELEASE(...) \
+  TURTLE_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function effect: acquires on `true` (or the stated result) only.
+#define TURTLE_TRY_ACQUIRE(...) \
+  TURTLE_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function precondition: the caller must NOT hold the mutex(es) — the
+/// deadlock half of the discipline (public entry points that lock).
+#define TURTLE_EXCLUDES(...) TURTLE_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define TURTLE_RETURN_CAPABILITY(x) TURTLE_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function's locking is intentionally invisible to the
+/// analysis. Every use needs a comment saying why.
+#define TURTLE_NO_THREAD_SAFETY_ANALYSIS \
+  TURTLE_THREAD_ANNOTATION_(no_thread_safety_analysis)

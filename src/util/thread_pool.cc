@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock{mutex_};
+    const MutexLock lock{mutex_};
     stopping_ = true;
   }
   task_ready_.notify_all();
@@ -27,7 +27,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   TURTLE_CHECK(task != nullptr) << "submitting an empty task";
   {
-    const std::lock_guard<std::mutex> lock{mutex_};
+    const MutexLock lock{mutex_};
     TURTLE_CHECK(!stopping_) << "submit() on a stopping ThreadPool";
     tasks_.push_back(std::move(task));
     ++stats_.tasks_submitted;
@@ -36,12 +36,12 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 ThreadPool::Stats ThreadPool::stats() const {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const MutexLock lock{mutex_};
   return stats_;
 }
 
 void ThreadPool::set_task_observer(std::function<void(std::int64_t)> observer) {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const MutexLock lock{mutex_};
   TURTLE_CHECK(stats_.tasks_submitted == 0)
       << "task observer installed after tasks were submitted";
   task_observer_ = std::move(observer);
@@ -51,8 +51,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock{mutex_};
-      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock{mutex_};
+      // Explicit wait loop (not a predicate lambda) so the thread-safety
+      // analysis sees the guarded reads happen while mutex_ is held.
+      while (!stopping_ && tasks_.empty()) task_ready_.wait(lock);
       if (tasks_.empty()) return;  // stopping_ and drained
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -63,7 +65,7 @@ void ThreadPool::worker_loop() {
                              std::chrono::steady_clock::now() - start)
                              .count();
     {
-      const std::lock_guard<std::mutex> lock{mutex_};
+      const MutexLock lock{mutex_};
       ++stats_.tasks_run;
       stats_.busy_us += task_us;
       if (task_us > stats_.max_task_us) stats_.max_task_us = task_us;

@@ -8,14 +8,15 @@
 // state, and the ShardRunner merges results in shard order.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace turtle::util {
 
@@ -44,16 +45,17 @@ class ThreadPool {
   /// Enqueues `task`; runs as soon as a worker frees up. Tasks must not
   /// throw — exceptions must be captured by the caller's closure (the
   /// ShardRunner stores them per shard and rethrows after the join).
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) TURTLE_EXCLUDES(mutex_);
 
   /// Snapshot of the wall-clock stats (thread-safe).
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats stats() const TURTLE_EXCLUDES(mutex_);
 
   /// Observability hook: invoked after each task completes with its
   /// wall-clock duration in microseconds. Called from worker threads
   /// under the pool's mutex, so observers are serialized but must stay
   /// cheap (a histogram observe, not I/O). Set before submitting.
-  void set_task_observer(std::function<void(std::int64_t task_us)> observer);
+  void set_task_observer(std::function<void(std::int64_t task_us)> observer)
+      TURTLE_EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t num_threads() const { return threads_.size(); }
 
@@ -61,15 +63,15 @@ class ThreadPool {
   [[nodiscard]] static std::size_t hardware_threads();
 
  private:
-  void worker_loop();
+  void worker_loop() TURTLE_EXCLUDES(mutex_);
 
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> tasks_;
-  mutable std::mutex mutex_;
-  std::condition_variable task_ready_;
-  bool stopping_ = false;
-  Stats stats_;
-  std::function<void(std::int64_t)> task_observer_;
+  mutable Mutex mutex_;
+  CondVar task_ready_;
+  std::deque<std::function<void()>> tasks_ TURTLE_GUARDED_BY(mutex_);
+  bool stopping_ TURTLE_GUARDED_BY(mutex_) = false;
+  Stats stats_ TURTLE_GUARDED_BY(mutex_);
+  std::function<void(std::int64_t)> task_observer_ TURTLE_GUARDED_BY(mutex_);
 };
 
 }  // namespace turtle::util

@@ -1,0 +1,54 @@
+// util/ordered.h: deterministic views over unordered containers.
+#include "util/ordered.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace turtle::util {
+namespace {
+
+TEST(OrderedTest, MapPairsSortByKey) {
+  std::unordered_map<std::uint32_t, std::string> map{
+      {30, "c"}, {10, "a"}, {20, "b"}};
+  const auto pairs = ordered(map);
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], (std::pair<std::uint32_t, std::string>{10, "a"}));
+  EXPECT_EQ(pairs[1], (std::pair<std::uint32_t, std::string>{20, "b"}));
+  EXPECT_EQ(pairs[2], (std::pair<std::uint32_t, std::string>{30, "c"}));
+}
+
+TEST(OrderedTest, EmptyContainers) {
+  const std::unordered_map<int, int> map;
+  EXPECT_TRUE(ordered(map).empty());
+  const std::unordered_set<int> set;
+  EXPECT_TRUE(ordered_keys(set).empty());
+}
+
+TEST(OrderedTest, SetKeysSort) {
+  const std::unordered_set<int> set{5, 1, 9, 3};
+  EXPECT_EQ(ordered_keys(set), (std::vector<int>{1, 3, 5, 9}));
+}
+
+TEST(OrderedTest, MapKeysSort) {
+  const std::unordered_map<int, double> map{{7, 0.5}, {2, 1.5}, {4, 2.5}};
+  EXPECT_EQ(ordered_keys(map), (std::vector<int>{2, 4, 7}));
+}
+
+TEST(OrderedTest, OrderIndependentOfInsertionHistory) {
+  // Two maps with identical contents built in different orders (and with
+  // different rehash histories) must produce identical ordered() output —
+  // the determinism property the dump paths rely on.
+  std::unordered_map<std::uint32_t, int> a;
+  std::unordered_map<std::uint32_t, int> b;
+  b.reserve(1024);
+  for (std::uint32_t i = 0; i < 100; ++i) a[i * 7919u] = static_cast<int>(i);
+  for (std::uint32_t i = 100; i-- > 0;) b[i * 7919u] = static_cast<int>(i);
+  EXPECT_EQ(ordered(a), ordered(b));
+}
+
+}  // namespace
+}  // namespace turtle::util

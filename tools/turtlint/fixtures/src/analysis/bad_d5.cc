@@ -1,0 +1,11 @@
+// D5 known-bad: float creeps into percentile math.
+namespace fix {
+
+float narrow_rtt(double rtt_s);
+
+double tail(double rtt_s) {
+  const auto scaled = rtt_s * 1.5f;
+  return scaled;
+}
+
+}  // namespace fix

@@ -1,0 +1,11 @@
+// D5 known-clean: double end to end; hex literals ending in F and
+// identifiers merely containing "float" must not trip the rule.
+namespace fix {
+
+double inflator(double rtt_s) {
+  const double scaled = rtt_s * 1.5;
+  const unsigned mask = 0xFF;
+  return scaled + mask;
+}
+
+}  // namespace fix

@@ -1,0 +1,20 @@
+// D2 known-bad: wall-clock reads in simulation code.
+#include <chrono>
+#include <sys/time.h>
+
+namespace fix {
+
+long now_us() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+long tod_us() {
+  timeval tv{};
+  gettimeofday(&tv, nullptr);
+  return tv.tv_sec * 1000000L + tv.tv_usec;
+}
+
+}  // namespace fix

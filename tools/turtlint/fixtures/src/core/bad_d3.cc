@@ -1,0 +1,20 @@
+// D3 known-bad: literal seeds and a fork() stream shared across closures.
+#include "util/prng.h"
+
+namespace fix {
+
+void literal_seeds() {
+  turtle::util::Prng direct{42};
+  turtle::util::Prng named(0xBEEF);
+  (void)direct;
+  (void)named;
+}
+
+template <typename Pool>
+void shared_stream(turtle::util::Prng& rng, Pool& pool) {
+  auto sub = rng.fork(1);
+  pool.submit([&] { sub.next_u64(); });
+  pool.submit([&sub] { sub.next_u64(); });
+}
+
+}  // namespace fix

@@ -1,0 +1,16 @@
+// D4 known-bad: mutations inside checks that compile out under NDEBUG.
+#include <set>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fix {
+
+void side_effects(std::set<int>& seen, std::vector<int>& log, int cursor) {
+  TURTLE_DCHECK(++cursor < 8);
+  TURTLE_DCHECK_EQ((cursor += 2), 4);
+  TURTLE_DCHECK(seen.insert(cursor).second);
+  log.push_back(cursor);
+}
+
+}  // namespace fix

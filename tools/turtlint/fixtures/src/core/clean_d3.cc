@@ -1,0 +1,19 @@
+// D3 known-clean: the seed flows in from options; every closure owns its
+// fork by value, so replay order is independent of task interleaving.
+#include "util/prng.h"
+
+namespace fix {
+
+struct Options {
+  unsigned long seed = 0;
+};
+
+template <typename Pool>
+void per_task_streams(const Options& options, Pool& pool) {
+  turtle::util::Prng rng{options.seed};
+  for (unsigned long i = 0; i < 4; ++i) {
+    pool.submit([sub = rng.fork(i)]() mutable { sub.next_u64(); });
+  }
+}
+
+}  // namespace fix

@@ -1,0 +1,17 @@
+// D4 known-clean: mutations hoisted out of the checks; a [=] capture
+// default inside a check is not an assignment.
+#include <set>
+
+#include "util/check.h"
+
+namespace fix {
+
+void hoisted(std::set<int>& seen, int cursor) {
+  ++cursor;
+  TURTLE_DCHECK_LT(cursor, 8);
+  const bool inserted = seen.insert(cursor).second;
+  TURTLE_DCHECK(inserted) << "duplicate " << cursor;
+  TURTLE_DCHECK_EQ([=] { return cursor; }(), cursor);
+}
+
+}  // namespace fix

@@ -1,0 +1,23 @@
+// Suppression mechanics: reasoned allows silence their finding; a
+// reasonless allow is itself reported as [SUP].
+#include <chrono>
+
+namespace fix {
+
+long with_reason() {
+  // turtlint: allow(D2) fixture demonstrates a reasoned standalone allow
+  const auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+long trailing_reason() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // turtlint: allow(D2) trailing form
+}
+
+long without_reason() {
+  // turtlint: allow(D2)
+  const auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+}  // namespace fix

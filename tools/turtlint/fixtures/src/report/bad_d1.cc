@@ -1,0 +1,23 @@
+// D1 known-bad: unordered iteration reaching serialization sinks.
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+void write_json(const std::string& key, int value);
+
+namespace fix {
+
+void report(const std::unordered_map<std::string, int>& hits) {
+  for (const auto& [key, value] : hits) {
+    write_json(key, value);
+  }
+}
+
+void report_set(const std::unordered_set<int>& seen, std::ostream& out) {
+  for (auto it = seen.begin(); it != seen.end(); ++it) {
+    out << *it << "\n";
+  }
+}
+
+}  // namespace fix

@@ -1,0 +1,21 @@
+// D1 known-clean: ordering helpers before sinks; sink-free aggregation.
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+namespace fix {
+
+void dump(const std::unordered_map<std::string, int>& hits,
+          std::ostream& os) {
+  for (const auto& [key, value] : turtle::util::ordered(hits)) {
+    os << key << " " << value << "\n";
+  }
+}
+
+int sum(const std::unordered_map<std::string, int>& hits) {
+  int total = 0;
+  for (const auto& [key, value] : hits) total += value;
+  return total;
+}
+
+}  // namespace fix

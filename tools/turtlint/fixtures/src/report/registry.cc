@@ -1,0 +1,18 @@
+// D1: member iteration resolved through the paired header's declaration.
+#include "registry.h"
+
+namespace fix {
+
+void Registry::dump(std::ostream& os) const {
+  for (const auto& [name, count] : entries_) {
+    os << name << " " << count << "\n";
+  }
+}
+
+int Registry::total() const {
+  int sum = 0;
+  for (const auto& [name, count] : entries_) sum += count;
+  return sum;
+}
+
+}  // namespace fix

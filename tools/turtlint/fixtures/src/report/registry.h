@@ -1,0 +1,20 @@
+// D1 fixture header: the unordered member declared here must be visible to
+// loops in the paired registry.cc (same-stem decl merge).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+namespace fix {
+
+class Registry {
+ public:
+  void dump(std::ostream& os) const;
+  int total() const;
+
+ private:
+  std::unordered_map<std::string, int> entries_;
+};
+
+}  // namespace fix

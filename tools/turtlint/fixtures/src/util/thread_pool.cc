@@ -1,0 +1,14 @@
+// D2 known-clean: this path IS the sanctioned wall.* measurement site, so
+// the same clock reads that bad_d2.cc trips on are allowed here.
+#include <chrono>
+
+namespace fix {
+
+long task_wall_us() {
+  const auto start = std::chrono::steady_clock::now();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(stop - start)
+      .count();
+}
+
+}  // namespace fix
