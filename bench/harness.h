@@ -32,6 +32,33 @@
 
 namespace turtle::bench {
 
+/// Attributes peak-RSS growth to a named phase of a bench run. ru_maxrss
+/// is a process-lifetime high-water mark, so the delta across a phase is
+/// the memory that phase *added* to the peak — zero when the phase fits
+/// inside a footprint an earlier phase already established. finish() (or
+/// destruction) records "<phase>_peak_rss_delta_bytes" in the --json-out
+/// report, so e.g. build-phase and serve-phase footprints are separable
+/// in BENCH_results.json instead of one process-wide number.
+class PhaseRss {
+ public:
+  PhaseRss(JsonReport& report, std::string phase)
+      : report_{&report}, phase_{std::move(phase)}, before_{peak_rss_bytes()} {}
+  PhaseRss(const PhaseRss&) = delete;
+  PhaseRss& operator=(const PhaseRss&) = delete;
+  ~PhaseRss() { finish(); }
+
+  void finish() {
+    if (report_ == nullptr) return;
+    report_->set_metric(phase_ + "_peak_rss_delta_bytes", peak_rss_bytes() - before_);
+    report_ = nullptr;
+  }
+
+ private:
+  JsonReport* report_;
+  std::string phase_;
+  std::int64_t before_;
+};
+
 struct World {
   /// Observability sinks. `registry` is never null: it points at the
   /// external registry passed via WorldOptions (a JsonReport's merged

@@ -10,6 +10,12 @@
 // server, which recovers by rebuilding from the frozen log via
 // set_rebuild. Per-shard latencies merge in shard order, so exact p50/p99
 // and the --metrics-out dump are byte-identical across --jobs values.
+//
+// Snapshot-file round trip: --snapshot-out=PATH writes shard 0's serving
+// snapshot as a snapshot-v1 file; --snapshot-in=PATH serves every shard
+// from a zero-copy map of that file instead of building one, and wires
+// the path into crash recovery so a crashed server *reloads* the file
+// (serve.snapshot_reloads) rather than rebuilding from the frozen log.
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
@@ -21,6 +27,7 @@
 #include "serve/load_generator.h"
 #include "serve/oracle_server.h"
 #include "serve/oracle_snapshot.h"
+#include "util/check.h"
 #include "util/table.h"
 
 using namespace turtle;
@@ -66,6 +73,20 @@ int main(int argc, char** argv) {
   const auto cache_cap = static_cast<std::size_t>(flags.get_int("cache-cap", 1024));
   const auto fault_plan = bench::fault_plan_from_flags(flags);
   const auto fault_seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 1));
+  const std::string snapshot_out = flags.get_string("snapshot-out", "");
+  const std::string snapshot_in = flags.get_string("snapshot-in", "");
+  TURTLE_CHECK(snapshot_out.empty() || snapshot_in.empty())
+      << "--snapshot-out and --snapshot-in are mutually exclusive";
+
+  // A mapped snapshot file is immutable and lock-free, so one mapping can
+  // serve every shard concurrently.
+  std::shared_ptr<const serve::OracleSnapshot> mapped_snapshot;
+  if (!snapshot_in.empty()) {
+    std::string error;
+    mapped_snapshot = serve::OracleSnapshot::map(snapshot_in, &error, &report.registry());
+    TURTLE_CHECK(mapped_snapshot != nullptr)
+        << "--snapshot-in " << snapshot_in << ": " << error;
+  }
 
   std::printf("# serve_loadgen: %d shards x (%d blocks x %d rounds survey -> "
               "%.0f req/s for %.0f s)\n",
@@ -105,12 +126,20 @@ int main(int argc, char** argv) {
         const hosts::GeoDatabase* geo = &world->population->geo();
         serve::SnapshotConfig snap_config;
         snap_config.version = 1;
-        auto snapshot_v1 = std::make_shared<const serve::OracleSnapshot>(
-            swap ? serve::OracleSnapshot::build(
-                       truncate_log(prober.log(),
-                                    static_cast<std::uint32_t>(std::max(rounds / 2, 1))),
-                       snap_config, geo)
-                 : serve::OracleSnapshot::build(prober.log(), snap_config, geo));
+        auto snapshot_v1 =
+            mapped_snapshot != nullptr
+                ? mapped_snapshot
+                : std::make_shared<const serve::OracleSnapshot>(
+                      swap ? serve::OracleSnapshot::build(
+                                 truncate_log(prober.log(),
+                                              static_cast<std::uint32_t>(
+                                                  std::max(rounds / 2, 1))),
+                                 snap_config, geo)
+                           : serve::OracleSnapshot::build(prober.log(), snap_config, geo));
+        if (!snapshot_out.empty() && ctx.shard_index == 0) {
+          snapshot_v1->write(snapshot_out);
+          std::fprintf(stderr, "# snapshot: %s\n", snapshot_out.c_str());
+        }
 
         // Phase 2: the serving simulator. Shares the shard's sinks, so
         // sim.* and serve.* metrics merge deterministically.
@@ -122,6 +151,9 @@ int main(int argc, char** argv) {
         server_config.cache_capacity = cache_cap;
         server_config.registry = ctx.registry;
         server_config.trace = ctx.trace;
+        // Crash recovery prefers reloading the snapshot file when one was
+        // supplied; the set_rebuild hook below stays as the fallback.
+        server_config.snapshot_path = snapshot_in;
         serve::OracleServer server{serve_sim, server_config, snapshot_v1};
         server.set_rebuild([&log_bytes, geo]() {
           std::istringstream in{log_bytes};
@@ -201,6 +233,7 @@ int main(int argc, char** argv) {
   table.add_row({"shed net", std::to_string(counter("serve.shed_net"))});
   table.add_row({"snapshot swaps", std::to_string(counter("serve.snapshot_swaps"))});
   table.add_row({"snapshot rebuilds", std::to_string(counter("serve.snapshot_rebuilds"))});
+  table.add_row({"snapshot reloads", std::to_string(counter("serve.snapshot_reloads"))});
   table.add_row({"cache hit rate",
                  util::format_percent(hits + misses > 0
                                           ? static_cast<double>(hits) /

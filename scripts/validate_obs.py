@@ -3,7 +3,7 @@
 
 Usage:
     scripts/validate_obs.py --metrics M.json --trace T.json [--stdout OUT.txt]
-                            [--fault] [--serve]
+                            [--fault] [--serve] [--snapshot S.snap]
 
 Checks:
   * the metrics file is valid JSON with the turtle-metrics-v1 schema,
@@ -27,12 +27,20 @@ Checks:
     every offered request is served, shed (with an attributed reason), or
     still queued at finalize; cache hits + misses == lookups; each lookup
     is answered by exactly one scope tier; the latency histogram holds
-    one observation per served request; and a crashed server rebuilt its
-    snapshot at least once.
+    one observation per served request; and a crashed server recovered its
+    snapshot at least once (file reload or log rebuild);
+  * with --snapshot (a snapshot-v1 file from micro_snapshot/serve_loadgen
+    --snapshot-out), the file itself is audited with an independent
+    CRC-64/XZ implementation: magic, version, header checksum, body
+    checksum, and declared vs actual size must all hold, the header tier
+    counts must equal the snapshot.* gauges the build published, and the
+    build ledger must close (records_in == records_folded +
+    records_skipped).
 """
 import argparse
 import json
 import re
+import struct
 import sys
 
 FAILURES = []
@@ -175,24 +183,109 @@ def validate_serve(metrics):
           f"serve: latency histogram count {latency.get('count', 0)} != "
           f"served {c('serve.served')}")
 
-    # Crash recovery actually rebuilt a snapshot.
+    # Crash recovery actually recovered a snapshot — either the preferred
+    # zero-copy reload of the snapshot file or the rebuild-from-log path.
     if c("fault.serve.crashes") > 0:
-        check(c("serve.snapshot_rebuilds") >= 1,
-              "serve: server crashed but never rebuilt a snapshot")
+        check(c("serve.snapshot_rebuilds") + c("serve.snapshot_reloads") >= 1,
+              "serve: server crashed but never reloaded or rebuilt a snapshot")
+
+
+# --- snapshot-v1 file audit (see src/serve/snapshot_format.h) ----------
+
+_CRC64_POLY = 0xC96C5795D7870F42  # CRC-64/XZ, reflected
+
+
+def _crc64_table():
+    table = []
+    for i in range(256):
+        crc = i
+        for _ in range(8):
+            crc = (crc >> 1) ^ (_CRC64_POLY if crc & 1 else 0)
+        table.append(crc)
+    return table
+
+
+def crc64(data, table=_crc64_table()):
+    """CRC-64/XZ, independent of the C++ implementation it audits."""
+    crc = 0xFFFFFFFFFFFFFFFF
+    for byte in data:
+        crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFFFFFFFFFF
+
+
+SNAPSHOT_MAGIC = b"TRTLSNAP"
+SNAPSHOT_HEADER_BYTES = 256
+
+
+def validate_snapshot(path, metrics):
+    with open(path, "rb") as f:
+        data = f.read()
+    check(len(data) >= SNAPSHOT_HEADER_BYTES, f"snapshot: {len(data)} bytes, no header")
+    if len(data) < SNAPSHOT_HEADER_BYTES:
+        return
+    check(data[:8] == SNAPSHOT_MAGIC, "snapshot: bad magic")
+    format_version, header_bytes = struct.unpack_from("<II", data, 8)
+    check(format_version == 1, f"snapshot: format_version {format_version}, want 1")
+    check(header_bytes == SNAPSHOT_HEADER_BYTES,
+          f"snapshot: header_bytes {header_bytes}, want {SNAPSHOT_HEADER_BYTES}")
+    file_bytes, body_crc, header_crc = struct.unpack_from("<QQQ", data, 16)
+    check(file_bytes == len(data),
+          f"snapshot: header declares {file_bytes} bytes, file has {len(data)}")
+    # Header CRC covers the 256 header bytes with its own field zeroed.
+    header = bytearray(data[:SNAPSHOT_HEADER_BYTES])
+    header[32:40] = b"\x00" * 8
+    computed_header_crc = crc64(header)
+    check(computed_header_crc == header_crc,
+          f"snapshot: header crc {computed_header_crc:#x} != stored {header_crc:#x}")
+    computed_body_crc = crc64(data[SNAPSHOT_HEADER_BYTES:])
+    check(computed_body_crc == body_crc,
+          f"snapshot: body crc {computed_body_crc:#x} != stored {body_crc:#x}")
+
+    total_samples = struct.unpack_from("<Q", data, 48)[0]
+    block_count, as_count = struct.unpack_from("<II", data, 84)
+
+    # The header's tier counts must be the counts the build served into the
+    # metrics registry — the file and the observability agree.
+    gauges = metrics.get("gauges", {})
+    for gauge, header_value in (("snapshot.blocks", block_count),
+                                ("snapshot.ases", as_count),
+                                ("snapshot.total_samples", total_samples)):
+        if gauge in gauges:
+            check(gauges[gauge] == header_value,
+                  f"snapshot: header {gauge.split('.')[1]} {header_value} != "
+                  f"gauge {gauge} {gauges[gauge]}")
+
+    # The build ledger closes: every input record folded or counted skipped.
+    counters = metrics.get("counters", {})
+    if "snapshot.build.records_in" in counters:
+        records_in = counters["snapshot.build.records_in"]
+        folded = counters.get("snapshot.build.records_folded", 0)
+        skipped = counters.get("snapshot.build.records_skipped", 0)
+        check(records_in == folded + skipped,
+              f"snapshot: ledger records_in {records_in} != folded {folded} "
+              f"+ skipped {skipped}")
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--metrics", required=True)
+    parser.add_argument("--metrics",
+                        help="metrics JSON dump (required unless only "
+                             "auditing a --snapshot file)")
     parser.add_argument("--trace")
     parser.add_argument("--stdout", help="captured table1_matching output")
     parser.add_argument("--fault", action="store_true",
                         help="the run used --fault-plan: check fault.* reconciliation")
     parser.add_argument("--serve", action="store_true",
                         help="a serve_loadgen run: check the serve.* accounting ledger")
+    parser.add_argument("--snapshot",
+                        help="snapshot-v1 file to audit (checksums, header counts, ledger)")
     args = parser.parse_args()
+    if args.metrics is None and not (args.snapshot and not args.trace
+                                     and not args.stdout and not args.fault
+                                     and not args.serve):
+        parser.error("--metrics is required unless only --snapshot is given")
 
-    metrics = validate_metrics(args.metrics)
+    metrics = validate_metrics(args.metrics) if args.metrics else {}
     if args.trace:
         validate_trace(args.trace)
     if args.stdout:
@@ -201,6 +294,8 @@ def main():
         validate_fault(metrics)
     if args.serve:
         validate_serve(metrics)
+    if args.snapshot:
+        validate_snapshot(args.snapshot, metrics)
 
     if FAILURES:
         for failure in FAILURES:

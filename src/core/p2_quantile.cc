@@ -76,6 +76,24 @@ void P2Quantile::adjust(int i) {
   positions_[i] += sign;
 }
 
+P2Quantile::State P2Quantile::state() const {
+  State s;
+  s.count = count_;
+  s.heights = heights_;
+  s.positions = positions_;
+  s.desired = desired_;
+  return s;
+}
+
+P2Quantile P2Quantile::restore(double q, const State& state) {
+  P2Quantile quantile{q};  // recomputes increments_ (and initial desired_) from q
+  quantile.count_ = static_cast<std::size_t>(state.count);
+  quantile.heights_ = state.heights;
+  quantile.positions_ = state.positions;
+  quantile.desired_ = state.desired;
+  return quantile;
+}
+
 double P2Quantile::value() const {
   if (count_ == 0) return 0.0;
   if (count_ < 5) {

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 
 namespace turtle::core {
 
@@ -25,6 +26,20 @@ class P2Quantile {
   [[nodiscard]] double value() const;
 
   [[nodiscard]] std::size_t count() const { return count_; }
+
+  /// Frozen marker state, the unit the snapshot file format persists. The
+  /// increments are derived from q alone, so they are not stored; restore()
+  /// recomputes them. value() of a restored estimator is bitwise identical
+  /// to the original's — the parity guarantee mapped snapshots rely on.
+  struct State {
+    std::uint64_t count = 0;
+    std::array<double, 5> heights{};
+    std::array<double, 5> positions{};
+    std::array<double, 5> desired{};
+  };
+
+  [[nodiscard]] State state() const;
+  static P2Quantile restore(double q, const State& state);
 
  private:
   void add_initial(double x);

@@ -42,20 +42,26 @@ T get(std::istream& is) {
 
 }  // namespace
 
+namespace {
+
+void put_record(std::ostream& os, const SurveyRecord& r) {
+  put(os, static_cast<std::uint8_t>(r.type));
+  const std::array<char, 3> pad{};
+  os.write(pad.data(), pad.size());
+  put(os, r.address.value());
+  put(os, r.probe_time.as_micros());
+  put(os, r.rtt.as_micros());
+  put(os, r.round);
+  put(os, r.count);
+}
+
+}  // namespace
+
 void RecordLog::save(std::ostream& os) const {
   os.write(kMagic.data(), kMagic.size());
   put(os, kVersion);
   put(os, static_cast<std::uint64_t>(records_.size()));
-  for (const SurveyRecord& r : records_) {
-    put(os, static_cast<std::uint8_t>(r.type));
-    const std::array<char, 3> pad{};
-    os.write(pad.data(), pad.size());
-    put(os, r.address.value());
-    put(os, r.probe_time.as_micros());
-    put(os, r.rtt.as_micros());
-    put(os, r.round);
-    put(os, r.count);
-  }
+  for (const SurveyRecord& r : records_) put_record(os, r);
   if (!os) throw std::runtime_error("RecordLog::save: write failed");
 }
 
@@ -83,19 +89,70 @@ bool RecordLog::record_is_loadable(const unsigned char* bytes, SurveyRecord* out
   return true;
 }
 
-RecordLog RecordLog::load(std::istream& is, LoadStats* stats) {
+RecordReader::RecordReader(std::istream& is) : is_{is} {
   std::array<char, 4> magic{};
-  is.read(magic.data(), magic.size());
-  if (!is || magic != kMagic) throw std::runtime_error("RecordLog::load: bad magic");
-  if (get<std::uint32_t>(is) != kVersion) {
+  is_.read(magic.data(), magic.size());
+  if (!is_ || magic != kMagic) throw std::runtime_error("RecordLog::load: bad magic");
+  if (get<std::uint32_t>(is_) != kVersion) {
     throw std::runtime_error("RecordLog::load: unsupported version");
   }
-  const auto n = get<std::uint64_t>(is);
-  if (!is) throw std::runtime_error("RecordLog::load: truncated header");
+  declared_ = get<std::uint64_t>(is_);
+  if (!is_) throw std::runtime_error("RecordLog::load: truncated header");
+}
 
-  LoadStats local;
-  LoadStats& s = stats != nullptr ? *stats : local;
-  s = LoadStats{};
+bool RecordReader::next(SurveyRecord& out) {
+  std::array<unsigned char, RecordLog::kRecordBytes> buffer{};
+  while (index_ < declared_) {
+    is_.read(reinterpret_cast<char*>(buffer.data()), buffer.size());
+    if (static_cast<std::size_t>(is_.gcount()) < buffer.size()) {
+      // Stream ended before the declared count: a crashed writer or a
+      // truncated transfer. Count the missing tail and stop — never
+      // fatal. loaded + skipped + truncated == declared, always.
+      stats_.records_truncated += declared_ - index_;
+      index_ = declared_;
+      return false;
+    }
+    ++index_;
+    if (!RecordLog::record_is_loadable(buffer.data(), &out)) {
+      // Fixed-width records make resync exact: skip this one and carry on
+      // at the next 32-byte boundary.
+      ++stats_.records_skipped;
+      continue;
+    }
+    ++stats_.records_loaded;
+    return true;
+  }
+  return false;
+}
+
+RecordWriter::RecordWriter(std::ostream& os) : os_{os} {
+  os_.write(kMagic.data(), kMagic.size());
+  put(os_, kVersion);
+  put(os_, std::uint64_t{0});  // patched by finish()
+  if (!os_) throw std::runtime_error("RecordWriter: header write failed");
+}
+
+void RecordWriter::append(const SurveyRecord& record) {
+  TURTLE_DCHECK(is_valid_record_type(static_cast<std::uint8_t>(record.type)));
+  TURTLE_DCHECK_GT(record.count, 0u) << "record coalescing zero responses";
+  TURTLE_DCHECK(!record.rtt.is_negative());
+  put_record(os_, record);
+  ++written_;
+}
+
+void RecordWriter::finish() {
+  const std::ostream::pos_type end = os_.tellp();
+  // The count sits right after magic (4) + version (4).
+  os_.seekp(8);
+  put(os_, written_);
+  os_.seekp(end);
+  os_.flush();
+  if (!os_) throw std::runtime_error("RecordWriter::finish: write failed");
+}
+
+RecordLog RecordLog::load(std::istream& is, LoadStats* stats) {
+  RecordReader reader{is};
+  const std::uint64_t n = reader.declared_count();
 
   RecordLog log;
   // Reserve the declared record count up front so million-record logs load
@@ -115,26 +172,9 @@ RecordLog RecordLog::load(std::istream& is, LoadStats* stats) {
   }
   is.clear();  // a failed tellg/seekg must not poison the record reads
   log.records_.reserve(static_cast<std::size_t>(std::min(n, reserve_cap)));
-  std::array<unsigned char, kRecordBytes> buffer{};
-  for (std::uint64_t i = 0; i < n; ++i) {
-    is.read(reinterpret_cast<char*>(buffer.data()), buffer.size());
-    if (static_cast<std::size_t>(is.gcount()) < buffer.size()) {
-      // Stream ended before the declared count: a crashed writer or a
-      // truncated transfer. Count the missing tail and stop — never
-      // fatal. loaded + skipped + truncated == declared, always.
-      s.records_truncated += n - i;
-      break;
-    }
-    SurveyRecord r;
-    if (!record_is_loadable(buffer.data(), &r)) {
-      // Fixed-width records make resync exact: skip this one and carry on
-      // at the next 32-byte boundary.
-      ++s.records_skipped;
-      continue;
-    }
-    ++s.records_loaded;
-    log.records_.push_back(r);
-  }
+  SurveyRecord r;
+  while (reader.next(r)) log.records_.push_back(r);
+  if (stats != nullptr) *stats = reader.stats();
   return log;
 }
 

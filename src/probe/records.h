@@ -121,4 +121,57 @@ class RecordLog {
   std::vector<SurveyRecord> records_;
 };
 
+/// Streaming record reader with load()'s exact tolerance semantics —
+/// throws on a corrupt header at construction, skips detectably corrupt
+/// records, accounts a truncated tail — but O(1) memory: the snapshot
+/// builder folds logs far larger than RAM through this, one record at a
+/// time. RecordLog::load() is implemented on top of it, so the two paths
+/// cannot drift.
+class RecordReader {
+ public:
+  /// Reads and validates the header. Throws std::runtime_error on bad
+  /// magic, unsupported version, or truncated header — same as load().
+  explicit RecordReader(std::istream& is);
+
+  /// Advances to the next loadable record. Returns false at end of the
+  /// declared stream (or a truncated tail, reflected in stats()).
+  [[nodiscard]] bool next(SurveyRecord& out);
+
+  /// Record count the header declares (untrusted input; next() never
+  /// reads past the actual stream).
+  [[nodiscard]] std::uint64_t declared_count() const { return declared_; }
+
+  /// Tolerance accounting so far; final once next() returns false.
+  /// loaded + skipped + truncated == declared, always.
+  [[nodiscard]] const RecordLog::LoadStats& stats() const { return stats_; }
+
+ private:
+  std::istream& is_;
+  std::uint64_t declared_ = 0;
+  std::uint64_t index_ = 0;  ///< records consumed from the stream so far
+  RecordLog::LoadStats stats_;
+};
+
+/// Streaming record writer: header first (count patched on finish()), then
+/// fixed-width records appended one at a time. Lets the bench synthesize a
+/// log several times larger than any RSS cap without ever holding it in
+/// memory. The stream must be seekable (finish() patches the header).
+class RecordWriter {
+ public:
+  /// Writes the header with a zero record count placeholder.
+  explicit RecordWriter(std::ostream& os);
+
+  void append(const SurveyRecord& record);
+
+  /// Seeks back and patches the header's record count, then returns the
+  /// stream to its end. Throws std::runtime_error on I/O failure. Idempotent.
+  void finish();
+
+  [[nodiscard]] std::uint64_t written() const { return written_; }
+
+ private:
+  std::ostream& os_;
+  std::uint64_t written_ = 0;
+};
+
 }  // namespace turtle::probe

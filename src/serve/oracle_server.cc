@@ -31,6 +31,7 @@ OracleServer::OracleServer(sim::Simulator& sim, ServerConfig config,
   batches_ = &registry.counter("serve.batches");
   snapshot_swaps_ = &registry.counter("serve.snapshot_swaps");
   snapshot_rebuilds_ = &registry.counter("serve.snapshot_rebuilds");
+  snapshot_reloads_ = &registry.counter("serve.snapshot_reloads");
   scope_block_ = &registry.counter("serve.scope_block");
   scope_as_ = &registry.counter("serve.scope_as");
   scope_global_ = &registry.counter("serve.scope_global");
@@ -236,16 +237,30 @@ void OracleServer::crash(SimTime restart_delay) {
 }
 
 void OracleServer::restart() {
-  std::shared_ptr<const OracleSnapshot> rebuilt;
-  if (rebuild_) {
-    rebuilt = rebuild_();  // user code: build outside the lock
-    snapshot_rebuilds_->inc();
-    if (rebuilt != nullptr) {
-      snapshot_version_->set_max(static_cast<std::int64_t>(rebuilt->version()));
+  // Recovery ladder, all outside the lock: (1) zero-copy reload of the
+  // snapshot file — O(checksum) instead of O(rebuild); (2) the rebuild
+  // hook (checkpointed record log); (3) serve global defaults snapshotless.
+  // A rejected file is counted (fault.snapshot.load_rejected inside map())
+  // and falls through — recovery degrades, never wedges.
+  std::shared_ptr<const OracleSnapshot> next;
+  bool install = false;
+  if (!config_.snapshot_path.empty()) {
+    next = OracleSnapshot::map(config_.snapshot_path, nullptr, config_.registry);
+    if (next != nullptr) {
+      snapshot_reloads_->inc();
+      install = true;
     }
   }
+  if (next == nullptr && rebuild_) {
+    next = rebuild_();  // user code: build outside the lock
+    snapshot_rebuilds_->inc();
+    install = true;
+  }
+  if (next != nullptr) {
+    snapshot_version_->set_max(static_cast<std::int64_t>(next->version()));
+  }
   const util::MutexLock lock{mu_};
-  if (rebuild_) snapshot_ = std::move(rebuilt);
+  if (install) snapshot_ = std::move(next);
   down_ = false;
   TURTLE_TRACE(config_.trace, instant("serve.restart", "serve", sim_.now()));
   if (!busy_ && !queue_.empty()) start_batch();

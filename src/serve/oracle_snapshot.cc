@@ -1,11 +1,14 @@
 #include "serve/oracle_snapshot.h"
 
+#include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <utility>
 
 #include "analysis/pipeline.h"
 #include "core/recommendations.h"
 #include "util/check.h"
+#include "util/ordered.h"
 
 namespace turtle::serve {
 
@@ -41,7 +44,24 @@ OracleSnapshot OracleSnapshot::build(analysis::SurveyDataset& dataset, SnapshotC
   analysis::PipelineConfig pipeline_config;
   const analysis::PipelineResult result = analysis::run_pipeline(dataset, pipeline_config);
 
-  for (const analysis::AddressReport& report : result.addresses) {
+  // Canonical fold order: reports stable-sorted by /24 network. P2 marker
+  // states depend on fold order, so the order is part of the format's
+  // determinism contract — the streaming builder partitions the address
+  // space into contiguous network ranges, folds each shard in this same
+  // order, and concatenates, reproducing these exact marker states. Within
+  // a network (and per address) the original dataset order is preserved on
+  // both paths, which is what "stable" buys.
+  std::vector<const analysis::AddressReport*> canonical;
+  canonical.reserve(result.addresses.size());
+  for (const analysis::AddressReport& report : result.addresses) canonical.push_back(&report);
+  std::stable_sort(canonical.begin(), canonical.end(),
+                   [](const analysis::AddressReport* a, const analysis::AddressReport* b) {
+                     return net::Prefix24::containing(a->address).network() <
+                            net::Prefix24::containing(b->address).network();
+                   });
+
+  for (const analysis::AddressReport* report_ptr : canonical) {
+    const analysis::AddressReport& report = *report_ptr;
     const std::uint32_t network = net::Prefix24::containing(report.address).network();
     auto [block_it, inserted] = snapshot.block_index_.try_emplace(network, snapshot.blocks_.size());
     if (inserted) {
@@ -86,28 +106,74 @@ OracleSnapshot OracleSnapshot::build(const probe::RecordLog& log, SnapshotConfig
   return build(dataset, std::move(config), geo);
 }
 
+bool OracleSnapshot::mapped_block_index(std::uint32_t network, std::size_t& index) const {
+  const std::span<const std::uint32_t> keys = view_.block_keys();
+  const auto it = std::lower_bound(keys.begin(), keys.end(), network);
+  if (it == keys.end() || *it != network) return false;
+  index = static_cast<std::size_t>(it - keys.begin());
+  return true;
+}
+
+bool OracleSnapshot::probe_block(std::uint32_t network, std::size_t p, std::uint64_t& samples,
+                                 double& value) const {
+  if (mapped_) {
+    std::size_t index = 0;
+    if (!mapped_block_index(network, index)) return false;
+    samples = view_.block_samples(index);
+    value = view_.block_quantile(index, p).value();
+    return true;
+  }
+  const Aggregate* block = find_block(network);
+  if (block == nullptr) return false;
+  samples = block->samples;
+  value = block->quantiles[p].value();
+  return true;
+}
+
+bool OracleSnapshot::probe_as(std::uint32_t network, std::size_t p, std::uint64_t& samples,
+                              double& value) const {
+  if (mapped_) {
+    std::size_t block = 0;
+    if (!mapped_block_index(network, block)) return false;
+    const std::uint32_t asn = view_.block_asn()[block];
+    if (asn == snapshot_format::kNoAsn) return false;
+    const std::span<const std::uint32_t> keys = view_.as_keys();
+    const auto it = std::lower_bound(keys.begin(), keys.end(), asn);
+    if (it == keys.end() || *it != asn) return false;
+    const auto index = static_cast<std::size_t>(it - keys.begin());
+    samples = view_.as_samples(index);
+    value = view_.as_quantile(index, p).value();
+    return true;
+  }
+  const Aggregate* as_aggregate = find_as(network);
+  if (as_aggregate == nullptr) return false;
+  samples = as_aggregate->samples;
+  value = as_aggregate->quantiles[p].value();
+  return true;
+}
+
 LookupResult OracleSnapshot::lookup(net::Ipv4Address addr, double addr_coverage,
                                     double ping_coverage) const {
   const std::uint32_t network = net::Prefix24::containing(addr).network();
   const std::size_t p = percentile_index(ping_coverage);
 
-  if (const Aggregate* block = find_block(network);
-      block != nullptr && block->samples >= config_.min_block_samples) {
+  std::uint64_t samples = 0;
+  double value = 0.0;
+  if (probe_block(network, p, samples, value) && samples >= config_.min_block_samples) {
     return LookupResult{
-        .timeout = SimTime::from_seconds(block->quantiles[p].value()),
+        .timeout = SimTime::from_seconds(value),
         .scope = LookupScope::kBlock,
-        .samples = block->samples,
-        .confidence = 1.0 * sample_factor(block->samples),
+        .samples = samples,
+        .confidence = 1.0 * sample_factor(samples),
         .version = config_.version,
     };
   }
-  if (const Aggregate* as_aggregate = find_as(network);
-      as_aggregate != nullptr && as_aggregate->samples >= config_.min_as_samples) {
+  if (probe_as(network, p, samples, value) && samples >= config_.min_as_samples) {
     return LookupResult{
-        .timeout = SimTime::from_seconds(as_aggregate->quantiles[p].value()),
+        .timeout = SimTime::from_seconds(value),
         .scope = LookupScope::kAs,
-        .samples = as_aggregate->samples,
-        .confidence = 0.9 * sample_factor(as_aggregate->samples),
+        .samples = samples,
+        .confidence = 0.9 * sample_factor(samples),
         .version = config_.version,
     };
   }
@@ -126,8 +192,114 @@ LookupResult OracleSnapshot::lookup(net::Ipv4Address addr, double addr_coverage,
 }
 
 std::uint64_t OracleSnapshot::block_samples(net::Ipv4Address addr) const {
-  const Aggregate* block = find_block(net::Prefix24::containing(addr).network());
+  const std::uint32_t network = net::Prefix24::containing(addr).network();
+  if (mapped_) {
+    std::size_t index = 0;
+    return mapped_block_index(network, index) ? view_.block_samples(index) : 0;
+  }
+  const Aggregate* block = find_block(network);
   return block == nullptr ? 0 : block->samples;
+}
+
+void OracleSnapshot::write(const std::string& path) const {
+  std::ofstream os{path, std::ios::binary | std::ios::trunc};
+  TURTLE_CHECK(os.is_open()) << "cannot create snapshot file " << path;
+  write(os);
+}
+
+void OracleSnapshot::write(std::ostream& os) const {
+  TURTLE_CHECK(!mapped_) << "a mapped snapshot is already the serialized file";
+  namespace sf = snapshot_format;
+  sf::Header header;
+  header.snapshot_version = config_.version;
+  header.total_samples = total_samples_;
+  header.min_block_samples = config_.min_block_samples;
+  header.min_as_samples = config_.min_as_samples;
+  header.min_samples_per_address = config_.min_samples_per_address;
+  header.percentile_count = static_cast<std::uint32_t>(config_.percentiles.size());
+  header.block_count = static_cast<std::uint32_t>(blocks_.size());
+  header.as_count = static_cast<std::uint32_t>(ases_.size());
+  header.matrix_rows = static_cast<std::uint32_t>(matrix_.cells.size());
+  header.matrix_cols =
+      static_cast<std::uint32_t>(matrix_.cells.empty() ? 0 : matrix_.cells.front().size());
+  if (header.matrix_rows > 0 && header.matrix_cols > 0) header.flags |= sf::kFlagHasMatrix;
+
+  sf::Writer writer{os, header};
+  writer.begin_section(sf::kPercentiles);
+  for (const double p : config_.percentiles) writer.put_f64(p);
+
+  // Key-sorted iteration (util::ordered_keys) is what makes the file a
+  // pure function of the logical content, not of hash-table history.
+  const std::vector<std::uint32_t> networks = util::ordered_keys(block_index_);
+  writer.begin_section(sf::kBlockKeys);
+  for (const std::uint32_t network : networks) writer.put_u32(network);
+  writer.begin_section(sf::kBlockAsn);
+  for (const std::uint32_t network : networks) {
+    const auto it = block_asn_.find(network);
+    writer.put_u32(it == block_asn_.end() ? sf::kNoAsn : it->second);
+  }
+  writer.begin_section(sf::kBlockAggs);
+  for (const std::uint32_t network : networks) {
+    const Aggregate& aggregate = blocks_[block_index_.at(network)];
+    writer.put_aggregate(aggregate.samples, aggregate.quantiles);
+  }
+
+  const std::vector<std::uint32_t> asns = util::ordered_keys(as_index_);
+  writer.begin_section(sf::kAsKeys);
+  for (const std::uint32_t asn : asns) writer.put_u32(asn);
+  writer.begin_section(sf::kAsAggs);
+  for (const std::uint32_t asn : asns) {
+    const Aggregate& aggregate = ases_[as_index_.at(asn)];
+    writer.put_aggregate(aggregate.samples, aggregate.quantiles);
+  }
+
+  writer.begin_section(sf::kMatrixRows);
+  for (const double r : matrix_.row_percentiles) writer.put_f64(r);
+  writer.begin_section(sf::kMatrixCols);
+  for (const double c : matrix_.col_percentiles) writer.put_f64(c);
+  writer.begin_section(sf::kMatrixCells);
+  for (const std::vector<double>& row : matrix_.cells) {
+    for (const double cell : row) writer.put_f64(cell);
+  }
+  writer.finish();
+}
+
+std::shared_ptr<const OracleSnapshot> OracleSnapshot::map(const std::string& path,
+                                                          std::string* error,
+                                                          obs::Registry* registry) {
+  std::string local_error;
+  const auto reject = [&]() -> std::shared_ptr<const OracleSnapshot> {
+    if (error != nullptr) *error = local_error;
+    // Tolerant-loading ledger: a refused snapshot is a counted fault
+    // observation, mirroring the record loader's detectable-corruption
+    // accounting (PR 4), never a silent nullptr.
+    if (registry != nullptr) registry->counter("fault.snapshot.load_rejected").inc();
+    return nullptr;
+  };
+  util::MappedFile file = util::MappedFile::open(path, &local_error);
+  if (!file.valid()) return reject();
+  snapshot_format::View view;
+  if (!snapshot_format::View::open(file.data(), file.size(), view, &local_error)) {
+    return reject();
+  }
+
+  const snapshot_format::Header& header = view.header();
+  SnapshotConfig config;
+  config.percentiles.assign(view.percentiles().begin(), view.percentiles().end());
+  config.min_block_samples = static_cast<std::size_t>(header.min_block_samples);
+  config.min_as_samples = static_cast<std::size_t>(header.min_as_samples);
+  config.min_samples_per_address = static_cast<std::size_t>(header.min_samples_per_address);
+  config.version = header.snapshot_version;
+
+  // Big arrays stay in the mapping; only the tiny Table 2 matrix is
+  // materialized (global lookups hand it to core::recommend_timeout).
+  auto snapshot = std::shared_ptr<OracleSnapshot>{new OracleSnapshot{std::move(config)}};
+  snapshot->file_ = std::move(file);
+  snapshot->view_ = view;
+  snapshot->mapped_ = true;
+  snapshot->total_samples_ = header.total_samples;
+  snapshot->matrix_ = view.matrix();
+  return snapshot;
 }
 
 OracleSnapshot::Aggregate OracleSnapshot::make_aggregate() const {

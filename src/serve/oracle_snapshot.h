@@ -24,7 +24,9 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -33,7 +35,10 @@
 #include "core/p2_quantile.h"
 #include "hosts/geodb.h"
 #include "net/ipv4.h"
+#include "obs/metrics.h"
 #include "probe/records.h"
+#include "serve/snapshot_format.h"
+#include "util/mmap_file.h"
 #include "util/sim_time.h"
 
 namespace turtle::serve {
@@ -101,10 +106,29 @@ class OracleSnapshot {
                               const hosts::GeoDatabase* geo = nullptr);
 
   /// Convenience: groups the log, then builds. This is the crash-recovery
-  /// path too: a server that lost its snapshot reloads the checkpointed
-  /// record log and rebuilds from it.
+  /// path of last resort: a server that lost its snapshot and has no
+  /// snapshot file reloads the checkpointed record log and rebuilds.
   static OracleSnapshot build(const probe::RecordLog& log, SnapshotConfig config = {},
                               const hosts::GeoDatabase* geo = nullptr);
+
+  /// Serializes to the snapshot-v1 on-disk format (snapshot_format.h,
+  /// DESIGN §15). Output is byte-identical for identical logical content:
+  /// blocks and ASes are written key-sorted, and the P2 marker states are
+  /// frozen exactly — which is why a streaming build and an in-memory
+  /// build of the same log produce `cmp`-equal files.
+  void write(const std::string& path) const;
+  void write(std::ostream& os) const;
+
+  /// Zero-copy load: maps `path` and serves lookups directly from the
+  /// image (binary search over the sorted key sections; no pointer fixup,
+  /// no rebuild). Cold-load cost is one checksum pass over the file. On
+  /// any validation failure (missing file, truncation, bit flip, version
+  /// mismatch) returns nullptr, fills `error`, and counts
+  /// fault.snapshot.load_rejected on `registry` — tolerant-loading
+  /// discipline: corrupt inputs are counted and refused, never served.
+  static std::shared_ptr<const OracleSnapshot> map(const std::string& path,
+                                                   std::string* error = nullptr,
+                                                   obs::Registry* registry = nullptr);
 
   /// Answers "what timeout for this address at this coverage target".
   /// addr_coverage only matters at global scope (for a specific block the
@@ -114,9 +138,16 @@ class OracleSnapshot {
                                     double ping_coverage) const;
 
   [[nodiscard]] std::uint64_t version() const { return config_.version; }
-  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
-  [[nodiscard]] std::size_t as_count() const { return ases_.size(); }
+  [[nodiscard]] std::size_t block_count() const {
+    return mapped_ ? view_.header().block_count : blocks_.size();
+  }
+  [[nodiscard]] std::size_t as_count() const {
+    return mapped_ ? view_.header().as_count : ases_.size();
+  }
   [[nodiscard]] std::uint64_t total_samples() const { return total_samples_; }
+  /// True when this snapshot serves from a mapped file instead of owned
+  /// heap aggregates.
+  [[nodiscard]] bool mapped() const { return mapped_; }
   /// True when the underlying survey produced any usable addresses.
   [[nodiscard]] bool has_data() const { return !matrix_.cells.empty(); }
 
@@ -143,6 +174,18 @@ class OracleSnapshot {
   [[nodiscard]] const Aggregate* find_as(std::uint32_t network) const;
   [[nodiscard]] std::size_t percentile_index(double p) const;
 
+  /// Tier probes behind lookup(): find the /24 (or its AS) aggregate and
+  /// produce its pool size plus the p-th quantile estimate, from either
+  /// the owned aggregates or the mapped image. The mapped path restores
+  /// the frozen P2 state and evaluates the *same* value() code, which is
+  /// what makes the two modes bitwise-identical (the parity test's claim).
+  [[nodiscard]] bool probe_block(std::uint32_t network, std::size_t p, std::uint64_t& samples,
+                                 double& value) const;
+  [[nodiscard]] bool probe_as(std::uint32_t network, std::size_t p, std::uint64_t& samples,
+                              double& value) const;
+  /// Index of `network` in the mapped sorted block-key section, if present.
+  [[nodiscard]] bool mapped_block_index(std::uint32_t network, std::size_t& index) const;
+
   SnapshotConfig config_;
   std::unordered_map<std::uint32_t, std::size_t> block_index_;  // /24 network -> blocks_
   std::vector<Aggregate> blocks_;
@@ -151,6 +194,13 @@ class OracleSnapshot {
   std::unordered_map<std::uint32_t, std::uint32_t> block_asn_;  // /24 network -> asn
   analysis::TimeoutMatrix matrix_;
   std::uint64_t total_samples_ = 0;
+
+  /// Mapped mode (map()): the file mapping plus the typed view over it.
+  /// The owned containers above stay empty; lookups binary-search the
+  /// image's sorted key sections instead.
+  util::MappedFile file_;
+  snapshot_format::View view_;
+  bool mapped_ = false;
 };
 
 }  // namespace turtle::serve

@@ -1,0 +1,43 @@
+#include "util/crc64.h"
+
+#include <array>
+
+namespace turtle::util {
+
+namespace {
+
+// Reflected CRC-64/XZ polynomial.
+constexpr std::uint64_t kPoly = 0xC96C5795D7870F42ULL;
+
+constexpr std::array<std::uint64_t, 256> make_table() {
+  std::array<std::uint64_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint64_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) != 0 ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint64_t, 256> kTable = make_table();
+
+}  // namespace
+
+void Crc64::update(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t crc = state_;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
+  }
+  state_ = crc;
+}
+
+std::uint64_t crc64(const void* data, std::size_t size) {
+  Crc64 crc;
+  crc.update(data, size);
+  return crc.value();
+}
+
+}  // namespace turtle::util

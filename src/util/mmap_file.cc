@@ -1,0 +1,63 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace turtle::util {
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    // const_cast: munmap takes void* but the mapping is PROT_READ; the
+    // pages were never writable through this object.
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+  }
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_{std::exchange(other.data_, nullptr)}, size_{std::exchange(other.size_, 0)} {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(const_cast<unsigned char*>(data_), size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedFile MappedFile::open(const std::string& path, std::string* error) {
+  const auto fail = [&](const char* what) {
+    if (error != nullptr) {
+      *error = std::string{what} + " '" + path + "': " + std::strerror(errno);
+    }
+    return MappedFile{};
+  };
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  if (fd < 0) return fail("open");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return fail("fstat");
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    errno = EINVAL;
+    return fail("empty file");
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (mapping == MAP_FAILED) return fail("mmap");
+  MappedFile file;
+  file.data_ = static_cast<const unsigned char*>(mapping);
+  file.size_ = size;
+  return file;
+}
+
+}  // namespace turtle::util

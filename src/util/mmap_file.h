@@ -1,0 +1,40 @@
+// Read-only memory-mapped file: the zero-copy substrate under
+// OracleSnapshot::map(). A mapped snapshot's big arrays (block keys, P2
+// marker states, matrix cells) are served straight out of the page cache;
+// cold-load cost is opening + checksumming the file, not rebuilding an
+// index — the ROADMAP's O(1)-load requirement.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace turtle::util {
+
+/// RAII read-only mapping of a whole file. Movable, not copyable; the
+/// mapping (and the pages it pins) lives until destruction. An empty or
+/// unopenable file yields a !valid() object with a human-readable error.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. On failure returns !valid() and fills
+  /// `error` (when non-null) with errno context; never throws — the
+  /// caller decides whether a missing snapshot is fatal.
+  static MappedFile open(const std::string& path, std::string* error = nullptr);
+
+  [[nodiscard]] bool valid() const { return data_ != nullptr; }
+  [[nodiscard]] const unsigned char* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace turtle::util

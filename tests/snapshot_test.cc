@@ -1,0 +1,439 @@
+// snapshot-v1 on-disk format: write/map round trip, in-memory vs mapped
+// lookup parity, corruption rejection (counted, graceful), streaming
+// builder byte-identity with the in-memory serializer across --jobs, the
+// build ledger, and snapshot-file crash recovery.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hosts/asdb.h"
+#include "hosts/geodb.h"
+#include "probe/records.h"
+#include "serve/oracle_server.h"
+#include "serve/oracle_snapshot.h"
+#include "serve/snapshot_builder.h"
+#include "serve/snapshot_format.h"
+#include "sim/simulator.h"
+#include "util/crc64.h"
+
+namespace turtle {
+namespace {
+
+using serve::LookupResult;
+using serve::LookupScope;
+using serve::OracleServer;
+using serve::OracleSnapshot;
+
+constexpr net::Prefix24 kBlockA =
+    net::Prefix24::containing(net::Ipv4Address::from_octets(10, 0, 0, 0));
+constexpr net::Prefix24 kBlockB =
+    net::Prefix24::containing(net::Ipv4Address::from_octets(10, 0, 1, 0));
+constexpr net::Prefix24 kBlockC =
+    net::Prefix24::containing(net::Ipv4Address::from_octets(172, 16, 5, 0));
+constexpr net::Prefix24 kBlockDark =
+    net::Prefix24::containing(net::Ipv4Address::from_octets(203, 0, 113, 0));
+
+/// Same synthetic survey shape as serve_test: `addrs` hosts per block,
+/// `samples` matched responses each, RTTs cycling 10..100 ms.
+probe::RecordLog make_log(const std::vector<net::Prefix24>& blocks, int addrs, int samples,
+                          double rtt_scale = 1.0) {
+  probe::RecordLog log;
+  for (int round = 0; round < samples; ++round) {
+    int slot = 0;
+    for (const net::Prefix24& block : blocks) {
+      for (int a = 1; a <= addrs; ++a, ++slot) {
+        probe::SurveyRecord record;
+        record.type = probe::RecordType::kMatched;
+        record.address = block.address(static_cast<std::uint8_t>(a));
+        record.probe_time = SimTime::seconds(round * 660) + SimTime::micros(slot);
+        record.rtt = SimTime::from_seconds(rtt_scale * 0.01 * (1 + (round + a) % 10));
+        record.round = static_cast<std::uint32_t>(round);
+        log.append(record);
+      }
+    }
+  }
+  return log;
+}
+
+serve::SnapshotConfig small_config() {
+  serve::SnapshotConfig config;
+  config.min_samples_per_address = 5;
+  return config;
+}
+
+/// Two-AS geo database covering blocks A+B (AS 65001) and C (AS 65002).
+struct TestGeo {
+  static hosts::AsCatalog make_catalog() {
+    hosts::AsTraits a;
+    a.asn = 65001;
+    a.owner = "AS One";
+    hosts::AsTraits b;
+    b.asn = 65002;
+    b.owner = "AS Two";
+    return hosts::AsCatalog{{a, b}};
+  }
+  TestGeo() : catalog{make_catalog()} {
+    geo = std::make_unique<hosts::GeoDatabase>(&catalog);
+    geo->add_block(kBlockA, 0);
+    geo->add_block(kBlockB, 0);
+    geo->add_block(kBlockC, 1);
+  }
+  hosts::AsCatalog catalog;
+  std::unique_ptr<hosts::GeoDatabase> geo;
+};
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + "snapshot_test_" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is{path, std::ios::binary};
+  EXPECT_TRUE(is.is_open()) << path;
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream os{path, std::ios::binary | std::ios::trunc};
+  ASSERT_TRUE(os.is_open()) << path;
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Crc64, MatchesPublishedVectorAndStreamsChunkIndependent) {
+  // CRC-64/XZ check vector.
+  EXPECT_EQ(util::crc64("123456789", 9), 0x995DC9BBDF1939FAULL);
+  util::Crc64 streaming;
+  streaming.update("1234", 4);
+  streaming.update("", 0);
+  streaming.update("56789", 5);
+  EXPECT_EQ(streaming.value(), 0x995DC9BBDF1939FAULL);
+  // Detects a single flipped bit.
+  EXPECT_NE(util::crc64("123456788", 9), 0x995DC9BBDF1939FAULL);
+}
+
+TEST(RecordStreaming, WriterReaderRoundTripMatchesLoad) {
+  const probe::RecordLog log = make_log({kBlockA, kBlockB}, 3, 4);
+  std::stringstream stream;
+  probe::RecordWriter writer{stream};
+  for (const probe::SurveyRecord& record : log.records()) writer.append(record);
+  writer.finish();
+  EXPECT_EQ(writer.written(), log.size());
+
+  // The streamed bytes are exactly what save() would have produced.
+  std::ostringstream saved;
+  log.save(saved);
+  EXPECT_EQ(stream.str(), saved.str());
+
+  // And the streaming reader agrees with the batch loader.
+  probe::RecordLog::LoadStats stats;
+  stream.seekg(0);
+  const probe::RecordLog reloaded = probe::RecordLog::load(stream, &stats);
+  ASSERT_EQ(reloaded.size(), log.size());
+  EXPECT_EQ(stats.records_loaded, log.size());
+  EXPECT_EQ(stats.records_dropped(), 0u);
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(reloaded.at(i).address, log.at(i).address);
+    EXPECT_EQ(reloaded.at(i).rtt, log.at(i).rtt);
+  }
+}
+
+TEST(SnapshotFile, InMemoryAndMappedAnswerIdentically) {
+  TestGeo geo;
+  probe::RecordLog log = make_log({kBlockA, kBlockC}, 4, 10);
+  const probe::RecordLog sparse = make_log({kBlockB}, 1, 8);
+  for (const auto& record : sparse.records()) log.append(record);
+
+  auto config = small_config();
+  config.min_as_samples = 40;
+  config.version = 7;
+  const OracleSnapshot built = OracleSnapshot::build(log, config, geo.geo.get());
+  const std::string path = temp_path("parity.snap");
+  built.write(path);
+
+  std::string error;
+  const std::shared_ptr<const OracleSnapshot> mapped = OracleSnapshot::map(path, &error);
+  ASSERT_NE(mapped, nullptr) << error;
+  EXPECT_TRUE(mapped->mapped());
+  EXPECT_FALSE(built.mapped());
+
+  EXPECT_EQ(mapped->version(), built.version());
+  EXPECT_EQ(mapped->block_count(), built.block_count());
+  EXPECT_EQ(mapped->as_count(), built.as_count());
+  EXPECT_EQ(mapped->total_samples(), built.total_samples());
+  EXPECT_EQ(mapped->has_data(), built.has_data());
+
+  // Satellite: identical LookupResult across an address sweep touching
+  // every tier (block, AS bridge, dark-global) at every matrix cell.
+  const std::vector<net::Ipv4Address> sweep = {
+      kBlockA.address(1), kBlockA.address(4),    kBlockB.address(1),
+      kBlockC.address(2), kBlockDark.address(9),
+  };
+  const std::vector<double> coverages = {1, 50, 80, 90, 95, 97, 98, 99};
+  for (const net::Ipv4Address addr : sweep) {
+    EXPECT_EQ(mapped->block_samples(addr), built.block_samples(addr));
+    for (const double r : coverages) {
+      for (const double c : coverages) {
+        const LookupResult want = built.lookup(addr, r, c);
+        const LookupResult got = mapped->lookup(addr, r, c);
+        EXPECT_EQ(got.timeout, want.timeout)
+            << addr.to_string() << " (" << r << ", " << c << ")";
+        EXPECT_EQ(got.scope, want.scope);
+        EXPECT_EQ(got.samples, want.samples);
+        EXPECT_EQ(got.confidence, want.confidence);  // bitwise, not approximate
+        EXPECT_EQ(got.version, want.version);
+      }
+    }
+  }
+  // Every matrix cell survives the round trip exactly.
+  ASSERT_EQ(mapped->matrix().cells.size(), built.matrix().cells.size());
+  for (std::size_t r = 0; r < built.matrix().cells.size(); ++r) {
+    ASSERT_EQ(mapped->matrix().cells[r].size(), built.matrix().cells[r].size());
+    for (std::size_t c = 0; c < built.matrix().cells[r].size(); ++c) {
+      EXPECT_EQ(mapped->matrix().cell(r, c), built.matrix().cell(r, c));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFile, EmptySurveyRoundTrips) {
+  const OracleSnapshot built = OracleSnapshot::build(probe::RecordLog{}, small_config());
+  const std::string path = temp_path("empty.snap");
+  built.write(path);
+  std::string error;
+  const auto mapped = OracleSnapshot::map(path, &error);
+  ASSERT_NE(mapped, nullptr) << error;
+  EXPECT_FALSE(mapped->has_data());
+  EXPECT_EQ(mapped->block_count(), 0u);
+  const LookupResult result = mapped->lookup(kBlockA.address(1), 95, 95);
+  EXPECT_EQ(result.scope, LookupScope::kGlobal);
+  EXPECT_EQ(result.timeout, SimTime{});
+  EXPECT_EQ(result.confidence, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFile, CorruptionIsRejectedGracefullyAndCounted) {
+  const OracleSnapshot built =
+      OracleSnapshot::build(make_log({kBlockA, kBlockB}, 3, 10), small_config());
+  const std::string path = temp_path("corrupt.snap");
+  built.write(path);
+  const std::string good = read_file(path);
+  ASSERT_GE(good.size(), serve::snapshot_format::kHeaderBytes);
+
+  obs::Registry registry;
+  std::uint64_t expected_rejections = 0;
+  const auto expect_rejected = [&](const std::string& bytes, const char* what) {
+    write_file(path, bytes);
+    std::string error;
+    EXPECT_EQ(OracleSnapshot::map(path, &error, &registry), nullptr) << what;
+    EXPECT_FALSE(error.empty()) << what;
+    ++expected_rejections;
+    EXPECT_EQ(registry.counter("fault.snapshot.load_rejected").value(), expected_rejections)
+        << what;
+  };
+
+  expect_rejected(good.substr(0, good.size() - 1), "truncated by one byte");
+  expect_rejected(good.substr(0, serve::snapshot_format::kHeaderBytes), "body stripped");
+  expect_rejected(good + std::string(8, '\0'), "trailing garbage");
+  {
+    std::string flipped = good;
+    flipped[good.size() - 3] = static_cast<char>(flipped[good.size() - 3] ^ 0x10);
+    expect_rejected(flipped, "bit flip in body");
+  }
+  {
+    std::string flipped = good;
+    flipped[48] = static_cast<char>(flipped[48] ^ 0x01);  // total_samples field
+    expect_rejected(flipped, "bit flip in header");
+  }
+  expect_rejected(std::string{"not a snapshot"}, "wrong magic entirely");
+
+  // A missing file is the same counted, graceful error.
+  std::remove(path.c_str());
+  std::string error;
+  EXPECT_EQ(OracleSnapshot::map(path, &error, &registry), nullptr);
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(registry.counter("fault.snapshot.load_rejected").value(), expected_rejections + 1);
+
+  // The pristine bytes still load (the harness above really was the
+  // corruption, not the loader).
+  write_file(path, good);
+  EXPECT_NE(OracleSnapshot::map(path, &error, &registry), nullptr) << error;
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotBuilder, StreamingBuildIsByteIdenticalToInMemoryAcrossJobs) {
+  TestGeo geo;
+  // Six blocks so the tiny shard budget forces a genuinely sharded build.
+  const std::vector<net::Prefix24> blocks = {
+      kBlockA,
+      kBlockB,
+      kBlockC,
+      net::Prefix24::containing(net::Ipv4Address::from_octets(10, 0, 2, 0)),
+      net::Prefix24::containing(net::Ipv4Address::from_octets(172, 16, 6, 0)),
+      net::Prefix24::containing(net::Ipv4Address::from_octets(192, 0, 2, 0)),
+  };
+  const probe::RecordLog log = make_log(blocks, 4, 12);
+  const std::string log_path = temp_path("builder.records");
+  {
+    std::ofstream os{log_path, std::ios::binary | std::ios::trunc};
+    log.save(os);
+  }
+
+  auto config = small_config();
+  config.version = 9;
+  const std::string in_memory_path = temp_path("in_memory.snap");
+  OracleSnapshot::build(log, config, geo.geo.get()).write(in_memory_path);
+
+  serve::BuilderConfig builder;
+  builder.snapshot = config;
+  builder.geo = geo.geo.get();
+  builder.shard_budget_bytes = 2048;  // ~64 records per shard
+  builder.jobs = 1;
+  const std::string streamed_path = temp_path("streamed_j1.snap");
+  const serve::BuildLedger ledger =
+      serve::build_snapshot_file(log_path, streamed_path, builder);
+
+  EXPECT_GT(ledger.shards, 1u) << "budget did not force sharding; test is vacuous";
+  EXPECT_EQ(ledger.records_in, log.size());
+  EXPECT_EQ(ledger.records_folded + ledger.records_skipped, ledger.records_in);
+  EXPECT_EQ(ledger.records_skipped, 0u);
+
+  // The tentpole determinism claim, both axes: streaming == in-memory,
+  // and jobs 1 == jobs 4, to the byte.
+  const std::string in_memory_bytes = read_file(in_memory_path);
+  EXPECT_EQ(read_file(streamed_path), in_memory_bytes);
+
+  builder.jobs = 4;
+  const std::string streamed_j4_path = temp_path("streamed_j4.snap");
+  serve::build_snapshot_file(log_path, streamed_j4_path, builder);
+  EXPECT_EQ(read_file(streamed_j4_path), in_memory_bytes);
+
+  // Header tier counts match what the ledger reports.
+  std::string error;
+  const auto mapped = OracleSnapshot::map(streamed_path, &error);
+  ASSERT_NE(mapped, nullptr) << error;
+  EXPECT_EQ(mapped->block_count(), ledger.block_count);
+  EXPECT_EQ(mapped->as_count(), ledger.as_count);
+  EXPECT_EQ(mapped->total_samples(), ledger.total_samples);
+
+  for (const std::string& path : {log_path, in_memory_path, streamed_path, streamed_j4_path}) {
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SnapshotBuilder, LedgerCountsDetectablyCorruptRecords) {
+  const probe::RecordLog log = make_log({kBlockA, kBlockB}, 3, 8);
+  std::ostringstream saved;
+  log.save(saved);
+  std::string bytes = saved.str();
+  // Invalid record type tag in the third record: detectably corrupt,
+  // skipped and counted — same contract as RecordLog::load.
+  bytes[probe::RecordLog::kHeaderBytes + 2 * probe::RecordLog::kRecordBytes] = '\x7F';
+  const std::string log_path = temp_path("corrupt.records");
+  write_file(log_path, bytes);
+
+  obs::Registry registry;
+  serve::BuilderConfig builder;
+  builder.snapshot = small_config();
+  builder.registry = &registry;
+  const std::string out_path = temp_path("corrupt_build.snap");
+  const serve::BuildLedger ledger = serve::build_snapshot_file(log_path, out_path, builder);
+
+  EXPECT_EQ(ledger.records_in, log.size());
+  EXPECT_EQ(ledger.records_skipped, 1u);
+  EXPECT_EQ(ledger.records_folded, log.size() - 1);
+  EXPECT_EQ(registry.counter("snapshot.build.records_in").value(), ledger.records_in);
+  EXPECT_EQ(registry.counter("snapshot.build.records_folded").value(), ledger.records_folded);
+  EXPECT_EQ(registry.counter("snapshot.build.records_skipped").value(), ledger.records_skipped);
+  EXPECT_EQ(registry.gauge("snapshot.blocks").value(),
+            static_cast<std::int64_t>(ledger.block_count));
+
+  std::remove(log_path.c_str());
+  std::remove(out_path.c_str());
+}
+
+TEST(OracleServer, CrashRecoveryPrefersSnapshotFileReload) {
+  auto config = small_config();
+  config.version = 5;
+  const std::string path = temp_path("reload.snap");
+  OracleSnapshot::build(make_log({kBlockA, kBlockB}, 3, 10), config).write(path);
+
+  obs::Registry registry;
+  sim::Simulator sim{&registry};
+  serve::ServerConfig server_config;
+  server_config.registry = &registry;
+  server_config.snapshot_path = path;
+  OracleServer server{sim, server_config,
+                      std::make_shared<const OracleSnapshot>(
+                          OracleSnapshot::build(make_log({kBlockA}, 3, 10), small_config()))};
+  bool rebuild_called = false;
+  server.set_rebuild([&rebuild_called]() -> std::shared_ptr<const OracleSnapshot> {
+    rebuild_called = true;
+    return nullptr;
+  });
+
+  std::vector<std::uint64_t> versions;
+  sim.schedule_after(SimTime::micros(10), [&server] { server.crash(SimTime::seconds(1)); });
+  sim.schedule_after(SimTime::seconds(2), [&server, &versions] {
+    server.submit(serve::Request{kBlockA.address(1), 95, 95},
+                  [&versions](const LookupResult& result, SimTime) {
+                    versions.push_back(result.version);
+                  });
+  });
+  sim.run();
+  server.finalize();
+
+  // Recovery came from the mapped file: version 5, no rebuild call.
+  ASSERT_EQ(versions.size(), 1u);
+  EXPECT_EQ(versions[0], 5u);
+  EXPECT_FALSE(rebuild_called);
+  EXPECT_EQ(registry.counter("serve.snapshot_reloads").value(), 1u);
+  EXPECT_EQ(registry.counter("serve.snapshot_rebuilds").value(), 0u);
+  EXPECT_EQ(registry.gauge("serve.snapshot_version").value(), 5);
+  std::remove(path.c_str());
+}
+
+TEST(OracleServer, CorruptSnapshotFileFallsBackToRebuild) {
+  const std::string path = temp_path("bad_reload.snap");
+  write_file(path, "definitely not a snapshot");
+
+  obs::Registry registry;
+  sim::Simulator sim{&registry};
+  serve::ServerConfig server_config;
+  server_config.registry = &registry;
+  server_config.snapshot_path = path;
+  OracleServer server{sim, server_config, nullptr};
+  server.set_rebuild([] {
+    auto config = small_config();
+    config.version = 3;
+    return std::make_shared<const OracleSnapshot>(
+        OracleSnapshot::build(make_log({kBlockA}, 3, 10), config));
+  });
+
+  std::vector<std::uint64_t> versions;
+  sim.schedule_after(SimTime::micros(10), [&server] { server.crash(SimTime::seconds(1)); });
+  sim.schedule_after(SimTime::seconds(2), [&server, &versions] {
+    server.submit(serve::Request{kBlockA.address(1), 95, 95},
+                  [&versions](const LookupResult& result, SimTime) {
+                    versions.push_back(result.version);
+                  });
+  });
+  sim.run();
+  server.finalize();
+
+  ASSERT_EQ(versions.size(), 1u);
+  EXPECT_EQ(versions[0], 3u);
+  EXPECT_EQ(registry.counter("serve.snapshot_reloads").value(), 0u);
+  EXPECT_EQ(registry.counter("serve.snapshot_rebuilds").value(), 1u);
+  EXPECT_EQ(registry.counter("fault.snapshot.load_rejected").value(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace turtle

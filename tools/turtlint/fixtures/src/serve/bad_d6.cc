@@ -1,0 +1,12 @@
+// D6 known-bad: hand-rolled decoding of on-disk bytes in serve code.
+#include <cstdint>
+
+std::uint64_t peek_count(const unsigned char* bytes) {
+  // A stale shadow decoder: reads a snapshot field without the format
+  // layer's validation.
+  return *reinterpret_cast<const std::uint64_t*>(bytes + 48);
+}
+
+const double* peek_cells(const char* body) {
+  return reinterpret_cast<const double*>(body);
+}

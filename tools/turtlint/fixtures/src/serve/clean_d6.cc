@@ -1,0 +1,17 @@
+// D6 known-clean: serve code decoding spill bytes through the format
+// layer's typed helpers instead of casting, plus a reasoned suppression.
+#include <cstdint>
+#include <cstring>
+
+std::uint32_t read_u32(const char* bytes) {
+  std::uint32_t value = 0;
+  std::memcpy(&value, bytes, sizeof(value));
+  return value;
+}
+
+std::uint32_t shard_first_network(const char* spill) { return read_u32(spill); }
+
+void* tag_pointer(void* p) {
+  // turtlint: allow(D6) not on-disk bytes: an in-memory pointer tag
+  return reinterpret_cast<void*>(reinterpret_cast<std::uintptr_t>(p) | 1u);
+}

@@ -1,0 +1,8 @@
+// D6 known-clean: the allowlisted format layer itself — the one audited
+// place serve code may reinterpret on-disk bytes (behind parse_header's
+// checksum and exact-layout validation in the real repo).
+#include <cstdint>
+
+const std::uint32_t* section_keys(const unsigned char* data, std::uint64_t offset) {
+  return reinterpret_cast<const std::uint32_t*>(data + offset);
+}

@@ -26,6 +26,12 @@ named, suppressible rules:
   D5  no floating-point `float` in src/analysis/ — RTT arithmetic stays in
       double (24-bit mantissas visibly quantize the percentile tail).
       Subsumes the old lint.sh rule 4 with a token-accurate check.
+  D6  no reinterpret_cast in src/serve/ outside snapshot_format.cc — the
+      snapshot-v1 on-disk bytes are decoded at exactly one audited site
+      (whose casts sit behind the checksum/layout validation in
+      parse_header); everything else uses its read_*/append_* helpers and
+      typed section views, so a format change cannot leave a stale
+      hand-rolled decoder behind.
 
 Engine: a self-contained C++ lexer plus structural passes (declaration
 tracking, brace matching, loop-body analysis). The translation-unit list
@@ -655,7 +661,38 @@ class RuleD5(Rule):
         return findings
 
 
-ALL_RULES = [RuleD1(), RuleD2(), RuleD3(), RuleD4(), RuleD5()]
+class RuleD6(Rule):
+    """reinterpret_cast on serialized bytes outside the audited decoder."""
+
+    name = "D6"
+    doc = ("no reinterpret_cast in src/serve/ outside snapshot_format.cc: "
+           "on-disk integers are decoded only at the one audited format "
+           "site; use its read_*/append_* helpers or section views")
+
+    # The single sanctioned cast site: snapshot_format.cc's section views,
+    # which sit behind parse_header's checksum + exact-layout validation.
+    ALLOWLIST = ("src/serve/snapshot_format.cc",)
+
+    def applies(self, path: str) -> bool:
+        return under(path, "src/serve") and path not in self.ALLOWLIST
+
+    def check(self, ctx: FileContext) -> list:
+        findings = []
+        for tok in ctx.lexed.tokens:
+            if tok.kind != "id" or tok.value != "reinterpret_cast":
+                continue
+            if ctx.lexed.allow(self.name, tok.line):
+                continue
+            findings.append(Finding(
+                ctx.lexed.path, tok.line, self.name,
+                "reinterpret_cast in serve code: on-disk bytes are decoded "
+                "only by snapshot_format.cc (the audited cast site behind "
+                "checksum/layout validation); use its read_*/append_* "
+                "helpers or the typed section views"))
+        return findings
+
+
+ALL_RULES = [RuleD1(), RuleD2(), RuleD3(), RuleD4(), RuleD5(), RuleD6()]
 
 
 # --------------------------------------------------------------------------

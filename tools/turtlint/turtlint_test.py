@@ -28,6 +28,8 @@ CLEAN_PATHS = [
     "src/core/clean_d3.cc",
     "src/core/clean_d4.cc",
     "src/analysis/clean_d5.cc",
+    "src/serve/clean_d6.cc",
+    "src/serve/snapshot_format.cc",
 ]
 
 
