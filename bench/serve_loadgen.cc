@@ -16,13 +16,28 @@
 // from a zero-copy map of that file instead of building one, and wires
 // the path into crash recovery so a crashed server *reloads* the file
 // (serve.snapshot_reloads) rather than rebuilding from the frozen log.
+//
+// Observability extras (all deterministic, all byte-identical across
+// --jobs): --flight-out=PATH rolls the serving phase up into windowed
+// flight-recorder frames (--flight-window seconds each); --slo=FILE
+// evaluates watchdog rules against every window (see
+// examples/serve_slo.json); --trace-sample=F tags that fraction of
+// requests with trace ids, emitting per-request admission/queue/exec
+// spans into --trace-out and pinning latency exemplars to histogram
+// buckets; --prom-out=PATH writes a Prometheus exposition with those
+// exemplars and the last window's deltas.
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <vector>
 
 #include "harness.h"
+#include "obs/exemplar.h"
+#include "obs/flight.h"
+#include "obs/watchdog.h"
 #include "report.h"
 #include "serve/load_generator.h"
 #include "serve/oracle_server.h"
@@ -59,6 +74,15 @@ probe::RecordLog truncate_log(const probe::RecordLog& log, std::uint32_t rounds)
 
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
+  // SLO rules load before the report on purpose: watchdog trace instants
+  // store pointers into the rules' name strings, and the report's
+  // destructor is what writes the trace out (see obs/watchdog.h).
+  std::shared_ptr<const obs::WatchdogRules> slo_rules;
+  const std::string slo_path = flags.get_string("slo", "");
+  if (!slo_path.empty()) {
+    slo_rules = std::make_shared<const obs::WatchdogRules>(
+        obs::WatchdogRules::load_file(slo_path));
+  }
   bench::JsonReport report{flags, "serve_loadgen"};
   const int blocks = static_cast<int>(flags.get_int("blocks", 80));
   const int rounds = static_cast<int>(flags.get_int("rounds", 10));
@@ -77,6 +101,18 @@ int main(int argc, char** argv) {
   const std::string snapshot_in = flags.get_string("snapshot-in", "");
   TURTLE_CHECK(snapshot_out.empty() || snapshot_in.empty())
       << "--snapshot-out and --snapshot-in are mutually exclusive";
+  const std::string flight_out = flags.get_string("flight-out", "");
+  const std::string prom_out = flags.get_string("prom-out", "");
+  const double flight_window_s = flags.get_double("flight-window", 5.0);
+  TURTLE_CHECK_GT(flight_window_s, 0.0) << "--flight-window must be positive";
+  const SimTime flight_window = SimTime::from_seconds(flight_window_s);
+  const double trace_sample = flags.get_double("trace-sample", 0.0);
+  TURTLE_CHECK(trace_sample >= 0.0 && trace_sample <= 1.0)
+      << "--trace-sample must be in [0, 1]";
+  // The recorder runs whenever anything consumes its frames: the flight
+  // dump, the windowed Prometheus view, or watchdog rules.
+  const bool flight_enabled =
+      !flight_out.empty() || !prom_out.empty() || slo_rules != nullptr;
 
   // A mapped snapshot file is immutable and lock-free, so one mapping can
   // serve every shard concurrently.
@@ -96,6 +132,8 @@ int main(int argc, char** argv) {
     std::vector<std::int64_t> latencies_us;
     std::uint64_t events = 0;
     std::uint64_t probes = 0;
+    obs::FlightData flight;
+    obs::ExemplarStore exemplars;
   };
 
   sim::ShardOptions shard_options;
@@ -145,12 +183,15 @@ int main(int argc, char** argv) {
         // sim.* and serve.* metrics merge deterministically.
         sim::Simulator serve_sim{ctx.registry, ctx.trace};
 
+        obs::ExemplarStore exemplars;
+
         serve::ServerConfig server_config;
         server_config.queue_capacity = queue_cap;
         server_config.batch_size = batch;
         server_config.cache_capacity = cache_cap;
         server_config.registry = ctx.registry;
         server_config.trace = ctx.trace;
+        server_config.exemplars = &exemplars;
         // Crash recovery prefers reloading the snapshot file when one was
         // supplied; the set_rebuild hook below stays as the fallback.
         server_config.snapshot_path = snapshot_in;
@@ -186,15 +227,47 @@ int main(int argc, char** argv) {
         gen_config.duration = duration;
         gen_config.blocks = world->population->blocks();
         gen_config.registry = ctx.registry;
+        gen_config.trace_sample = trace_sample;
+        // Shard s ids start at (s + 1) << 32: globally unique, shard
+        // recoverable from the id, 0 reserved for "untraced".
+        gen_config.trace_id_base = (static_cast<std::uint64_t>(ctx.shard_index) + 1)
+                                   << 32;
         // Stream 4: make_world forked 1 (net), 2 (population), 3 (prober)
         // from the same seed.
         serve::LoadGenerator generator{serve_sim, server, gen_config,
                                        util::Prng{options.seed}.fork(4)};
+
+        // The flight recorder attaches after the survey phase: everything
+        // the survey counted becomes its baseline frame, and the serving
+        // phase lands in per-window deltas. Window ticks are pre-scheduled
+        // sim events (never a wall clock), one per boundary inside the
+        // load window; finalize() closes the trailing partial window after
+        // the drain.
+        std::optional<obs::FlightRecorder> recorder;
+        std::optional<obs::Watchdog> watchdog;
+        if (flight_enabled) {
+          obs::FlightRecorder::Config flight_config;
+          flight_config.window = flight_window;
+          recorder.emplace(*ctx.registry, flight_config);
+          if (slo_rules != nullptr && !slo_rules->empty()) {
+            watchdog.emplace(slo_rules, *ctx.registry, ctx.trace);
+            recorder->set_observer(
+                [&watchdog](obs::FlightFrame& frame) { watchdog->on_frame(frame); });
+          }
+          for (SimTime tick = flight_window; tick <= duration;
+               tick = tick + flight_window) {
+            serve_sim.schedule_at(
+                tick, [&recorder, &serve_sim] { recorder->advance(serve_sim.now()); });
+          }
+        }
+
         generator.start();
         serve_sim.run();
         server.finalize();
 
         ShardResult result;
+        if (recorder.has_value()) result.flight = recorder->finalize(serve_sim.now());
+        result.exemplars = std::move(exemplars);
         result.latencies_us = generator.latencies_us();
         result.events = world->sim.events_processed() + serve_sim.events_processed();
         result.probes = prober.probes_sent();
@@ -202,12 +275,34 @@ int main(int argc, char** argv) {
       });
 
   std::vector<std::int64_t> merged;
+  obs::FlightData merged_flight;
+  obs::ExemplarStore merged_exemplars;
   for (const auto& result : results) {
     merged.insert(merged.end(), result.latencies_us.begin(), result.latencies_us.end());
     report.add_events(result.events);
     report.add_probes(result.probes);
+    // Shard order: flight frames align by window index, exemplars keep the
+    // lowest shard's pick — both byte-identical across --jobs.
+    if (flight_enabled) merged_flight.merge_from(result.flight);
+    merged_exemplars.merge_from(result.exemplars);
   }
   std::sort(merged.begin(), merged.end());
+
+  if (!flight_out.empty()) {
+    std::ofstream out{flight_out};
+    TURTLE_CHECK(out.good()) << "cannot open --flight-out " << flight_out;
+    obs::write_flight_json(out, merged_flight,
+                           merged_exemplars.empty() ? nullptr : &merged_exemplars);
+    std::fprintf(stderr, "# flight: %s\n", flight_out.c_str());
+  }
+  if (!prom_out.empty()) {
+    std::ofstream out{prom_out};
+    TURTLE_CHECK(out.good()) << "cannot open --prom-out " << prom_out;
+    obs::write_prometheus(out, report.registry(),
+                          merged_exemplars.empty() ? nullptr : &merged_exemplars,
+                          flight_enabled ? &merged_flight : nullptr);
+    std::fprintf(stderr, "# prometheus: %s\n", prom_out.c_str());
+  }
 
   const auto& counters = report.registry().counters();
   const auto counter = [&counters](const char* name) -> std::uint64_t {
@@ -242,6 +337,16 @@ int main(int argc, char** argv) {
   table.add_row({"latency p50", SimTime::micros(p50).to_string()});
   table.add_row({"latency p99", SimTime::micros(p99).to_string()});
   table.add_row({"latency p99.9", SimTime::micros(p999).to_string()});
+  if (slo_rules != nullptr) {
+    std::uint64_t watchdog_fires = 0;
+    for (const auto& [name, value] : counters) {
+      if (name.rfind("watchdog.", 0) == 0) watchdog_fires += value.value();
+    }
+    table.add_row({"watchdog fires", std::to_string(watchdog_fires)});
+  }
+  if (trace_sample > 0.0) {
+    table.add_row({"traced requests", std::to_string(counter("serve.gen.traced"))});
+  }
   table.print(std::cout);
 
   const double shed_rate =

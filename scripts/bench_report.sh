@@ -8,15 +8,21 @@
 #   ./scripts/bench_report.sh [options] [-- extra bench flags...]
 #
 # Options:
-#   --out FILE     output path (default: BENCH_results.json)
-#   --jobs N       shard concurrency for the parallel benches (default: 0
-#                  = hardware concurrency; --jobs 1 is the serial baseline)
-#   --build-dir D  CMake build directory (default: build)
-#   --quick        small world scales (~seconds total; the default)
-#   --full         paper scales (minutes)
+#   --out FILE       output path (default: BENCH_results.json)
+#   --jobs N         shard concurrency for the parallel benches (default: 0
+#                    = hardware concurrency; --jobs 1 is the serial baseline)
+#   --build-dir D    CMake build directory (default: build)
+#   --quick          small world scales (~seconds total; the default)
+#   --full           paper scales (minutes)
+#   --diff           run the suite to a temp file and compare events_per_sec
+#                    per bench against the committed baseline; exits nonzero
+#                    when any bench regressed by more than 20%
+#   --baseline FILE  baseline for --diff (default: BENCH_results.json)
 #
-# No jq/python dependency: each per-bench report is a complete JSON
-# object, so the merge is plain concatenation.
+# No jq/python dependency for the report itself: each per-bench report is a
+# complete JSON object, so the merge is plain concatenation. --diff uses
+# python3 (already required by scripts/validate_obs.py) to parse the two
+# reports.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,6 +31,8 @@ OUT="BENCH_results.json"
 JOBS=0
 BUILD_DIR="build"
 SCALE="quick"
+DIFF=0
+BASELINE="BENCH_results.json"
 EXTRA_FLAGS=()
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -33,6 +41,8 @@ while [ $# -gt 0 ]; do
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --quick) SCALE="quick"; shift ;;
     --full) SCALE="full"; shift ;;
+    --diff) DIFF=1; shift ;;
+    --baseline) BASELINE="$2"; shift 2 ;;
     --) shift; EXTRA_FLAGS=("$@"); break ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
@@ -43,6 +53,11 @@ cmake --build "$BUILD_DIR" --target all >/dev/null
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
+
+if [ "$DIFF" = 1 ]; then
+  [ -f "$BASELINE" ] || { echo "--diff: baseline $BASELINE not found" >&2; exit 2; }
+  OUT="$TMP/fresh.json"
+fi
 
 # Small-world overrides keep the quick sweep to seconds per binary while
 # still pushing enough events to make the rates meaningful.
@@ -116,3 +131,43 @@ echo "=== micro_core" >&2
 } >"$OUT"
 
 echo "wrote $OUT (${#BENCH_FILES[@]} benches + micro_core)" >&2
+
+if [ "$DIFF" = 1 ]; then
+  # Bench-by-bench events_per_sec comparison. Throughput is the rate the
+  # repo optimizes for; wall_s and RSS are reported but too machine-noisy
+  # to gate on. A fresh/baseline ratio under 0.8 (>20% regression) fails.
+  python3 - "$BASELINE" "$OUT" <<'EOF'
+import json, sys
+
+THRESHOLD = 0.8  # fresh/baseline below this = regression
+
+def rates(path):
+    with open(path) as f:
+        report = json.load(f)
+    return {b["bench"]: b.get("events_per_sec", 0.0)
+            for b in report.get("benches", []) if "bench" in b}
+
+baseline, fresh = rates(sys.argv[1]), rates(sys.argv[2])
+regressed = []
+print(f"{'bench':<28} {'baseline':>14} {'fresh':>14} {'ratio':>7}")
+for name in sorted(baseline):
+    old = baseline[name]
+    new = fresh.get(name)
+    if new is None:
+        print(f"{name:<28} {old:>14.0f} {'MISSING':>14} {'-':>7}")
+        regressed.append(name)
+        continue
+    ratio = new / old if old > 0 else float("inf")
+    flag = "  << REGRESSED" if ratio < THRESHOLD else ""
+    print(f"{name:<28} {old:>14.0f} {new:>14.0f} {ratio:>7.2f}{flag}")
+    if ratio < THRESHOLD:
+        regressed.append(name)
+for name in sorted(set(fresh) - set(baseline)):
+    print(f"{name:<28} {'NEW':>14} {fresh[name]:>14.0f} {'-':>7}")
+if regressed:
+    print(f"bench_report --diff: {len(regressed)} bench(es) regressed >20%: "
+          f"{', '.join(regressed)}", file=sys.stderr)
+    sys.exit(1)
+print("bench_report --diff: no bench regressed >20%")
+EOF
+fi

@@ -4,6 +4,7 @@
 Usage:
     scripts/validate_obs.py --metrics M.json --trace T.json [--stdout OUT.txt]
                             [--fault] [--serve] [--snapshot S.snap]
+                            [--flight F.json]
 
 Checks:
   * the metrics file is valid JSON with the turtle-metrics-v1 schema,
@@ -35,7 +36,15 @@ Checks:
     checksum, and declared vs actual size must all hold, the header tier
     counts must equal the snapshot.* gauges the build published, and the
     build ledger must close (records_in == records_folded +
-    records_skipped).
+    records_skipped);
+  * with --flight (a turtle-flight-v1 dump from --flight-out), the
+    conservation contract holds exactly: baseline + sum(frames) equals the
+    dump's cumulative section for every counter and every histogram
+    bucket; the cumulative counters agree with the --metrics dump; frame
+    windows tile [0, end) contiguously; watchdog fires recorded in frames
+    sum to the watchdog.* counters; every exemplar's value lands in the
+    bucket it claims and its trace id resolves to a tagged event in the
+    --trace file; and no wall.* name appears anywhere.
 """
 import argparse
 import json
@@ -190,6 +199,150 @@ def validate_serve(metrics):
               "serve: server crashed but never reloaded or rebuilt a snapshot")
 
 
+# --- flight-recorder dump audit (see src/obs/flight.h) -----------------
+
+
+def _add_counts(acc, section):
+    for name, value in section.items():
+        acc[name] = acc.get(name, 0) + value
+
+
+def _add_slices(acc, section, num_buckets):
+    for name, h in section.items():
+        slot = acc.setdefault(name, {"count": 0, "sum_us": 0,
+                                     "bucket_counts": [0] * num_buckets})
+        slot["count"] += h.get("count", 0)
+        slot["sum_us"] += h.get("sum_us", 0)
+        counts = h.get("bucket_counts", [])
+        check(len(counts) == num_buckets,
+              f"flight: {name} slice has {len(counts)} buckets, want {num_buckets}")
+        for i, c in enumerate(counts[:num_buckets]):
+            slot["bucket_counts"][i] += c
+
+
+def validate_flight(path, metrics, trace):
+    with open(path) as f:
+        flight = json.load(f)
+    check(flight.get("schema") == "turtle-flight-v1", "flight: bad schema field")
+    window_us = flight.get("window_us", 0)
+    check(window_us > 0, "flight: window_us must be positive")
+    bounds = flight.get("histogram_bucket_bounds_us", [])
+    check(bounds and bounds == sorted(bounds), "flight: bucket bounds missing/unsorted")
+    num_buckets = len(bounds) + 1
+
+    frames = flight.get("frames", [])
+    baseline = flight.get("baseline", {})
+    cumulative = flight.get("cumulative", {})
+
+    # No wall-clock name anywhere in a deterministic dump.
+    sections = [baseline] + frames + [cumulative]
+    for section in sections:
+        for kind in ("counters", "gauges", "histograms", "watchdog"):
+            for name in section.get(kind, {}):
+                check(not name.startswith("wall."),
+                      f"flight: wall-clock metric {name!r} leaked into flight dump")
+
+    # Frames tile simulated time contiguously, one window each (the final
+    # frame may be partial; a zero-length trailing frame carries post-drain
+    # bookkeeping).
+    for i, frame in enumerate(frames):
+        check(frame.get("index") == frames[0].get("index", 0) + i,
+              f"flight: frame {i} has index {frame.get('index')}, not contiguous")
+        if i > 0:
+            check(frame.get("start_us") == frames[i - 1].get("end_us"),
+                  f"flight: frame {i} starts at {frame.get('start_us')} but the "
+                  f"previous frame ended at {frames[i - 1].get('end_us')}")
+        if i + 1 < len(frames):
+            check(frame.get("end_us") - frame.get("start_us") == window_us,
+                  f"flight: interior frame {i} is not exactly one window long")
+
+    # Conservation: baseline + sum(frames) == cumulative, exactly.
+    counter_sum = {}
+    _add_counts(counter_sum, baseline.get("counters", {}))
+    hist_sum = {}
+    _add_slices(hist_sum, baseline.get("histograms", {}), num_buckets)
+    for frame in frames:
+        _add_counts(counter_sum, frame.get("counters", {}))
+        _add_slices(hist_sum, frame.get("histograms", {}), num_buckets)
+    cumulative_counters = cumulative.get("counters", {})
+    for name, total in cumulative_counters.items():
+        check(counter_sum.get(name, 0) == total,
+              f"flight: counter {name}: baseline+frames {counter_sum.get(name, 0)} "
+              f"!= cumulative {total}")
+    for name in counter_sum:
+        check(name in cumulative_counters,
+              f"flight: counter {name} in frames but missing from cumulative")
+    cumulative_histograms = cumulative.get("histograms", {})
+    for name, h in cumulative_histograms.items():
+        got = hist_sum.get(name, {"count": 0, "sum_us": 0,
+                                  "bucket_counts": [0] * num_buckets})
+        check(got["count"] == h.get("count"),
+              f"flight: histogram {name}: baseline+frames count {got['count']} "
+              f"!= cumulative {h.get('count')}")
+        check(got["sum_us"] == h.get("sum_us"),
+              f"flight: histogram {name}: baseline+frames sum_us {got['sum_us']} "
+              f"!= cumulative {h.get('sum_us')}")
+        check(got["bucket_counts"] == h.get("bucket_counts"),
+              f"flight: histogram {name}: per-bucket conservation violated")
+
+    # Cross-check against the registry dump: the flight's cumulative view
+    # and --metrics-out describe the same registry.
+    if metrics:
+        for name, value in metrics.get("counters", {}).items():
+            check(cumulative_counters.get(name, 0) == value,
+                  f"flight: cumulative counter {name} {cumulative_counters.get(name, 0)} "
+                  f"!= metrics dump {value}")
+
+    # Watchdog fires recorded per frame must equal the watchdog.* counters.
+    frame_fires = {}
+    for section in [baseline] + frames:
+        _add_counts(frame_fires, section.get("watchdog", {}))
+    counters = metrics.get("counters", {}) if metrics else cumulative_counters
+    for name, value in counters.items():
+        if name.startswith("watchdog."):
+            rule = name[len("watchdog."):]
+            check(frame_fires.get(rule, 0) == value,
+                  f"flight: frame fires for {rule} = {frame_fires.get(rule, 0)} "
+                  f"!= counter {name} = {value}")
+    for rule, fires in frame_fires.items():
+        check(counters.get(f"watchdog.{rule}", 0) == fires,
+              f"flight: frames record {fires} fires for {rule} but counter "
+              f"watchdog.{rule} is {counters.get(f'watchdog.{rule}', 0)}")
+
+    # Exemplars: the value must land in the claimed bucket, and the trace
+    # id must resolve to at least one tagged event in the trace output.
+    traced_ids = set()
+    if trace:
+        for e in trace.get("traceEvents", []):
+            tid = e.get("args", {}).get("trace_id")
+            if tid:
+                traced_ids.add(tid)
+    for name, exemplars in flight.get("exemplars", {}).items():
+        check(name in cumulative_histograms,
+              f"flight: exemplars for unknown histogram {name!r}")
+        seen_buckets = set()
+        for ex in exemplars:
+            bucket, value_us = ex.get("bucket"), ex.get("value_us")
+            check(ex.get("trace_id", 0) != 0, f"flight: {name} exemplar without trace id")
+            check(bucket not in seen_buckets,
+                  f"flight: {name} has two exemplars for bucket {bucket}")
+            seen_buckets.add(bucket)
+            check(0 <= bucket < num_buckets, f"flight: {name} exemplar bucket {bucket}")
+            lo = bounds[bucket - 1] if bucket > 0 else None
+            hi = bounds[bucket] if bucket < len(bounds) else None
+            check((lo is None or value_us > lo) and (hi is None or value_us <= hi),
+                  f"flight: {name} exemplar value {value_us} us outside bucket {bucket}")
+            hist = cumulative_histograms.get(name, {})
+            if 0 <= bucket < num_buckets and hist:
+                check(hist.get("bucket_counts", [0] * num_buckets)[bucket] > 0,
+                      f"flight: {name} exemplar pinned to empty bucket {bucket}")
+            if trace:
+                check(ex.get("trace_id") in traced_ids,
+                      f"flight: {name} exemplar trace id {ex.get('trace_id')} has no "
+                      f"tagged event in the trace")
+    return flight
+
+
 # --- snapshot-v1 file audit (see src/serve/snapshot_format.h) ----------
 
 _CRC64_POLY = 0xC96C5795D7870F42  # CRC-64/XZ, reflected
@@ -279,15 +432,16 @@ def main():
                         help="a serve_loadgen run: check the serve.* accounting ledger")
     parser.add_argument("--snapshot",
                         help="snapshot-v1 file to audit (checksums, header counts, ledger)")
+    parser.add_argument("--flight",
+                        help="turtle-flight-v1 dump to audit (conservation, watchdog "
+                             "fires, exemplar resolution)")
     args = parser.parse_args()
-    if args.metrics is None and not (args.snapshot and not args.trace
-                                     and not args.stdout and not args.fault
-                                     and not args.serve):
-        parser.error("--metrics is required unless only --snapshot is given")
+    if args.metrics is None and not ((args.snapshot or args.flight) and not args.stdout
+                                     and not args.fault and not args.serve):
+        parser.error("--metrics is required unless only --snapshot/--flight is given")
 
     metrics = validate_metrics(args.metrics) if args.metrics else {}
-    if args.trace:
-        validate_trace(args.trace)
+    trace = validate_trace(args.trace) if args.trace else {}
     if args.stdout:
         validate_table1(metrics, args.stdout)
     if args.fault:
@@ -296,6 +450,8 @@ def main():
         validate_serve(metrics)
     if args.snapshot:
         validate_snapshot(args.snapshot, metrics)
+    if args.flight:
+        validate_flight(args.flight, metrics, trace)
 
     if FAILURES:
         for failure in FAILURES:

@@ -1,12 +1,12 @@
 #include "fault/fault_plan.h"
 
 #include <array>
-#include <cctype>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
+
+#include "util/json_reader.h"
 
 namespace turtle::fault {
 
@@ -19,188 +19,6 @@ constexpr std::array<std::string_view, 7> kKindNames = {
     "broadcast_flip", "prober_crash", "record_corruption"};
 
 // ---------------------------------------------------------------------------
-// A deliberately small JSON reader: objects, arrays, strings (with the
-// common escapes), numbers, true/false/null. Plans are tiny hand-written
-// documents; clear errors matter more than speed, and no dependency may be
-// added for this.
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  [[nodiscard]] const JsonValue* find(std::string_view key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_{text} {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters after document");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::invalid_argument("fault plan JSON (offset " + std::to_string(pos_) +
-                                "): " + what);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  JsonValue value() {
-    const char c = peek();
-    switch (c) {
-      case '{': return object();
-      case '[': return array();
-      case '"': {
-        JsonValue v;
-        v.type = JsonValue::Type::kString;
-        v.string = string();
-        return v;
-      }
-      case 't': case 'f': return boolean();
-      case 'n': literal("null"); return JsonValue{};
-      default: return number();
-    }
-  }
-
-  JsonValue object() {
-    expect('{');
-    JsonValue v;
-    v.type = JsonValue::Type::kObject;
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      std::string key = string();
-      expect(':');
-      v.object.emplace_back(std::move(key), value());
-      const char c = peek();
-      ++pos_;
-      if (c == '}') return v;
-      if (c != ',') fail("expected ',' or '}' in object");
-    }
-  }
-
-  JsonValue array() {
-    expect('[');
-    JsonValue v;
-    v.type = JsonValue::Type::kArray;
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.array.push_back(value());
-      const char c = peek();
-      ++pos_;
-      if (c == ']') return v;
-      if (c != ',') fail("expected ',' or ']' in array");
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) fail("unterminated escape");
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case '/': c = '/'; break;
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          case 'r': c = '\r'; break;
-          default: fail("unsupported escape in string");
-        }
-      }
-      out.push_back(c);
-    }
-    if (pos_ >= text_.size()) fail("unterminated string");
-    ++pos_;  // closing quote
-    return out;
-  }
-
-  JsonValue boolean() {
-    JsonValue v;
-    v.type = JsonValue::Type::kBool;
-    if (text_[pos_] == 't') {
-      literal("true");
-      v.boolean = true;
-    } else {
-      literal("false");
-      v.boolean = false;
-    }
-    return v;
-  }
-
-  void literal(std::string_view word) {
-    if (text_.substr(pos_, word.size()) != word) {
-      fail("unrecognized token");
-    }
-    pos_ += word.size();
-  }
-
-  JsonValue number() {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    const std::string token{text_.substr(start, pos_ - start)};
-    char* end = nullptr;
-    const double parsed = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) fail("malformed number '" + token + "'");
-    JsonValue v;
-    v.type = JsonValue::Type::kNumber;
-    v.number = parsed;
-    return v;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-// ---------------------------------------------------------------------------
 // Spec extraction + validation
 // ---------------------------------------------------------------------------
 
@@ -209,11 +27,11 @@ class JsonParser {
                               std::string{fault_kind_name(kind)} + "): " + what);
 }
 
-double get_number(const JsonValue& entry, std::string_view key, double def,
+double get_number(const util::JsonValue& entry, std::string_view key, double def,
                   std::size_t index, FaultKind kind) {
-  const JsonValue* v = entry.find(key);
+  const util::JsonValue* v = entry.find(key);
   if (v == nullptr) return def;
-  if (v->type != JsonValue::Type::kNumber) {
+  if (v->type != util::JsonValue::Type::kNumber) {
     spec_fail(index, kind, "field '" + std::string{key} + "' must be a number");
   }
   return v->number;
@@ -250,13 +68,13 @@ void validate_spec(std::size_t index, const FaultSpec& s) {
   }
 }
 
-FaultSpec spec_from_json(std::size_t index, const JsonValue& entry) {
-  if (entry.type != JsonValue::Type::kObject) {
+FaultSpec spec_from_json(std::size_t index, const util::JsonValue& entry) {
+  if (entry.type != util::JsonValue::Type::kObject) {
     throw std::invalid_argument("fault plan: faults[" + std::to_string(index) +
                                 "] must be an object");
   }
-  const JsonValue* kind_field = entry.find("kind");
-  if (kind_field == nullptr || kind_field->type != JsonValue::Type::kString) {
+  const util::JsonValue* kind_field = entry.find("kind");
+  if (kind_field == nullptr || kind_field->type != util::JsonValue::Type::kString) {
     throw std::invalid_argument("fault plan: faults[" + std::to_string(index) +
                                 "] is missing string field 'kind'");
   }
@@ -279,8 +97,8 @@ FaultSpec spec_from_json(std::size_t index, const JsonValue& entry) {
   s.copies = static_cast<std::uint32_t>(copies);
   s.restart_delay =
       SimTime::from_seconds(get_number(entry, "restart_delay_s", 0.0, index, s.kind));
-  if (const JsonValue* prefix = entry.find("prefix"); prefix != nullptr) {
-    if (prefix->type != JsonValue::Type::kString) {
+  if (const util::JsonValue* prefix = entry.find("prefix"); prefix != nullptr) {
+    if (prefix->type != util::JsonValue::Type::kString) {
       spec_fail(index, s.kind, "field 'prefix' must be a dotted-quad string");
     }
     const auto addr = net::Ipv4Address::parse(prefix->string);
@@ -320,19 +138,19 @@ FaultPlan::FaultPlan(std::vector<FaultSpec> faults) : faults_{std::move(faults)}
 }
 
 FaultPlan FaultPlan::parse_json(std::string_view text) {
-  const JsonValue root = JsonParser{text}.parse();
-  if (root.type != JsonValue::Type::kObject) {
+  const util::JsonValue root = util::parse_json(text, "fault plan");
+  if (root.type != util::JsonValue::Type::kObject) {
     throw std::invalid_argument("fault plan: document must be a JSON object");
   }
-  const JsonValue* schema = root.find("schema");
-  if (schema == nullptr || schema->type != JsonValue::Type::kString ||
+  const util::JsonValue* schema = root.find("schema");
+  if (schema == nullptr || schema->type != util::JsonValue::Type::kString ||
       schema->string != kSchemaTag) {
     throw std::invalid_argument(std::string{"fault plan: missing or wrong schema tag "
                                             "(expected \""} +
                                 std::string{kSchemaTag} + "\")");
   }
-  const JsonValue* faults = root.find("faults");
-  if (faults == nullptr || faults->type != JsonValue::Type::kArray) {
+  const util::JsonValue* faults = root.find("faults");
+  if (faults == nullptr || faults->type != util::JsonValue::Type::kArray) {
     throw std::invalid_argument("fault plan: missing array field 'faults'");
   }
   std::vector<FaultSpec> specs;

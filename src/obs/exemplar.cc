@@ -1,0 +1,25 @@
+#include "obs/exemplar.h"
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace turtle::obs {
+
+void ExemplarStore::record(std::string_view histogram, std::size_t bucket,
+                           const Exemplar& exemplar) {
+  TURTLE_DCHECK_NE(exemplar.trace_id, 0u) << "exemplar without a trace id";
+  TURTLE_DCHECK_LT(bucket, Histogram::kNumBuckets);
+  auto& buckets = exemplars_[std::string{histogram}];
+  buckets.emplace(bucket, exemplar);  // no-op when the slot is taken: first wins
+}
+
+void ExemplarStore::merge_from(const ExemplarStore& other) {
+  for (const auto& [histogram, buckets] : other.exemplars_) {
+    auto& mine = exemplars_[histogram];
+    for (const auto& [bucket, exemplar] : buckets) {
+      mine.emplace(bucket, exemplar);
+    }
+  }
+}
+
+}  // namespace turtle::obs

@@ -1,0 +1,51 @@
+// Exemplars: concrete traced requests pinned to histogram buckets.
+//
+// A latency histogram says the p99.9 bucket is fat; an exemplar says
+// *which request* landed there, by trace id, so the fat bucket links
+// directly to the spans in --trace-out that show where its time went
+// (admission, queue, service). This is the histogram-to-trace join
+// OpenMetrics standardized; turtle keeps it deterministic:
+//
+//   * the store keeps the FIRST exemplar per (histogram, bucket) — a
+//     streaming-stable rule, no reservoir randomness;
+//   * shard merges keep the lowest shard's exemplar (merge_from in shard
+//     order, like every other obs merge), so --jobs never changes which
+//     exemplar a bucket carries;
+//   * trace ids come from the serve-path sampler's forked Prng substream
+//     (never a wall clock), so the set of traced requests is itself
+//     byte-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace turtle::obs {
+
+class ExemplarStore {
+ public:
+  struct Exemplar {
+    std::uint64_t trace_id = 0;  ///< 0 is reserved for "not traced"
+    std::int64_t value_us = 0;   ///< the observation that filled the bucket
+    std::int64_t ts_us = 0;      ///< sim time of the observation
+  };
+
+  /// Pins `exemplar` to (histogram, bucket) unless the slot already holds
+  /// one (first wins). `exemplar.trace_id` must be nonzero.
+  void record(std::string_view histogram, std::size_t bucket, const Exemplar& exemplar);
+
+  /// First-wins union; call in shard order for --jobs independence.
+  void merge_from(const ExemplarStore& other);
+
+  [[nodiscard]] bool empty() const { return exemplars_.empty(); }
+  [[nodiscard]] const std::map<std::string, std::map<std::size_t, Exemplar>, std::less<>>&
+  by_histogram() const {
+    return exemplars_;
+  }
+
+ private:
+  std::map<std::string, std::map<std::size_t, Exemplar>, std::less<>> exemplars_;
+};
+
+}  // namespace turtle::obs

@@ -1,0 +1,316 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+#include <ostream>
+#include <utility>
+
+#include "obs/exemplar.h"
+#include "obs/json.h"
+#include "util/check.h"
+
+namespace turtle::obs {
+
+void HistogramSlice::add(const HistogramSlice& other) {
+  count += other.count;
+  sum_us += other.sum_us;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    bucket_counts[i] += other.bucket_counts[i];
+  }
+}
+
+std::uint64_t HistogramSlice::count_above(std::int64_t bound_us) const {
+  const auto& bounds = Histogram::kBucketBoundsUs;
+  const auto it = std::find(bounds.begin(), bounds.end(), bound_us);
+  TURTLE_CHECK(it != bounds.end())
+      << bound_us << " us is not a histogram bucket bound; the above/below split "
+      << "is only exact at bucket edges";
+  std::uint64_t above = 0;
+  for (std::size_t i = static_cast<std::size_t>(it - bounds.begin()) + 1;
+       i < bucket_counts.size(); ++i) {
+    above += bucket_counts[i];
+  }
+  return above;
+}
+
+void FlightFrame::merge_from(const FlightFrame& other) {
+  end_us = std::max(end_us, other.end_us);
+  for (const auto& [name, delta] : other.counters) counters[name] += delta;
+  for (const auto& [name, value] : other.gauges) {
+    const auto it = gauges.find(name);
+    if (it == gauges.end()) {
+      gauges.emplace(name, value);
+    } else {
+      it->second = std::max(it->second, value);
+    }
+  }
+  for (const auto& [name, slice] : other.histograms) histograms[name].add(slice);
+  for (const auto& [name, fires] : other.watchdog_fires) watchdog_fires[name] += fires;
+}
+
+void FlightData::merge_from(const FlightData& other) {
+  if (window_us == 0) window_us = other.window_us;
+  TURTLE_CHECK_EQ(window_us, other.window_us)
+      << "merging flights with different window lengths";
+  frames_dropped += other.frames_dropped;
+  baseline.merge_from(other.baseline);
+  for (const FlightFrame& frame : other.frames) {
+    if (frames.empty() || frame.index > frames.back().index) {
+      frames.push_back(frame);
+    } else if (frame.index < frames.front().index) {
+      // The other shard retained history this one already folded out of
+      // its ring; fold it into the merged baseline the same way.
+      baseline.merge_from(frame);
+    } else {
+      FlightFrame& mine = frames[frame.index - frames.front().index];
+      TURTLE_CHECK_EQ(mine.index, frame.index) << "flight frames are not contiguous";
+      mine.merge_from(frame);
+    }
+  }
+  for (const auto& [name, value] : other.cumulative_counters) {
+    cumulative_counters[name] += value;
+  }
+  for (const auto& [name, totals] : other.cumulative_histograms) {
+    cumulative_histograms[name].add(totals);
+  }
+}
+
+FlightRecorder::FlightRecorder(Registry& registry, Config config)
+    : registry_{registry}, config_{config} {
+  TURTLE_CHECK_GT(config_.window.as_micros(), 0);
+  TURTLE_CHECK_GT(config_.ring_capacity, 0u);
+  data_.window_us = config_.window.as_micros();
+  // Everything already counted is pre-flight history: it becomes the
+  // baseline so conservation holds for mid-run attachment.
+  snapshot_counters(last_counters_);
+  snapshot_histograms(last_histograms_);
+  for (const auto& [name, value] : last_counters_) {
+    if (value != 0) data_.baseline.counters.emplace(name, value);
+  }
+  for (const auto& [name, slice] : last_histograms_) {
+    if (!slice.empty()) data_.baseline.histograms.emplace(name, slice);
+  }
+  for (const auto& [name, gauge] : registry_.gauges()) {
+    if (!Registry::is_wall_clock(name)) data_.baseline.gauges.emplace(name, gauge.value());
+  }
+}
+
+void FlightRecorder::snapshot_counters(std::map<std::string, std::uint64_t>& out) const {
+  for (const auto& [name, counter] : registry_.counters()) {
+    if (!Registry::is_wall_clock(name)) out[name] = counter.value();
+  }
+}
+
+void FlightRecorder::snapshot_histograms(std::map<std::string, HistogramSlice>& out) const {
+  for (const auto& [name, histogram] : registry_.histograms()) {
+    if (Registry::is_wall_clock(name)) continue;
+    HistogramSlice& slice = out[name];
+    slice.count = histogram.count();
+    slice.sum_us = histogram.sum_us();
+    for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      slice.bucket_counts[i] = histogram.bucket_count(i);
+    }
+  }
+}
+
+void FlightRecorder::advance(SimTime now) {
+  TURTLE_DCHECK(!finalized_) << "advance after finalize";
+  while (window_start_ + config_.window <= now) {
+    close_frame(window_start_, window_start_ + config_.window);
+    window_start_ = window_start_ + config_.window;
+  }
+}
+
+const FlightData& FlightRecorder::finalize(SimTime now) {
+  TURTLE_CHECK(!finalized_) << "finalize called twice";
+  advance(now);
+  if (now > window_start_) {
+    close_frame(window_start_, now);
+  } else {
+    // The drain ended exactly on a window boundary, but post-drain
+    // bookkeeping (a server's finalize() folding leftovers into counters)
+    // may have moved the registry since that window closed. Conservation
+    // beats tidiness: emit a zero-length frame for any trailing deltas.
+    std::map<std::string, std::uint64_t> counters_now;
+    snapshot_counters(counters_now);
+    std::map<std::string, HistogramSlice> histograms_now;
+    snapshot_histograms(histograms_now);
+    if (counters_now != last_counters_ || histograms_now != last_histograms_) {
+      close_frame(window_start_, now);
+    }
+  }
+  finalized_ = true;
+  // Cumulative totals mirror the deterministic registry dump (zeros and
+  // empty histograms included) so the flight file is self-auditing and
+  // cross-checkable against --metrics-out.
+  snapshot_counters(data_.cumulative_counters);
+  snapshot_histograms(data_.cumulative_histograms);
+  return data_;
+}
+
+void FlightRecorder::close_frame(SimTime start, SimTime end) {
+  FlightFrame frame;
+  frame.index = next_index_++;
+  frame.start_us = start.as_micros();
+  frame.end_us = end.as_micros();
+
+  std::map<std::string, std::uint64_t> counters_now;
+  snapshot_counters(counters_now);
+  for (const auto& [name, value] : counters_now) {
+    const auto it = last_counters_.find(name);
+    const std::uint64_t before = it == last_counters_.end() ? 0 : it->second;
+    TURTLE_DCHECK_GE(value, before) << "counter '" << name << "' went backwards";
+    if (value != before) frame.counters.emplace(name, value - before);
+  }
+  last_counters_ = std::move(counters_now);
+
+  for (const auto& [name, gauge] : registry_.gauges()) {
+    if (!Registry::is_wall_clock(name)) frame.gauges.emplace(name, gauge.value());
+  }
+
+  std::map<std::string, HistogramSlice> histograms_now;
+  snapshot_histograms(histograms_now);
+  for (const auto& [name, slice] : histograms_now) {
+    const auto it = last_histograms_.find(name);
+    HistogramSlice delta = slice;
+    if (it != last_histograms_.end()) {
+      const HistogramSlice& before = it->second;
+      delta.count -= before.count;
+      delta.sum_us -= before.sum_us;
+      for (std::size_t i = 0; i < delta.bucket_counts.size(); ++i) {
+        delta.bucket_counts[i] -= before.bucket_counts[i];
+      }
+    }
+    if (!delta.empty()) frame.histograms.emplace(name, delta);
+  }
+  last_histograms_ = std::move(histograms_now);
+
+  if (observer_) {
+    observer_(frame);
+    // The observer moves registry counters of its own (the watchdog's
+    // watchdog.* fires). Fold those into this same frame: a fire on the
+    // final frame would otherwise appear in the cumulative totals with no
+    // frame accounting for it, breaking conservation.
+    std::map<std::string, std::uint64_t> after_observer;
+    snapshot_counters(after_observer);
+    for (const auto& [name, value] : after_observer) {
+      const auto it = last_counters_.find(name);
+      const std::uint64_t before = it == last_counters_.end() ? 0 : it->second;
+      if (value != before) frame.counters[name] += value - before;
+    }
+    last_counters_ = std::move(after_observer);
+  }
+
+  data_.frames.push_back(std::move(frame));
+  if (data_.frames.size() > config_.ring_capacity) {
+    data_.baseline.merge_from(data_.frames.front());
+    data_.frames.erase(data_.frames.begin());
+    ++data_.frames_dropped;
+  }
+}
+
+namespace {
+
+void write_count_map(std::ostream& os, const char* indent,
+                     const std::map<std::string, std::uint64_t>& values) {
+  os << "{";
+  bool first = true;
+  for (const auto& [name, value] : values) {
+    os << (first ? "\n" : ",\n") << indent << "  " << json_quote(name) << ": " << value;
+    first = false;
+  }
+  os << (first ? "" : std::string{"\n"} + indent) << "}";
+}
+
+void write_gauge_map(std::ostream& os, const char* indent,
+                     const std::map<std::string, std::int64_t>& values) {
+  os << "{";
+  bool first = true;
+  for (const auto& [name, value] : values) {
+    os << (first ? "\n" : ",\n") << indent << "  " << json_quote(name) << ": " << value;
+    first = false;
+  }
+  os << (first ? "" : std::string{"\n"} + indent) << "}";
+}
+
+void write_slice_map(std::ostream& os, const char* indent,
+                     const std::map<std::string, HistogramSlice>& slices) {
+  os << "{";
+  bool first = true;
+  for (const auto& [name, slice] : slices) {
+    os << (first ? "\n" : ",\n") << indent << "  " << json_quote(name)
+       << ": {\"count\": " << slice.count << ", \"sum_us\": " << slice.sum_us
+       << ", \"bucket_counts\": [";
+    for (std::size_t i = 0; i < slice.bucket_counts.size(); ++i) {
+      os << (i ? ", " : "") << slice.bucket_counts[i];
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : std::string{"\n"} + indent) << "}";
+}
+
+void write_frame(std::ostream& os, const FlightFrame& frame, bool with_index) {
+  os << "{\n";
+  if (with_index) os << "      \"index\": " << frame.index << ",\n";
+  os << "      \"start_us\": " << frame.start_us << ",\n";
+  os << "      \"end_us\": " << frame.end_us << ",\n";
+  os << "      \"counters\": ";
+  write_count_map(os, "      ", frame.counters);
+  os << ",\n      \"gauges\": ";
+  write_gauge_map(os, "      ", frame.gauges);
+  os << ",\n      \"histograms\": ";
+  write_slice_map(os, "      ", frame.histograms);
+  os << ",\n      \"watchdog\": ";
+  write_count_map(os, "      ", frame.watchdog_fires);
+  os << "\n    }";
+}
+
+}  // namespace
+
+void write_flight_json(std::ostream& os, const FlightData& data,
+                       const ExemplarStore* exemplars) {
+  os << "{\n";
+  os << "  \"schema\": \"turtle-flight-v1\",\n";
+  os << "  \"window_us\": " << data.window_us << ",\n";
+  os << "  \"frames_dropped\": " << data.frames_dropped << ",\n";
+  os << "  \"histogram_bucket_bounds_us\": [";
+  for (std::size_t i = 0; i < Histogram::kBucketBoundsUs.size(); ++i) {
+    os << (i ? ", " : "") << Histogram::kBucketBoundsUs[i];
+  }
+  os << "],\n";
+  os << "  \"baseline\": ";
+  write_frame(os, data.baseline, /*with_index=*/false);
+  os << ",\n  \"frames\": [";
+  for (std::size_t i = 0; i < data.frames.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ");
+    write_frame(os, data.frames[i], /*with_index=*/true);
+  }
+  os << (data.frames.empty() ? "" : "\n  ") << "],\n";
+  os << "  \"cumulative\": {\n";
+  os << "    \"counters\": ";
+  write_count_map(os, "    ", data.cumulative_counters);
+  os << ",\n    \"histograms\": ";
+  write_slice_map(os, "    ", data.cumulative_histograms);
+  os << "\n  },\n";
+  os << "  \"exemplars\": {";
+  bool first_hist = true;
+  if (exemplars != nullptr) {
+    for (const auto& [histogram, buckets] : exemplars->by_histogram()) {
+      os << (first_hist ? "\n" : ",\n") << "    " << json_quote(histogram) << ": [";
+      bool first_bucket = true;
+      for (const auto& [bucket, exemplar] : buckets) {
+        os << (first_bucket ? "\n" : ",\n") << "      {\"bucket\": " << bucket
+           << ", \"trace_id\": " << exemplar.trace_id
+           << ", \"value_us\": " << exemplar.value_us << ", \"ts_us\": " << exemplar.ts_us
+           << "}";
+        first_bucket = false;
+      }
+      os << (first_bucket ? "" : "\n    ") << "]";
+      first_hist = false;
+    }
+  }
+  os << (first_hist ? "" : "\n  ") << "}\n";
+  os << "}\n";
+}
+
+}  // namespace turtle::obs

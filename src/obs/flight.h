@@ -1,0 +1,165 @@
+// Sim-time flight recorder: windowed rollups over an obs::Registry.
+//
+// The cumulative registry answers "how much, in total" — but the paper's
+// tail phenomena are episodes: a shed spike during a duplicate storm, a
+// latency burn while a bufferbloat window is open, a cache collapse after
+// a snapshot swap. The flight recorder turns the registry into a bounded
+// ring of per-window interval frames so those episodes are visible *when*
+// they happen, in simulated time, without giving up a byte of
+// determinism:
+//
+//   * every N sim-seconds (driven by pre-scheduled simulator events, never
+//     a wall clock) the recorder diffs the registry against its last
+//     snapshot and emits a FlightFrame: counter deltas, gauge samples,
+//     and per-window histogram slices;
+//   * frames live in a bounded ring; overflowing frames fold into a
+//     baseline frame instead of vanishing, so the conservation contract
+//     below survives any flight length;
+//   * conservation: baseline + sum(frames) == the cumulative registry,
+//     exactly, per counter and per histogram bucket. finalize() captures
+//     the cumulative totals into the FlightData so the dump is
+//     self-auditing (scripts/validate_obs.py --flight re-checks it);
+//   * wall.* metrics are quarantined exactly like the registry dump — a
+//     frame never contains one, so --flight-out is byte-identical across
+//     --jobs when per-shard recorders merge in shard order
+//     (FlightData::merge_from aligns frames by window index, the same
+//     discipline ShardRunner uses for registries).
+//
+// The recorder is single-threaded like the Registry it watches: one per
+// World/shard, merged on the coordinating thread.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/sim_time.h"
+
+namespace turtle::obs {
+
+class ExemplarStore;
+
+/// Per-window slice of one histogram: the observations that landed inside
+/// the window. Also used for cumulative totals (a flight-length slice).
+struct HistogramSlice {
+  std::uint64_t count = 0;
+  std::int64_t sum_us = 0;
+  std::array<std::uint64_t, Histogram::kNumBuckets> bucket_counts{};
+
+  void add(const HistogramSlice& other);
+  [[nodiscard]] bool empty() const { return count == 0 && sum_us == 0; }
+  friend bool operator==(const HistogramSlice&, const HistogramSlice&) = default;
+  /// Observations strictly above a bucket bound. `bound_us` must be one of
+  /// Histogram::kBucketBoundsUs (checked); the split is exact because the
+  /// bound is a bucket edge — this is why 5 s being a first-class edge
+  /// matters to the watchdog's burn rules.
+  [[nodiscard]] std::uint64_t count_above(std::int64_t bound_us) const;
+};
+
+/// One closed window [start_us, end_us): everything the registry gained
+/// inside it. Zero counter deltas and empty histogram slices are elided;
+/// gauges are point samples at window close (they do not participate in
+/// the conservation sum). watchdog_fires is filled by the Watchdog
+/// observer when one is attached.
+struct FlightFrame {
+  std::uint64_t index = 0;
+  std::int64_t start_us = 0;
+  std::int64_t end_us = 0;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSlice> histograms;
+  std::map<std::string, std::uint64_t> watchdog_fires;
+
+  /// Element-wise merge (counters/histograms/fires sum, gauges max,
+  /// end_us max — shards finalize at their own drain times).
+  void merge_from(const FlightFrame& other);
+  [[nodiscard]] bool has_deltas() const {
+    return !counters.empty() || !histograms.empty() || !watchdog_fires.empty();
+  }
+};
+
+/// A complete flight: the baseline (pre-recorder history plus any frames
+/// folded out of the ring), the retained frames, and the cumulative
+/// totals captured at finalize. Conservation: for every counter and every
+/// histogram bucket, baseline + sum(frames) == cumulative.
+struct FlightData {
+  std::int64_t window_us = 0;
+  std::uint64_t frames_dropped = 0;
+  FlightFrame baseline;
+  std::vector<FlightFrame> frames;
+  std::map<std::string, std::uint64_t> cumulative_counters;
+  std::map<std::string, HistogramSlice> cumulative_histograms;
+
+  /// Shard-ordered merge: frames align by window index (every shard's
+  /// windows share the same boundaries), baselines and cumulatives sum.
+  void merge_from(const FlightData& other);
+};
+
+/// Watches one Registry and rolls it up into FlightData. Drive it from
+/// simulated time: schedule an event at every window boundary that calls
+/// advance(now), then call finalize(now) after the simulator drains.
+class FlightRecorder {
+ public:
+  struct Config {
+    /// Window length; every frame covers exactly one window except the
+    /// final partial frame finalize() closes.
+    SimTime window = SimTime::seconds(5);
+    /// Retained frames. Overflow folds the oldest frame into the baseline
+    /// (counted in frames_dropped) instead of breaking conservation.
+    std::size_t ring_capacity = 512;
+  };
+
+  /// Snapshots `registry` immediately: everything already counted becomes
+  /// the baseline, so a recorder attached mid-run (after a survey phase,
+  /// say) still satisfies baseline + frames == cumulative.
+  FlightRecorder(Registry& registry, Config config);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Called on each closed frame before it enters the ring — the
+  /// Watchdog's hook. The observer may record fires into the frame.
+  void set_observer(std::function<void(FlightFrame&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Closes every whole window with end <= now. Empty windows emit empty
+  /// frames — indexes stay contiguous and quiet periods are visible.
+  void advance(SimTime now);
+
+  /// Closes the trailing partial window (if `now` is past the last
+  /// boundary) and captures the cumulative registry totals. Call exactly
+  /// once, after the simulator drains and all servers finalized.
+  const FlightData& finalize(SimTime now);
+
+  [[nodiscard]] const FlightData& data() const { return data_; }
+
+ private:
+  void close_frame(SimTime start, SimTime end);
+  void snapshot_counters(std::map<std::string, std::uint64_t>& out) const;
+  void snapshot_histograms(std::map<std::string, HistogramSlice>& out) const;
+
+  Registry& registry_;
+  Config config_;
+  FlightData data_;
+  SimTime window_start_{};
+  std::uint64_t next_index_ = 0;
+  bool finalized_ = false;
+  /// Registry values as of the last closed window (or construction).
+  std::map<std::string, std::uint64_t> last_counters_;
+  std::map<std::string, HistogramSlice> last_histograms_;
+  std::function<void(FlightFrame&)> observer_;
+};
+
+/// Writes FlightData (plus, optionally, the exemplars collected alongside
+/// it) as deterministic JSON — schema "turtle-flight-v1". Keys sorted,
+/// fixed layout, no wall-clock anywhere: byte-comparable across --jobs.
+void write_flight_json(std::ostream& os, const FlightData& data,
+                       const ExemplarStore* exemplars = nullptr);
+
+}  // namespace turtle::obs

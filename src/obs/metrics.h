@@ -79,12 +79,13 @@ class Histogram {
   /// Bucket count including the final > 120 s overflow bucket.
   static constexpr std::size_t kNumBuckets = kBucketBoundsUs.size() + 1;
 
-  void observe(SimTime t) { observe_us(t.as_micros()); }
-
-  void observe_us(std::int64_t us) {
-    TURTLE_DCHECK_GE(us, 0) << "negative duration observed";
+  /// Index of the bucket an observation of `us` lands in: the first bound
+  /// >= us (le semantics); past the last bound = the overflow bucket.
+  /// Public so exemplars can pin a traced request to the exact bucket its
+  /// latency observation filled.
+  [[nodiscard]] static std::size_t bucket_for_us(std::int64_t us) {
     std::size_t lo = 0, hi = kBucketBoundsUs.size();
-    while (lo < hi) {  // first bound >= us (le semantics); miss = overflow
+    while (lo < hi) {
       const std::size_t mid = (lo + hi) / 2;
       if (kBucketBoundsUs[mid] < us) {
         lo = mid + 1;
@@ -92,7 +93,14 @@ class Histogram {
         hi = mid;
       }
     }
-    ++buckets_[lo];
+    return lo;
+  }
+
+  void observe(SimTime t) { observe_us(t.as_micros()); }
+
+  void observe_us(std::int64_t us) {
+    TURTLE_DCHECK_GE(us, 0) << "negative duration observed";
+    ++buckets_[bucket_for_us(us)];
     ++count_;
     sum_us_ += us;
   }
@@ -164,9 +172,21 @@ class Registry {
   std::map<std::string, Histogram, std::less<>> histograms_;
 };
 
+class ExemplarStore;  // obs/exemplar.h
+struct FlightData;    // obs/flight.h
+
 /// Prometheus text exposition format (histograms as cumulative `le`
 /// buckets in seconds), for future live runners. Includes wall.* metrics:
 /// a scrape is a wall-clock artifact anyway.
-void write_prometheus(std::ostream& os, const Registry& registry);
+///
+/// With `exemplars`, histogram bucket lines carry OpenMetrics-style
+/// exemplar suffixes (`# {trace_id="N"} <value_s> <ts_s>`) linking the
+/// bucket to a concrete traced request. With `flight`, the last closed
+/// window's counter deltas and histogram slice totals are additionally
+/// exposed as turtle_window_* gauges — the "what is happening right now"
+/// view a live scrape wants next to the cumulative series.
+void write_prometheus(std::ostream& os, const Registry& registry,
+                      const ExemplarStore* exemplars = nullptr,
+                      const FlightData* flight = nullptr);
 
 }  // namespace turtle::obs

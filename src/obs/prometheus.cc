@@ -6,6 +6,8 @@
 #include <string>
 #include <string_view>
 
+#include "obs/exemplar.h"
+#include "obs/flight.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 
@@ -25,9 +27,17 @@ std::string prometheus_name(std::string_view name) {
   return out;
 }
 
+/// OpenMetrics exemplar suffix: `# {trace_id="N"} <value_s> <ts_s>`.
+void write_exemplar(std::ostream& os, const ExemplarStore::Exemplar& exemplar) {
+  os << " # {trace_id=\"" << exemplar.trace_id << "\"} "
+     << json_fixed(static_cast<double>(exemplar.value_us) / 1e6, 6) << " "
+     << json_fixed(static_cast<double>(exemplar.ts_us) / 1e6, 6);
+}
+
 }  // namespace
 
-void write_prometheus(std::ostream& os, const Registry& registry) {
+void write_prometheus(std::ostream& os, const Registry& registry,
+                      const ExemplarStore* exemplars, const FlightData* flight) {
   for (const auto& [name, metric] : registry.counters()) {
     const std::string pname = prometheus_name(name);
     os << "# TYPE " << pname << " counter\n";
@@ -40,18 +50,62 @@ void write_prometheus(std::ostream& os, const Registry& registry) {
   }
   for (const auto& [name, metric] : registry.histograms()) {
     const std::string pname = prometheus_name(name);
+    const std::map<std::size_t, ExemplarStore::Exemplar>* bucket_exemplars = nullptr;
+    if (exemplars != nullptr) {
+      const auto& by_histogram = exemplars->by_histogram();
+      if (const auto it = by_histogram.find(name); it != by_histogram.end()) {
+        bucket_exemplars = &it->second;
+      }
+    }
     os << "# TYPE " << pname << " histogram\n";
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < Histogram::kBucketBoundsUs.size(); ++i) {
       cumulative += metric.bucket_count(i);
       os << pname << "_bucket{le=\""
          << json_fixed(static_cast<double>(Histogram::kBucketBoundsUs[i]) / 1e6, 6)
-         << "\"} " << cumulative << "\n";
+         << "\"} " << cumulative;
+      if (bucket_exemplars != nullptr) {
+        if (const auto it = bucket_exemplars->find(i); it != bucket_exemplars->end()) {
+          write_exemplar(os, it->second);
+        }
+      }
+      os << "\n";
     }
-    os << pname << "_bucket{le=\"+Inf\"} " << metric.count() << "\n";
+    os << pname << "_bucket{le=\"+Inf\"} " << metric.count();
+    if (bucket_exemplars != nullptr) {
+      if (const auto it = bucket_exemplars->find(Histogram::kNumBuckets - 1);
+          it != bucket_exemplars->end()) {
+        write_exemplar(os, it->second);
+      }
+    }
+    os << "\n";
     os << pname << "_sum " << json_fixed(static_cast<double>(metric.sum_us()) / 1e6, 6)
        << "\n";
     os << pname << "_count " << metric.count() << "\n";
+  }
+
+  if (flight == nullptr || flight->frames.empty()) return;
+  // Windowed view: the last closed flight window's deltas, as gauges. A
+  // scrape reading the cumulative series sees "ever"; these see "now".
+  const FlightFrame& frame = flight->frames.back();
+  os << "# TYPE turtle_window_start_seconds gauge\n";
+  os << "turtle_window_start_seconds "
+     << json_fixed(static_cast<double>(frame.start_us) / 1e6, 6) << "\n";
+  os << "# TYPE turtle_window_end_seconds gauge\n";
+  os << "turtle_window_end_seconds "
+     << json_fixed(static_cast<double>(frame.end_us) / 1e6, 6) << "\n";
+  for (const auto& [name, delta] : frame.counters) {
+    const std::string pname = prometheus_name(name);
+    os << "# TYPE " << pname << "_window gauge\n";
+    os << pname << "_window " << delta << "\n";
+  }
+  for (const auto& [name, slice] : frame.histograms) {
+    const std::string pname = prometheus_name(name);
+    os << "# TYPE " << pname << "_window_count gauge\n";
+    os << pname << "_window_count " << slice.count << "\n";
+    os << "# TYPE " << pname << "_window_sum gauge\n";
+    os << pname << "_window_sum "
+       << json_fixed(static_cast<double>(slice.sum_us) / 1e6, 6) << "\n";
   }
 }
 

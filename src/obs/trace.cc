@@ -11,11 +11,23 @@ void TraceSink::instant(const char* name, const char* category, SimTime ts) {
   events_.push_back(Event{name, category, 'i', 0, 0, ts.as_micros(), 0, 0});
 }
 
+void TraceSink::instant(const char* name, const char* category, SimTime ts,
+                        std::uint64_t trace_id) {
+  events_.push_back(Event{name, category, 'i', 0, 0, ts.as_micros(), 0,
+                          static_cast<std::int64_t>(trace_id)});
+}
+
 void TraceSink::complete(const char* name, const char* category, SimTime start,
                          SimTime end) {
+  complete(name, category, start, end, /*trace_id=*/0);
+}
+
+void TraceSink::complete(const char* name, const char* category, SimTime start,
+                         SimTime end, std::uint64_t trace_id) {
   TURTLE_DCHECK_GE(end, start) << "trace span '" << name << "' ends before it starts";
   const std::int64_t dur = end < start ? 0 : (end - start).as_micros();
-  events_.push_back(Event{name, category, 'X', 0, 0, start.as_micros(), dur, 0});
+  events_.push_back(Event{name, category, 'X', 0, 0, start.as_micros(), dur,
+                          static_cast<std::int64_t>(trace_id)});
 }
 
 void TraceSink::counter(const char* name, SimTime ts, std::int64_t value) {
@@ -51,7 +63,11 @@ void TraceSink::write_chrome_json(std::ostream& os) const {
        << ", \"ts\": " << e.ts_us;
     if (e.phase == 'X') os << ", \"dur\": " << e.dur_us;
     if (e.phase == 'i') os << ", \"s\": \"t\"";
-    if (e.phase == 'C') os << ", \"args\": {\"value\": " << e.value << "}";
+    if (e.phase == 'C') {
+      os << ", \"args\": {\"value\": " << e.value << "}";
+    } else if (e.value != 0) {
+      os << ", \"args\": {\"trace_id\": " << e.value << "}";
+    }
     os << "}";
   }
   os << (first ? "" : "\n") << "]}\n";

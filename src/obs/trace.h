@@ -46,15 +46,22 @@ class TraceSink {
     std::int32_t tid;     ///< shard index after a merge
     std::int64_t ts_us;
     std::int64_t dur_us;  ///< 'X' only
-    std::int64_t value;   ///< 'C' only
+    std::int64_t value;   ///< 'C': counter sample. 'X'/'i': trace id (0 = none)
   };
 
-  /// A point event at simulated time `ts` (thread-scoped).
+  /// A point event at simulated time `ts` (thread-scoped). The overload
+  /// with `trace_id` tags the event as belonging to a sampled request
+  /// (emitted as `"args": {"trace_id": N}`; 0 = untagged, id elided).
   void instant(const char* name, const char* category, SimTime ts);
+  void instant(const char* name, const char* category, SimTime ts,
+               std::uint64_t trace_id);
 
   /// A [start, end] span in simulated time. end < start is a logic error
-  /// (DCHECK) and clamps to a zero-length span in release.
+  /// (DCHECK) and clamps to a zero-length span in release. The overload
+  /// with `trace_id` tags the span like the instant overload above.
   void complete(const char* name, const char* category, SimTime start, SimTime end);
+  void complete(const char* name, const char* category, SimTime start, SimTime end,
+                std::uint64_t trace_id);
 
   /// A counter-track sample ("C"), e.g. event-queue depth over sim time.
   void counter(const char* name, SimTime ts, std::int64_t value);

@@ -1,0 +1,235 @@
+#include "obs/watchdog.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "util/check.h"
+#include "util/json_reader.h"
+#include "util/sim_time.h"
+
+namespace turtle::obs {
+
+namespace {
+
+constexpr std::string_view kSchemaTag = "turtle-slo-v1";
+
+[[noreturn]] void rule_fail(std::size_t index, const std::string& what) {
+  throw std::invalid_argument("slo rules: rules[" + std::to_string(index) + "]: " + what);
+}
+
+std::string get_string(const util::JsonValue& entry, std::string_view key,
+                       std::size_t index, bool required) {
+  const util::JsonValue* v = entry.find(key);
+  if (v == nullptr) {
+    if (required) rule_fail(index, "missing string field '" + std::string{key} + "'");
+    return {};
+  }
+  if (v->type != util::JsonValue::Type::kString) {
+    rule_fail(index, "field '" + std::string{key} + "' must be a string");
+  }
+  return v->string;
+}
+
+double get_number(const util::JsonValue& entry, std::string_view key, double def,
+                  std::size_t index) {
+  const util::JsonValue* v = entry.find(key);
+  if (v == nullptr) return def;
+  if (v->type != util::JsonValue::Type::kNumber) {
+    rule_fail(index, "field '" + std::string{key} + "' must be a number");
+  }
+  return v->number;
+}
+
+WatchdogRule rule_from_json(std::size_t index, const util::JsonValue& entry) {
+  if (entry.type != util::JsonValue::Type::kObject) {
+    rule_fail(index, "must be an object");
+  }
+  WatchdogRule rule;
+  rule.name = get_string(entry, "name", index, /*required=*/true);
+  if (rule.name.empty()) rule_fail(index, "name must be non-empty");
+  for (const char c : rule.name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) rule_fail(index, "name must be [a-z0-9_] (it becomes a metric name)");
+  }
+
+  const std::string kind = get_string(entry, "kind", index, /*required=*/true);
+  if (kind == "ratio_above") {
+    rule.kind = WatchdogRule::Kind::kRatioAbove;
+  } else if (kind == "ratio_below") {
+    rule.kind = WatchdogRule::Kind::kRatioBelow;
+  } else if (kind == "gauge_above") {
+    rule.kind = WatchdogRule::Kind::kGaugeAbove;
+  } else if (kind == "latency_burn") {
+    rule.kind = WatchdogRule::Kind::kLatencyBurn;
+  } else {
+    rule_fail(index, "unknown kind '" + kind +
+                         "'; valid: ratio_above, ratio_below, gauge_above, latency_burn");
+  }
+
+  rule.threshold = get_number(entry, "threshold", 0.0, index);
+  rule.min_denominator =
+      static_cast<std::uint64_t>(get_number(entry, "min_denominator", 0.0, index));
+
+  switch (rule.kind) {
+    case WatchdogRule::Kind::kRatioAbove:
+    case WatchdogRule::Kind::kRatioBelow:
+      rule.numerator = get_string(entry, "numerator", index, /*required=*/true);
+      rule.denominator = get_string(entry, "denominator", index, /*required=*/true);
+      if (rule.threshold < 0.0) rule_fail(index, "threshold must be >= 0");
+      break;
+    case WatchdogRule::Kind::kGaugeAbove:
+      rule.gauge = get_string(entry, "gauge", index, /*required=*/true);
+      break;
+    case WatchdogRule::Kind::kLatencyBurn: {
+      rule.histogram = get_string(entry, "histogram", index, /*required=*/true);
+      rule.threshold_us =
+          static_cast<std::int64_t>(get_number(entry, "threshold_us", 0.0, index));
+      const auto& bounds = Histogram::kBucketBoundsUs;
+      if (std::find(bounds.begin(), bounds.end(), rule.threshold_us) == bounds.end()) {
+        rule_fail(index, "threshold_us " + std::to_string(rule.threshold_us) +
+                             " is not a histogram bucket bound; the SLO split is only "
+                             "exact at bucket edges");
+      }
+      rule.objective = get_number(entry, "objective", 0.99, index);
+      if (rule.objective <= 0.0 || rule.objective >= 1.0) {
+        rule_fail(index, "objective must be in (0, 1)");
+      }
+      rule.budget_windows =
+          static_cast<std::uint64_t>(get_number(entry, "budget_windows", 1.0, index));
+      if (rule.budget_windows < 1) rule_fail(index, "budget_windows must be >= 1");
+      rule.min_denominator = static_cast<std::uint64_t>(
+          get_number(entry, "min_count", static_cast<double>(rule.min_denominator), index));
+      break;
+    }
+  }
+  rule.trace_name = "watchdog." + rule.name;
+  rule.counter_name = "watchdog." + rule.name;
+  return rule;
+}
+
+}  // namespace
+
+WatchdogRules::WatchdogRules(std::vector<WatchdogRule> rules) : rules_{std::move(rules)} {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (rules_[i].name == rules_[j].name) {
+        rule_fail(i, "duplicate rule name '" + rules_[i].name + "'");
+      }
+    }
+  }
+}
+
+namespace {
+
+std::vector<WatchdogRule> rules_from_value(const util::JsonValue& root);
+
+}  // namespace
+
+WatchdogRules WatchdogRules::parse_json(std::string_view text) {
+  return WatchdogRules{rules_from_value(util::parse_json(text, "slo rules"))};
+}
+
+WatchdogRules WatchdogRules::load_file(const std::string& path) {
+  return WatchdogRules{rules_from_value(util::parse_json_file(path, "slo rules"))};
+}
+
+namespace {
+
+std::vector<WatchdogRule> rules_from_value(const util::JsonValue& root) {
+  if (root.type != util::JsonValue::Type::kObject) {
+    throw std::invalid_argument("slo rules: document must be a JSON object");
+  }
+  const util::JsonValue* schema = root.find("schema");
+  if (schema == nullptr || schema->type != util::JsonValue::Type::kString ||
+      schema->string != kSchemaTag) {
+    throw std::invalid_argument(std::string{"slo rules: missing or wrong schema tag "
+                                            "(expected \""} +
+                                std::string{kSchemaTag} + "\")");
+  }
+  const util::JsonValue* rules = root.find("rules");
+  if (rules == nullptr || rules->type != util::JsonValue::Type::kArray) {
+    throw std::invalid_argument("slo rules: missing array field 'rules'");
+  }
+  std::vector<WatchdogRule> parsed;
+  parsed.reserve(rules->array.size());
+  for (std::size_t i = 0; i < rules->array.size(); ++i) {
+    parsed.push_back(rule_from_json(i, rules->array[i]));
+  }
+  return parsed;
+}
+
+}  // namespace
+
+Watchdog::Watchdog(std::shared_ptr<const WatchdogRules> rules, Registry& registry,
+                   TraceSink* trace)
+    : rules_{std::move(rules)}, registry_{registry}, trace_{trace} {
+  TURTLE_CHECK(rules_ != nullptr);
+  states_.resize(rules_->rules().size());
+  // Eager counters: a run that never fires still shows "watchdog.<rule>"
+  // at zero, so the validator can assert fires == counters for every rule.
+  for (std::size_t i = 0; i < rules_->rules().size(); ++i) {
+    states_[i].fires = &registry_.counter(rules_->rules()[i].counter_name);
+  }
+}
+
+void Watchdog::on_frame(FlightFrame& frame) {
+  for (std::size_t i = 0; i < rules_->rules().size(); ++i) {
+    const WatchdogRule& rule = rules_->rules()[i];
+    if (!evaluate(rule, states_[i], frame)) continue;
+    frame.watchdog_fires[rule.name] += 1;
+    states_[i].fires->inc();
+    TURTLE_TRACE(trace_, instant(rule.trace_name.c_str(), "watchdog",
+                                 SimTime::micros(frame.end_us)));
+  }
+}
+
+bool Watchdog::evaluate(const WatchdogRule& rule, RuleState& state,
+                        const FlightFrame& frame) {
+  const auto counter_delta = [&frame](const std::string& name) -> std::uint64_t {
+    const auto it = frame.counters.find(name);
+    return it == frame.counters.end() ? 0 : it->second;
+  };
+  switch (rule.kind) {
+    case WatchdogRule::Kind::kRatioAbove:
+    case WatchdogRule::Kind::kRatioBelow: {
+      const std::uint64_t num = counter_delta(rule.numerator);
+      const std::uint64_t den = counter_delta(rule.denominator);
+      if (den < std::max<std::uint64_t>(rule.min_denominator, 1)) return false;
+      const double ratio = static_cast<double>(num) / static_cast<double>(den);
+      return rule.kind == WatchdogRule::Kind::kRatioAbove ? ratio > rule.threshold
+                                                          : ratio < rule.threshold;
+    }
+    case WatchdogRule::Kind::kGaugeAbove: {
+      const auto it = frame.gauges.find(rule.gauge);
+      if (it == frame.gauges.end()) return false;
+      return static_cast<double>(it->second) >= rule.threshold;
+    }
+    case WatchdogRule::Kind::kLatencyBurn: {
+      BurnWindow window;
+      if (const auto it = frame.histograms.find(rule.histogram);
+          it != frame.histograms.end()) {
+        window.total = it->second.count;
+        window.bad = it->second.count_above(rule.threshold_us);
+      }
+      state.rolling.push_back(window);
+      state.rolling_bad += window.bad;
+      state.rolling_total += window.total;
+      while (state.rolling.size() > rule.budget_windows) {
+        state.rolling_bad -= state.rolling.front().bad;
+        state.rolling_total -= state.rolling.front().total;
+        state.rolling.pop_front();
+      }
+      if (state.rolling_total < std::max<std::uint64_t>(rule.min_denominator, 1)) {
+        return false;
+      }
+      // Burn rate > 1: the bad fraction over the rolling horizon exceeds
+      // the error budget (1 - objective).
+      return static_cast<double>(state.rolling_bad) >
+             (1.0 - rule.objective) * static_cast<double>(state.rolling_total);
+    }
+  }
+  TURTLE_UNREACHABLE();
+}
+
+}  // namespace turtle::obs

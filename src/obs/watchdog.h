@@ -1,0 +1,135 @@
+// SLO burn watchdogs: declarative rules evaluated per flight-recorder
+// window, firing counted, deterministic watchdog.* events.
+//
+// The paper's operational lesson is that the tail arrives as an episode —
+// a storm, a spike, a collapse — and a serving system must notice while
+// the episode is open, not in a post-run dump. A watchdog rule is a small
+// predicate over one FlightFrame (plus a rolling budget for burn rules);
+// when it fires, three deterministic artifacts appear, all byte-stable
+// across --jobs:
+//
+//   * the frame's watchdog_fires map gains the rule name (the flight dump
+//     shows WHICH window burned);
+//   * the registry counter "watchdog.<rule>" increments (created eagerly
+//     at construction, so a quiet run still shows the zero — the
+//     validator checks fires == counters);
+//   * the trace gains an instant at the window close (the episode is
+//     visible on the Perfetto timeline next to the spans it explains).
+//
+// Rules load from JSON (schema "turtle-slo-v1", see examples/
+// serve_slo.json):
+//
+//   {"schema": "turtle-slo-v1",
+//    "rules": [
+//      {"name": "shed_spike", "kind": "ratio_above",
+//       "numerator": "serve.shed", "denominator": "serve.offered",
+//       "threshold": 0.05, "min_denominator": 50},
+//      {"name": "latency_burn", "kind": "latency_burn",
+//       "histogram": "serve.latency", "threshold_us": 5000,
+//       "objective": 0.99, "budget_windows": 4, "min_count": 50},
+//      {"name": "cache_collapse", "kind": "ratio_below",
+//       "numerator": "serve.cache_hits", "denominator": "serve.lookups",
+//       "threshold": 0.5, "min_denominator": 50},
+//      {"name": "queue_high_water", "kind": "gauge_above",
+//       "gauge": "serve.queue_high_water", "threshold": 400}]}
+//
+// Kind semantics (all deltas are per-window unless noted):
+//   ratio_above   fires when numerator/denominator >  threshold
+//   ratio_below   fires when numerator/denominator <  threshold
+//                 (both skip windows with denominator < min_denominator)
+//   gauge_above   fires when the gauge sample       >= threshold
+//   latency_burn  fires when, over the last budget_windows windows, the
+//                 fraction of histogram observations above threshold_us
+//                 exceeds the error budget (1 - objective) — i.e. the
+//                 rolling burn rate passed 1. threshold_us must be an
+//                 exact bucket bound so the split is integer-exact.
+//
+// Lifetime contract: trace instants carry pointers into the rule's name
+// storage, so the WatchdogRules object must outlive the TraceSink dump —
+// load rules before constructing the report/sinks and keep the
+// shared_ptr on the frame that writes them out.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/flight.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace turtle::obs {
+
+struct WatchdogRule {
+  enum class Kind : std::uint8_t { kRatioAbove, kRatioBelow, kGaugeAbove, kLatencyBurn };
+
+  std::string name;          ///< rule id, e.g. "shed_spike"
+  Kind kind = Kind::kRatioAbove;
+  std::string numerator;     ///< counter (ratio kinds)
+  std::string denominator;   ///< counter (ratio kinds)
+  std::string gauge;         ///< gauge (gauge_above)
+  std::string histogram;     ///< histogram (latency_burn)
+  double threshold = 0.0;    ///< ratio bound / gauge level
+  std::int64_t threshold_us = 0;      ///< burn: latency SLO bound (bucket edge)
+  double objective = 0.99;            ///< burn: target good fraction
+  std::uint64_t budget_windows = 1;   ///< burn: rolling horizon, in windows
+  std::uint64_t min_denominator = 0;  ///< ratio/burn: ignore thin windows
+
+  /// Stable storage for the trace-event name ("watchdog.<name>"); the
+  /// TraceSink stores the pointer, never a copy.
+  std::string trace_name;
+  /// Registry counter name ("watchdog.<name>").
+  std::string counter_name;
+};
+
+/// Immutable parsed rule set, shared across shards.
+class WatchdogRules {
+ public:
+  static WatchdogRules parse_json(std::string_view text);
+  static WatchdogRules load_file(const std::string& path);
+
+  [[nodiscard]] const std::vector<WatchdogRule>& rules() const { return rules_; }
+  [[nodiscard]] bool empty() const { return rules_.empty(); }
+
+ private:
+  explicit WatchdogRules(std::vector<WatchdogRule> rules);
+  std::vector<WatchdogRule> rules_;
+};
+
+/// Evaluates a rule set against each closed FlightFrame. One per shard
+/// (it owns per-rule rolling state); install as the FlightRecorder's
+/// observer. Counters land in `registry`, instants in `trace` (nullable).
+class Watchdog {
+ public:
+  Watchdog(std::shared_ptr<const WatchdogRules> rules, Registry& registry,
+           TraceSink* trace);
+
+  /// FlightRecorder observer: evaluates every rule, records fires into
+  /// the frame / registry / trace.
+  void on_frame(FlightFrame& frame);
+
+ private:
+  struct BurnWindow {
+    std::uint64_t bad = 0;
+    std::uint64_t total = 0;
+  };
+  struct RuleState {
+    Counter* fires = nullptr;
+    std::deque<BurnWindow> rolling;  ///< latency_burn only
+    std::uint64_t rolling_bad = 0;
+    std::uint64_t rolling_total = 0;
+  };
+
+  [[nodiscard]] bool evaluate(const WatchdogRule& rule, RuleState& state,
+                              const FlightFrame& frame);
+
+  std::shared_ptr<const WatchdogRules> rules_;
+  Registry& registry_;
+  TraceSink* trace_;
+  std::vector<RuleState> states_;
+};
+
+}  // namespace turtle::obs

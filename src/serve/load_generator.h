@@ -34,6 +34,16 @@ struct LoadGenConfig {
   std::vector<std::pair<double, double>> coverage_pairs{{50, 50}, {95, 95}, {99, 99}};
   /// Optional metrics sink for the serve.gen.* counters.
   obs::Registry* registry = nullptr;
+
+  /// Fraction of requests tagged with a trace id (0 = tracing off). Draws
+  /// come from a dedicated sampler substream forked off the generator's
+  /// Prng, so flipping sampling on or off never perturbs the arrival
+  /// process or the request mix — the load offered is identical either way.
+  double trace_sample = 0.0;
+  /// Trace ids are trace_id_base + n for the n-th sampled request (n >= 1).
+  /// Shard s conventionally uses (s + 1) << 32, keeping ids globally
+  /// unique and the shard recoverable from the id. 0 is reserved.
+  std::uint64_t trace_id_base = 0;
 };
 
 class LoadGenerator {
@@ -62,12 +72,16 @@ class LoadGenerator {
   OracleServer& server_;
   LoadGenConfig config_;
   util::Prng rng_;
+  util::Prng sampler_;  ///< trace-sampling substream (fork 1 of `rng`)
+  std::uint64_t traced_seq_ = 0;
   std::vector<std::int64_t> latencies_us_;
 
   obs::Counter fallback_requests_;
   obs::Counter fallback_responses_;
+  obs::Counter fallback_traced_;
   obs::Counter* requests_;   ///< "serve.gen.requests"
   obs::Counter* responses_;  ///< "serve.gen.responses"
+  obs::Counter* traced_;     ///< "serve.gen.traced"
 };
 
 }  // namespace turtle::serve

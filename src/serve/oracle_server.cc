@@ -45,7 +45,11 @@ OracleServer::OracleServer(sim::Simulator& sim, ServerConfig config,
 
 void OracleServer::submit(const Request& request, Callback callback) {
   offered_->inc();
-  Pending pending{request, sim_.now(), std::move(callback)};
+  Pending pending{request, sim_.now(), std::move(callback), SimTime{}};
+  if (request.trace_id != 0) {
+    TURTLE_TRACE(config_.trace,
+                 instant("serve.admit", "serve", sim_.now(), request.trace_id));
+  }
 
   if (fault_hook_ != nullptr) {
     // Show the admission path to the injector as a client -> server
@@ -61,6 +65,7 @@ void OracleServer::submit(const Request& request, Callback callback) {
         fault_dropped_ = &config_.registry->counter("fault.net.dropped_packets");
       }
       fault_dropped_->inc();
+      shed_traced(pending);
       shed(ShedReason::kNet);
       return;
     }
@@ -73,6 +78,10 @@ void OracleServer::submit(const Request& request, Callback callback) {
       // accounting and load, but nobody is waiting on their answers.
       offered_->inc(action.extra_copies);
     }
+    // Copies are untraced even when the original was sampled: one sampled
+    // request means exactly one end-to-end span and one exemplar candidate.
+    Request copy_request = request;
+    copy_request.trace_id = 0;
     if (action.extra_delay > SimTime{}) {
       if (fault_delayed_ == nullptr) {
         fault_delayed_ = &config_.registry->counter("fault.net.delayed_packets");
@@ -80,7 +89,7 @@ void OracleServer::submit(const Request& request, Callback callback) {
       fault_delayed_->inc();
       for (std::uint32_t i = 0; i < action.extra_copies; ++i) {
         sim_.schedule_after(action.extra_delay,
-                            [this, copy = Pending{request, pending.submit_time, nullptr}]() mutable {
+                            [this, copy = Pending{copy_request, pending.submit_time, nullptr, SimTime{}}]() mutable {
                               arrive_entry(std::move(copy));
                             });
       }
@@ -91,7 +100,7 @@ void OracleServer::submit(const Request& request, Callback callback) {
     }
     const util::MutexLock lock{mu_};
     for (std::uint32_t i = 0; i < action.extra_copies; ++i) {
-      arrive(Pending{request, pending.submit_time, nullptr});
+      arrive(Pending{copy_request, pending.submit_time, nullptr, SimTime{}});
     }
     arrive(std::move(pending));
     return;
@@ -107,16 +116,25 @@ void OracleServer::arrive_entry(Pending pending) {
 
 void OracleServer::arrive(Pending pending) {
   if (down_) {
+    shed_traced(pending);
     shed(ShedReason::kDown);
     return;
   }
   if (queue_.size() >= config_.queue_capacity) {
+    shed_traced(pending);
     shed(ShedReason::kOverload);
     return;
   }
+  pending.arrive_time = sim_.now();
   queue_.push_back(std::move(pending));
   queue_high_water_->set_max(static_cast<std::int64_t>(queue_.size()));
   if (!busy_) start_batch();
+}
+
+void OracleServer::shed_traced(const Pending& pending) {
+  if (pending.request.trace_id == 0) return;
+  TURTLE_TRACE(config_.trace,
+               instant("serve.shed", "serve", sim_.now(), pending.request.trace_id));
 }
 
 void OracleServer::shed(ShedReason reason) {
@@ -148,6 +166,7 @@ void OracleServer::start_batch() {
   for (std::size_t i = 0; i < take; ++i) {
     Pending pending = std::move(queue_.front());
     queue_.pop_front();
+    const SimTime exec_start = batch_start + cost;
     cost = cost + touch_cache(pending.request.addr);
     // Results are computed at dispatch against the snapshot serving *now*;
     // a swap landing before the batch completes does not retroactively
@@ -168,6 +187,20 @@ void OracleServer::start_batch() {
       case LookupScope::kGlobal:
         scope_global_->inc();
         break;
+    }
+    if (pending.request.trace_id != 0) {
+      // Queue wait, then this request's slice of the batch: the overhead
+      // plus every earlier request's service time precedes exec_start, so
+      // the carved spans tile the serve.batch span exactly.
+      TURTLE_TRACE(config_.trace, complete("serve.queue", "serve", pending.arrive_time,
+                                           batch_start, pending.request.trace_id));
+      TURTLE_TRACE(config_.trace, complete("serve.exec", "serve", exec_start,
+                                           batch_start + cost, pending.request.trace_id));
+      const char* tier = result.scope == LookupScope::kBlock ? "serve.tier.block"
+                         : result.scope == LookupScope::kAs  ? "serve.tier.as"
+                                                             : "serve.tier.global";
+      TURTLE_TRACE(config_.trace,
+                   instant(tier, "serve", batch_start + cost, pending.request.trace_id));
     }
     in_flight_.push_back(InFlight{std::move(pending), result});
   }
@@ -193,6 +226,17 @@ void OracleServer::complete_batch(std::uint64_t epoch) {
     const SimTime latency = sim_.now() - entry.pending.submit_time;
     latency_->observe(latency);
     served_->inc();
+    if (const std::uint64_t trace_id = entry.pending.request.trace_id; trace_id != 0) {
+      TURTLE_TRACE(config_.trace, complete("serve.req", "serve",
+                                           entry.pending.submit_time, sim_.now(),
+                                           trace_id));
+      if (config_.exemplars != nullptr) {
+        config_.exemplars->record(
+            "serve.latency", obs::Histogram::bucket_for_us(latency.as_micros()),
+            obs::ExemplarStore::Exemplar{trace_id, latency.as_micros(),
+                                         sim_.now().as_micros()});
+      }
+    }
     if (entry.pending.callback) entry.pending.callback(entry.result, latency);
   }
   const util::MutexLock lock{mu_};

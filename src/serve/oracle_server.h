@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "net/ipv4.h"
+#include "obs/exemplar.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/oracle_snapshot.h"
@@ -71,6 +72,10 @@ struct ServerConfig {
   /// Metrics/trace sinks (usually the owning shard's).
   obs::Registry* registry = nullptr;
   obs::TraceSink* trace = nullptr;
+
+  /// When set, completions of traced requests pin an exemplar (trace id +
+  /// observed latency) to the serve.latency bucket the observation filled.
+  obs::ExemplarStore* exemplars = nullptr;
 };
 
 /// One oracle query.
@@ -78,6 +83,11 @@ struct Request {
   net::Ipv4Address addr;
   double addr_coverage = 95.0;
   double ping_coverage = 95.0;
+  /// Nonzero: this request was sampled by the load generator's trace
+  /// sampler. The server emits admission/queue/exec/end-to-end spans
+  /// tagged with this id, and its completion latency becomes an exemplar
+  /// candidate. 0 (the default) means untraced — zero extra work.
+  std::uint64_t trace_id = 0;
 };
 
 class OracleServer {
@@ -152,6 +162,9 @@ class OracleServer {
     Request request;
     SimTime submit_time;
     Callback callback;
+    /// When the request passed the admission gate (queue-wait span start;
+    /// differs from submit_time by any fault-injected entry delay).
+    SimTime arrive_time;
   };
   struct InFlight {
     Pending pending;
@@ -165,6 +178,8 @@ class OracleServer {
   /// Lock-taking wrapper for arrivals scheduled as simulator events.
   void arrive_entry(Pending pending) TURTLE_EXCLUDES(mu_);
   void shed(ShedReason reason);
+  /// Terminates a traced request's trace visibly when it is shed.
+  void shed_traced(const Pending& pending);
   void start_batch() TURTLE_REQUIRES(mu_);
   void complete_batch(std::uint64_t epoch) TURTLE_EXCLUDES(mu_);
   void restart() TURTLE_EXCLUDES(mu_);

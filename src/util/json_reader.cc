@@ -1,0 +1,187 @@
+#include "util/json_reader.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace turtle::util {
+
+namespace {
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, std::string_view context)
+      : text_{text}, context_{context} {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument(std::string{context_} + " JSON (offset " +
+                                std::to_string(pos_) + "): " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        JsonValue v;
+        v.type = JsonValue::Type::kString;
+        v.string = string();
+        return v;
+      }
+      case 't': case 'f': return boolean();
+      case 'n': literal("null"); return JsonValue{};
+      default: return number();
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      std::string key = string();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default: fail("unsupported escape in string");
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    if (text_[pos_] == 't') {
+      literal("true");
+      v.boolean = true;
+    } else {
+      literal("false");
+      v.boolean = false;
+    }
+    return v;
+  }
+
+  void literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      fail("unrecognized token");
+    }
+    pos_ += word.size();
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token{text_.substr(start, pos_ - start)};
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("malformed number '" + token + "'");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = parsed;
+    return v;
+  }
+
+  std::string_view text_;
+  std::string_view context_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text, std::string_view context) {
+  return JsonParser{text, context}.parse();
+}
+
+JsonValue parse_json_file(const std::string& path, std::string_view context) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error(std::string{context} + ": cannot open " + path);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return parse_json(contents.str(), context);
+}
+
+}  // namespace turtle::util

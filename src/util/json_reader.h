@@ -1,0 +1,48 @@
+// A deliberately small JSON reader: objects, arrays, strings (with the
+// common escapes), numbers, true/false/null. The documents it reads are
+// tiny hand-written configuration files — fault plans, SLO watchdog
+// rules — so clear errors matter more than speed, and no dependency may
+// be added for this. Extracted from fault/fault_plan.cc once the obs
+// watchdog grew a second parser call site.
+//
+// This is the read half only; the write half stays in obs/json.h. There
+// is still no DOM mutation, no number heuristics, and no streaming.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace turtle::util {
+
+/// One parsed JSON value. Object keys keep document order (lookup via
+/// find); duplicate keys are not rejected — the first match wins, like
+/// every lenient config reader.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Parses a complete JSON document. Throws std::invalid_argument on any
+/// syntax error; messages are prefixed "<context> JSON (offset N): " so
+/// the caller's config file is identifiable in the error.
+[[nodiscard]] JsonValue parse_json(std::string_view text, std::string_view context);
+
+/// Reads and parses `path`. Throws std::runtime_error when the file
+/// cannot be opened, std::invalid_argument on malformed JSON.
+[[nodiscard]] JsonValue parse_json_file(const std::string& path, std::string_view context);
+
+}  // namespace turtle::util

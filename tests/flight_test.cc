@@ -1,0 +1,502 @@
+// Tests for the flight recorder stack: window-delta arithmetic (including
+// the 5 s bucket edge the SLO split hinges on), the conservation contract
+// baseline + sum(frames) == cumulative, ring folding, the shard-order
+// merge discipline that keeps --flight-out byte-identical across --jobs,
+// watchdog rule semantics, and exemplar first-wins determinism.
+#include "obs/flight.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/exemplar.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/watchdog.h"
+#include "sim/shard_runner.h"
+#include "util/sim_time.h"
+
+namespace turtle::obs {
+namespace {
+
+// Re-derives cumulative totals from baseline + frames and compares against
+// the captured cumulative section — the exact invariant
+// scripts/validate_obs.py --flight re-checks on dumped files.
+void expect_conserved(const FlightData& data) {
+  std::map<std::string, std::uint64_t> counters = data.baseline.counters;
+  std::map<std::string, HistogramSlice> histograms = data.baseline.histograms;
+  for (const FlightFrame& frame : data.frames) {
+    for (const auto& [name, delta] : frame.counters) counters[name] += delta;
+    for (const auto& [name, slice] : frame.histograms) histograms[name].add(slice);
+  }
+  for (const auto& [name, value] : data.cumulative_counters) {
+    EXPECT_EQ(counters[name], value) << "counter " << name;
+  }
+  for (const auto& [name, total] : data.cumulative_histograms) {
+    EXPECT_EQ(histograms[name], total) << "histogram " << name;
+  }
+  // And nothing extra: every reconstructed nonzero metric must exist in
+  // the cumulative section.
+  for (const auto& [name, value] : counters) {
+    if (value != 0) {
+      EXPECT_TRUE(data.cumulative_counters.contains(name)) << name;
+    }
+  }
+}
+
+HistogramSlice slice_of(std::initializer_list<std::int64_t> values_us) {
+  HistogramSlice slice;
+  for (const std::int64_t us : values_us) {
+    ++slice.bucket_counts[Histogram::bucket_for_us(us)];
+    ++slice.count;
+    slice.sum_us += us;
+  }
+  return slice;
+}
+
+TEST(HistogramSlice, CountAboveSplitsExactlyAtFiveSeconds) {
+  // 5 s is the paper's timeout bound and an exact bucket edge: an
+  // observation of exactly 5 s is "within the timeout" (le semantics),
+  // one microsecond later is above it. count_above must honor that split.
+  const HistogramSlice slice =
+      slice_of({4'999'999, 5'000'000, 5'000'001, 10'000'000});
+  EXPECT_EQ(slice.count_above(5'000'000), 2u);
+  EXPECT_EQ(slice.count_above(2'000'000), 4u);
+  EXPECT_EQ(slice.count_above(120'000'000), 0u);
+}
+
+TEST(HistogramSliceDeathTest, CountAboveRejectsNonEdgeBounds) {
+  const HistogramSlice slice = slice_of({1});
+  EXPECT_DEATH((void)slice.count_above(4'999'999), "bucket bound");
+}
+
+TEST(FlightRecorder, WindowDeltasSumToCumulative) {
+  Registry registry;
+  registry.counter("serve.offered").inc(5);  // pre-flight history
+  registry.histogram("serve.latency").observe_us(100);
+
+  FlightRecorder recorder{registry, {.window = SimTime::seconds(5)}};
+  EXPECT_EQ(recorder.data().baseline.counters.at("serve.offered"), 5u);
+
+  registry.counter("serve.offered").inc(3);
+  registry.histogram("serve.latency").observe_us(5'000'000);
+  recorder.advance(SimTime::seconds(5));
+
+  registry.counter("serve.offered").inc(2);
+  const FlightData& data = recorder.finalize(SimTime::seconds(7));
+
+  ASSERT_EQ(data.frames.size(), 2u);
+  EXPECT_EQ(data.frames[0].start_us, 0);
+  EXPECT_EQ(data.frames[0].end_us, 5'000'000);
+  EXPECT_EQ(data.frames[0].counters.at("serve.offered"), 3u);
+  EXPECT_EQ(data.frames[0].histograms.at("serve.latency").count, 1u);
+  // Final partial window: [5 s, 7 s).
+  EXPECT_EQ(data.frames[1].start_us, 5'000'000);
+  EXPECT_EQ(data.frames[1].end_us, 7'000'000);
+  EXPECT_EQ(data.frames[1].counters.at("serve.offered"), 2u);
+  EXPECT_EQ(data.cumulative_counters.at("serve.offered"), 10u);
+  expect_conserved(data);
+}
+
+TEST(FlightRecorder, EmptyWindowsKeepIndexesContiguous) {
+  Registry registry;
+  registry.counter("c");
+  FlightRecorder recorder{registry, {.window = SimTime::seconds(5)}};
+  registry.counter("c").inc();
+  const FlightData& data = recorder.finalize(SimTime::seconds(20));
+  // One 4-window advance: the increment lands in frame 0, frames 1-3 are
+  // empty but present — quiet periods stay visible and indexes contiguous.
+  ASSERT_EQ(data.frames.size(), 4u);
+  for (std::size_t i = 0; i < data.frames.size(); ++i) {
+    EXPECT_EQ(data.frames[i].index, i);
+    EXPECT_EQ(data.frames[i].start_us, static_cast<std::int64_t>(i) * 5'000'000);
+  }
+  EXPECT_TRUE(data.frames[0].has_deltas());
+  EXPECT_FALSE(data.frames[2].has_deltas());
+  expect_conserved(data);
+}
+
+TEST(FlightRecorder, RingOverflowFoldsIntoBaselineWithoutLosingCounts) {
+  Registry registry;
+  FlightRecorder recorder{registry,
+                          {.window = SimTime::seconds(1), .ring_capacity = 2}};
+  for (int i = 1; i <= 5; ++i) {
+    registry.counter("c").inc(static_cast<std::uint64_t>(i));
+    recorder.advance(SimTime::seconds(i));
+  }
+  const FlightData& data = recorder.finalize(SimTime::seconds(5));
+  EXPECT_EQ(data.frames_dropped, 3u);
+  ASSERT_EQ(data.frames.size(), 2u);
+  EXPECT_EQ(data.frames.front().index, 3u);
+  // Folded frames 0-2 carry 1+2+3 = 6 into the baseline; conservation
+  // survives the fold.
+  EXPECT_EQ(data.baseline.counters.at("c"), 6u);
+  EXPECT_EQ(data.cumulative_counters.at("c"), 15u);
+  expect_conserved(data);
+}
+
+TEST(FlightRecorder, MetricsCreatedMidFlightAreConserved) {
+  Registry registry;
+  FlightRecorder recorder{registry, {.window = SimTime::seconds(1)}};
+  recorder.advance(SimTime::seconds(1));
+  registry.counter("late.arrival").inc(7);  // first exists in window 2
+  registry.histogram("late.rtt").observe_us(42);
+  const FlightData& data = recorder.finalize(SimTime::seconds(2));
+  ASSERT_EQ(data.frames.size(), 2u);
+  EXPECT_FALSE(data.frames[0].counters.contains("late.arrival"));
+  EXPECT_EQ(data.frames[1].counters.at("late.arrival"), 7u);
+  EXPECT_EQ(data.frames[1].histograms.at("late.rtt").count, 1u);
+  expect_conserved(data);
+}
+
+TEST(FlightRecorder, FinalizeOnBoundaryEmitsTrailingFrameOnlyWhenDirty) {
+  // Clean case: drain ends exactly on a boundary, nothing moved since —
+  // no trailing frame.
+  Registry clean;
+  clean.counter("c").inc();
+  FlightRecorder clean_recorder{clean, {.window = SimTime::seconds(5)}};
+  clean.counter("c").inc();
+  clean_recorder.advance(SimTime::seconds(5));
+  EXPECT_EQ(clean_recorder.finalize(SimTime::seconds(5)).frames.size(), 1u);
+
+  // Dirty case: post-drain bookkeeping (a server finalize folding
+  // leftovers into counters) moved the registry after the last boundary
+  // closed. Conservation wins: a zero-length trailing frame captures it.
+  Registry dirty;
+  FlightRecorder dirty_recorder{dirty, {.window = SimTime::seconds(5)}};
+  dirty.counter("c").inc();
+  dirty_recorder.advance(SimTime::seconds(5));
+  dirty.counter("serve.queued").inc(9);
+  const FlightData& data = dirty_recorder.finalize(SimTime::seconds(5));
+  ASSERT_EQ(data.frames.size(), 2u);
+  EXPECT_EQ(data.frames[1].start_us, 5'000'000);
+  EXPECT_EQ(data.frames[1].end_us, 5'000'000);
+  EXPECT_EQ(data.frames[1].counters.at("serve.queued"), 9u);
+  expect_conserved(data);
+}
+
+TEST(FlightRecorder, WallClockMetricsNeverEnterFrames) {
+  Registry registry;
+  registry.counter("wall.pool.tasks_run").inc(3);
+  FlightRecorder recorder{registry, {.window = SimTime::seconds(1)}};
+  registry.counter("wall.pool.tasks_run").inc(5);
+  registry.counter("real.work").inc();
+  const FlightData& data = recorder.finalize(SimTime::seconds(1));
+  EXPECT_FALSE(data.baseline.counters.contains("wall.pool.tasks_run"));
+  EXPECT_FALSE(data.frames[0].counters.contains("wall.pool.tasks_run"));
+  EXPECT_FALSE(data.cumulative_counters.contains("wall.pool.tasks_run"));
+  EXPECT_EQ(data.frames[0].counters.at("real.work"), 1u);
+}
+
+TEST(FlightData, MergeAlignsFramesByWindowIndex) {
+  // Shard B folded its first window out of the ring (frames start at 1)
+  // and finalized one window earlier than shard A. Merge must align by
+  // index, fold B's missing history into the baseline, and keep the sums.
+  FlightData a;
+  a.window_us = 1'000'000;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    FlightFrame frame;
+    frame.index = i;
+    frame.start_us = static_cast<std::int64_t>(i) * 1'000'000;
+    frame.end_us = frame.start_us + 1'000'000;
+    frame.counters["c"] = 10;
+    frame.gauges["q"] = static_cast<std::int64_t>(i);
+    a.frames.push_back(frame);
+  }
+  a.cumulative_counters["c"] = 30;
+
+  FlightData b;
+  b.window_us = 1'000'000;
+  b.frames_dropped = 1;
+  b.baseline.counters["c"] = 5;
+  for (std::uint64_t i = 1; i < 3; ++i) {
+    FlightFrame frame;
+    frame.index = i;
+    frame.start_us = static_cast<std::int64_t>(i) * 1'000'000;
+    frame.end_us = frame.start_us + 1'000'000;
+    frame.counters["c"] = 1;
+    frame.gauges["q"] = 7;
+    b.frames.push_back(frame);
+  }
+  b.cumulative_counters["c"] = 7;
+
+  a.merge_from(b);
+  EXPECT_EQ(a.frames_dropped, 1u);
+  EXPECT_EQ(a.baseline.counters.at("c"), 5u);
+  ASSERT_EQ(a.frames.size(), 3u);
+  EXPECT_EQ(a.frames[0].counters.at("c"), 10u);  // b had no frame 0
+  EXPECT_EQ(a.frames[1].counters.at("c"), 11u);
+  EXPECT_EQ(a.frames[2].counters.at("c"), 11u);
+  EXPECT_EQ(a.frames[1].gauges.at("q"), 7);  // gauge merge = max
+  EXPECT_EQ(a.cumulative_counters.at("c"), 37u);
+  expect_conserved(a);
+}
+
+// The property the CI smoke checks end-to-end with cmp: per-shard flights
+// merged in shard order serialize byte-identically no matter how many
+// threads ran the shards. Each shard drives its own recorder from its
+// forked Prng substream; only the merge order is fixed.
+TEST(FlightData, MergedJsonIsByteIdenticalAcrossJobs) {
+  const auto run = [](int jobs) {
+    sim::ShardRunner runner{{.jobs = jobs, .seed = 42}};
+    struct ShardFlight {
+      FlightData flight;
+      ExemplarStore exemplars;
+    };
+    std::vector<ShardFlight> shards =
+        runner.run(8, [](sim::ShardContext& ctx) {
+          Registry registry;
+          FlightRecorder recorder{registry, {.window = SimTime::seconds(1)}};
+          ExemplarStore exemplars;
+          const std::uint64_t id_base =
+              (static_cast<std::uint64_t>(ctx.shard_index) + 1) << 32;
+          for (int window = 1; window <= 4; ++window) {
+            const int events = 1 + static_cast<int>(ctx.rng.next_u64() % 50);
+            for (int i = 0; i < events; ++i) {
+              const auto us = static_cast<std::int64_t>(ctx.rng.next_u64() % 8'000'000);
+              registry.counter("serve.offered").inc();
+              registry.histogram("serve.latency").observe_us(us);
+              exemplars.record("serve.latency", Histogram::bucket_for_us(us),
+                               {id_base + static_cast<std::uint64_t>(i) + 1, us,
+                                window * 1'000'000});
+            }
+            recorder.advance(SimTime::seconds(window));
+          }
+          ShardFlight result;
+          result.flight = recorder.finalize(SimTime::seconds(4));
+          result.exemplars = exemplars;
+          return result;
+        });
+    FlightData merged;
+    ExemplarStore merged_exemplars;
+    for (const auto& shard : shards) {
+      merged.merge_from(shard.flight);
+      merged_exemplars.merge_from(shard.exemplars);
+    }
+    std::ostringstream os;
+    write_flight_json(os, merged, &merged_exemplars);
+    return os.str();
+  };
+  const std::string serial = run(1);
+  EXPECT_EQ(serial, run(8));
+  EXPECT_NE(serial.find("\"schema\": \"turtle-flight-v1\""), std::string::npos);
+  EXPECT_NE(serial.find("\"exemplars\""), std::string::npos);
+}
+
+std::shared_ptr<const WatchdogRules> rules_of(const std::string& json) {
+  return std::make_shared<const WatchdogRules>(WatchdogRules::parse_json(json));
+}
+
+FlightFrame frame_at(std::uint64_t index, std::int64_t window_us = 5'000'000) {
+  FlightFrame frame;
+  frame.index = index;
+  frame.start_us = static_cast<std::int64_t>(index) * window_us;
+  frame.end_us = frame.start_us + window_us;
+  return frame;
+}
+
+TEST(Watchdog, RatioAboveFiresOnlyInTheSpikeWindow) {
+  const auto rules = rules_of(R"({"schema": "turtle-slo-v1", "rules": [
+    {"name": "shed_spike", "kind": "ratio_above",
+     "numerator": "serve.shed", "denominator": "serve.offered",
+     "threshold": 0.05, "min_denominator": 50}]})");
+  Registry registry;
+  TraceSink trace;
+  Watchdog watchdog{rules, registry, &trace};
+  // Eager counter: present at zero before anything fires.
+  EXPECT_EQ(registry.counter("watchdog.shed_spike").value(), 0u);
+
+  FlightFrame quiet = frame_at(0);
+  quiet.counters = {{"serve.offered", 100}, {"serve.shed", 5}};  // 5% == threshold
+  watchdog.on_frame(quiet);
+  EXPECT_TRUE(quiet.watchdog_fires.empty());
+
+  FlightFrame spike = frame_at(1);
+  spike.counters = {{"serve.offered", 100}, {"serve.shed", 20}};
+  watchdog.on_frame(spike);
+  EXPECT_EQ(spike.watchdog_fires.at("shed_spike"), 1u);
+
+  FlightFrame thin = frame_at(2);
+  thin.counters = {{"serve.offered", 10}, {"serve.shed", 9}};  // under min_denominator
+  watchdog.on_frame(thin);
+  EXPECT_TRUE(thin.watchdog_fires.empty());
+
+  EXPECT_EQ(registry.counter("watchdog.shed_spike").value(), 1u);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_STREQ(trace.events()[0].name, "watchdog.shed_spike");
+  EXPECT_EQ(trace.events()[0].phase, 'i');
+  EXPECT_EQ(trace.events()[0].ts_us, spike.end_us);
+}
+
+TEST(Watchdog, RatioBelowAndGaugeAbove) {
+  const auto rules = rules_of(R"({"schema": "turtle-slo-v1", "rules": [
+    {"name": "cache_collapse", "kind": "ratio_below",
+     "numerator": "serve.cache_hits", "denominator": "serve.lookups",
+     "threshold": 0.5, "min_denominator": 10},
+    {"name": "queue_high_water", "kind": "gauge_above",
+     "gauge": "serve.queue_high_water", "threshold": 400}]})");
+  Registry registry;
+  Watchdog watchdog{rules, registry, nullptr};
+
+  FlightFrame healthy = frame_at(0);
+  healthy.counters = {{"serve.cache_hits", 80}, {"serve.lookups", 100}};
+  healthy.gauges = {{"serve.queue_high_water", 399}};
+  watchdog.on_frame(healthy);
+  EXPECT_TRUE(healthy.watchdog_fires.empty());
+
+  FlightFrame collapsed = frame_at(1);
+  collapsed.counters = {{"serve.cache_hits", 10}, {"serve.lookups", 100}};
+  collapsed.gauges = {{"serve.queue_high_water", 400}};  // >= threshold fires
+  watchdog.on_frame(collapsed);
+  EXPECT_EQ(collapsed.watchdog_fires.at("cache_collapse"), 1u);
+  EXPECT_EQ(collapsed.watchdog_fires.at("queue_high_water"), 1u);
+  EXPECT_EQ(registry.counter("watchdog.cache_collapse").value(), 1u);
+  EXPECT_EQ(registry.counter("watchdog.queue_high_water").value(), 1u);
+}
+
+TEST(Watchdog, LatencyBurnUsesRollingBudgetWindows) {
+  // Objective 0.9 => 10% error budget over a 2-window horizon at the 5 s
+  // SLO bound (an exact bucket edge).
+  const auto rules = rules_of(R"({"schema": "turtle-slo-v1", "rules": [
+    {"name": "burn", "kind": "latency_burn", "histogram": "serve.latency",
+     "threshold_us": 5000000, "objective": 0.9, "budget_windows": 2,
+     "min_count": 10}]})");
+  Registry registry;
+  Watchdog watchdog{rules, registry, nullptr};
+
+  const auto frame_with = [&](std::uint64_t index, std::uint64_t good,
+                              std::uint64_t bad) {
+    FlightFrame frame = frame_at(index);
+    HistogramSlice slice;
+    slice.count = good + bad;
+    slice.bucket_counts[Histogram::bucket_for_us(5'000'000)] = good;
+    slice.bucket_counts[Histogram::bucket_for_us(5'000'001)] = bad;
+    frame.histograms.emplace("serve.latency", slice);
+    return frame;
+  };
+
+  FlightFrame w0 = frame_with(0, 95, 5);  // rolling 5/100: inside budget
+  watchdog.on_frame(w0);
+  EXPECT_TRUE(w0.watchdog_fires.empty());
+
+  FlightFrame w1 = frame_with(1, 80, 20);  // rolling 25/200 > 10%: burn
+  watchdog.on_frame(w1);
+  EXPECT_EQ(w1.watchdog_fires.at("burn"), 1u);
+
+  // w0 ages out; rolling is w1+w2 = 21/120 > 10%: still burning even
+  // though w2 alone is clean — the budget horizon is what fires.
+  FlightFrame w2 = frame_with(2, 19, 1);
+  watchdog.on_frame(w2);
+  EXPECT_EQ(w2.watchdog_fires.at("burn"), 1u);
+
+  // Two clean windows flush the horizon: rolling is w2+w3 under budget...
+  FlightFrame w3 = frame_with(3, 100, 0);
+  watchdog.on_frame(w3);
+  EXPECT_TRUE(w3.watchdog_fires.empty());
+
+  // ...and a thin window (under min_count) never fires.
+  FlightFrame w4 = frame_at(4);
+  watchdog.on_frame(w4);
+  EXPECT_TRUE(w4.watchdog_fires.empty());
+  EXPECT_EQ(registry.counter("watchdog.burn").value(), 2u);
+}
+
+TEST(Watchdog, FiresFlowThroughRecorderObserver) {
+  const auto rules = rules_of(R"({"schema": "turtle-slo-v1", "rules": [
+    {"name": "spike", "kind": "ratio_above", "numerator": "shed",
+     "denominator": "offered", "threshold": 0.1}]})");
+  Registry registry;
+  FlightRecorder recorder{registry, {.window = SimTime::seconds(1)}};
+  Watchdog watchdog{rules, registry, nullptr};
+  recorder.set_observer([&watchdog](FlightFrame& frame) { watchdog.on_frame(frame); });
+
+  registry.counter("offered").inc(10);
+  registry.counter("shed").inc(5);
+  recorder.advance(SimTime::seconds(1));
+  const FlightData& data = recorder.finalize(SimTime::seconds(2));
+  ASSERT_EQ(data.frames.size(), 2u);
+  EXPECT_EQ(data.frames[0].watchdog_fires.at("spike"), 1u);
+  // The watchdog.spike counter increment is folded into the same frame
+  // that fired (close_frame re-snapshots after the observer runs), so a
+  // fire on the final frame can never orphan its counter from the frames.
+  EXPECT_EQ(data.frames[0].counters.at("watchdog.spike"), 1u);
+  EXPECT_FALSE(data.frames[1].counters.contains("watchdog.spike"));
+  EXPECT_EQ(data.cumulative_counters.at("watchdog.spike"), 1u);
+  expect_conserved(data);
+}
+
+TEST(WatchdogRules, ParseRejectsMalformedRules) {
+  const auto parse = [](const std::string& json) { WatchdogRules::parse_json(json); };
+  EXPECT_THROW(parse(R"({"rules": []})"), std::invalid_argument);  // no schema
+  EXPECT_THROW(parse(R"({"schema": "turtle-slo-v2", "rules": []})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"schema": "turtle-slo-v1", "rules": [
+    {"name": "Bad-Name", "kind": "gauge_above", "gauge": "g"}]})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"schema": "turtle-slo-v1", "rules": [
+    {"name": "x", "kind": "sideways"}]})"),
+               std::invalid_argument);
+  // threshold_us must be an exact bucket bound — 4999999 is not.
+  EXPECT_THROW(parse(R"({"schema": "turtle-slo-v1", "rules": [
+    {"name": "x", "kind": "latency_burn", "histogram": "h",
+     "threshold_us": 4999999}]})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"schema": "turtle-slo-v1", "rules": [
+    {"name": "x", "kind": "latency_burn", "histogram": "h",
+     "threshold_us": 5000000, "objective": 1.0}]})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"schema": "turtle-slo-v1", "rules": [
+    {"name": "x", "kind": "gauge_above", "gauge": "a"},
+    {"name": "x", "kind": "gauge_above", "gauge": "b"}]})"),
+               std::invalid_argument);  // duplicate name
+  EXPECT_NO_THROW(parse(R"({"schema": "turtle-slo-v1", "rules": [
+    {"name": "ok_rule_1", "kind": "ratio_above", "numerator": "n",
+     "denominator": "d", "threshold": 0.5}]})"));
+}
+
+TEST(ExemplarStore, FirstWinsPerBucketAndAcrossShardMerge) {
+  ExemplarStore shard0;
+  shard0.record("serve.latency", 3, {.trace_id = 11, .value_us = 9, .ts_us = 100});
+  shard0.record("serve.latency", 3, {.trace_id = 22, .value_us = 8, .ts_us = 50});
+  EXPECT_EQ(shard0.by_histogram().at("serve.latency").at(3).trace_id, 11u);
+
+  ExemplarStore shard1;
+  shard1.record("serve.latency", 3, {.trace_id = 33, .value_us = 7, .ts_us = 10});
+  shard1.record("serve.latency", 5, {.trace_id = 44, .value_us = 30'000, .ts_us = 20});
+
+  // Shard-order merge: shard 0's exemplar keeps bucket 3 (lowest shard
+  // wins), shard 1 fills the bucket shard 0 never saw.
+  shard0.merge_from(shard1);
+  const auto& buckets = shard0.by_histogram().at("serve.latency");
+  EXPECT_EQ(buckets.at(3).trace_id, 11u);
+  EXPECT_EQ(buckets.at(5).trace_id, 44u);
+}
+
+TEST(FlightJson, WatchdogFiresAndExemplarsAppearInTheDump) {
+  Registry registry;
+  FlightRecorder recorder{registry, {.window = SimTime::seconds(1)}};
+  registry.counter("serve.offered").inc(4);
+  registry.histogram("serve.latency").observe_us(5'000'000);
+  FlightData data = recorder.finalize(SimTime::seconds(1));
+  data.frames[0].watchdog_fires["shed_spike"] = 1;
+
+  ExemplarStore exemplars;
+  exemplars.record("serve.latency", Histogram::bucket_for_us(5'000'000),
+                   {.trace_id = (1ull << 32) + 7, .value_us = 5'000'000, .ts_us = 900});
+  std::ostringstream os;
+  write_flight_json(os, data, &exemplars);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema\": \"turtle-flight-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"shed_spike\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\": " + std::to_string((1ull << 32) + 7)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"window_us\": 1000000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace turtle::obs

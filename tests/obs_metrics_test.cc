@@ -9,6 +9,9 @@
 #include <sstream>
 #include <string>
 
+#include "obs/exemplar.h"
+#include "obs/flight.h"
+
 namespace turtle::obs {
 namespace {
 
@@ -77,6 +80,23 @@ TEST(Histogram, OverflowBucketBeyond120s) {
   h.observe(SimTime::hours(2));
   EXPECT_EQ(h.bucket_count(Histogram::kNumBuckets - 1), 2u);
   EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, BucketForUsAgreesWithObserveAtEveryEdge) {
+  // bucket_for_us is the public exemplar-pinning path; it must agree with
+  // observe_us at every bound, one below, and one above — le semantics.
+  for (std::size_t i = 0; i < Histogram::kBucketBoundsUs.size(); ++i) {
+    const std::int64_t bound = Histogram::kBucketBoundsUs[i];
+    EXPECT_EQ(Histogram::bucket_for_us(bound), i) << bound;
+    EXPECT_EQ(Histogram::bucket_for_us(bound + 1), i + 1) << bound;
+    if (i > 0) {
+      EXPECT_EQ(Histogram::bucket_for_us(Histogram::kBucketBoundsUs[i - 1] + 1), i);
+    }
+  }
+  EXPECT_EQ(Histogram::bucket_for_us(0), 0u);
+  EXPECT_EQ(Histogram::bucket_for_us(5'000'000), bucket_index(5'000'000));
+  // Past the last bound: the overflow bucket.
+  EXPECT_EQ(Histogram::bucket_for_us(120'000'001), Histogram::kNumBuckets - 1);
 }
 
 TEST(Histogram, MergeIsElementwiseSum) {
@@ -198,6 +218,52 @@ TEST(Prometheus, ExpositionFormat) {
   EXPECT_NE(text.find("turtle_survey_rtt_bucket{le=\"5.000000\"} 1"), std::string::npos);
   EXPECT_NE(text.find("le=\"+Inf\"} 1"), std::string::npos);
   EXPECT_NE(text.find("turtle_survey_rtt_count 1"), std::string::npos);
+}
+
+TEST(Prometheus, ExemplarSuffixAndWindowedSection) {
+  Registry r;
+  r.counter("serve.offered").inc(100);
+  Histogram& latency = r.histogram("serve.latency");
+  latency.observe_us(5'000'000);
+  latency.observe(SimTime::hours(1));  // overflow bucket
+
+  ExemplarStore exemplars;
+  exemplars.record("serve.latency", Histogram::bucket_for_us(5'000'000),
+                   {.trace_id = 4'294'967'299, .value_us = 5'000'000, .ts_us = 12'500'000});
+  exemplars.record("serve.latency", Histogram::kNumBuckets - 1,
+                   {.trace_id = 4'294'967'301, .value_us = 3'600'000'000, .ts_us = 1});
+
+  FlightData flight;
+  flight.window_us = 5'000'000;
+  FlightFrame frame;
+  frame.index = 2;
+  frame.start_us = 10'000'000;
+  frame.end_us = 15'000'000;
+  frame.counters["serve.offered"] = 40;
+  frame.histograms["serve.latency"] = [] {
+    HistogramSlice slice;
+    slice.count = 1;
+    slice.sum_us = 5'000'000;
+    slice.bucket_counts[Histogram::bucket_for_us(5'000'000)] = 1;
+    return slice;
+  }();
+  flight.frames.push_back(frame);
+
+  std::ostringstream os;
+  write_prometheus(os, r, &exemplars, &flight);
+  const std::string text = os.str();
+  // OpenMetrics exemplar suffix on the exact bucket line (and on +Inf for
+  // the overflow bucket), linking the bucket to a traced request.
+  EXPECT_NE(text.find("turtle_serve_latency_bucket{le=\"5.000000\"} 1 "
+                      "# {trace_id=\"4294967299\"} 5.000000 12.500000"),
+            std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 2 # {trace_id=\"4294967301\"}"), std::string::npos);
+  // Windowed section: the last closed window's deltas as gauges.
+  EXPECT_NE(text.find("turtle_window_start_seconds 10.000000"), std::string::npos);
+  EXPECT_NE(text.find("turtle_window_end_seconds 15.000000"), std::string::npos);
+  EXPECT_NE(text.find("turtle_serve_offered_window 40"), std::string::npos);
+  EXPECT_NE(text.find("turtle_serve_latency_window_count 1"), std::string::npos);
+  EXPECT_NE(text.find("turtle_serve_latency_window_sum 5.000000"), std::string::npos);
 }
 
 }  // namespace
