@@ -72,6 +72,7 @@ scale_flags() {
         fig08_scamper_confirm|table7_patterns) echo "--blocks=200 --rounds=20" ;;
         fig09_survey_timeline) echo "--blocks=60 --rounds=10" ;;
         serve_loadgen) echo "--blocks=60 --rounds=10 --shards=2 --duration=20 --rate=500" ;;
+        policy_tournament) echo "--blocks=24 --rounds=6 --shards=2" ;;
         # Large enough that the cold-load-vs-rebuild ratio is in its
         # asymptotic regime (~1M records), small enough for seconds.
         micro_snapshot) echo "--blocks=800 --addrs=32 --rounds=40" ;;

@@ -419,6 +419,33 @@ def validate_snapshot(path, metrics):
               f"+ skipped {skipped}")
 
 
+def validate_policy(metrics):
+    """The PolicyEngine ledger (see src/serve/policy_engine.h).
+
+    For the aggregate and for every per-policy namespace — any counter
+    named `policy.<...>.decisions` — the decision ledger must close:
+    decisions == timeouts + correct_waits, with false_timeouts a subset of
+    timeouts and answered_cold a subset of answered where the serving-side
+    counters exist.
+    """
+    counters = metrics.get("counters", {})
+    ledgers = [name[:-len(".decisions")] for name in counters
+               if name.startswith("policy.") and name.endswith(".decisions")]
+    check(ledgers, "policy: no policy.*.decisions counters in a --policy run")
+    for base in sorted(ledgers):
+        c = lambda suffix: counters.get(f"{base}.{suffix}", 0)
+        check(c("decisions") == c("timeouts") + c("correct_waits"),
+              f"policy: {base}.decisions {c('decisions')} != timeouts "
+              f"{c('timeouts')} + correct_waits {c('correct_waits')}")
+        check(c("false_timeouts") <= c("timeouts"),
+              f"policy: {base}.false_timeouts {c('false_timeouts')} > "
+              f"timeouts {c('timeouts')}")
+        if f"{base}.answered" in counters or f"{base}.answered_cold" in counters:
+            check(c("answered_cold") <= c("answered"),
+                  f"policy: {base}.answered_cold {c('answered_cold')} > "
+                  f"answered {c('answered')}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--metrics",
@@ -430,6 +457,9 @@ def main():
                         help="the run used --fault-plan: check fault.* reconciliation")
     parser.add_argument("--serve", action="store_true",
                         help="a serve_loadgen run: check the serve.* accounting ledger")
+    parser.add_argument("--policy", action="store_true",
+                        help="a policy_tournament run: check every policy.* "
+                             "decision ledger closes")
     parser.add_argument("--snapshot",
                         help="snapshot-v1 file to audit (checksums, header counts, ledger)")
     parser.add_argument("--flight",
@@ -437,7 +467,8 @@ def main():
                              "fires, exemplar resolution)")
     args = parser.parse_args()
     if args.metrics is None and not ((args.snapshot or args.flight) and not args.stdout
-                                     and not args.fault and not args.serve):
+                                     and not args.fault and not args.serve
+                                     and not args.policy):
         parser.error("--metrics is required unless only --snapshot/--flight is given")
 
     metrics = validate_metrics(args.metrics) if args.metrics else {}
@@ -448,6 +479,8 @@ def main():
         validate_fault(metrics)
     if args.serve:
         validate_serve(metrics)
+    if args.policy:
+        validate_policy(metrics)
     if args.snapshot:
         validate_snapshot(args.snapshot, metrics)
     if args.flight:

@@ -1,0 +1,183 @@
+#include "core/online_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace turtle::core {
+
+namespace {
+
+/// TCP semantics over the shared RttEstimator: the RTO is both timers.
+class JacobsonKarnEstimator final : public OnlineEstimator {
+ public:
+  explicit JacobsonKarnEstimator(bool karn) : karn_{karn} {}
+
+  void on_rtt(SimTime rtt, bool retransmitted) override {
+    ++observations_;
+    // The naive variant pretends every sample is unambiguous — the exact
+    // bookkeeping error Karn's rule exists to forbid.
+    estimator_.add_sample(rtt, karn_ && retransmitted);
+  }
+  void on_timeout() override {
+    if (karn_) {
+      estimator_.add_loss();  // §5.5 backoff
+    } else {
+      // The naive design retries at the unmodified RTO: count the loss
+      // without backing off.
+      ++naive_losses_;
+    }
+  }
+
+  [[nodiscard]] TimeoutDecision decide() const override {
+    const SimTime rto = estimator_.rto();
+    return {rto, rto};
+  }
+  [[nodiscard]] std::uint64_t samples() const override { return observations_; }
+
+ private:
+  bool karn_;
+  std::uint64_t observations_ = 0;
+  std::uint64_t naive_losses_ = 0;
+  RttEstimator estimator_;
+};
+
+class EwmaEstimator final : public OnlineEstimator {
+ public:
+  EwmaEstimator(double gain, SimTime floor, SimTime cap)
+      : gain_{gain}, floor_{floor}, cap_{cap} {}
+
+  void on_rtt(SimTime rtt, bool /*retransmitted*/) override {
+    const double r = rtt.as_seconds();
+    if (observations_++ == 0) {
+      mean_ = r;
+      var_ = (r / 2) * (r / 2);
+      return;
+    }
+    const double err = r - mean_;
+    // Variance before mean, so the residual is measured against the
+    // pre-update reference (Welford-style EWMA).
+    var_ = (1 - gain_) * var_ + gain_ * err * err;
+    mean_ += gain_ * err;
+  }
+  void on_timeout() override { ++timeouts_; }
+
+  [[nodiscard]] TimeoutDecision decide() const override {
+    if (observations_ == 0) {
+      const SimTime cold = std::min(SimTime::seconds(3), cap_);
+      return {cold, cold};
+    }
+    const double t = mean_ + 4 * std::sqrt(var_);
+    const SimTime timeout =
+        std::min(std::max(SimTime::from_seconds(t), floor_), cap_);
+    return {timeout, timeout};
+  }
+  [[nodiscard]] std::uint64_t samples() const override { return observations_; }
+
+ private:
+  double gain_;
+  SimTime floor_;
+  SimTime cap_;
+  std::uint64_t observations_ = 0;
+  std::uint64_t timeouts_ = 0;
+  double mean_ = 0;
+  double var_ = 0;
+};
+
+class CusumQuantileEstimator final : public OnlineEstimator {
+ public:
+  explicit CusumQuantileEstimator(const CusumQuantilePolicy::Config& config)
+      : config_{config}, quantile_{config.quantile} {}
+
+  void on_rtt(SimTime rtt, bool /*retransmitted*/) override {
+    // Deliberately not Karn-aware: a delayed re-attributed response *is*
+    // the surprisingly-high-delay signal this policy exists to track, and
+    // the 60 s give-up window makes learning from it safe — the failure
+    // mode Karn's rule guards against (chasing your own timeout) needs
+    // the measured wait to feed back into the give-up bound, which the
+    // dual-timer design severs.
+    const double r = rtt.as_seconds();
+    ++observations_;
+    if (observations_ == 1) {
+      mean_ = r;
+      dev_ = r / 2;
+    } else {
+      const double err = r - mean_;
+      // One-sided CUSUM on the normalized pre-update residual: accumulate
+      // surprise beyond `drift` dev-units; an excursion past `threshold`
+      // means the latency level shifted and the quantile markers describe
+      // a distribution that no longer exists.
+      cusum_ = std::max(0.0, cusum_ + err / std::max(dev_, 1e-6) - config_.drift);
+      dev_ = (1 - config_.gain) * dev_ + config_.gain * std::abs(err);
+      mean_ += config_.gain * err;
+      if (cusum_ > config_.threshold) {
+        quantile_ = P2Quantile{config_.quantile};
+        cusum_ = 0;
+        ++level_shifts_;
+      }
+    }
+    quantile_.add(r);
+  }
+  void on_timeout() override { ++timeouts_; }
+
+  [[nodiscard]] TimeoutDecision decide() const override {
+    if (observations_ == 0) {
+      return {std::min(config_.cold_start, config_.give_up), config_.give_up};
+    }
+    const double envelope = mean_ + 4 * dev_;
+    // Mid-reset (or early) the quantile markers are order statistics of
+    // too few points; lean on the EWMA envelope until P² re-converges.
+    const double target = quantile_.count() >= 5
+                              ? std::max(quantile_.value() * config_.multiplier, envelope)
+                              : envelope;
+    const SimTime retransmit = std::min(
+        std::max(SimTime::from_seconds(target), config_.floor), config_.give_up);
+    return {retransmit, config_.give_up};
+  }
+  [[nodiscard]] std::uint64_t samples() const override { return observations_; }
+  [[nodiscard]] std::uint64_t level_shifts() const override { return level_shifts_; }
+
+ private:
+  CusumQuantilePolicy::Config config_;
+  P2Quantile quantile_;
+  std::uint64_t observations_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t level_shifts_ = 0;
+  double mean_ = 0;
+  double dev_ = 0;
+  double cusum_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<OnlineEstimator> JacobsonKarnPolicy::make_estimator() const {
+  return std::make_unique<JacobsonKarnEstimator>(karn_);
+}
+
+std::string JacobsonKarnPolicy::name() const {
+  return karn_ ? "jacobson_karn" : "jacobson_naive";
+}
+
+EwmaVariancePolicy::EwmaVariancePolicy(double gain, SimTime floor, SimTime cap)
+    : gain_{gain}, floor_{floor}, cap_{cap} {}
+
+std::unique_ptr<OnlineEstimator> EwmaVariancePolicy::make_estimator() const {
+  return std::make_unique<EwmaEstimator>(gain_, floor_, cap_);
+}
+
+std::string EwmaVariancePolicy::name() const { return "ewma"; }
+
+CusumQuantilePolicy::CusumQuantilePolicy() : config_{} {}
+
+std::unique_ptr<OnlineEstimator> CusumQuantilePolicy::make_estimator() const {
+  return std::make_unique<CusumQuantileEstimator>(config_);
+}
+
+std::string CusumQuantilePolicy::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "cusum_p%02d",
+                static_cast<int>(config_.quantile * 100 + 0.5));
+  return buf;
+}
+
+}  // namespace turtle::core

@@ -1,0 +1,135 @@
+// Online adaptive timeout policies: per-destination estimators the
+// serving layer runs head-to-head against the static Table-2 oracle.
+//
+// Where TimeoutPolicy consumes a pre-built RttEstimator, an OnlinePolicy
+// is a *factory* for per-destination estimator state that learns from the
+// serve path one observation at a time — the operating regime the classic
+// literature warns about. Jain ("Divergence of Timeout Algorithms for
+// Packet Retransmissions") shows adaptive estimators can diverge exactly
+// when conditions degrade, because a timeout that triggers retransmission
+// contaminates the next RTT sample with the wait it caused. The three
+// policies here stake out the design space:
+//
+//   * JacobsonKarnPolicy — TCP's answer: RFC 6298 SRTT+RTTVAR with
+//     clamping, exponential backoff on loss, and Karn's rule (ambiguous
+//     samples never update the estimator). Single-timer semantics:
+//     retransmit and give up at the RTO — the conflation the paper
+//     documents as the conventional mistake.
+//   * EwmaVariancePolicy — the common "simple adaptive" design: EWMA mean
+//     and variance with a tunable gain, timeout at mean + 4 sigma, no Karn
+//     handling and no backoff. The tournament quantifies what that costs
+//     under adversity.
+//   * CusumQuantilePolicy — the paper-aligned design: a P² p99 tracker
+//     with CUSUM level-shift detection that resets the quantile state when
+//     the latency regime moves (a stale quantile is worse than a cold
+//     one), and dual-timer semantics — retransmit adaptively, but keep
+//     listening the full give-up window so surprisingly high delay is not
+//     misread as loss.
+//
+// Estimators are plain value state — no clocks, no randomness — so a
+// shard's estimator stream is byte-identical across --jobs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/p2_quantile.h"
+#include "core/rtt_estimator.h"
+#include "core/timeout_policy.h"
+#include "util/sim_time.h"
+
+namespace turtle::core {
+
+/// Per-destination adaptive state: fed ground-truth observations by the
+/// serving path, asked for a TimeoutDecision before each one.
+class OnlineEstimator {
+ public:
+  virtual ~OnlineEstimator() = default;
+
+  /// A response was observed `rtt` after the first probe. `retransmitted`
+  /// marks a delayed response re-attributed after the match window
+  /// expired: a retransmission was outstanding, so the pairing is
+  /// ambiguous and Karn-aware estimators must not learn from it.
+  virtual void on_rtt(SimTime rtt, bool retransmitted) = 0;
+  /// The probe expired with no response at all.
+  virtual void on_timeout() = 0;
+
+  /// Current retransmit/give-up prescription for this destination.
+  [[nodiscard]] virtual TimeoutDecision decide() const = 0;
+
+  /// Response observations folded in (Karn-excluded ones included).
+  [[nodiscard]] virtual std::uint64_t samples() const = 0;
+  /// Latency level shifts detected (CUSUM estimators; 0 elsewhere).
+  [[nodiscard]] virtual std::uint64_t level_shifts() const { return 0; }
+};
+
+/// Factory + identity for one adaptive policy in a tournament.
+class OnlinePolicy {
+ public:
+  virtual ~OnlinePolicy() = default;
+
+  [[nodiscard]] virtual std::unique_ptr<OnlineEstimator> make_estimator() const = 0;
+  /// Stable, metric-key-safe name ([a-z0-9_]): becomes part of the
+  /// policy.* counter namespace and the tournament's JSON matrix keys.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// (a) TCP's estimator. `karn = false` builds the naive variant that
+/// learns from ambiguous retransmitted samples and never backs off —
+/// Jain's divergence case, kept as a regression fixture and tournament
+/// strawman ("jacobson_naive").
+class JacobsonKarnPolicy final : public OnlinePolicy {
+ public:
+  explicit JacobsonKarnPolicy(bool karn = true) : karn_{karn} {}
+
+  [[nodiscard]] std::unique_ptr<OnlineEstimator> make_estimator() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  bool karn_;
+};
+
+/// (b) EWMA mean + variance with tunable gain; single-timer timeout at
+/// mean + 4 sqrt(var), clamped to [floor, cap].
+class EwmaVariancePolicy final : public OnlinePolicy {
+ public:
+  explicit EwmaVariancePolicy(double gain = 0.125, SimTime floor = SimTime::millis(500),
+                              SimTime cap = SimTime::seconds(60));
+
+  [[nodiscard]] std::unique_ptr<OnlineEstimator> make_estimator() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double gain_;
+  SimTime floor_;
+  SimTime cap_;
+};
+
+/// (c) CUSUM/percentile tracking with dual-timer semantics.
+class CusumQuantilePolicy final : public OnlinePolicy {
+ public:
+  struct Config {
+    double quantile = 0.99;  ///< tracked tail quantile
+    double multiplier = 1.5; ///< retransmit at multiplier x quantile
+    double gain = 0.125;     ///< EWMA gain for the CUSUM reference mean/dev
+    double drift = 0.5;      ///< CUSUM slack per observation, in dev units
+    double threshold = 8.0;  ///< CUSUM alarm level, in dev units
+    SimTime floor = SimTime::millis(500);
+    SimTime cold_start = SimTime::seconds(3);
+    SimTime give_up = SimTime::seconds(60);
+  };
+
+  // Defined out of line: a `= {}` default argument can't use the nested
+  // aggregate's member initializers inside the enclosing class (GCC).
+  CusumQuantilePolicy();
+  explicit CusumQuantilePolicy(Config config) : config_{config} {}
+
+  [[nodiscard]] std::unique_ptr<OnlineEstimator> make_estimator() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace turtle::core

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace turtle::core {
 
 std::string FixedTimeoutPolicy::name() const {
@@ -15,11 +17,19 @@ std::string ListenLongerPolicy::name() const {
 }
 
 TimeoutDecision QuantileAdaptivePolicy::decide(const RttEstimator* estimator) const {
-  if (estimator == nullptr || estimator->samples() < 5) {
-    return {cold_start_, give_up_};
+  if (estimator == nullptr || estimator->quantile_samples() < 5) {
+    // Cold start: below 5 observations the P² markers are raw order
+    // statistics, not quantile estimates. Return the documented cold-start
+    // pair — capped so a give_up shorter than the cold-start value still
+    // yields retransmit_after <= give_up_after.
+    return {std::min(cold_start_, give_up_), give_up_};
   }
   const SimTime scaled = SimTime::from_seconds(estimator->p99().as_seconds() * multiplier_);
-  const SimTime retransmit = std::clamp(scaled, floor_, give_up_);
+  // Floor first, give_up last: when the two clamps conflict (floor above
+  // give_up) the give-up bound wins, so the decision invariant holds for
+  // any configuration. std::clamp(x, floor_, give_up_) would be UB there.
+  const SimTime retransmit = std::min(std::max(scaled, floor_), give_up_);
+  TURTLE_DCHECK(retransmit <= give_up_);
   return {retransmit, give_up_};
 }
 

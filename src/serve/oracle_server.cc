@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "net/packet.h"
+#include "serve/policy_engine.h"
 #include "util/check.h"
 
 namespace turtle::serve {
@@ -170,9 +171,15 @@ void OracleServer::start_batch() {
     cost = cost + touch_cache(pending.request.addr);
     // Results are computed at dispatch against the snapshot serving *now*;
     // a swap landing before the batch completes does not retroactively
-    // change answers already in flight.
+    // change answers already in flight. With a policy engine configured
+    // the request's policy answers instead — warm per-/24 estimators at
+    // block scope, cold ones through the engine's snapshot fallback — so
+    // the scope_* accounting below covers both paths uniformly.
     LookupResult result;
-    if (snapshot_ != nullptr) {
+    if (config_.policy_engine != nullptr) {
+      result = config_.policy_engine->answer(pending.request.policy_id,
+                                             pending.request.addr);
+    } else if (snapshot_ != nullptr) {
       result = snapshot_->lookup(pending.request.addr, pending.request.addr_coverage,
                                  pending.request.ping_coverage);
     }

@@ -35,6 +35,8 @@
 
 namespace turtle::serve {
 
+class PolicyEngine;
+
 struct ServerConfig {
   /// Bounded request queue; arrivals beyond this are shed (counted under
   /// serve.shed_overload). Sized so the default load-gen rate fits but a
@@ -69,6 +71,13 @@ struct ServerConfig {
   /// falls back to the set_rebuild hook, exactly as before.
   std::string snapshot_path;
 
+  /// When set, lookups route through the policy engine: a request's
+  /// policy_id selects which registered adaptive policy (or the static
+  /// snapshot baseline, id 0) answers it. The engine holds its own
+  /// snapshot reference, so a server crash does not blind it; it must
+  /// outlive the server. Null keeps the plain snapshot path.
+  PolicyEngine* policy_engine = nullptr;
+
   /// Metrics/trace sinks (usually the owning shard's).
   obs::Registry* registry = nullptr;
   obs::TraceSink* trace = nullptr;
@@ -88,6 +97,10 @@ struct Request {
   /// tagged with this id, and its completion latency becomes an exemplar
   /// candidate. 0 (the default) means untraced — zero extra work.
   std::uint64_t trace_id = 0;
+  /// Which policy answers this request when ServerConfig::policy_engine
+  /// is set: 0 = the static snapshot baseline, 1.. = register_policy ids.
+  /// Ignored without an engine.
+  std::uint32_t policy_id = 0;
 };
 
 class OracleServer {
