@@ -116,7 +116,10 @@ int main(int argc, char** argv) {
                   static_cast<std::size_t>(b) % catalog.list().size());
   }
   serve::BuilderConfig builder;
-  builder.snapshot.version = 1;
+  // Stampable version so the daemon smoke test can build two distinguishable
+  // snapshots and watch STATS report the new one after a hot SWAP.
+  builder.snapshot.version =
+      static_cast<std::uint64_t>(flags.get_int("snapshot-version", 1));
   builder.geo = &geo;
   builder.jobs = jobs;
   builder.shard_budget_bytes = shard_budget_mb << 20;

@@ -1,0 +1,140 @@
+#include "daemon/connection.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+#include <vector>
+
+#include "daemon/daemon.h"
+#include "util/check.h"
+
+namespace turtle::daemon {
+
+Connection::Connection(Daemon& daemon, std::uint64_t id, int fd)
+    : daemon_{daemon},
+      id_{id},
+      event_{daemon.loop(), fd, [this](unsigned ready) { on_ready(ready); }} {
+  event_.schedule(SocketEvent::kRead);
+}
+
+void Connection::on_ready(unsigned ready) {
+  if (dead_) return;
+  if ((ready & (SocketEvent::kError | SocketEvent::kHangup)) != 0) {
+    daemon_.close_connection(id_, Daemon::CloseReason::kPeer);
+    return;
+  }
+  if ((ready & SocketEvent::kWrite) != 0) {
+    try_write();
+    if (dead_) return;
+  }
+  if ((ready & SocketEvent::kRead) != 0) handle_read();
+}
+
+void Connection::handle_read() {
+  std::vector<char> buf(daemon_.config().read_chunk);
+  while (!dead_) {
+    const ssize_t n = ::read(event_.fd(), buf.data(), buf.size());
+    if (n > 0) {
+      daemon_.touch_idle(id_);
+      splitter_.feed(std::string_view{buf.data(), static_cast<std::size_t>(n)},
+                     [this](std::string_view line) { on_line(line); },
+                     [this] { daemon_.on_line_overflow(*this); });
+      continue;
+    }
+    if (n == 0) {  // peer closed its end
+      daemon_.close_connection(id_, Daemon::CloseReason::kPeer);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    daemon_.close_connection(id_, Daemon::CloseReason::kPeer);
+    return;
+  }
+}
+
+void Connection::on_line(std::string_view line) {
+  // After QUIT (or a mid-feed close) the remaining pipelined input is
+  // ignored: the protocol defines QUIT as the connection's last word.
+  if (dead_ || close_after_flush_) return;
+  daemon_.dispatch_line(*this, line);
+}
+
+std::uint64_t Connection::reserve_slot() {
+  responses_.emplace_back(std::nullopt);
+  return next_slot_++;
+}
+
+void Connection::fill_slot(std::uint64_t slot, std::string line) {
+  if (dead_) return;
+  TURTLE_CHECK_GE(slot, flushed_slots_);
+  const std::size_t index = static_cast<std::size_t>(slot - flushed_slots_);
+  TURTLE_CHECK_LT(index, responses_.size());
+  TURTLE_CHECK(!responses_[index].has_value()) << "slot " << slot << " filled twice";
+  responses_[index] = std::move(line);
+  pump_responses();
+}
+
+void Connection::push_response(std::string line) {
+  const std::uint64_t slot = reserve_slot();
+  fill_slot(slot, std::move(line));
+}
+
+void Connection::pump_responses() {
+  while (!responses_.empty() && responses_.front().has_value()) {
+    write_buffer_ += *responses_.front();
+    write_buffer_ += '\n';
+    responses_.pop_front();
+    ++flushed_slots_;
+  }
+  if (write_buffer_.size() - write_offset_ > daemon_.config().max_write_buffer) {
+    daemon_.close_connection(id_, Daemon::CloseReason::kBackpressure);
+    return;
+  }
+  try_write();
+}
+
+bool Connection::flush() {
+  if (dead_) return true;
+  try_write();
+  return dead_ || write_offset_ == write_buffer_.size();
+}
+
+void Connection::try_write() {
+  while (write_offset_ < write_buffer_.size()) {
+    const ssize_t n = ::write(event_.fd(), write_buffer_.data() + write_offset_,
+                              write_buffer_.size() - write_offset_);
+    if (n > 0) {
+      write_offset_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    daemon_.close_connection(id_, Daemon::CloseReason::kPeer);
+    return;
+  }
+  if (write_offset_ == write_buffer_.size()) {
+    write_buffer_.clear();
+    write_offset_ = 0;
+    if (close_after_flush_) {
+      daemon_.close_connection(id_, Daemon::CloseReason::kPeer);
+      return;
+    }
+  }
+  update_interest();
+}
+
+void Connection::update_interest() {
+  if (dead_) return;
+  unsigned interest = SocketEvent::kRead;
+  if (write_offset_ < write_buffer_.size()) interest |= SocketEvent::kWrite;
+  event_.schedule(interest);
+}
+
+void Connection::shutdown_now() {
+  if (dead_) return;
+  dead_ = true;
+  event_.close();
+}
+
+}  // namespace turtle::daemon

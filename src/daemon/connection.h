@@ -1,0 +1,86 @@
+// One accepted TCP client: bounded read buffer through the line splitter,
+// ordered response slots, bounded write buffer with backpressure cutoff.
+//
+// Response ordering: a pipelined client may have a QUERY (answered
+// asynchronously after the transport pumps) followed by a STATS (answered
+// synchronously). Replies must leave in request order, so each request
+// reserves a slot in a FIFO of pending responses; slots fill in any order
+// and the flush pointer only advances over filled slots. Memory is bounded
+// end to end: line splitter <= kMaxLineBytes, response FIFO bounded by the
+// server's own bounded queue (a shed request fills its slot immediately
+// with ERR), write buffer cut off at max_write_buffer (the connection is
+// dropped and counted, never ballooned).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "daemon/event_loop.h"
+#include "daemon/proto.h"
+
+namespace turtle::daemon {
+
+class Daemon;
+
+class Connection {
+ public:
+  /// Takes ownership of `fd` (nonblocking, cloexec).
+  Connection(Daemon& daemon, std::uint64_t id, int fd);
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+  /// Reserves the next ordered response slot (async QUERY path).
+  std::uint64_t reserve_slot();
+  /// Fills a reserved slot; flushes every leading filled slot to the wire.
+  void fill_slot(std::uint64_t slot, std::string line);
+  /// reserve + fill in one step (synchronous commands and errors).
+  void push_response(std::string line);
+
+  /// After the current write buffer drains, close instead of reading on
+  /// (the QUIT path). Further inbound lines are ignored.
+  void request_close_after_flush() { close_after_flush_ = true; }
+
+  /// Attempts to drain the write buffer; true when nothing is pending.
+  bool flush();
+
+  /// Immediately closes the socket; the object stays alive (in the
+  /// daemon's graveyard) until the event-loop iteration ends.
+  void shutdown_now();
+
+  [[nodiscard]] bool dead() const { return dead_; }
+
+ private:
+  void on_ready(unsigned ready);
+  void handle_read();
+  void on_line(std::string_view line);
+  /// Appends flushable responses to the write buffer and writes.
+  void pump_responses();
+  void try_write();
+  /// Recomputes epoll interest from buffer state and liveness.
+  void update_interest();
+
+  Daemon& daemon_;
+  std::uint64_t id_;
+  proto::LineSplitter splitter_;
+
+  std::uint64_t next_slot_ = 0;     ///< next slot id to hand out
+  std::uint64_t flushed_slots_ = 0; ///< slots already moved to the buffer
+  std::deque<std::optional<std::string>> responses_;
+
+  std::string write_buffer_;
+  std::size_t write_offset_ = 0;
+
+  bool close_after_flush_ = false;
+  bool dead_ = false;
+
+  /// Last member: registers with epoll on construction.
+  SocketEvent event_;
+};
+
+}  // namespace turtle::daemon

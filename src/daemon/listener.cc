@@ -1,0 +1,78 @@
+#include "daemon/listener.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/check.h"
+
+namespace turtle::daemon {
+namespace {
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  TURTLE_CHECK_EQ(inet_pton(AF_INET, host.c_str(), &addr.sin_addr), 1)
+      << "bad bind address " << host;
+  return addr;
+}
+
+BoundSocket bind_socket(int type, const std::string& host, std::uint16_t port) {
+  const int fd = socket(AF_INET, type | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  TURTLE_CHECK_GE(fd, 0) << "socket: errno=" << errno;
+  const int one = 1;
+  TURTLE_CHECK_EQ(setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one), 0);
+  sockaddr_in addr = make_addr(host, port);
+  TURTLE_CHECK_EQ(bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0)
+      << "bind " << host << ":" << port << ": errno=" << errno;
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  TURTLE_CHECK_EQ(getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len), 0);
+  return BoundSocket{fd, ntohs(bound.sin_port)};
+}
+
+}  // namespace
+
+BoundSocket open_tcp_listener(const std::string& host, std::uint16_t port, int backlog) {
+  BoundSocket socket = bind_socket(SOCK_STREAM, host, port);
+  TURTLE_CHECK_EQ(listen(socket.fd, backlog), 0) << "listen: errno=" << errno;
+  return socket;
+}
+
+BoundSocket open_udp_socket(const std::string& host, std::uint16_t port) {
+  return bind_socket(SOCK_DGRAM, host, port);
+}
+
+TcpListener::TcpListener(EventLoop& loop, BoundSocket socket, AcceptFn on_accept)
+    : port_{socket.port},
+      on_accept_{std::move(on_accept)},
+      event_{loop, socket.fd, [this](unsigned /*ready*/) { on_ready(); }} {
+  TURTLE_CHECK(on_accept_ != nullptr);
+  event_.schedule(SocketEvent::kRead);
+}
+
+void TcpListener::on_ready() {
+  // Drain the accept queue: level-triggered epoll would re-report, but one
+  // pass per wakeup keeps accept storms from starving other fds less than
+  // a loop would — and accept4 returning EAGAIN is the natural stop.
+  while (true) {
+    const int fd = accept4(event_.fd(), nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) return;
+      if (errno == EINTR) continue;
+      // Transient resource exhaustion (EMFILE and friends): stop draining;
+      // the level trigger retries next iteration.
+      return;
+    }
+    on_accept_(fd);
+  }
+}
+
+}  // namespace turtle::daemon

@@ -1,0 +1,54 @@
+// Nonblocking listening sockets for the daemon: TCP accept loop and the
+// UDP endpoint, plus the small POSIX plumbing both need (bind, ephemeral
+// port discovery, O_NONBLOCK/CLOEXEC hygiene). Plain BSD sockets —
+// loopback-first, IPv4, no TLS — because the subject of this subsystem is
+// the event loop and the protocol, not socket exotica.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "daemon/event_loop.h"
+
+namespace turtle::daemon {
+
+/// A bound socket plus the port the kernel actually assigned (meaningful
+/// when the requested port was 0 = ephemeral).
+struct BoundSocket {
+  int fd = -1;
+  std::uint16_t port = 0;
+};
+
+/// Opens a nonblocking listening TCP socket bound to host:port. Aborts
+/// via TURTLE_CHECK on setup failure — a daemon that cannot bind its
+/// advertised endpoint has nothing to degrade to.
+[[nodiscard]] BoundSocket open_tcp_listener(const std::string& host, std::uint16_t port,
+                                            int backlog = 128);
+
+/// Opens a nonblocking bound UDP socket.
+[[nodiscard]] BoundSocket open_udp_socket(const std::string& host, std::uint16_t port);
+
+/// Accept pump: drains accept(2) on readiness and hands each accepted
+/// connection fd (already nonblocking + cloexec) to `on_accept`.
+class TcpListener {
+ public:
+  using AcceptFn = std::function<void(int fd)>;
+
+  TcpListener(EventLoop& loop, BoundSocket socket, AcceptFn on_accept);
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Stops accepting and closes the listening socket.
+  void close() { event_.close(); }
+
+ private:
+  void on_ready();
+
+  std::uint16_t port_;
+  AcceptFn on_accept_;
+  SocketEvent event_;
+};
+
+}  // namespace turtle::daemon

@@ -1,0 +1,24 @@
+#include "daemon/net_transport.h"
+
+#include <utility>
+
+namespace turtle::daemon {
+
+NetTransport::NetTransport(serve::ServerConfig config,
+                           std::shared_ptr<const serve::OracleSnapshot> snapshot)
+    : server_{sim_, std::move(config), std::move(snapshot)} {}
+
+bool NetTransport::submit(const serve::Request& request,
+                          serve::OracleServer::Callback callback) {
+  const bool admitted = server_.submit(request, std::move(callback));
+  dirty_ = dirty_ || admitted;
+  return admitted;
+}
+
+void NetTransport::pump() {
+  if (!dirty_) return;
+  dirty_ = false;
+  sim_.run();
+}
+
+}  // namespace turtle::daemon

@@ -1,0 +1,236 @@
+#include "daemon/proto.h"
+
+#include <charconv>
+#include <utility>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "obs/json.h"
+#include "util/check.h"
+
+namespace turtle::daemon::proto {
+namespace {
+
+/// Splits on single spaces; empty tokens (doubled spaces, leading or
+/// trailing space) are dropped, so formatting slack is tolerated.
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    const std::size_t space = line.find(' ', pos);
+    const std::string_view token =
+        line.substr(pos, space == std::string_view::npos ? space : space - pos);
+    if (!token.empty()) tokens.push_back(token);
+    if (space == std::string_view::npos) break;
+    pos = space + 1;
+  }
+  return tokens;
+}
+
+bool parse_u32(std::string_view text, std::uint32_t& out) {
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool parse_double(std::string_view text, double& out) {
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, out);
+  return ec == std::errc{} && ptr == end && out >= 0.0 && out <= 100.0;
+}
+
+bool parse_query_option(std::string_view token, serve::Request& query) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string_view::npos || eq == 0 || eq + 1 >= token.size()) return false;
+  const std::string_view key = token.substr(0, eq);
+  const std::string_view value = token.substr(eq + 1);
+  if (key == "scope") {
+    if (value == "block") {
+      query.min_scope = serve::LookupScope::kBlock;
+    } else if (value == "as") {
+      query.min_scope = serve::LookupScope::kAs;
+    } else if (value == "global") {
+      query.min_scope = serve::LookupScope::kGlobal;
+    } else {
+      return false;
+    }
+    return true;
+  }
+  if (key == "policy") return parse_u32(value, query.policy_id);
+  if (key == "addr-coverage") return parse_double(value, query.addr_coverage);
+  if (key == "ping-coverage") return parse_double(value, query.ping_coverage);
+  return false;
+}
+
+}  // namespace
+
+const char* command_name(Command command) {
+  switch (command) {
+    case Command::kQuery:
+      return "QUERY";
+    case Command::kStats:
+      return "STATS";
+    case Command::kVersion:
+      return "VERSION";
+    case Command::kSwap:
+      return "SWAP";
+    case Command::kQuit:
+      return "QUIT";
+  }
+  return "?";
+}
+
+const char* parse_error_code(ParseError error) {
+  switch (error) {
+    case ParseError::kEmptyLine:
+      return "empty-line";
+    case ParseError::kLineTooLong:
+      return "line-too-long";
+    case ParseError::kUnknownCommand:
+      return "unknown-command";
+    case ParseError::kBadAddress:
+      return "bad-address";
+    case ParseError::kBadOption:
+      return "bad-option";
+    case ParseError::kMissingArgument:
+      return "missing-argument";
+    case ParseError::kTrailingGarbage:
+      return "trailing-garbage";
+  }
+  return "internal";
+}
+
+std::optional<ParsedRequest> parse_request(std::string_view line, ParseError& error) {
+  if (line.size() > kMaxLineBytes) {
+    error = ParseError::kLineTooLong;
+    return std::nullopt;
+  }
+  // Tolerate a stray trailing CR (a CRLF datagram client).
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  const std::vector<std::string_view> tokens = tokenize(line);
+  if (tokens.empty()) {
+    error = ParseError::kEmptyLine;
+    return std::nullopt;
+  }
+
+  ParsedRequest parsed;
+  const std::string_view verb = tokens[0];
+  if (verb == "QUERY") {
+    parsed.command = Command::kQuery;
+    if (tokens.size() < 2) {
+      error = ParseError::kMissingArgument;
+      return std::nullopt;
+    }
+    const auto addr = net::Ipv4Address::parse(tokens[1]);
+    if (!addr.has_value()) {
+      error = ParseError::kBadAddress;
+      return std::nullopt;
+    }
+    parsed.query.addr = *addr;
+    for (std::size_t i = 2; i < tokens.size(); ++i) {
+      if (!parse_query_option(tokens[i], parsed.query)) {
+        error = ParseError::kBadOption;
+        return std::nullopt;
+      }
+    }
+    return parsed;
+  }
+  if (verb == "SWAP") {
+    parsed.command = Command::kSwap;
+    if (tokens.size() < 2) {
+      error = ParseError::kMissingArgument;
+      return std::nullopt;
+    }
+    if (tokens.size() > 2) {
+      error = ParseError::kTrailingGarbage;
+      return std::nullopt;
+    }
+    parsed.swap_path = std::string{tokens[1]};
+    return parsed;
+  }
+  if (verb == "STATS" || verb == "VERSION" || verb == "QUIT") {
+    if (tokens.size() > 1) {
+      error = ParseError::kTrailingGarbage;
+      return std::nullopt;
+    }
+    parsed.command = verb == "STATS"     ? Command::kStats
+                     : verb == "VERSION" ? Command::kVersion
+                                         : Command::kQuit;
+    return parsed;
+  }
+  error = ParseError::kUnknownCommand;
+  return std::nullopt;
+}
+
+std::string format_query_response(const serve::LookupResult& result) {
+  std::string out = "OK QUERY timeout_us=";
+  out += std::to_string(result.timeout.as_micros());
+  out += " scope=";
+  out += serve::lookup_scope_name(result.scope);
+  out += " samples=";
+  out += std::to_string(result.samples);
+  out += " confidence=";
+  out += obs::json_fixed(result.confidence, 6);
+  out += " version=";
+  out += std::to_string(result.version);
+  return out;
+}
+
+std::string format_error(ParseError error) {
+  return format_error(parse_error_code(error), "request rejected");
+}
+
+std::string format_error(std::string_view code, std::string_view detail) {
+  std::string out = "ERR ";
+  out += code;
+  if (!detail.empty()) {
+    out += ' ';
+    out += detail;
+  }
+  return out;
+}
+
+LineSplitter::LineSplitter(std::size_t max_line) : max_line_{max_line} {
+  TURTLE_CHECK_GT(max_line_, 0u);
+}
+
+void LineSplitter::feed(std::string_view bytes,
+                        const std::function<void(std::string_view)>& on_line,
+                        const std::function<void()>& on_overflow) {
+  while (!bytes.empty()) {
+    const std::size_t nl = bytes.find('\n');
+    if (discarding_) {
+      // Swallowing the tail of an oversized line; resync past the next LF.
+      if (nl == std::string_view::npos) return;
+      discarding_ = false;
+      bytes.remove_prefix(nl + 1);
+      continue;
+    }
+    if (nl == std::string_view::npos) {
+      if (buffer_.size() + bytes.size() > max_line_) {
+        buffer_.clear();
+        discarding_ = true;
+        on_overflow();
+        return;
+      }
+      buffer_.append(bytes);
+      return;
+    }
+    std::string_view line = bytes.substr(0, nl);
+    if (buffer_.size() + line.size() > max_line_) {
+      buffer_.clear();
+      on_overflow();
+    } else {
+      if (!buffer_.empty()) {
+        buffer_.append(line);
+        line = buffer_;
+      }
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      on_line(line);
+      buffer_.clear();
+    }
+    bytes.remove_prefix(nl + 1);
+  }
+}
+
+}  // namespace turtle::daemon::proto

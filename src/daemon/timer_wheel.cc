@@ -1,0 +1,91 @@
+#include "daemon/timer_wheel.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace turtle::daemon {
+
+TimerWheel::TimerWheel() : TimerWheel{Config{}} {}
+
+TimerWheel::TimerWheel(Config config) : config_{config} {
+  TURTLE_CHECK_GT(config_.tick_us, 0u);
+  TURTLE_CHECK_GT(config_.slots, 0u);
+  slots_.resize(config_.slots);
+}
+
+TimerWheel::TimerId TimerWheel::schedule(std::uint64_t deadline_us, std::function<void()> fn) {
+  TURTLE_CHECK(fn != nullptr);
+  const TimerId id = next_id_++;
+  const std::size_t slot = slot_of(deadline_us);
+  slots_[slot].push_back(Entry{deadline_us, next_seq_++, id, std::move(fn), false});
+  index_.emplace(id, slot);
+  ++live_;
+  return id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  for (Entry& entry : slots_[it->second]) {
+    if (entry.id == id && !entry.dead) {
+      entry.dead = true;
+      entry.fn = nullptr;
+      index_.erase(it);
+      --live_;
+      return true;
+    }
+  }
+  // In the index but not in its slot: the entry sits in a running
+  // advance()'s due batch. Tombstone it there so it never fires — a timer
+  // callback cancelling a sibling due in the same batch must win.
+  index_.erase(it);
+  --live_;
+  cancelled_in_batch_.insert(id);
+  return true;
+}
+
+std::size_t TimerWheel::advance(std::uint64_t now_us) {
+  // Collect due entries out of their slots first, then fire in (deadline,
+  // seq) order. Two passes so callbacks that schedule or cancel timers see
+  // consistent wheel state and never perturb this advance's firing set.
+  std::vector<Entry> due;
+  for (std::vector<Entry>& slot : slots_) {
+    auto split = std::stable_partition(slot.begin(), slot.end(), [now_us](const Entry& entry) {
+      return entry.dead || entry.deadline_us > now_us;
+    });
+    for (auto it = split; it != slot.end(); ++it) due.push_back(std::move(*it));
+    slot.erase(split, slot.end());
+    // Reclaim tombstones the partition left behind.
+    slot.erase(std::remove_if(slot.begin(), slot.end(),
+                              [](const Entry& entry) { return entry.dead; }),
+               slot.end());
+  }
+  std::sort(due.begin(), due.end(), [](const Entry& a, const Entry& b) {
+    return a.deadline_us != b.deadline_us ? a.deadline_us < b.deadline_us : a.seq < b.seq;
+  });
+  std::size_t fired = 0;
+  for (Entry& entry : due) {
+    if (cancelled_in_batch_.erase(entry.id) > 0) continue;
+    index_.erase(entry.id);
+    --live_;
+    entry.fn();
+    ++fired;
+  }
+  cancelled_in_batch_.clear();
+  return fired;
+}
+
+std::optional<std::uint64_t> TimerWheel::next_deadline_us() const {
+  std::optional<std::uint64_t> earliest;
+  for (const std::vector<Entry>& slot : slots_) {
+    for (const Entry& entry : slot) {
+      if (entry.dead) continue;
+      if (!earliest || entry.deadline_us < *earliest) earliest = entry.deadline_us;
+    }
+  }
+  return earliest;
+}
+
+}  // namespace turtle::daemon

@@ -1,0 +1,16 @@
+#include "daemon/wall_clock.h"
+
+#include <ctime>
+
+namespace turtle::daemon {
+
+std::uint64_t wall_now_us() {
+  // This is the daemon's one audited wall-clock site (turtlint D2
+  // allowlists exactly this file).
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000u +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1'000u;
+}
+
+}  // namespace turtle::daemon

@@ -44,7 +44,7 @@ OracleServer::OracleServer(sim::Simulator& sim, ServerConfig config,
   }
 }
 
-void OracleServer::submit(const Request& request, Callback callback) {
+bool OracleServer::submit(const Request& request, Callback callback) {
   offered_->inc();
   Pending pending{request, sim_.now(), std::move(callback), SimTime{}};
   if (request.trace_id != 0) {
@@ -68,7 +68,7 @@ void OracleServer::submit(const Request& request, Callback callback) {
       fault_dropped_->inc();
       shed_traced(pending);
       shed(ShedReason::kNet);
-      return;
+      return false;
     }
     if (action.extra_copies > 0) {
       if (fault_copies_ == nullptr) {
@@ -97,17 +97,16 @@ void OracleServer::submit(const Request& request, Callback callback) {
       sim_.schedule_after(action.extra_delay, [this, p = std::move(pending)]() mutable {
         arrive_entry(std::move(p));
       });
-      return;
+      return true;  // deferred: admission is decided on arrival
     }
     const util::MutexLock lock{mu_};
     for (std::uint32_t i = 0; i < action.extra_copies; ++i) {
       arrive(Pending{copy_request, pending.submit_time, nullptr, SimTime{}});
     }
-    arrive(std::move(pending));
-    return;
+    return arrive(std::move(pending));
   }
   const util::MutexLock lock{mu_};
-  arrive(std::move(pending));
+  return arrive(std::move(pending));
 }
 
 void OracleServer::arrive_entry(Pending pending) {
@@ -115,21 +114,22 @@ void OracleServer::arrive_entry(Pending pending) {
   arrive(std::move(pending));
 }
 
-void OracleServer::arrive(Pending pending) {
+bool OracleServer::arrive(Pending pending) {
   if (down_) {
     shed_traced(pending);
     shed(ShedReason::kDown);
-    return;
+    return false;
   }
   if (queue_.size() >= config_.queue_capacity) {
     shed_traced(pending);
     shed(ShedReason::kOverload);
-    return;
+    return false;
   }
   pending.arrive_time = sim_.now();
   queue_.push_back(std::move(pending));
   queue_high_water_->set_max(static_cast<std::int64_t>(queue_.size()));
   if (!busy_) start_batch();
+  return true;
 }
 
 void OracleServer::shed_traced(const Pending& pending) {
@@ -181,7 +181,7 @@ void OracleServer::start_batch() {
                                              pending.request.addr);
     } else if (snapshot_ != nullptr) {
       result = snapshot_->lookup(pending.request.addr, pending.request.addr_coverage,
-                                 pending.request.ping_coverage);
+                                 pending.request.ping_coverage, pending.request.min_scope);
     }
     lookups_->inc();
     switch (result.scope) {

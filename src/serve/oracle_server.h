@@ -101,6 +101,11 @@ struct Request {
   /// is set: 0 = the static snapshot baseline, 1.. = register_policy ids.
   /// Ignored without an engine.
   std::uint32_t policy_id = 0;
+  /// Coarsest-tier forcing for snapshot-path lookups (the wire protocol's
+  /// `scope=` selector): kAs skips the per-/24 probe, kGlobal answers
+  /// straight from the Table 2 matrix. Requests routed through a policy
+  /// engine ignore this — an adaptive policy decides its own scope.
+  LookupScope min_scope = LookupScope::kBlock;
 };
 
 class OracleServer {
@@ -122,7 +127,15 @@ class OracleServer {
   /// the request completes; shed requests never fire it (the shed is
   /// counted instead). Fault-injected duplicates of the request are
   /// admitted as independent requests with no callback.
-  void submit(const Request& request, Callback callback) TURTLE_EXCLUDES(mu_);
+  ///
+  /// Returns false iff the request was shed synchronously (server down,
+  /// queue full, or fault-injected drop) — the network backend turns that
+  /// into an immediate `ERR overloaded` reply while the serve.shed_*
+  /// accounting stays the single source of truth. True means the request
+  /// was admitted (or deferred by a fault-injected entry delay, in which
+  /// case it may still shed later without firing the callback — a
+  /// sim-only path; the daemon runs without a fault hook on admission).
+  bool submit(const Request& request, Callback callback) TURTLE_EXCLUDES(mu_);
 
   /// Atomically replaces the serving snapshot. Requests already dispatched
   /// keep the results computed against the old snapshot; the working-set
@@ -187,7 +200,8 @@ class OracleServer {
   enum class ShedReason : std::uint8_t { kOverload, kDown, kNet };
 
   /// Arrival at the admission gate (after any fault-injected entry delay).
-  void arrive(Pending pending) TURTLE_REQUIRES(mu_);
+  /// Returns false when the arrival was shed instead of enqueued.
+  bool arrive(Pending pending) TURTLE_REQUIRES(mu_);
   /// Lock-taking wrapper for arrivals scheduled as simulator events.
   void arrive_entry(Pending pending) TURTLE_EXCLUDES(mu_);
   void shed(ShedReason reason);

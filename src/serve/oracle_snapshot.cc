@@ -153,13 +153,14 @@ bool OracleSnapshot::probe_as(std::uint32_t network, std::size_t p, std::uint64_
 }
 
 LookupResult OracleSnapshot::lookup(net::Ipv4Address addr, double addr_coverage,
-                                    double ping_coverage) const {
+                                    double ping_coverage, LookupScope min_scope) const {
   const std::uint32_t network = net::Prefix24::containing(addr).network();
   const std::size_t p = percentile_index(ping_coverage);
 
   std::uint64_t samples = 0;
   double value = 0.0;
-  if (probe_block(network, p, samples, value) && samples >= config_.min_block_samples) {
+  if (min_scope == LookupScope::kBlock && probe_block(network, p, samples, value) &&
+      samples >= config_.min_block_samples) {
     return LookupResult{
         .timeout = SimTime::from_seconds(value),
         .scope = LookupScope::kBlock,
@@ -168,7 +169,8 @@ LookupResult OracleSnapshot::lookup(net::Ipv4Address addr, double addr_coverage,
         .version = config_.version,
     };
   }
-  if (probe_as(network, p, samples, value) && samples >= config_.min_as_samples) {
+  if (min_scope != LookupScope::kGlobal && probe_as(network, p, samples, value) &&
+      samples >= config_.min_as_samples) {
     return LookupResult{
         .timeout = SimTime::from_seconds(value),
         .scope = LookupScope::kAs,

@@ -134,8 +134,13 @@ class OracleSnapshot {
   /// addr_coverage only matters at global scope (for a specific block the
   /// address population is known); both coverages clamp to the nearest
   /// configured percentile, exactly like core::recommend_timeout.
+  /// `min_scope` forces the answer to come from a coarser tier: kAs skips
+  /// the per-/24 probe, kGlobal skips both and answers straight from the
+  /// Table 2 matrix — the wire protocol's `scope=` selector. The default
+  /// (kBlock) is the normal most-specific-first walk.
   [[nodiscard]] LookupResult lookup(net::Ipv4Address addr, double addr_coverage,
-                                    double ping_coverage) const;
+                                    double ping_coverage,
+                                    LookupScope min_scope = LookupScope::kBlock) const;
 
   [[nodiscard]] std::uint64_t version() const { return config_.version; }
   [[nodiscard]] std::size_t block_count() const {

@@ -1,0 +1,71 @@
+// The transport seam between "who carries a request" and "who answers it".
+//
+// OracleServer is the single serving brain — admission gate, bounded queue,
+// batching, working set, snapshot swap, the whole serve.* ledger. What
+// varies is how requests reach it: inside a simulation they are scheduled
+// events on the shard's simulator; behind the daemon they are bytes read
+// off a socket. Transport abstracts exactly that delivery step, so the
+// in-sim path (SimTransport, below) and the real network backend
+// (daemon::NetTransport) are two implementations of one interface and the
+// load generator, benches, and tests are written against neither socket
+// nor simulator specifically.
+//
+// Determinism boundary: SimTransport adds nothing to the request path — a
+// submit is a direct OracleServer::submit at the current sim time — so
+// every byte-identity guarantee of the sharded runs (--jobs 1 vs --jobs 8,
+// CI-gated) holds through the seam unchanged. The network backend owns an
+// embedded simulator whose clock advances only by submitted work, keeping
+// the serve.* ledger a pure function of the request byte stream even
+// though wall-clock I/O drives it (DESIGN §18).
+#pragma once
+
+#include "serve/oracle_server.h"
+
+namespace turtle::serve {
+
+/// Delivery interface for oracle requests. Implementations own (or borrow)
+/// an OracleServer and decide when its completions run.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Submits one request; the callback fires when the answer is computed.
+  /// Returns false iff the request was shed synchronously (the callback
+  /// will never fire; the shed is counted in the serve.shed_* ledger).
+  virtual bool submit(const Request& request, OracleServer::Callback callback) = 0;
+
+  /// Drives pending completions to the point where every admitted
+  /// request's callback has fired. In-sim this is a no-op (the simulator
+  /// owning the server drives them); the network backend drains its
+  /// embedded simulator here, once per event-loop iteration.
+  virtual void pump() = 0;
+
+  /// The serving brain behind this transport (swap/finalize/stats access).
+  [[nodiscard]] virtual OracleServer& server() = 0;
+
+ protected:
+  Transport() = default;
+};
+
+/// The in-sim delivery path: requests go straight to a borrowed server
+/// hosted on the caller's simulator, which also runs the completions.
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(OracleServer& server) : server_{server} {}
+
+  bool submit(const Request& request, OracleServer::Callback callback) override {
+    return server_.submit(request, std::move(callback));
+  }
+
+  void pump() override {}
+
+  [[nodiscard]] OracleServer& server() override { return server_; }
+
+ private:
+  OracleServer& server_;
+};
+
+}  // namespace turtle::serve

@@ -7,10 +7,20 @@ namespace turtle::util {
 
 Flags Flags::parse(int argc, const char* const* argv) {
   Flags flags;
+  bool flags_done = false;
   for (int i = 1; i < argc; ++i) {
     std::string token = argv[i];
-    if (token.rfind("--", 0) != 0 || token.size() <= 2) {
-      throw std::invalid_argument("unrecognized argument: " + token);
+    if (flags_done) {
+      flags.positionals_.push_back(std::move(token));
+      continue;
+    }
+    if (token == "--") {
+      flags_done = true;
+      continue;
+    }
+    if (token.rfind("--", 0) != 0) {
+      flags.positionals_.push_back(std::move(token));
+      continue;
     }
     token.erase(0, 2);
     const auto eq = token.find('=');

@@ -3,7 +3,9 @@
 // Every harness accepts overrides like --blocks=500 --rounds=40 --seed=7 so
 // experiments can be scaled up or down without recompiling. This parser
 // supports exactly the `--name=value` and `--name value` forms plus bare
-// `--name` for booleans; anything fancier belongs to a real library.
+// `--name` for booleans, and collects non-flag tokens as positionals (the
+// CLI tools take a command word and operands, e.g. `turtlectl query
+// 10.1.2.3`); anything fancier belongs to a real library.
 #pragma once
 
 #include <cstdint>
@@ -18,11 +20,18 @@ namespace turtle::util {
 /// Parsed command-line flags with typed, defaulted accessors.
 class Flags {
  public:
-  /// Parses argv. Throws std::invalid_argument on a malformed token
-  /// (anything that does not start with "--").
+  /// Parses argv. Tokens starting with "--" are flags; anything else is a
+  /// positional, kept in order. A literal "--" ends flag parsing: every
+  /// later token is positional even if it starts with "--". Caveat carried
+  /// by the space-separated form: `--name value` binds `value` to the flag,
+  /// so positionals that follow a bare flag require `--name=value` or the
+  /// "--" separator.
   static Flags parse(int argc, const char* const* argv);
 
   [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Non-flag tokens in command-line order.
+  [[nodiscard]] const std::vector<std::string>& positionals() const { return positionals_; }
 
   /// Typed getters; return `def` when the flag is absent and throw
   /// std::invalid_argument when present but unparsable.
@@ -45,6 +54,7 @@ class Flags {
 
  private:
   std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
 };
 
 }  // namespace turtle::util

@@ -54,9 +54,29 @@ TEST(Flags, NegativeNumbers) {
   EXPECT_EQ(f.get_int("offset", 0), -5);
 }
 
-TEST(Flags, MalformedTokenThrows) {
-  EXPECT_THROW(parse({"blocks=5"}), std::invalid_argument);
-  EXPECT_THROW(parse({"-x"}), std::invalid_argument);
+TEST(Flags, PositionalsKeepOrder) {
+  const auto f = parse({"query", "--scope=as", "10.1.2.3"});
+  ASSERT_EQ(f.positionals().size(), 2u);
+  EXPECT_EQ(f.positionals()[0], "query");
+  EXPECT_EQ(f.positionals()[1], "10.1.2.3");
+  EXPECT_EQ(f.get_string("scope", ""), "as");
+}
+
+TEST(Flags, DoubleDashEndsFlagParsing) {
+  const auto f = parse({"--verbose", "--", "--not-a-flag", "stats"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  ASSERT_EQ(f.positionals().size(), 2u);
+  EXPECT_EQ(f.positionals()[0], "--not-a-flag");
+  EXPECT_EQ(f.positionals()[1], "stats");
+}
+
+TEST(Flags, SpaceFormBindsOverPositional) {
+  // Documented caveat: `--name value` always binds; use `=` or `--` when a
+  // positional must follow a bare boolean flag.
+  const auto f = parse({"--mode", "udp", "query"});
+  EXPECT_EQ(f.get_string("mode", ""), "udp");
+  ASSERT_EQ(f.positionals().size(), 1u);
+  EXPECT_EQ(f.positionals()[0], "query");
 }
 
 TEST(Flags, WrongTypeThrows) {

@@ -1,0 +1,186 @@
+// turtle::daemon::proto — wire-codec property and fuzz coverage: malformed
+// lines, oversized tokens, truncated datagrams, and pipelined TCP streams
+// must never crash the codec, and every rejection maps to a named error
+// code (what the daemon counts under daemon.proto.rejected).
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "daemon/proto.h"
+#include "util/prng.h"
+
+namespace turtle::daemon::proto {
+namespace {
+
+ParsedRequest parse_ok(std::string_view line) {
+  ParseError error{};
+  const auto parsed = parse_request(line, error);
+  EXPECT_TRUE(parsed.has_value()) << line << " -> " << parse_error_code(error);
+  return parsed.value_or(ParsedRequest{});
+}
+
+ParseError parse_err(std::string_view line) {
+  ParseError error{};
+  const auto parsed = parse_request(line, error);
+  EXPECT_FALSE(parsed.has_value()) << line;
+  return error;
+}
+
+TEST(Proto, ParsesQueryWithOptions) {
+  const ParsedRequest plain = parse_ok("QUERY 10.1.2.3");
+  EXPECT_EQ(plain.command, Command::kQuery);
+  EXPECT_EQ(plain.query.addr.value(), net::Ipv4Address::from_octets(10, 1, 2, 3).value());
+  EXPECT_EQ(plain.query.min_scope, serve::LookupScope::kBlock);
+  EXPECT_DOUBLE_EQ(plain.query.addr_coverage, 95.0);
+
+  const ParsedRequest full = parse_ok(
+      "QUERY 10.1.2.3 scope=as policy=2 addr-coverage=99 ping-coverage=50");
+  EXPECT_EQ(full.query.min_scope, serve::LookupScope::kAs);
+  EXPECT_EQ(full.query.policy_id, 2u);
+  EXPECT_DOUBLE_EQ(full.query.addr_coverage, 99.0);
+  EXPECT_DOUBLE_EQ(full.query.ping_coverage, 50.0);
+
+  // Formatting slack: extra spaces and a trailing CR are tolerated.
+  EXPECT_EQ(parse_ok("  QUERY   10.1.2.3  scope=global \r").query.min_scope,
+            serve::LookupScope::kGlobal);
+}
+
+TEST(Proto, ParsesAdminVerbs) {
+  EXPECT_EQ(parse_ok("STATS").command, Command::kStats);
+  EXPECT_EQ(parse_ok("VERSION").command, Command::kVersion);
+  EXPECT_EQ(parse_ok("QUIT").command, Command::kQuit);
+  const ParsedRequest swap = parse_ok("SWAP /tmp/oracle.snap");
+  EXPECT_EQ(swap.command, Command::kSwap);
+  EXPECT_EQ(swap.swap_path, "/tmp/oracle.snap");
+}
+
+TEST(Proto, RejectionsCarryNamedCodes) {
+  EXPECT_EQ(parse_err(""), ParseError::kEmptyLine);
+  EXPECT_EQ(parse_err("   "), ParseError::kEmptyLine);
+  EXPECT_EQ(parse_err("PING 10.0.0.1"), ParseError::kUnknownCommand);
+  EXPECT_EQ(parse_err("query 10.0.0.1"), ParseError::kUnknownCommand);  // verbs are upper-case
+  EXPECT_EQ(parse_err("QUERY"), ParseError::kMissingArgument);
+  EXPECT_EQ(parse_err("QUERY not-an-addr"), ParseError::kBadAddress);
+  EXPECT_EQ(parse_err("QUERY 10.0.0.256"), ParseError::kBadAddress);
+  EXPECT_EQ(parse_err("QUERY 10.0.0.1 scope=galaxy"), ParseError::kBadOption);
+  EXPECT_EQ(parse_err("QUERY 10.0.0.1 policy=abc"), ParseError::kBadOption);
+  EXPECT_EQ(parse_err("QUERY 10.0.0.1 addr-coverage=101"), ParseError::kBadOption);
+  EXPECT_EQ(parse_err("QUERY 10.0.0.1 bogus"), ParseError::kBadOption);
+  EXPECT_EQ(parse_err("SWAP"), ParseError::kMissingArgument);
+  EXPECT_EQ(parse_err("SWAP a b"), ParseError::kTrailingGarbage);
+  EXPECT_EQ(parse_err("STATS now"), ParseError::kTrailingGarbage);
+  EXPECT_EQ(parse_err(std::string(kMaxLineBytes + 1, 'Q')), ParseError::kLineTooLong);
+
+  // Every code serializes to a stable non-empty token.
+  for (const auto error :
+       {ParseError::kEmptyLine, ParseError::kLineTooLong, ParseError::kUnknownCommand,
+        ParseError::kBadAddress, ParseError::kBadOption, ParseError::kMissingArgument,
+        ParseError::kTrailingGarbage}) {
+    EXPECT_STRNE(parse_error_code(error), "");
+    EXPECT_EQ(format_error(error).rfind("ERR ", 0), 0u);
+  }
+}
+
+TEST(Proto, TruncatedDatagramsNeverCrash) {
+  // Every prefix of a valid request either parses or yields a named error
+  // — the UDP path hands arbitrary truncations straight to the parser.
+  const std::string full = "QUERY 10.1.2.3 scope=as policy=7 addr-coverage=99";
+  for (std::size_t len = 0; len <= full.size(); ++len) {
+    ParseError error{};
+    (void)parse_request(std::string_view{full.data(), len}, error);
+  }
+}
+
+TEST(Proto, FuzzedLinesNeverCrash) {
+  util::Prng rng{20150828};  // the paper's IMC submission vintage
+  const std::string alphabet = "QUERYSTATSVERSIONSWAPquit 0123456789.=-\r\x01\xff";
+  for (int iter = 0; iter < 20'000; ++iter) {
+    std::string line;
+    const std::size_t len = rng.uniform_int(600);
+    line.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      line += alphabet[rng.uniform_int(alphabet.size())];
+    }
+    ParseError error{};
+    const auto parsed = parse_request(line, error);
+    if (!parsed.has_value()) {
+      // Rejections always map to a named wire code.
+      EXPECT_STRNE(parse_error_code(error), "internal");
+    }
+  }
+}
+
+TEST(LineSplitter, SplitsPipelinedRequestsInOrder) {
+  LineSplitter splitter;
+  std::vector<std::string> lines;
+  int overflows = 0;
+  splitter.feed("QUERY 10.0.0.1\nSTATS\r\nVERSION\nQUI",
+                [&](std::string_view line) { lines.emplace_back(line); },
+                [&] { ++overflows; });
+  EXPECT_EQ(lines, (std::vector<std::string>{"QUERY 10.0.0.1", "STATS", "VERSION"}));
+  EXPECT_EQ(splitter.buffered(), 3u);  // "QUI" awaits its terminator
+  splitter.feed("T\n", [&](std::string_view line) { lines.emplace_back(line); },
+                [&] { ++overflows; });
+  EXPECT_EQ(lines.back(), "QUIT");
+  EXPECT_EQ(overflows, 0);
+}
+
+TEST(LineSplitter, OversizedLineCountsOnceAndResyncs) {
+  LineSplitter splitter{8};
+  std::vector<std::string> lines;
+  int overflows = 0;
+  const auto on_line = [&](std::string_view line) { lines.emplace_back(line); };
+  const auto on_overflow = [&] { ++overflows; };
+  // One oversized line delivered a byte at a time: exactly one overflow
+  // event, and the splitter resynchronizes at the terminator.
+  for (char c : std::string(100, 'x')) splitter.feed({&c, 1}, on_line, on_overflow);
+  EXPECT_EQ(overflows, 1);
+  EXPECT_TRUE(lines.empty());
+  splitter.feed("\nSTATS\n", on_line, on_overflow);
+  EXPECT_EQ(lines, (std::vector<std::string>{"STATS"}));
+  EXPECT_EQ(overflows, 1);
+}
+
+TEST(LineSplitter, FuzzedChunkingPreservesLineStreamAndBoundedMemory) {
+  // Property: however the byte stream is chunked, the sequence of
+  // delivered lines and overflow events is identical, and the splitter's
+  // buffer never exceeds the line bound.
+  util::Prng rng{7};
+  const std::string stream =
+      "QUERY 10.0.0.1\n" + std::string(600, 'A') + "\nSTATS\n\n" +
+      "QUERY 10.0.0.2 scope=as\r\n" + std::string(550, 'B') + "\nVERSION\n";
+
+  std::vector<std::string> want_lines;
+  int want_overflows = 0;
+  {
+    LineSplitter whole;
+    whole.feed(stream, [&](std::string_view line) { want_lines.emplace_back(line); },
+               [&] { ++want_overflows; });
+  }
+  EXPECT_EQ(want_lines.size(), 5u);
+  EXPECT_EQ(want_overflows, 2);
+
+  for (int trial = 0; trial < 200; ++trial) {
+    LineSplitter splitter;
+    std::vector<std::string> lines;
+    int overflows = 0;
+    std::size_t pos = 0;
+    while (pos < stream.size()) {
+      const std::size_t chunk = 1 + rng.uniform_int(40);
+      const std::string_view piece{stream.data() + pos,
+                                   std::min(chunk, stream.size() - pos)};
+      splitter.feed(piece, [&](std::string_view line) { lines.emplace_back(line); },
+                    [&] { ++overflows; });
+      EXPECT_LE(splitter.buffered(), kMaxLineBytes);
+      pos += piece.size();
+    }
+    ASSERT_EQ(lines, want_lines) << "trial " << trial;
+    ASSERT_EQ(overflows, want_overflows) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace turtle::daemon::proto

@@ -1,0 +1,13 @@
+// D2 known-bad: a daemon file other than wall_clock.cc reading the clock
+// directly instead of going through the injected ClockFn.
+#include <ctime>
+
+namespace fix {
+
+long sneaky_now_us() {
+  timespec ts{};
+  clock_gettime(0, &ts);
+  return ts.tv_sec * 1000000L + ts.tv_nsec / 1000;
+}
+
+}  // namespace fix

@@ -1,0 +1,15 @@
+// D2 known-clean: the daemon's single sanctioned clock site. The event
+// loop consumes this only through an injectable ClockFn, and durations
+// measured on it surface under wall.* metric names.
+#include <ctime>
+
+namespace fix {
+
+unsigned long wall_now_us() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<unsigned long>(ts.tv_sec) * 1000000UL +
+         static_cast<unsigned long>(ts.tv_nsec) / 1000UL;
+}
+
+}  // namespace fix

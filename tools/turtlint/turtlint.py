@@ -422,10 +422,11 @@ class RuleD2(Rule):
 
     CLOCK_IDS = {"system_clock", "steady_clock", "high_resolution_clock"}
     CLOCK_CALLS = {"gettimeofday", "clock_gettime", "timespec_get", "ftime"}
-    # The thread pool's task timing is the one sanctioned wall-clock source:
-    # the ShardRunner exports it under "wall.*" metric names, which the
-    # deterministic registry dump excludes by contract.
-    ALLOWLIST = ("src/util/thread_pool.cc",)
+    # Sanctioned wall-clock sources. The thread pool's task timing feeds
+    # "wall.*" metric names (excluded from the deterministic registry dump
+    # by contract); the daemon's wall_clock.cc is the event loop's single
+    # clock site, quarantined behind an injectable ClockFn the same way.
+    ALLOWLIST = ("src/util/thread_pool.cc", "src/daemon/wall_clock.cc")
 
     def applies(self, path: str) -> bool:
         return under(path, "src") and path not in self.ALLOWLIST

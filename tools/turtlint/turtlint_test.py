@@ -25,6 +25,7 @@ SCRIPT = os.path.join(HERE, "turtlint.py")
 CLEAN_PATHS = [
     "src/report/clean_d1.cc",
     "src/util/thread_pool.cc",
+    "src/daemon/wall_clock.cc",
     "src/core/clean_d3.cc",
     "src/core/clean_d4.cc",
     "src/analysis/clean_d5.cc",
